@@ -1,0 +1,175 @@
+// Benchmarks regenerating the paper's tables and figures as testing.B
+// targets, one per artifact (see DESIGN.md's experiment index). Each runs
+// the corresponding internal/bench experiment at a benchmark-friendly scale;
+// use cmd/graphite-bench for the full-scale renderings recorded in
+// EXPERIMENTS.md.
+package graphite_test
+
+import (
+	"testing"
+
+	"graphite/internal/bench"
+	"graphite/internal/gen"
+)
+
+// benchConfig is the shared scaled-down configuration.
+func benchConfig() bench.Config {
+	cfg := bench.DefaultConfig()
+	cfg.Scale = 0.25
+	cfg.Workers = 4
+	cfg.PRIterations = 5
+	return cfg
+}
+
+// BenchmarkTable1Datasets measures dataset generation plus the Table 1
+// characteristics scan.
+func BenchmarkTable1Datasets(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		rows, err := bench.Table1(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rows) != 6 {
+			b.Fatalf("want 6 rows, got %d", len(rows))
+		}
+	}
+}
+
+// BenchmarkTable2Speedups measures the full platform×algorithm×graph matrix
+// behind Table 2 (and Figs. 4-5), on a two-algorithm slice.
+func BenchmarkTable2Speedups(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		cells, err := bench.RunMatrix(cfg, []bench.Algo{bench.BFS, bench.SSSP})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if rows := bench.Table2(cells); len(rows) == 0 {
+			b.Fatal("no speedup rows")
+		}
+	}
+}
+
+// BenchmarkFig4Correlation measures the count/time correlation derivation.
+func BenchmarkFig4Correlation(b *testing.B) {
+	cfg := benchConfig()
+	cells, err := bench.RunMatrix(cfg, []bench.Algo{bench.BFS, bench.SSSP})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r := bench.Fig4(cells)
+		if r.Points == 0 {
+			b.Fatal("no points")
+		}
+	}
+}
+
+// BenchmarkFig5PerAlgorithm measures single (platform, algorithm, graph)
+// cells: the unit of Fig. 5.
+func BenchmarkFig5PerAlgorithm(b *testing.B) {
+	cfg := benchConfig()
+	ds, err := bench.Datasets(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	twitter := ds[3].Graph
+	for _, al := range []bench.Algo{bench.BFS, bench.PR, bench.SSSP, bench.TC} {
+		for _, pl := range bench.PlatformsFor(al) {
+			b.Run(string(al)+"/"+string(pl), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					if _, err := bench.Run(cfg, pl, al, twitter); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkFig6aMemory measures the representation footprint comparison.
+func BenchmarkFig6aMemory(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		rows, err := bench.Fig6a(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rows) != 6 {
+			b.Fatal("want 6 rows")
+		}
+	}
+}
+
+// BenchmarkFig6bCombiner measures the warp-combiner ablation.
+func BenchmarkFig6bCombiner(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		if _, err := bench.Fig6b(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig6cSuppression measures the warp-suppression ablation.
+func BenchmarkFig6cSuppression(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		if _, err := bench.Fig6c(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig7WeakScaling measures the weak-scaling sweep at 1-4 workers.
+func BenchmarkFig7WeakScaling(b *testing.B) {
+	cfg := benchConfig()
+	cfg.Scale = 0.1
+	for i := 0; i < b.N; i++ {
+		if _, err := bench.Fig7(cfg, []int{1, 2, 4}, []bench.Algo{bench.BFS, bench.SSSP}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMsgEncoding measures the var-byte interval message experiment.
+func BenchmarkMsgEncoding(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		if _, err := bench.MsgSize(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkLoCTable measures the lines-of-code derivation.
+func BenchmarkLoCTable(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := bench.LoCTable()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rows) == 0 {
+			b.Fatal("no loc rows")
+		}
+	}
+}
+
+// BenchmarkWarpOperator isolates the warp operator itself on a realistic
+// per-vertex workload: 4 state partitions, 32 overlapping messages.
+func BenchmarkWarpOperator(b *testing.B) {
+	g, err := gen.Generate(gen.TwitterLike(0.5), 42)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("ICM-SSSP-twitter", func(b *testing.B) {
+		cfg := benchConfig()
+		for i := 0; i < b.N; i++ {
+			if _, err := bench.Run(cfg, bench.ICM, bench.SSSP, g); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

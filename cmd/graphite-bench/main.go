@@ -1,0 +1,159 @@
+// Command graphite-bench regenerates the tables and figures of the ICM
+// paper's evaluation over the synthetic dataset profiles.
+//
+// Usage:
+//
+//	graphite-bench [flags] <experiment>...
+//
+// Experiments: table1, table2, fig4, fig5, fig6a, fig6b, fig6c, fig7,
+// msgsize, loc, all.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"graphite/internal/bench"
+	"graphite/internal/gen"
+)
+
+func main() {
+	var (
+		scale   = flag.Float64("scale", 1.0, "dataset scale factor (1.0 ~ quick laptop runs)")
+		workers = flag.Int("workers", 8, "BSP workers (the paper's cluster uses 8 nodes)")
+		batch   = flag.Int("batch", 6, "Chlonos snapshots per batch")
+		prIters = flag.Int("pr-iters", 10, "PageRank iterations")
+		seed    = flag.Int64("seed", 42, "dataset generator seed")
+		algos   = flag.String("algos", "", "comma-separated algorithm subset for table2/fig4/fig5 (default: all 12)")
+	)
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: graphite-bench [flags] <experiment>...\n")
+		fmt.Fprintf(os.Stderr, "experiments: table1 table2 fig4 fig5 fig6a fig6b fig6c fig7 msgsize loc all\n\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() == 0 {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	cfg := bench.Config{
+		Scale:        gen.Scale(*scale),
+		Workers:      *workers,
+		BatchSize:    *batch,
+		PRIterations: *prIters,
+		Seed:         *seed,
+	}
+	selected := parseAlgos(*algos)
+
+	for _, exp := range flag.Args() {
+		if err := run(cfg, exp, selected); err != nil {
+			fmt.Fprintf(os.Stderr, "graphite-bench: %s: %v\n", exp, err)
+			os.Exit(1)
+		}
+		fmt.Println()
+	}
+}
+
+func parseAlgos(s string) []bench.Algo {
+	if s == "" {
+		return append(append([]bench.Algo{}, bench.TIAlgos...), bench.TDAlgos...)
+	}
+	var out []bench.Algo
+	for _, part := range strings.Split(s, ",") {
+		out = append(out, bench.Algo(strings.ToUpper(strings.TrimSpace(part))))
+	}
+	return out
+}
+
+// matrix caches the expensive full measurement across experiments that
+// share it.
+var matrix []bench.Cell
+
+func getMatrix(cfg bench.Config, algos []bench.Algo) ([]bench.Cell, error) {
+	if matrix != nil {
+		return matrix, nil
+	}
+	var err error
+	matrix, err = bench.RunMatrix(cfg, algos)
+	return matrix, err
+}
+
+func run(cfg bench.Config, exp string, algos []bench.Algo) error {
+	w := os.Stdout
+	switch exp {
+	case "all":
+		for _, e := range []string{"table1", "table2", "fig4", "fig5", "fig6a", "fig6b", "fig6c", "fig7", "msgsize", "loc"} {
+			if err := run(cfg, e, algos); err != nil {
+				return err
+			}
+			fmt.Println()
+		}
+		return nil
+	case "table1":
+		rows, err := bench.Table1(cfg)
+		if err != nil {
+			return err
+		}
+		bench.RenderTable1(w, rows)
+	case "table2":
+		cells, err := getMatrix(cfg, algos)
+		if err != nil {
+			return err
+		}
+		bench.RenderTable2(w, bench.Table2(cells))
+	case "fig4":
+		cells, err := getMatrix(cfg, algos)
+		if err != nil {
+			return err
+		}
+		bench.RenderFig4(w, bench.Fig4(cells))
+	case "fig5":
+		cells, err := getMatrix(cfg, algos)
+		if err != nil {
+			return err
+		}
+		bench.RenderFig5(w, cells)
+	case "fig6a":
+		rows, err := bench.Fig6a(cfg)
+		if err != nil {
+			return err
+		}
+		bench.RenderFig6a(w, rows)
+	case "fig6b":
+		rows, err := bench.Fig6b(cfg)
+		if err != nil {
+			return err
+		}
+		bench.RenderFig6b(w, rows)
+	case "fig6c":
+		rows, err := bench.Fig6c(cfg)
+		if err != nil {
+			return err
+		}
+		bench.RenderFig6c(w, rows)
+	case "fig7":
+		rows, err := bench.Fig7(cfg, nil, nil)
+		if err != nil {
+			return err
+		}
+		bench.RenderFig7(w, rows)
+	case "msgsize":
+		rows, err := bench.MsgSize(cfg)
+		if err != nil {
+			return err
+		}
+		bench.RenderMsgSize(w, rows)
+	case "loc":
+		rows, err := bench.LoCTable()
+		if err != nil {
+			return err
+		}
+		bench.RenderLoC(w, rows)
+	default:
+		return fmt.Errorf("unknown experiment (try: table1 table2 fig4 fig5 fig6a fig6b fig6c fig7 msgsize loc all)")
+	}
+	return nil
+}

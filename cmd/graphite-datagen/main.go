@@ -1,0 +1,79 @@
+// Command graphite-datagen generates the synthetic temporal graph datasets
+// (the six Table 1 profiles and the LDBC-like weak-scaling graphs) in the
+// text format internal/tgraph reads, and prints their characteristics.
+//
+// Usage:
+//
+//	graphite-datagen -out DIR [-scale S] [-seed N] [profile...]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"graphite/internal/gen"
+	"graphite/internal/stats"
+	"graphite/internal/tgraph"
+)
+
+func main() {
+	var (
+		out    = flag.String("out", "", "output directory (empty: print characteristics only)")
+		scale  = flag.Float64("scale", 1.0, "dataset scale factor")
+		seed   = flag.Int64("seed", 42, "generator seed")
+		format = flag.String("format", "text", "output format: text or binary")
+	)
+	flag.Parse()
+
+	profiles := gen.AllProfiles(gen.Scale(*scale))
+	if flag.NArg() > 0 {
+		byName := map[string]gen.Profile{}
+		for _, p := range profiles {
+			byName[p.Name] = p
+		}
+		profiles = nil
+		for _, name := range flag.Args() {
+			p, ok := byName[name]
+			if !ok {
+				fmt.Fprintf(os.Stderr, "graphite-datagen: unknown profile %q\n", name)
+				os.Exit(2)
+			}
+			profiles = append(profiles, p)
+		}
+	}
+
+	t := stats.Table{Header: []string{
+		"Graph", "#Snaps", "|V|", "|E|", "Snap|V|", "Snap|E|", "Trans|V|", "Trans|E|",
+		"LifeV", "LifeE", "LifeProp", "File",
+	}}
+	for _, p := range profiles {
+		g, err := gen.Generate(p, *seed)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "graphite-datagen: %s: %v\n", p.Name, err)
+			os.Exit(1)
+		}
+		file := "-"
+		if *out != "" {
+			if err := os.MkdirAll(*out, 0o755); err != nil {
+				fmt.Fprintf(os.Stderr, "graphite-datagen: %v\n", err)
+				os.Exit(1)
+			}
+			write := tgraph.WriteFile
+			ext := ".tg"
+			if *format == "binary" {
+				write, ext = tgraph.WriteBinaryFile, ".tgb"
+			}
+			file = filepath.Join(*out, p.Name+ext)
+			if err := write(file, g); err != nil {
+				fmt.Fprintf(os.Stderr, "graphite-datagen: write %s: %v\n", file, err)
+				os.Exit(1)
+			}
+		}
+		c := g.ComputeCharacteristics()
+		t.Add(p.Name, c.Snapshots, c.IntervalV, c.IntervalE, c.LargestSnapV, c.LargestSnapE,
+			c.TransformedV, c.TransformedE, c.AvgVertexLife, c.AvgEdgeLife, c.AvgPropLife, file)
+	}
+	t.Render(os.Stdout)
+}

@@ -1,0 +1,78 @@
+// Contagion tracing: time-respecting reachability as an epidemic model.
+// Contacts are temporal edges (who met whom, when); an infection starting at
+// patient zero can only travel along time-respecting paths. RH gives the
+// exposed set, EAT the infection wave front, and the TMST the most likely
+// transmission tree.
+package main
+
+import (
+	"fmt"
+
+	"graphite/internal/algorithms"
+	"graphite/internal/gen"
+	ival "graphite/internal/interval"
+)
+
+func main() {
+	profile := gen.Tiny("contacts", 400, 6, 24, gen.MixedLife)
+	g, err := gen.Generate(profile, 3)
+	if err != nil {
+		panic(err)
+	}
+	patientZero := g.VertexAt(0).ID
+	fmt.Printf("contact network: %v over %d days\n", g, g.SnapshotCount())
+	fmt.Printf("patient zero: %d, infectious from day 0\n\n", patientZero)
+
+	// Who is ever exposed?
+	rh, err := algorithms.RunRH(g, patientZero, 0, 0)
+	if err != nil {
+		panic(err)
+	}
+	exposed := 0
+	for i := 0; i < g.NumVertices(); i++ {
+		if algorithms.Reachable(rh, g.VertexAt(i).ID) {
+			exposed++
+		}
+	}
+	fmt.Printf("exposed individuals: %d / %d\n", exposed, g.NumVertices())
+
+	// Infection wave: cumulative infections per day via earliest exposure.
+	eat, err := algorithms.RunEAT(g, patientZero, 0, 0)
+	if err != nil {
+		panic(err)
+	}
+	wave := make([]int, g.Horizon()+1)
+	for i := 0; i < g.NumVertices(); i++ {
+		if a := algorithms.EarliestArrival(eat, g.VertexAt(i).ID); a != algorithms.Unreachable {
+			day := ival.Time(a)
+			if day > g.Horizon() {
+				day = g.Horizon()
+			}
+			wave[day]++
+		}
+	}
+	fmt.Println("\ncumulative infections by day:")
+	cum := 0
+	for day, n := range wave {
+		cum += n
+		if n > 0 {
+			fmt.Printf("  day %2d: +%d (total %d)\n", day, n, cum)
+		}
+	}
+
+	// Transmission tree: the earliest-arrival spanning tree.
+	tmst, err := algorithms.RunTMST(g, patientZero, 0, 0)
+	if err != nil {
+		panic(err)
+	}
+	tree := algorithms.TMSTTree(tmst)
+	fmt.Printf("\ntransmission tree: %d infections traced\n", len(tree))
+	shown := 0
+	for _, te := range tree {
+		fmt.Printf("  %d infected %d on day %d\n", te.Parent, te.Vertex, te.Arrival)
+		if shown++; shown == 8 {
+			fmt.Printf("  ... and %d more\n", len(tree)-shown)
+			break
+		}
+	}
+}

@@ -1,0 +1,88 @@
+// Transit journey planner: the motivating workload of the paper's
+// introduction. Generates a road network in the USRN mold (static planar
+// topology, time-varying travel times and costs) and answers the classic
+// time-dependent queries between two junctions: earliest arrival (EAT),
+// cheapest journey per arrival interval (SSSP), fastest journey (FAST) and
+// latest safe departure (LD).
+package main
+
+import (
+	"fmt"
+
+	"graphite/internal/algorithms"
+	"graphite/internal/gen"
+	ival "graphite/internal/interval"
+)
+
+func main() {
+	profile := gen.USRNLike(0.5)
+	g, err := gen.Generate(profile, 7)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("road network: %v, %d time-points of traffic data\n", g, g.SnapshotCount())
+
+	src := g.VertexAt(0).ID
+
+	// Destination: the farthest junction still reachable when leaving at 0.
+	eat, err := algorithms.RunEAT(g, src, 0, 0)
+	if err != nil {
+		panic(err)
+	}
+	dst, bestArr := src, int64(-1)
+	for i := 0; i < g.NumVertices(); i++ {
+		id := g.VertexAt(i).ID
+		if a := algorithms.EarliestArrival(eat, id); a != algorithms.Unreachable && a > bestArr {
+			dst, bestArr = id, a
+		}
+	}
+	fmt.Printf("planning journeys from junction %d to junction %d\n\n", src, dst)
+	fmt.Printf("earliest arrival leaving at t=0: t=%d\n", bestArr)
+
+	sssp, err := algorithms.RunSSSP(g, src, 0, 0)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("cheapest journey per arrival window:")
+	for _, c := range algorithms.SSSPCosts(sssp, dst) {
+		fmt.Printf("  arrive within %v at toll cost %d\n", c.Interval, c.Value)
+	}
+
+	fast, err := algorithms.RunFAST(g, src, 0, 0)
+	if err != nil {
+		panic(err)
+	}
+	if d := algorithms.FastestDuration(fast, dst); d == algorithms.Unreachable {
+		fmt.Println("fastest journey: none")
+	} else {
+		fmt.Printf("fastest door-to-door duration (any departure): %d time units\n", d)
+	}
+
+	deadline := g.Horizon()
+	ld, err := algorithms.RunLD(g, dst, deadline, 0)
+	if err != nil {
+		panic(err)
+	}
+	if d := algorithms.LatestDeparture(ld, src); d < 0 {
+		fmt.Printf("latest departure to arrive before t=%d: impossible\n", deadline)
+	} else {
+		fmt.Printf("latest departure from %d to arrive before t=%d: t=%d\n", src, deadline, d)
+	}
+
+	// How many junctions are reachable at all, and how does the reachable
+	// set grow with the departure time?
+	fmt.Println("\nreachable junctions by departure time:")
+	for _, t0 := range []ival.Time{0, g.Horizon() / 2} {
+		rh, err := algorithms.RunRH(g, src, t0, 0)
+		if err != nil {
+			panic(err)
+		}
+		n := 0
+		for i := 0; i < g.NumVertices(); i++ {
+			if algorithms.Reachable(rh, g.VertexAt(i).ID) {
+				n++
+			}
+		}
+		fmt.Printf("  departing at t=%d: %d / %d junctions\n", t0, n, g.NumVertices())
+	}
+}

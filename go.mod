@@ -1,0 +1,3 @@
+module graphite
+
+go 1.24

@@ -1,0 +1,210 @@
+// Package graphite is a from-scratch Go implementation of the
+// interval-centric computing model (ICM) for distributed processing of
+// temporal property graphs, reproducing "An Interval-centric Model for
+// Distributed Computing over Temporal Graphs" (Gandhi & Simmhan, ICDE
+// 2020).
+//
+// The package is a facade over the implementation packages:
+//
+//   - internal/interval — the time domain, half-open intervals, Allen
+//     relations and interval sets;
+//   - internal/tgraph — the temporal property graph model with the paper's
+//     soundness constraints, plus text serialization;
+//   - internal/warp — the time-warp and time-join operators;
+//   - internal/core — the ICM runtime (interval vertices, partitioned
+//     states, compute/scatter, warp combiners and warp suppression);
+//   - internal/engine — the BSP substrate (workers, supersteps, combiners,
+//     aggregators, master compute);
+//   - internal/algorithms — the twelve TI and TD algorithms of the paper;
+//   - internal/gen — synthetic dataset generators shaped like the paper's
+//     six graphs;
+//   - internal/bench — the experiment harness regenerating every table and
+//     figure of the evaluation.
+//
+// A minimal program:
+//
+//	g := graphite.TransitExample()
+//	r, err := graphite.RunSSSP(g, 0, 0, 4)
+//	costs := graphite.SSSPCosts(r, 4) // per-arrival-interval travel costs
+package graphite
+
+import (
+	"graphite/internal/algorithms"
+	"graphite/internal/core"
+	ival "graphite/internal/interval"
+	"graphite/internal/stream"
+	"graphite/internal/tgraph"
+	"graphite/internal/warp"
+)
+
+// Time domain and intervals.
+type (
+	// Time is a discrete time-point.
+	Time = ival.Time
+	// Interval is a half-open time-interval [Start, End).
+	Interval = ival.Interval
+	// IntervalSet is a canonical set of time-points.
+	IntervalSet = ival.Set
+)
+
+// Infinity is the unbounded future time-point.
+const Infinity = ival.Infinity
+
+// Interval constructors.
+var (
+	// NewInterval returns [start, end).
+	NewInterval = ival.New
+	// Point returns the unit interval [t, t+1).
+	Point = ival.Point
+	// From returns the unbounded interval [start, ∞).
+	From = ival.From
+	// Universe is [0, ∞).
+	Universe = ival.Universe
+)
+
+// Temporal property graph model.
+type (
+	// Graph is an immutable temporal property graph.
+	Graph = tgraph.Graph
+	// GraphBuilder accumulates and validates a temporal graph.
+	GraphBuilder = tgraph.Builder
+	// VertexID identifies a vertex.
+	VertexID = tgraph.VertexID
+	// EdgeID identifies an edge.
+	EdgeID = tgraph.EdgeID
+	// Vertex is a temporal vertex.
+	Vertex = tgraph.Vertex
+	// Edge is a temporal edge.
+	Edge = tgraph.Edge
+)
+
+// Graph construction and serialization.
+var (
+	// NewGraphBuilder returns an empty builder with capacity hints.
+	NewGraphBuilder = tgraph.NewBuilder
+	// ReadGraph parses the text format.
+	ReadGraph = tgraph.Read
+	// ReadGraphFile parses a graph file.
+	ReadGraphFile = tgraph.ReadFile
+	// WriteGraph serializes the text format.
+	WriteGraph = tgraph.Write
+	// WriteGraphFile serializes a graph to a file.
+	WriteGraphFile = tgraph.WriteFile
+	// TransitExample builds the paper's Fig. 1 transit network.
+	TransitExample = tgraph.TransitExample
+	// SliceGraph materializes the sub-graph restricted to a time window.
+	SliceGraph = tgraph.Slice
+)
+
+// Streaming ingestion: build temporal graphs from timestamped event logs.
+type (
+	// StreamEvent is one timestamped graph mutation.
+	StreamEvent = stream.Event
+	// StreamAccumulator folds events into a materializable graph.
+	StreamAccumulator = stream.Accumulator
+)
+
+var (
+	// NewStreamAccumulator returns an empty event accumulator.
+	NewStreamAccumulator = stream.NewAccumulator
+	// ReadEventLog parses a text event log into an accumulator.
+	ReadEventLog = stream.ReadLog
+)
+
+// Interval-centric programming model.
+type (
+	// Program is the user-facing ICM contract (Init / Compute / Scatter).
+	Program = core.Program
+	// VertexCtx is the interval-vertex handle passed to user logic.
+	VertexCtx = core.VertexCtx
+	// OutMsg is a scatter-produced message.
+	OutMsg = core.OutMsg
+	// Options configures an ICM run.
+	Options = core.Options
+	// Result is an ICM run's outcome.
+	Result = core.Result
+	// PartitionedState is an interval vertex's dynamic state.
+	PartitionedState = core.PartitionedState
+)
+
+// Run executes an ICM program over a temporal graph.
+var Run = core.Run
+
+// Time-warp operators.
+type (
+	// WarpTuple is one output triple of the warp operator.
+	WarpTuple = warp.Tuple
+	// WarpInput pairs an interval with a value.
+	WarpInput = warp.IntervalValue
+)
+
+var (
+	// Warp computes the time-warp of two interval/value sets.
+	Warp = warp.Warp
+	// WarpCombined is Warp with an inline combiner.
+	WarpCombined = warp.WarpCombined
+	// TimeJoin computes the temporal natural join.
+	TimeJoin = warp.TimeJoin
+)
+
+// The twelve algorithms of the paper, ready to run.
+var (
+	// RunBFS runs time-independent breadth-first search.
+	RunBFS = algorithms.RunBFS
+	// RunWCC runs weakly connected components.
+	RunWCC = algorithms.RunWCC
+	// RunSCC runs strongly connected components.
+	RunSCC = algorithms.RunSCC
+	// RunPageRank runs PageRank with a fixed iteration budget.
+	RunPageRank = algorithms.RunPageRank
+	// RunSSSP runs temporal single-source shortest path (Alg. 1).
+	RunSSSP = algorithms.RunSSSP
+	// RunEAT runs earliest arrival time.
+	RunEAT = algorithms.RunEAT
+	// RunFAST runs the fastest-journey algorithm.
+	RunFAST = algorithms.RunFAST
+	// RunLD runs latest departure (reverse traversal).
+	RunLD = algorithms.RunLD
+	// RunTMST runs the time-minimum spanning tree.
+	RunTMST = algorithms.RunTMST
+	// RunRH runs time-respecting reachability.
+	RunRH = algorithms.RunRH
+	// RunLCC runs the temporal local clustering coefficient.
+	RunLCC = algorithms.RunLCC
+	// RunTC runs temporal triangle counting.
+	RunTC = algorithms.RunTC
+	// RunFFM runs temporal feed-forward motif counting (an extension: the
+	// transaction-network pattern the paper's introduction motivates).
+	RunFFM = algorithms.RunFFM
+)
+
+// Result decoders.
+var (
+	// SSSPCosts decodes per-arrival-interval travel costs.
+	SSSPCosts = algorithms.SSSPCosts
+	// BFSLevels decodes per-interval BFS levels.
+	BFSLevels = algorithms.BFSLevels
+	// WCCLabels decodes per-interval component labels.
+	WCCLabels = algorithms.WCCLabels
+	// SCCLabels decodes per-interval strongly-connected components.
+	SCCLabels = algorithms.SCCLabels
+	// EarliestArrival returns a vertex's earliest arrival time.
+	EarliestArrival = algorithms.EarliestArrival
+	// FastestDuration returns a vertex's fastest journey duration.
+	FastestDuration = algorithms.FastestDuration
+	// LatestDeparture returns a vertex's latest valid departure.
+	LatestDeparture = algorithms.LatestDeparture
+	// Reachable reports time-respecting reachability.
+	Reachable = algorithms.Reachable
+	// TMSTTree extracts the earliest-arrival tree.
+	TMSTTree = algorithms.TMSTTree
+	// TriangleTotal counts directed 3-cycles at a time-point.
+	TriangleTotal = algorithms.TriangleTotal
+	// Coefficient returns a vertex's clustering coefficient at a time-point.
+	Coefficient = algorithms.Coefficient
+	// FFMTotal counts feed-forward motifs across the graph.
+	FFMTotal = algorithms.FFMTotal
+)
+
+// Unreachable is the sentinel cost/time for vertices no journey reaches.
+const Unreachable = algorithms.Unreachable

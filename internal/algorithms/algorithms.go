@@ -1,0 +1,86 @@
+// Package algorithms implements the 12 time-independent and time-dependent
+// temporal graph algorithms of Sec. V of the ICM paper as interval-centric
+// programs: BFS, WCC, SCC and PageRank (TI); and SSSP, EAT, FAST, LD, TMST,
+// RH, LCC and TC (TD).
+//
+// Each algorithm is a constructor returning a core.Program plus the
+// core.Options it needs; Run* helpers wire the two. The time-dependent
+// algorithms read the "travel-time" and "travel-cost" edge properties; the
+// time-independent ones use no properties, exactly as in the paper's
+// evaluation setup.
+package algorithms
+
+import (
+	"math"
+
+	"graphite/internal/core"
+	ival "graphite/internal/interval"
+	"graphite/internal/tgraph"
+)
+
+// Unreachable is the state value of a vertex interval no journey reaches.
+const Unreachable = int64(math.MaxInt64)
+
+// travelProps reads the travel-time and travel-cost properties of an edge at
+// time-point t. Both must be present for the edge to be traversable.
+func travelProps(e *tgraph.Edge, t ival.Time) (tt, tc int64, ok bool) {
+	tt, ok1 := e.Props.ValueAt(tgraph.PropTravelTime, t)
+	tc, ok2 := e.Props.ValueAt(tgraph.PropTravelCost, t)
+	return tt, tc, ok1 && ok2
+}
+
+// minInt64 folds two int64 message payloads to their minimum; the shared
+// warp combiner of the monotone path algorithms.
+func minInt64(a, b any) any {
+	if a.(int64) < b.(int64) {
+		return a
+	}
+	return b
+}
+
+// maxInt64 folds two int64 message payloads to their maximum.
+func maxInt64(a, b any) any {
+	if a.(int64) > b.(int64) {
+		return a
+	}
+	return b
+}
+
+// IntervalValue is a decoded 〈interval, int64〉 state entry exposed to
+// callers reading algorithm results.
+type IntervalValue struct {
+	Interval ival.Interval
+	Value    int64
+}
+
+// Int64States decodes a vertex's final partitioned state into int64 entries,
+// dropping partitions that still hold the init value sentinel.
+func Int64States(st *core.PartitionedState, skip int64) []IntervalValue {
+	var out []IntervalValue
+	for _, p := range st.Parts() {
+		v, ok := p.Value.(int64)
+		if !ok || v == skip {
+			continue
+		}
+		out = append(out, IntervalValue{Interval: p.Interval, Value: v})
+	}
+	return out
+}
+
+// MinInt64State returns the minimum int64 value across a vertex's
+// partitions, or skip when none beat it.
+func MinInt64State(st *core.PartitionedState, skip int64) int64 {
+	best := skip
+	for _, p := range st.Parts() {
+		if v, ok := p.Value.(int64); ok && v < best {
+			best = v
+		}
+	}
+	return best
+}
+
+// runWith executes a program with explicit options; a test seam shared by
+// the algorithm test suites.
+func runWith(g *tgraph.Graph, prog core.Program, opts core.Options) (*core.Result, error) {
+	return core.Run(g, prog, opts)
+}

@@ -1,0 +1,150 @@
+package algorithms
+
+import (
+	"sort"
+
+	"graphite/internal/codec"
+	"graphite/internal/core"
+	ival "graphite/internal/interval"
+	"graphite/internal/tgraph"
+)
+
+// PageRank is the time-independent PR of Sec. V with the paper's fixed
+// superstep budget (10 rank updates). Each time-point evolves exactly like
+// PageRank on that snapshot: messages carry rank/outdegree and are valid
+// only while the carrying edge is alive; out-degree is evaluated piecewise
+// over the sender's degree partition so every message interval has a
+// constant degree.
+//
+// N is the total vertex count of the temporal graph (not the per-snapshot
+// count) and rank mass from vertices with zero out-degree at a time-point is
+// not redistributed — the plain Pregel formulation, mirrored by the oracle.
+type PageRank struct {
+	Iterations int     // rank updates; the paper uses 10
+	Damping    float64 // typically 0.85
+
+	degParts [][]IntervalValue // per vertex: out-degree per interval
+}
+
+// NewPageRank precomputes the per-vertex temporal out-degree partition.
+func NewPageRank(g *tgraph.Graph, iterations int, damping float64) *PageRank {
+	a := &PageRank{Iterations: iterations, Damping: damping}
+	if a.Iterations <= 0 {
+		a.Iterations = 10
+	}
+	if a.Damping <= 0 {
+		a.Damping = 0.85
+	}
+	a.degParts = make([][]IntervalValue, g.NumVertices())
+	for v := 0; v < g.NumVertices(); v++ {
+		a.degParts[v] = degreePartition(g, v)
+	}
+	return a
+}
+
+// degreePartition splits a vertex's lifespan at its out-edges' lifespan
+// boundaries and annotates each piece with the out-degree.
+func degreePartition(g *tgraph.Graph, v int) []IntervalValue {
+	life := g.VertexAt(v).Lifespan
+	bounds := []ival.Time{life.Start, life.End}
+	for _, ei := range g.OutEdges(v) {
+		x := g.Edge(int(ei)).Lifespan.Intersect(life)
+		if !x.IsEmpty() {
+			bounds = append(bounds, x.Start, x.End)
+		}
+	}
+	sort.Slice(bounds, func(a, b int) bool { return bounds[a] < bounds[b] })
+	var out []IntervalValue
+	for i := 0; i+1 < len(bounds); i++ {
+		if bounds[i] == bounds[i+1] {
+			continue
+		}
+		piece := ival.New(bounds[i], bounds[i+1])
+		out = append(out, IntervalValue{Interval: piece, Value: int64(g.OutDegreeAt(v, piece.Start))})
+	}
+	return out
+}
+
+// Init seeds the uniform rank.
+func (a *PageRank) Init(v *core.VertexCtx) {
+	v.SetState(v.Lifespan(), 1.0/float64(v.NumVertices()))
+}
+
+// Compute sums the incoming rank mass for the active interval.
+func (a *PageRank) Compute(v *core.VertexCtx, t ival.Interval, state any, msgs []any) {
+	n := float64(v.NumVertices())
+	if v.Superstep() == 1 {
+		// Re-claim the uniform rank so the initial scatter fires.
+		v.SetState(t, 1.0/n)
+		return
+	}
+	var sum float64
+	for _, m := range msgs {
+		sum += m.(float64)
+	}
+	v.SetState(t, (1-a.Damping)/n+a.Damping*sum)
+}
+
+// Scatter divides the rank by the out-degree, piecewise over the degree
+// partition so each message interval has a constant divisor. After the last
+// rank update nothing is sent.
+func (a *PageRank) Scatter(v *core.VertexCtx, e *tgraph.Edge, t ival.Interval, state any) []core.OutMsg {
+	if v.Superstep() > a.Iterations {
+		return nil
+	}
+	rank := state.(float64)
+	for _, dp := range a.degParts[v.Index()] {
+		x := dp.Interval.Intersect(t)
+		if x.IsEmpty() || dp.Value == 0 {
+			continue
+		}
+		v.Emit(x, rank/float64(dp.Value))
+	}
+	return nil
+}
+
+// CombineWarp sums rank contributions in a group.
+func (a *PageRank) CombineWarp(x, y any) any { return x.(float64) + y.(float64) }
+
+// Options returns the run options PageRank needs: all vertices active for a
+// fixed number of supersteps.
+func (a *PageRank) Options() core.Options {
+	return core.Options{
+		ActivateAll:     true,
+		MaxSupersteps:   a.Iterations + 1,
+		PayloadCodec:    codec.Float64{},
+		ReceiverCombine: true,
+	}
+}
+
+// RunPageRank executes time-independent PageRank.
+func RunPageRank(g *tgraph.Graph, iterations int, workers int) (*core.Result, error) {
+	a := NewPageRank(g, iterations, 0.85)
+	opts := a.Options()
+	opts.NumWorkers = workers
+	return core.Run(g, a, opts)
+}
+
+// Ranks decodes a vertex's per-interval PageRank.
+func Ranks(r *core.Result, id tgraph.VertexID) []struct {
+	Interval ival.Interval
+	Rank     float64
+} {
+	st := r.StateByID(id)
+	if st == nil {
+		return nil
+	}
+	var out []struct {
+		Interval ival.Interval
+		Rank     float64
+	}
+	for _, p := range st.Parts() {
+		if f, ok := p.Value.(float64); ok {
+			out = append(out, struct {
+				Interval ival.Interval
+				Rank     float64
+			}{p.Interval, f})
+		}
+	}
+	return out
+}

@@ -1,0 +1,187 @@
+package algorithms
+
+import (
+	"testing"
+
+	ival "graphite/internal/interval"
+	"graphite/internal/tgraph"
+)
+
+// The transit fixture (paper Fig. 1): A→B [3,6) (cost 4 then 3), A→C [1,2)
+// cost 3, A→D [4,5) cost 2, B→E [8,9) cost 2, C→E [5,6) cost 4, D→F [0,1)
+// cost 1; travel time 1 everywhere.
+
+func TestEATOnTransit(t *testing.T) {
+	g := tgraph.TransitExample()
+	r, err := RunEAT(g, 0, 0, 2)
+	if err != nil {
+		t.Fatalf("RunEAT: %v", err)
+	}
+	want := map[tgraph.VertexID]int64{
+		0: 0,           // A: at source
+		1: 4,           // B: depart 3, arrive 4
+		2: 2,           // C: depart 1, arrive 2
+		3: 5,           // D: depart 4, arrive 5
+		4: 6,           // E: via C, depart 5, arrive 6
+		5: Unreachable, // F: D→F window closed before D is reached
+	}
+	for id, w := range want {
+		if got := EarliestArrival(r, id); got != w {
+			t.Errorf("EAT(%s) = %d, want %d", tgraph.TransitVertexName(id), got, w)
+		}
+	}
+}
+
+func TestRHOnTransit(t *testing.T) {
+	g := tgraph.TransitExample()
+	r, err := RunRH(g, 0, 0, 2)
+	if err != nil {
+		t.Fatalf("RunRH: %v", err)
+	}
+	for id, want := range map[tgraph.VertexID]bool{0: true, 1: true, 2: true, 3: true, 4: true, 5: false} {
+		if got := Reachable(r, id); got != want {
+			t.Errorf("RH(%s) = %v, want %v", tgraph.TransitVertexName(id), got, want)
+		}
+	}
+	// Starting too late for everything except the B corridor.
+	r, err = RunRH(g, 0, 5, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for id, want := range map[tgraph.VertexID]bool{1: true, 2: false, 3: false, 4: true} {
+		if got := Reachable(r, id); got != want {
+			t.Errorf("RH(%s) from t=5 = %v, want %v", tgraph.TransitVertexName(id), got, want)
+		}
+	}
+}
+
+func TestTMSTOnTransit(t *testing.T) {
+	g := tgraph.TransitExample()
+	r, err := RunTMST(g, 0, 0, 2)
+	if err != nil {
+		t.Fatalf("RunTMST: %v", err)
+	}
+	tree := map[tgraph.VertexID]TreeEdge{}
+	for _, te := range TMSTTree(r) {
+		tree[te.Vertex] = te
+	}
+	want := []TreeEdge{
+		{Vertex: 1, Parent: 0, Arrival: 4},
+		{Vertex: 2, Parent: 0, Arrival: 2},
+		{Vertex: 3, Parent: 0, Arrival: 5},
+		{Vertex: 4, Parent: 2, Arrival: 6},
+	}
+	if len(tree) != len(want) {
+		t.Fatalf("tree = %v, want %d edges", tree, len(want))
+	}
+	for _, w := range want {
+		if got := tree[w.Vertex]; got != w {
+			t.Errorf("tree edge for %s = %+v, want %+v", tgraph.TransitVertexName(w.Vertex), got, w)
+		}
+	}
+}
+
+func TestFASTOnTransit(t *testing.T) {
+	g := tgraph.TransitExample()
+	r, err := RunFAST(g, 0, 0, 2)
+	if err != nil {
+		t.Fatalf("RunFAST: %v", err)
+	}
+	want := map[tgraph.VertexID]int64{
+		0: 0,           // A
+		1: 1,           // B: depart at any point of [3,6)
+		2: 1,           // C: depart 1 arrive 2
+		3: 1,           // D: depart 4 arrive 5
+		4: 4,           // E: best is depart A at 5 → B at 6, B at 8 → E at 9
+		5: Unreachable, // F
+	}
+	for id, w := range want {
+		if got := FastestDuration(r, id); got != w {
+			t.Errorf("FAST(%s) = %d, want %d", tgraph.TransitVertexName(id), got, w)
+		}
+	}
+}
+
+func TestLDOnTransit(t *testing.T) {
+	g := tgraph.TransitExample()
+	// Target E with a generous deadline.
+	r, err := RunLD(g, 4, 20, 2)
+	if err != nil {
+		t.Fatalf("RunLD: %v", err)
+	}
+	want := map[tgraph.VertexID]ival.Time{
+		0: 5,  // A: depart 5 → B 6, wait, B depart 8 → E 9
+		1: 8,  // B: depart 8 directly
+		2: 5,  // C: depart 5 directly
+		3: -1, // D: no path to E
+		4: 19, // E: present until the deadline
+		5: -1, // F
+	}
+	for id, w := range want {
+		if got := LatestDeparture(r, id); got != w {
+			t.Errorf("LD(%s) = %d, want %d", tgraph.TransitVertexName(id), got, w)
+		}
+	}
+	// Deadline 7: only the C corridor (arrive 6) works.
+	r, err = RunLD(g, 4, 7, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := LatestDeparture(r, 0); got != 1 {
+		t.Errorf("LD(A) with deadline 7 = %d, want 1 (via C)", got)
+	}
+	if got := LatestDeparture(r, 1); got != -1 {
+		t.Errorf("LD(B) with deadline 7 = %d, want -1 (B→E arrives at 9)", got)
+	}
+}
+
+func TestClusteringOnTriangleFixture(t *testing.T) {
+	// A hand-built temporal triangle: 0→1 [0,6), 1→2 [2,8), 2→0 [4,10);
+	// all three coexist only during [4,6).
+	b := tgraph.NewBuilder(3, 3)
+	for v := tgraph.VertexID(0); v < 3; v++ {
+		b.AddVertex(v, ival.New(0, 10))
+	}
+	b.AddEdge(0, 0, 1, ival.New(0, 6))
+	b.AddEdge(1, 1, 2, ival.New(2, 8))
+	b.AddEdge(2, 2, 0, ival.New(4, 10))
+	g := b.MustBuild()
+
+	r, err := RunTC(g, 2)
+	if err != nil {
+		t.Fatalf("RunTC: %v", err)
+	}
+	for _, tc := range []struct {
+		t    ival.Time
+		want int64
+	}{{3, 0}, {4, 1}, {5, 1}, {6, 0}, {9, 0}} {
+		if got := TriangleTotal(r, tc.t); got != tc.want {
+			t.Errorf("triangles@%d = %d, want %d", tc.t, got, tc.want)
+		}
+	}
+
+	// LCC needs a wedge plus its chord: add 0→2 so 0's neighbors {1,2}
+	// have the connecting edge 1→2.
+	b2 := tgraph.NewBuilder(3, 4)
+	for v := tgraph.VertexID(0); v < 3; v++ {
+		b2.AddVertex(v, ival.New(0, 10))
+	}
+	b2.AddEdge(0, 0, 1, ival.New(0, 6))
+	b2.AddEdge(1, 1, 2, ival.New(2, 8))
+	b2.AddEdge(2, 0, 2, ival.New(0, 10))
+	g2 := b2.MustBuild()
+	lcc, err := RunLCC(g2, 2)
+	if err != nil {
+		t.Fatalf("RunLCC: %v", err)
+	}
+	// During [2,6): wedge 0→1→2 closed by 0→2: one closure over deg 2.
+	if got := Coefficient(lcc, 0, 4); got != 0.5 {
+		t.Errorf("LCC(0)@4 = %v, want 0.5", got)
+	}
+	if got := Coefficient(lcc, 0, 1); got != 0 {
+		t.Errorf("LCC(0)@1 = %v, want 0 (edge 1→2 not alive)", got)
+	}
+	if got := Coefficient(lcc, 0, 7); got != 0 {
+		t.Errorf("LCC(0)@7 = %v, want 0 (edge 0→1 dead, deg < 2)", got)
+	}
+}

@@ -1,0 +1,99 @@
+package chlonos
+
+import (
+	"testing"
+
+	"graphite/internal/baseline/valgo"
+	ival "graphite/internal/interval"
+	"graphite/internal/tgraph"
+)
+
+// stableLine builds 0→1→2 alive over the whole window so every snapshot
+// sends identical messages — the best case for Chronos-style sharing.
+func stableLine(t *testing.T, snapshots int) *tgraph.Graph {
+	t.Helper()
+	b := tgraph.NewBuilder(3, 2)
+	life := ival.New(0, ival.Time(snapshots))
+	for v := tgraph.VertexID(0); v < 3; v++ {
+		b.AddVertex(v, life)
+	}
+	b.AddEdge(0, 0, 1, life)
+	b.AddEdge(1, 1, 2, life)
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestMessageSharingAcrossBatch(t *testing.T) {
+	g := stableLine(t, 8)
+	// One batch holding all 8 snapshots: every BFS message is identical
+	// across snapshots, so Chlonos should send exactly one interval message
+	// where MSB would send 8.
+	r, err := Run(g, valgo.BFSSpec(0), 8, 2)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if r.Batches != 1 {
+		t.Fatalf("batches = %d, want 1", r.Batches)
+	}
+	// BFS: superstep1 sends 0→1 once (fused over 8 snapshots); superstep2
+	// sends 1→2 once.
+	if r.Metrics.Messages != 2 {
+		t.Errorf("messages = %d, want 2 (fully fused)", r.Metrics.Messages)
+	}
+	// Compute calls stay per (vertex, snapshot): 3×8 init + activations.
+	if r.Metrics.ComputeCalls < 24 {
+		t.Errorf("compute calls = %d, want >= 24", r.Metrics.ComputeCalls)
+	}
+	for ts := ival.Time(0); ts < 8; ts++ {
+		for v, want := range []int64{0, 1, 2} {
+			if got := r.State(v, ts).(int64); got != want {
+				t.Fatalf("state[%d]@%d = %d, want %d", v, ts, got, want)
+			}
+		}
+	}
+}
+
+func TestBatchSizeSplitsSharing(t *testing.T) {
+	g := stableLine(t, 8)
+	r, err := Run(g, valgo.BFSSpec(0), 2, 2)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if r.Batches != 4 {
+		t.Fatalf("batches = %d, want 4", r.Batches)
+	}
+	// Sharing is limited to each 2-snapshot batch: 2 messages per batch.
+	if r.Metrics.Messages != 8 {
+		t.Errorf("messages = %d, want 8", r.Metrics.Messages)
+	}
+}
+
+func TestFlushPeelsDuplicateLayers(t *testing.T) {
+	// Two parallel edges 0→1 produce duplicate same-value sends per
+	// snapshot; the run-fusion must preserve both layers.
+	b := tgraph.NewBuilder(2, 2)
+	life := ival.New(0, 4)
+	b.AddVertex(0, life).AddVertex(1, life)
+	b.AddEdge(0, 0, 1, life)
+	b.AddEdge(1, 0, 1, life)
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := Run(g, valgo.BFSSpec(0), 4, 1)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	// Superstep 1 emits over both edge instances: 2 fused messages.
+	if r.Metrics.Messages != 2 {
+		t.Errorf("messages = %d, want 2 (one per multi-edge layer)", r.Metrics.Messages)
+	}
+	for ts := ival.Time(0); ts < 4; ts++ {
+		if got := r.State(1, ts).(int64); got != 1 {
+			t.Fatalf("state[1]@%d = %d", ts, got)
+		}
+	}
+}

@@ -1,0 +1,387 @@
+// Package baseline_test cross-validates the four baseline platforms against
+// the reference oracles and the ICM implementation — the paper's Sec.
+// VII-B1 claim ("all platforms produce identical results for all the
+// algorithms and graphs") as a test suite.
+package baseline_test
+
+import (
+	"testing"
+
+	"graphite/internal/baseline/chlonos"
+	"graphite/internal/baseline/goffish"
+	"graphite/internal/baseline/msb"
+	"graphite/internal/baseline/tgb"
+	"graphite/internal/baseline/valgo"
+	"graphite/internal/gen"
+	ival "graphite/internal/interval"
+	"graphite/internal/ref"
+	"graphite/internal/tgraph"
+)
+
+func testGraphs(t *testing.T) []*tgraph.Graph {
+	t.Helper()
+	var gs []*tgraph.Graph
+	profiles := []gen.Profile{
+		gen.Tiny("b-unit", 36, 4, 6, gen.UnitLife),
+		gen.Tiny("b-long", 36, 4, 8, gen.LongLife),
+		gen.Tiny("b-mixed", 44, 5, 10, gen.MixedLife),
+	}
+	churn := gen.Tiny("b-churn", 36, 4, 10, gen.LongLife)
+	churn.VertexChurn = true
+	profiles = append(profiles, churn)
+	for _, p := range profiles {
+		for seed := int64(1); seed <= 2; seed++ {
+			g, err := gen.Generate(p, seed)
+			if err != nil {
+				t.Fatalf("generate %s/%d: %v", p.Name, seed, err)
+			}
+			gs = append(gs, g)
+		}
+	}
+	return gs
+}
+
+// --- MSB and Chlonos: TI algorithms vs per-snapshot oracles ---
+
+func TestMSBAndChlonosBFS(t *testing.T) {
+	for gi, g := range testGraphs(t) {
+		source := g.VertexAt(0).ID
+		mr, err := msb.Run(g, valgo.BFSSpec(int64(source)), 4)
+		if err != nil {
+			t.Fatalf("graph %d: msb: %v", gi, err)
+		}
+		cr, err := chlonos.Run(g, valgo.BFSSpec(int64(source)), 4, 4)
+		if err != nil {
+			t.Fatalf("graph %d: chlonos: %v", gi, err)
+		}
+		for ts := g.Lifespan().Start; ts < g.Horizon(); ts++ {
+			want := ref.BFSLevels(g, ts, source)
+			for v := 0; v < g.NumVertices(); v++ {
+				if !g.VertexAt(v).Lifespan.Contains(ts) {
+					continue
+				}
+				mGot, _ := mr.State(v, ts).(int64)
+				cGot, _ := cr.State(v, ts).(int64)
+				if mGot != want[v] {
+					t.Fatalf("graph %d t=%d v=%d: MSB level %d, oracle %d", gi, ts, v, mGot, want[v])
+				}
+				if cGot != want[v] {
+					t.Fatalf("graph %d t=%d v=%d: CHL level %d, oracle %d", gi, ts, v, cGot, want[v])
+				}
+			}
+		}
+		// Chlonos must not send more messages than MSB, and with multiple
+		// snapshots per batch it should share at least some.
+		if cr.Metrics.Messages > mr.Metrics.Messages {
+			t.Errorf("graph %d: CHL sent %d messages, MSB %d", gi, cr.Metrics.Messages, mr.Metrics.Messages)
+		}
+		if cr.Metrics.ComputeCalls != mr.Metrics.ComputeCalls {
+			t.Errorf("graph %d: CHL compute calls %d != MSB %d (the paper: identical)",
+				gi, cr.Metrics.ComputeCalls, mr.Metrics.ComputeCalls)
+		}
+	}
+}
+
+func TestMSBAndChlonosWCC(t *testing.T) {
+	for gi, g := range testGraphs(t) {
+		mr, err := msb.Run(g, valgo.WCCSpec(), 4)
+		if err != nil {
+			t.Fatalf("graph %d: msb: %v", gi, err)
+		}
+		cr, err := chlonos.Run(g, valgo.WCCSpec(), 5, 4)
+		if err != nil {
+			t.Fatalf("graph %d: chlonos: %v", gi, err)
+		}
+		for ts := g.Lifespan().Start; ts < g.Horizon(); ts++ {
+			want := ref.WCCLabels(g, ts)
+			for v := 0; v < g.NumVertices(); v++ {
+				if !g.VertexAt(v).Lifespan.Contains(ts) {
+					continue
+				}
+				mGot, _ := mr.State(v, ts).(int64)
+				cGot, _ := cr.State(v, ts).(int64)
+				if mGot != want[v] || cGot != want[v] {
+					t.Fatalf("graph %d t=%d v=%d: MSB %d CHL %d, oracle %d", gi, ts, v, mGot, cGot, want[v])
+				}
+			}
+		}
+	}
+}
+
+func TestMSBAndChlonosPageRank(t *testing.T) {
+	const iters = 5
+	for gi, g := range testGraphs(t) {
+		mr, err := msb.Run(g, valgo.PageRankSpec(iters), 4)
+		if err != nil {
+			t.Fatalf("graph %d: msb: %v", gi, err)
+		}
+		cr, err := chlonos.Run(g, valgo.PageRankSpec(iters), 4, 4)
+		if err != nil {
+			t.Fatalf("graph %d: chlonos: %v", gi, err)
+		}
+		for ts := g.Lifespan().Start; ts < g.Horizon(); ts++ {
+			want := ref.PageRank(g, ts, iters, 0.85)
+			for v := 0; v < g.NumVertices(); v++ {
+				if !g.VertexAt(v).Lifespan.Contains(ts) {
+					continue
+				}
+				mGot, _ := mr.State(v, ts).(float64)
+				cGot, _ := cr.State(v, ts).(float64)
+				if d := mGot - want[v]; d > 1e-9 || d < -1e-9 {
+					t.Fatalf("graph %d t=%d v=%d: MSB rank %g, oracle %g", gi, ts, v, mGot, want[v])
+				}
+				if d := cGot - want[v]; d > 1e-9 || d < -1e-9 {
+					t.Fatalf("graph %d t=%d v=%d: CHL rank %g, oracle %g", gi, ts, v, cGot, want[v])
+				}
+			}
+		}
+	}
+}
+
+func TestMSBAndChlonosSCC(t *testing.T) {
+	for gi, g := range testGraphs(t) {
+		mr, err := msb.Run(g, valgo.SCCSpec(), 4)
+		if err != nil {
+			t.Fatalf("graph %d: msb: %v", gi, err)
+		}
+		cr, err := chlonos.Run(g, valgo.SCCSpec(), 3, 4)
+		if err != nil {
+			t.Fatalf("graph %d: chlonos: %v", gi, err)
+		}
+		for ts := g.Lifespan().Start; ts < g.Horizon(); ts++ {
+			want := ref.SCCLabels(g, ts)
+			for v := 0; v < g.NumVertices(); v++ {
+				if !g.VertexAt(v).Lifespan.Contains(ts) {
+					continue
+				}
+				if got := valgo.SCCLabel(mr.State(v, ts)); got != want[v] {
+					t.Fatalf("graph %d t=%d v=%d: MSB scc %d, oracle %d", gi, ts, v, got, want[v])
+				}
+				if got := valgo.SCCLabel(cr.State(v, ts)); got != want[v] {
+					t.Fatalf("graph %d t=%d v=%d: CHL scc %d, oracle %d", gi, ts, v, got, want[v])
+				}
+			}
+		}
+	}
+}
+
+// --- TGB and GoFFish: TD algorithms vs temporal oracles ---
+
+func TestTGBAndGoFFishSSSP(t *testing.T) {
+	for gi, g := range testGraphs(t) {
+		source := g.VertexAt(0).ID
+		tr, err := tgb.RunSSSP(g, source, 0, 4)
+		if err != nil {
+			t.Fatalf("graph %d: tgb: %v", gi, err)
+		}
+		gr, err := goffish.RunForward(g, goffish.NewSSSP(source, 0), 4)
+		if err != nil {
+			t.Fatalf("graph %d: goffish: %v", gi, err)
+		}
+		d := ref.SSSP(g, source, 0)
+		for v := 0; v < g.NumVertices(); v++ {
+			// Final best cost must agree everywhere.
+			want := int64(ref.Unreachable)
+			for ts := ival.Time(0); ts < d.Tmax; ts++ {
+				if d.Cost[v][ts] < want {
+					want = d.Cost[v][ts]
+				}
+			}
+			if got := tr.MinCost(v); got != want {
+				t.Fatalf("graph %d v=%d: TGB cost %d, oracle %d", gi, v, got, want)
+			}
+			if got := goffish.BestCost(gr, v); got != want {
+				t.Fatalf("graph %d v=%d: GOF cost %d, oracle %d", gi, v, got, want)
+			}
+			// TGB carries the full temporal answer: check cost-by-t.
+			for ts := ival.Time(0); ts < d.Tmax; ts++ {
+				if !g.VertexAt(v).Lifespan.Contains(ts) {
+					continue
+				}
+				if got := tr.CostAt(v, ts); got != d.Cost[v][ts] {
+					t.Fatalf("graph %d v=%d t=%d: TGB cost %d, oracle %d", gi, v, ts, got, d.Cost[v][ts])
+				}
+			}
+		}
+	}
+}
+
+func TestTGBAndGoFFishEAT(t *testing.T) {
+	for gi, g := range testGraphs(t) {
+		source := g.VertexAt(0).ID
+		tr, err := tgb.RunEAT(g, source, 0, 4)
+		if err != nil {
+			t.Fatalf("graph %d: tgb: %v", gi, err)
+		}
+		gr, err := goffish.RunForward(g, goffish.NewEAT(source, 0), 4)
+		if err != nil {
+			t.Fatalf("graph %d: goffish: %v", gi, err)
+		}
+		want := ref.EAT(g, source, 0)
+		for v := 0; v < g.NumVertices(); v++ {
+			if got := tr.EarliestReached(v); got != want[v] {
+				t.Fatalf("graph %d v=%d: TGB EAT %d, oracle %d", gi, v, got, want[v])
+			}
+			if got := goffish.BestCost(gr, v); got != want[v] {
+				t.Fatalf("graph %d v=%d: GOF EAT %d, oracle %d", gi, v, got, want[v])
+			}
+		}
+	}
+}
+
+func TestTGBAndGoFFishRH(t *testing.T) {
+	for gi, g := range testGraphs(t) {
+		source := g.VertexAt(0).ID
+		tr, err := tgb.RunRH(g, source, 0, 4)
+		if err != nil {
+			t.Fatalf("graph %d: tgb: %v", gi, err)
+		}
+		gr, err := goffish.RunForward(g, goffish.NewRH(source, 0), 4)
+		if err != nil {
+			t.Fatalf("graph %d: goffish: %v", gi, err)
+		}
+		want := ref.Reachable(g, source, 0)
+		for v := 0; v < g.NumVertices(); v++ {
+			if got := tr.EarliestReached(v) != tgb.Unreachable; got != want[v] {
+				t.Fatalf("graph %d v=%d: TGB reach %v, oracle %v", gi, v, got, want[v])
+			}
+			if got := goffish.BestCost(gr, v) == 1; got != want[v] {
+				t.Fatalf("graph %d v=%d: GOF reach %v, oracle %v", gi, v, got, want[v])
+			}
+		}
+	}
+}
+
+func TestTGBAndGoFFishFAST(t *testing.T) {
+	for gi, g := range testGraphs(t) {
+		source := g.VertexAt(0).ID
+		tr, err := tgb.RunFAST(g, source, 0, 4)
+		if err != nil {
+			t.Fatalf("graph %d: tgb: %v", gi, err)
+		}
+		gr, err := goffish.RunForward(g, goffish.NewFAST(source, 0), 4)
+		if err != nil {
+			t.Fatalf("graph %d: goffish: %v", gi, err)
+		}
+		want := ref.Fastest(g, source, 0)
+		si := g.IndexOf(source)
+		for v := 0; v < g.NumVertices(); v++ {
+			wantV := want[v]
+			if got := tr.MinCost(v); v != si && got != wantV {
+				t.Fatalf("graph %d v=%d: TGB duration %d, oracle %d", gi, v, got, wantV)
+			}
+			if got := goffish.Duration(gr, v); v != si && got != wantV {
+				t.Fatalf("graph %d v=%d: GOF duration %d, oracle %d", gi, v, got, wantV)
+			}
+		}
+	}
+}
+
+func TestTGBAndGoFFishLD(t *testing.T) {
+	for gi, g := range testGraphs(t) {
+		target := g.VertexAt(g.NumVertices() - 1).ID
+		deadline := g.Horizon()
+		tr, err := tgb.RunLD(g, target, deadline, 4)
+		if err != nil {
+			t.Fatalf("graph %d: tgb: %v", gi, err)
+		}
+		gr, err := goffish.RunLD(g, target, deadline, 4)
+		if err != nil {
+			t.Fatalf("graph %d: goffish: %v", gi, err)
+		}
+		want := ref.LatestDeparture(g, target, deadline)
+		for v := 0; v < g.NumVertices(); v++ {
+			if got := tr.LatestReached(v); got != want[v] {
+				t.Fatalf("graph %d v=%d: TGB LD %d, oracle %d", gi, v, got, want[v])
+			}
+			if got := gr.States[v].(int64); got != want[v] {
+				t.Fatalf("graph %d v=%d: GOF LD %d, oracle %d", gi, v, got, want[v])
+			}
+		}
+	}
+}
+
+func TestTGBAndGoFFishTMST(t *testing.T) {
+	for gi, g := range testGraphs(t) {
+		source := g.VertexAt(0).ID
+		tr, err := tgb.RunTMST(g, source, 0, 4)
+		if err != nil {
+			t.Fatalf("graph %d: tgb: %v", gi, err)
+		}
+		gr, err := goffish.RunForward(g, goffish.NewTMST(source, 0), 4)
+		if err != nil {
+			t.Fatalf("graph %d: goffish: %v", gi, err)
+		}
+		eat := ref.EAT(g, source, 0)
+		for v := 0; v < g.NumVertices(); v++ {
+			if g.VertexAt(v).ID == source {
+				continue
+			}
+			if eat[v] == ref.Unreachable {
+				continue
+			}
+			// Arrival must equal the earliest arrival time on both platforms.
+			if got := tr.EarliestReached(v); got != eat[v] {
+				t.Fatalf("graph %d v=%d: TGB arrival %d, oracle %d", gi, v, got, eat[v])
+			}
+			gv := gr.States[v].(goffish.TMSTVal)
+			if gv.Arrival != eat[v] {
+				t.Fatalf("graph %d v=%d: GOF arrival %d, oracle %d", gi, v, gv.Arrival, eat[v])
+			}
+			// Parents must themselves be reached.
+			if p := tr.Parent(v); p >= 0 {
+				pi := g.IndexOf(tgraph.VertexID(p))
+				if pi >= 0 && eat[pi] == ref.Unreachable {
+					t.Fatalf("graph %d v=%d: TGB parent %d unreachable", gi, v, p)
+				}
+			}
+			if pi := g.IndexOf(tgraph.VertexID(gv.Parent)); pi < 0 || eat[pi] == ref.Unreachable {
+				t.Fatalf("graph %d v=%d: GOF parent %d unreachable", gi, v, gv.Parent)
+			}
+		}
+	}
+}
+
+func TestTGBAndGoFFishClustering(t *testing.T) {
+	for gi, g := range testGraphs(t) {
+		ttc, err := tgb.RunTC(g, 4)
+		if err != nil {
+			t.Fatalf("graph %d: tgb tc: %v", gi, err)
+		}
+		gtc, err := goffish.RunTC(g, 4)
+		if err != nil {
+			t.Fatalf("graph %d: gof tc: %v", gi, err)
+		}
+		tlcc, err := tgb.RunLCC(g, 4)
+		if err != nil {
+			t.Fatalf("graph %d: tgb lcc: %v", gi, err)
+		}
+		glcc, err := goffish.RunLCC(g, 4)
+		if err != nil {
+			t.Fatalf("graph %d: gof lcc: %v", gi, err)
+		}
+		for ts := g.Lifespan().Start; ts < g.Horizon(); ts++ {
+			wantTC := ref.Closures(g, ts)
+			wantLCC, wantDeg := ref.LCCCounts(g, ts)
+			for v := 0; v < g.NumVertices(); v++ {
+				if got := ttc.ClosuresAt(v, ts); got != wantTC[v] {
+					t.Fatalf("graph %d t=%d v=%d: TGB closures %d, oracle %d", gi, ts, v, got, wantTC[v])
+				}
+				if got := gtc.Closures[ts][v]; got != wantTC[v] {
+					t.Fatalf("graph %d t=%d v=%d: GOF closures %d, oracle %d", gi, ts, v, got, wantTC[v])
+				}
+				if got := tlcc.ClosuresAt(v, ts); got != wantLCC[v] {
+					t.Fatalf("graph %d t=%d v=%d: TGB wedges %d, oracle %d", gi, ts, v, got, wantLCC[v])
+				}
+				if got := glcc.Closures[ts][v]; got != wantLCC[v] {
+					t.Fatalf("graph %d t=%d v=%d: GOF wedges %d, oracle %d", gi, ts, v, got, wantLCC[v])
+				}
+				if g.VertexAt(v).Lifespan.Contains(ts) {
+					if got := glcc.Degs[ts][v]; got != wantDeg[v] {
+						t.Fatalf("graph %d t=%d v=%d: GOF deg %d, oracle %d", gi, ts, v, got, wantDeg[v])
+					}
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,263 @@
+package goffish
+
+import (
+	"math"
+
+	ival "graphite/internal/interval"
+	"graphite/internal/tgraph"
+)
+
+// Unreachable mirrors the algorithms package sentinel.
+const Unreachable = int64(math.MaxInt64)
+
+// travelProps reads the travel properties at t.
+func travelProps(e *tgraph.Edge, t ival.Time) (tt, tc int64, ok bool) {
+	tt, ok1 := e.Props.ValueAt(tgraph.PropTravelTime, t)
+	tc, ok2 := e.Props.ValueAt(tgraph.PropTravelCost, t)
+	return tt, tc, ok1 && ok2
+}
+
+// ssspLogic is GoFFish temporal SSSP: state = best cost so far.
+type ssspLogic struct {
+	source    tgraph.VertexID
+	startTime ival.Time
+}
+
+// NewSSSP returns the SSSP path logic.
+func NewSSSP(source tgraph.VertexID, startTime ival.Time) PathLogic {
+	return &ssspLogic{source: source, startTime: startTime}
+}
+
+func (l *ssspLogic) InitState() any                   { return Unreachable }
+func (l *ssspLogic) IsSource(id tgraph.VertexID) bool { return id == l.source }
+func (l *ssspLogic) SourceActivates() bool            { return false }
+func (l *ssspLogic) Reached(state any) bool           { return state.(int64) != Unreachable }
+
+func (l *ssspLogic) SeedState(t ival.Time) (any, bool) {
+	if t < l.startTime {
+		return nil, false
+	}
+	return int64(0), true
+}
+
+func (l *ssspLogic) Merge(state any, msgs []any, _ ival.Time) (any, bool) {
+	best := state.(int64)
+	for _, m := range msgs {
+		if x := m.(int64); x < best {
+			best = x
+		}
+	}
+	return best, best < state.(int64)
+}
+
+func (l *ssspLogic) Emit(state any, e *tgraph.Edge, t ival.Time) (any, ival.Time, bool) {
+	tt, tc, ok := travelProps(e, t)
+	if !ok {
+		return nil, 0, false
+	}
+	return state.(int64) + tc, t + tt, true
+}
+
+// eatLogic is GoFFish earliest arrival time: state = earliest arrival.
+type eatLogic struct {
+	source    tgraph.VertexID
+	startTime ival.Time
+}
+
+// NewEAT returns the EAT path logic.
+func NewEAT(source tgraph.VertexID, startTime ival.Time) PathLogic {
+	return &eatLogic{source: source, startTime: startTime}
+}
+
+func (l *eatLogic) InitState() any                   { return Unreachable }
+func (l *eatLogic) IsSource(id tgraph.VertexID) bool { return id == l.source }
+func (l *eatLogic) SourceActivates() bool            { return false }
+func (l *eatLogic) Reached(state any) bool           { return state.(int64) != Unreachable }
+
+func (l *eatLogic) SeedState(t ival.Time) (any, bool) {
+	if t < l.startTime {
+		return nil, false
+	}
+	return int64(t), true
+}
+
+func (l *eatLogic) Merge(state any, msgs []any, _ ival.Time) (any, bool) {
+	best := state.(int64)
+	for _, m := range msgs {
+		if x := m.(int64); x < best {
+			best = x
+		}
+	}
+	return best, best < state.(int64)
+}
+
+func (l *eatLogic) Emit(state any, e *tgraph.Edge, t ival.Time) (any, ival.Time, bool) {
+	tt, _, ok := travelProps(e, t)
+	if !ok {
+		return nil, 0, false
+	}
+	return int64(t + tt), t + tt, true
+}
+
+// rhLogic is GoFFish reachability: state = flag.
+type rhLogic struct {
+	source    tgraph.VertexID
+	startTime ival.Time
+}
+
+// NewRH returns the reachability path logic.
+func NewRH(source tgraph.VertexID, startTime ival.Time) PathLogic {
+	return &rhLogic{source: source, startTime: startTime}
+}
+
+func (l *rhLogic) InitState() any                   { return int64(0) }
+func (l *rhLogic) IsSource(id tgraph.VertexID) bool { return id == l.source }
+func (l *rhLogic) SourceActivates() bool            { return false }
+func (l *rhLogic) Reached(state any) bool           { return state.(int64) == 1 }
+
+func (l *rhLogic) SeedState(t ival.Time) (any, bool) {
+	if t < l.startTime {
+		return nil, false
+	}
+	return int64(1), true
+}
+
+func (l *rhLogic) Merge(state any, msgs []any, _ ival.Time) (any, bool) {
+	if state.(int64) == 1 || len(msgs) == 0 {
+		return state, false
+	}
+	return int64(1), true
+}
+
+func (l *rhLogic) Emit(state any, e *tgraph.Edge, t ival.Time) (any, ival.Time, bool) {
+	tt, _, ok := travelProps(e, t)
+	if !ok {
+		return nil, 0, false
+	}
+	return int64(1), t + tt, true
+}
+
+// TMSTVal is the (arrival, parent) pair GoFFish TMST tracks.
+type TMSTVal struct {
+	Arrival int64
+	Parent  int64
+}
+
+func tmstLess(a, b TMSTVal) bool {
+	if a.Arrival != b.Arrival {
+		return a.Arrival < b.Arrival
+	}
+	return a.Parent < b.Parent
+}
+
+// tmstLogic is GoFFish time-minimum spanning tree.
+type tmstLogic struct {
+	source    tgraph.VertexID
+	startTime ival.Time
+}
+
+// NewTMST returns the TMST path logic.
+func NewTMST(source tgraph.VertexID, startTime ival.Time) PathLogic {
+	return &tmstLogic{source: source, startTime: startTime}
+}
+
+func (l *tmstLogic) InitState() any                   { return TMSTVal{Arrival: Unreachable, Parent: -1} }
+func (l *tmstLogic) IsSource(id tgraph.VertexID) bool { return id == l.source }
+func (l *tmstLogic) SourceActivates() bool            { return false }
+func (l *tmstLogic) Reached(state any) bool           { return state.(TMSTVal).Arrival != Unreachable }
+
+func (l *tmstLogic) SeedState(t ival.Time) (any, bool) {
+	if t < l.startTime {
+		return nil, false
+	}
+	return TMSTVal{Arrival: t, Parent: int64(l.source)}, true
+}
+
+func (l *tmstLogic) Merge(state any, msgs []any, _ ival.Time) (any, bool) {
+	best := state.(TMSTVal)
+	for _, m := range msgs {
+		if x := m.(TMSTVal); tmstLess(x, best) {
+			best = x
+		}
+	}
+	return best, best != state.(TMSTVal)
+}
+
+func (l *tmstLogic) Emit(state any, e *tgraph.Edge, t ival.Time) (any, ival.Time, bool) {
+	tt, _, ok := travelProps(e, t)
+	if !ok {
+		return nil, 0, false
+	}
+	return TMSTVal{Arrival: t + tt, Parent: int64(e.Src)}, t + tt, true
+}
+
+// FASTState is the GoFFish FAST state: the latest journey start known and
+// the best (smallest) duration witnessed so far.
+type FASTState struct {
+	MaxS0   int64
+	BestDur int64
+}
+
+// fastLogic is GoFFish fastest journey.
+type fastLogic struct {
+	source    tgraph.VertexID
+	startTime ival.Time
+}
+
+// NewFAST returns the FAST path logic.
+func NewFAST(source tgraph.VertexID, startTime ival.Time) PathLogic {
+	return &fastLogic{source: source, startTime: startTime}
+}
+
+// fastAtSource mirrors the ICM marker for "any start available here".
+const fastAtSource = int64(math.MaxInt64)
+
+func (l *fastLogic) InitState() any { return FASTState{MaxS0: -1, BestDur: Unreachable} }
+
+func (l *fastLogic) IsSource(id tgraph.VertexID) bool { return id == l.source }
+func (l *fastLogic) SourceActivates() bool            { return true }
+func (l *fastLogic) Reached(state any) bool           { return state.(FASTState).MaxS0 != -1 }
+
+func (l *fastLogic) SeedState(t ival.Time) (any, bool) {
+	if t < l.startTime {
+		return nil, false
+	}
+	return FASTState{MaxS0: fastAtSource, BestDur: 0}, true
+}
+
+func (l *fastLogic) Merge(state any, msgs []any, t ival.Time) (any, bool) {
+	st := state.(FASTState)
+	if st.MaxS0 == fastAtSource {
+		return st, false // being at the source dominates everything
+	}
+	changed := false
+	for _, m := range msgs {
+		s0 := m.(int64)
+		if dur := int64(t) - s0; dur < st.BestDur {
+			st.BestDur = dur
+		}
+		if s0 > st.MaxS0 {
+			st.MaxS0 = s0
+			changed = true
+		}
+	}
+	return st, changed
+}
+
+func (l *fastLogic) Emit(state any, e *tgraph.Edge, t ival.Time) (any, ival.Time, bool) {
+	tt, _, ok := travelProps(e, t)
+	if !ok {
+		return nil, 0, false
+	}
+	s0 := state.(FASTState).MaxS0
+	if s0 == fastAtSource {
+		s0 = int64(t) // a fresh journey departing the source now
+	}
+	return s0, t + tt, true
+}
+
+// BestCost extracts the final int64 state per vertex.
+func BestCost(r *Result, v int) int64 { return r.States[v].(int64) }
+
+// Duration extracts the final FAST duration per vertex.
+func Duration(r *Result, v int) int64 { return r.States[v].(FASTState).BestDur }

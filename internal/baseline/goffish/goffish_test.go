@@ -1,0 +1,117 @@
+package goffish
+
+import (
+	"testing"
+
+	ival "graphite/internal/interval"
+	"graphite/internal/tgraph"
+)
+
+// twoHop mirrors the tgb package fixture: 0→1 alive [0,3) tt=1 tc=2,
+// 1→2 alive [2,5) tt=2 tc=3.
+func twoHop(t *testing.T) *tgraph.Graph {
+	t.Helper()
+	b := tgraph.NewBuilder(3, 2)
+	for v := tgraph.VertexID(0); v < 3; v++ {
+		b.AddVertex(v, ival.New(0, 8))
+	}
+	b.AddEdge(0, 0, 1, ival.New(0, 3))
+	b.SetEdgeProp(0, tgraph.PropTravelTime, ival.New(0, 3), 1)
+	b.SetEdgeProp(0, tgraph.PropTravelCost, ival.New(0, 3), 2)
+	b.AddEdge(1, 1, 2, ival.New(2, 5))
+	b.SetEdgeProp(1, tgraph.PropTravelTime, ival.New(2, 5), 2)
+	b.SetEdgeProp(1, tgraph.PropTravelCost, ival.New(2, 5), 3)
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestForwardSSSPHandChecked(t *testing.T) {
+	g := twoHop(t)
+	r, err := RunForward(g, NewSSSP(0, 0), 2)
+	if err != nil {
+		t.Fatalf("RunForward: %v", err)
+	}
+	if got := BestCost(r, 2); got != 5 {
+		t.Errorf("cost(2) = %d, want 5", got)
+	}
+	if got := BestCost(r, 0); got != 0 {
+		t.Errorf("cost(0) = %d, want 0", got)
+	}
+	if r.Metrics.Supersteps == 0 || r.Metrics.ComputeCalls == 0 || r.Metrics.Messages == 0 {
+		t.Errorf("metrics not recorded: %v", r.Metrics)
+	}
+}
+
+func TestForwardRespectsStartTime(t *testing.T) {
+	g := twoHop(t)
+	// Starting at t=3: the 0→1 edge is already dead.
+	r, err := RunForward(g, NewSSSP(0, 3), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := BestCost(r, 1); got != Unreachable {
+		t.Errorf("cost(1) with late start = %d, want unreachable", got)
+	}
+}
+
+func TestForwardFASTDuration(t *testing.T) {
+	g := twoHop(t)
+	r, err := RunForward(g, NewFAST(0, 0), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := Duration(r, 2); got != 3 {
+		t.Errorf("duration(2) = %d, want 3 (depart at 2)", got)
+	}
+}
+
+func TestBackwardLDHandChecked(t *testing.T) {
+	g := twoHop(t)
+	r, err := RunLD(g, 2, 8, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := r.States[0].(int64); got != 2 {
+		t.Errorf("LD(0) = %d, want 2", got)
+	}
+	if got := r.States[1].(int64); got != 4 {
+		t.Errorf("LD(1) = %d, want 4", got)
+	}
+	if got := r.States[2].(int64); got != 7 {
+		t.Errorf("LD(2) = %d, want 7 (deadline-1 within lifespan)", got)
+	}
+}
+
+func TestPieceStartTriggers(t *testing.T) {
+	g := twoHop(t)
+	triggers := pieceStartTimes(g)
+	// Vertex 1's edge to 2 opens at t=2.
+	if es := triggers[1][2]; len(es) != 1 {
+		t.Errorf("vertex 1 trigger at t=2: %v", es)
+	}
+	if es := triggers[0][0]; len(es) != 1 {
+		t.Errorf("vertex 0 trigger at t=0: %v", es)
+	}
+	if es := triggers[2]; len(es) != 0 {
+		t.Errorf("vertex 2 has no out-edges: %v", es)
+	}
+}
+
+func TestParallelForCoversRange(t *testing.T) {
+	seen := make([]bool, 37)
+	parallelFor(len(seen), 5, func(i int) { seen[i] = true })
+	for i, s := range seen {
+		if !s {
+			t.Fatalf("index %d not visited", i)
+		}
+	}
+	// Degenerate worker counts.
+	count := 0
+	parallelFor(3, 0, func(i int) { count++ })
+	if count != 3 {
+		t.Fatalf("0 workers visited %d", count)
+	}
+}

@@ -1,0 +1,86 @@
+package msb
+
+import (
+	"testing"
+
+	"graphite/internal/baseline/valgo"
+	ival "graphite/internal/interval"
+	"graphite/internal/tgraph"
+)
+
+// switching builds 0→1 alive [0,2) and 0→2 alive [2,4): the component
+// structure changes mid-way, which independent per-snapshot runs must track.
+func switching(t *testing.T) *tgraph.Graph {
+	t.Helper()
+	b := tgraph.NewBuilder(3, 2)
+	life := ival.New(0, 4)
+	for v := tgraph.VertexID(0); v < 3; v++ {
+		b.AddVertex(v, life)
+	}
+	b.AddEdge(0, 0, 1, ival.New(0, 2))
+	b.AddEdge(1, 0, 2, ival.New(2, 4))
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestMSBRunsEverySnapshotIndependently(t *testing.T) {
+	g := switching(t)
+	r, err := Run(g, valgo.BFSSpec(0), 2)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if len(r.Snapshots) != 4 {
+		t.Fatalf("snapshot runs = %d, want 4", len(r.Snapshots))
+	}
+	// t=1: 1 reachable, 2 not. t=3: swapped.
+	if got := r.State(1, 1).(int64); got != 1 {
+		t.Errorf("level(1)@1 = %d, want 1", got)
+	}
+	if got := r.State(2, 1).(int64); got != valgo.Unreachable {
+		t.Errorf("level(2)@1 = %d, want unreachable", got)
+	}
+	if got := r.State(2, 3).(int64); got != 1 {
+		t.Errorf("level(2)@3 = %d, want 1", got)
+	}
+	if got := r.State(1, 3).(int64); got != valgo.Unreachable {
+		t.Errorf("level(1)@3 = %d, want unreachable", got)
+	}
+	// Out-of-range snapshot.
+	if r.State(0, 99) != nil {
+		t.Errorf("absent snapshot should return nil")
+	}
+	// Metrics accumulate across runs: 4 snapshots × ≥3 init calls.
+	if r.Metrics.ComputeCalls < 12 {
+		t.Errorf("compute calls = %d", r.Metrics.ComputeCalls)
+	}
+	if r.Metrics.Messages != 4 {
+		t.Errorf("messages = %d, want 4 (one hop per snapshot)", r.Metrics.Messages)
+	}
+}
+
+func TestMSBSCCFreshAggregatorsPerSnapshot(t *testing.T) {
+	// A 2-cycle that dies halfway: SCC masters and aggregators must not
+	// leak across the per-snapshot runs.
+	b := tgraph.NewBuilder(2, 2)
+	life := ival.New(0, 4)
+	b.AddVertex(0, life).AddVertex(1, life)
+	b.AddEdge(0, 0, 1, ival.New(0, 2))
+	b.AddEdge(1, 1, 0, ival.New(0, 2))
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := Run(g, valgo.SCCSpec(), 2)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if got := valgo.SCCLabel(r.State(0, 1)); got != 1 {
+		t.Errorf("scc(0)@1 = %d, want 1 (cycle named by max id)", got)
+	}
+	if got := valgo.SCCLabel(r.State(0, 3)); got != 0 {
+		t.Errorf("scc(0)@3 = %d, want 0 (singleton)", got)
+	}
+}

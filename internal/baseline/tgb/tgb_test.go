@@ -1,0 +1,144 @@
+package tgb
+
+import (
+	"testing"
+
+	ival "graphite/internal/interval"
+	"graphite/internal/tgraph"
+)
+
+// twoHop builds 0→1 alive [0,3) tt=1 tc=2, 1→2 alive [2,5) tt=2 tc=3.
+func twoHop(t *testing.T) *tgraph.Graph {
+	t.Helper()
+	b := tgraph.NewBuilder(3, 2)
+	for v := tgraph.VertexID(0); v < 3; v++ {
+		b.AddVertex(v, ival.New(0, 8))
+	}
+	b.AddEdge(0, 0, 1, ival.New(0, 3))
+	b.SetEdgeProp(0, tgraph.PropTravelTime, ival.New(0, 3), 1)
+	b.SetEdgeProp(0, tgraph.PropTravelCost, ival.New(0, 3), 2)
+	b.AddEdge(1, 1, 2, ival.New(2, 5))
+	b.SetEdgeProp(1, tgraph.PropTravelTime, ival.New(2, 5), 2)
+	b.SetEdgeProp(1, tgraph.PropTravelCost, ival.New(2, 5), 3)
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestTransformPathStructure(t *testing.T) {
+	g := twoHop(t)
+	s := TransformPath(g, ChainFree, CostWeight, nil)
+	// Vertex 0 departs at 0,1,2: 3 replicas. Vertex 1 arrives at 1,2,3 and
+	// departs at 2,3,4: replicas {1,2,3,4}. Vertex 2 arrives at 4,5,6.
+	wantReplicas := 3 + 4 + 3
+	if s.NumReplicas() != wantReplicas {
+		t.Fatalf("replicas = %d, want %d (%v)", s.NumReplicas(), wantReplicas, s)
+	}
+	// Travel edges: one per departure point = 3 + 3; chains: per vertex
+	// (#replicas - 1) = 2 + 3 + 2.
+	if s.travelE != 6 || s.chainE != 7 {
+		t.Fatalf("edges = travel %d chain %d, want 6/7", s.travelE, s.chainE)
+	}
+	if s.MemoryFootprint() <= 0 {
+		t.Fatalf("footprint must be positive")
+	}
+	// Lookup round trip.
+	if i := s.Lookup(Replica{V: 1, T: 3}); i < 0 || s.Replica(i) != (Replica{V: 1, T: 3}) {
+		t.Fatalf("lookup failed")
+	}
+	if s.Lookup(Replica{V: 1, T: 99}) != -1 {
+		t.Fatalf("absent replica should be -1")
+	}
+}
+
+func TestTransformSnapshotsStructure(t *testing.T) {
+	g := twoHop(t)
+	s := TransformSnapshots(g)
+	// 3 vertices × 8 alive time-points each.
+	if s.NumReplicas() != 24 {
+		t.Fatalf("replicas = %d, want 24", s.NumReplicas())
+	}
+	// Edge instances: lifespans 3 + 3.
+	if s.travelE != 6 || s.chainE != 0 {
+		t.Fatalf("edges = %d/%d, want 6/0", s.travelE, s.chainE)
+	}
+}
+
+func TestSSSPOverTransform(t *testing.T) {
+	g := twoHop(t)
+	r, err := RunSSSP(g, 0, 0, 2)
+	if err != nil {
+		t.Fatalf("RunSSSP: %v", err)
+	}
+	// Reach 2: depart 0 at d<=2, arrive 1 at d+1, depart 1 at >=2, arrive
+	// at depart+2; earliest arrival 4, cost 2+3=5.
+	if got := r.MinCost(2); got != 5 {
+		t.Errorf("cost to 2 = %d, want 5", got)
+	}
+	if got := r.CostAt(2, 3); got != Unreachable {
+		t.Errorf("cost to 2 before arrival = %d, want unreachable", got)
+	}
+	if got := r.CostAt(2, 6); got != 5 {
+		t.Errorf("cost to 2 at 6 = %d, want 5", got)
+	}
+	// Chain-edge state transfer must be visible in the metrics: messages
+	// include replica chain traffic.
+	if r.Metrics.Messages == 0 {
+		t.Errorf("no messages recorded")
+	}
+}
+
+func TestEATAndLDOverTransform(t *testing.T) {
+	g := twoHop(t)
+	eat, err := RunEAT(g, 0, 0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := eat.EarliestReached(2); got != 4 {
+		t.Errorf("EAT(2) = %d, want 4", got)
+	}
+	if got := eat.EarliestReached(0); got != 0 {
+		t.Errorf("EAT(0) = %d, want 0", got)
+	}
+	ld, err := RunLD(g, 2, 8, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Latest departure from 0: depart at 2 (arrive 3, depart 1→2 at 4 ...
+	// wait, edge 1→2 dies at 5: depart ≤4). d0=2 → arrive 3 → depart ≤4 ✓.
+	if got := ld.LatestReached(0); got != 2 {
+		t.Errorf("LD(0) = %d, want 2", got)
+	}
+	if got := ld.LatestReached(1); got != 4 {
+		t.Errorf("LD(1) = %d, want 4", got)
+	}
+}
+
+func TestTMSTParents(t *testing.T) {
+	g := twoHop(t)
+	r, err := RunTMST(g, 0, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p := r.Parent(1); p != 0 {
+		t.Errorf("parent(1) = %d, want 0", p)
+	}
+	if p := r.Parent(2); p != 1 {
+		t.Errorf("parent(2) = %d, want 1", p)
+	}
+}
+
+func TestFASTOverTransform(t *testing.T) {
+	g := twoHop(t)
+	r, err := RunFAST(g, 0, 0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Best: depart 0 at 2 → arrive 3 → depart 3 → arrive 5: duration 3.
+	// (Departing earlier waits at vertex 1.)
+	if got := r.MinCost(2); got != 3 {
+		t.Errorf("fastest(2) = %d, want 3", got)
+	}
+}

@@ -1,0 +1,185 @@
+package tgb
+
+import (
+	ival "graphite/internal/interval"
+	"graphite/internal/tgraph"
+)
+
+// ChainWeight selects the algorithm-specific weight of replica-chain edges.
+type ChainWeight int
+
+// Chain weightings.
+const (
+	// ChainFree makes waiting free (SSSP by cost, EAT, RH, TMST, LD).
+	ChainFree ChainWeight = iota
+	// ChainElapsed charges waiting its elapsed time (FAST duration).
+	ChainElapsed
+)
+
+// EdgeWeight computes the weight of the travel edge instance departing at d.
+type EdgeWeight func(e *tgraph.Edge, d ival.Time) (int64, bool)
+
+// CostWeight weights a travel edge by its travel-cost property.
+func CostWeight(e *tgraph.Edge, d ival.Time) (int64, bool) {
+	return e.Props.ValueAt(tgraph.PropTravelCost, d)
+}
+
+// TimeWeight weights a travel edge by its travel-time property.
+func TimeWeight(e *tgraph.Edge, d ival.Time) (int64, bool) {
+	return e.Props.ValueAt(tgraph.PropTravelTime, d)
+}
+
+// ZeroWeight weights every travel edge zero (reachability-style runs).
+func ZeroWeight(e *tgraph.Edge, d ival.Time) (int64, bool) {
+	_, ok := e.Props.ValueAt(tgraph.PropTravelTime, d)
+	return 0, ok
+}
+
+// TransformPath unrolls the interval graph into the path-algorithm
+// transformed graph: one replica per (vertex, event time-point) where an
+// event is an out-edge departure or an in-edge arrival; chain edges connect
+// consecutive replicas of a vertex; each temporal edge becomes one travel
+// edge per departure time-point of its lifespan.
+func TransformPath(g *tgraph.Graph, chain ChainWeight, w EdgeWeight, extraEvents map[int][]ival.Time) *Static {
+	horizon := g.Horizon()
+	events := make([]map[ival.Time]bool, g.NumVertices())
+	for v := range events {
+		events[v] = map[ival.Time]bool{}
+	}
+	addEvent := func(v int, t ival.Time) {
+		if g.VertexAt(v).Lifespan.Contains(t) {
+			events[v][t] = true
+		}
+	}
+	clip := func(iv ival.Interval) ival.Interval {
+		return iv.Intersect(ival.New(0, horizon))
+	}
+	for i := 0; i < g.NumEdges(); i++ {
+		e := g.Edge(i)
+		u, v := g.IndexOf(e.Src), g.IndexOf(e.Dst)
+		life := clip(e.Lifespan)
+		for d := life.Start; d < life.End; d++ {
+			tt, ok := e.Props.ValueAt(tgraph.PropTravelTime, d)
+			if !ok {
+				continue
+			}
+			addEvent(u, d)
+			addEvent(v, d+tt)
+		}
+	}
+	for v, ts := range extraEvents {
+		for _, t := range ts {
+			addEvent(v, t)
+		}
+	}
+
+	s := &Static{index: map[Replica]int32{}, vrange: make([][2]int32, g.NumVertices())}
+	for v := range events {
+		// Sorted event times become this vertex's replicas.
+		var ts []ival.Time
+		for t := range events[v] {
+			ts = append(ts, t)
+		}
+		sortTimes(ts)
+		s.vrange[v][0] = int32(len(s.replicas))
+		for _, t := range ts {
+			r := Replica{V: v, T: t}
+			s.index[r] = int32(len(s.replicas))
+			s.replicas = append(s.replicas, r)
+		}
+		s.vrange[v][1] = int32(len(s.replicas))
+	}
+	s.adj = make([][]sedge, len(s.replicas))
+	s.radj = make([][]sedge, len(s.replicas))
+	addEdge := func(from, to int32, weight int64, isChain bool) {
+		s.adj[from] = append(s.adj[from], sedge{dst: to, w: weight, chain: isChain})
+		s.radj[to] = append(s.radj[to], sedge{dst: from, w: weight, chain: isChain})
+		if isChain {
+			s.chainE++
+		} else {
+			s.travelE++
+		}
+	}
+
+	// Chain edges between consecutive replicas of a vertex.
+	for i := 1; i < len(s.replicas); i++ {
+		prev, cur := s.replicas[i-1], s.replicas[i]
+		if prev.V != cur.V {
+			continue
+		}
+		var weight int64
+		if chain == ChainElapsed {
+			weight = cur.T - prev.T
+		}
+		addEdge(int32(i-1), int32(i), weight, true)
+	}
+	// Travel edges per departure time-point.
+	for i := 0; i < g.NumEdges(); i++ {
+		e := g.Edge(i)
+		u, v := g.IndexOf(e.Src), g.IndexOf(e.Dst)
+		life := clip(e.Lifespan)
+		for d := life.Start; d < life.End; d++ {
+			tt, ok := e.Props.ValueAt(tgraph.PropTravelTime, d)
+			if !ok {
+				continue
+			}
+			weight, ok := w(e, d)
+			if !ok {
+				continue
+			}
+			from, okF := s.index[Replica{V: u, T: d}]
+			to, okT := s.index[Replica{V: v, T: d + tt}]
+			if okF && okT {
+				addEdge(from, to, weight, false)
+			}
+		}
+	}
+	return s
+}
+
+// TransformSnapshots unrolls the interval graph into the per-snapshot
+// transformed graph used by the concurrency algorithms (TC, LCC): one
+// replica per (vertex, alive time-point), with an edge (u,t)→(v,t) for every
+// temporal edge alive at t. No chains are needed — the algorithms are
+// snapshot-local.
+func TransformSnapshots(g *tgraph.Graph) *Static {
+	horizon := g.Horizon()
+	s := &Static{index: map[Replica]int32{}, vrange: make([][2]int32, g.NumVertices())}
+	for v := 0; v < g.NumVertices(); v++ {
+		life := g.VertexAt(v).Lifespan.Intersect(ival.New(0, horizon))
+		s.vrange[v][0] = int32(len(s.replicas))
+		for t := life.Start; t < life.End; t++ {
+			r := Replica{V: v, T: t}
+			s.index[r] = int32(len(s.replicas))
+			s.replicas = append(s.replicas, r)
+		}
+		s.vrange[v][1] = int32(len(s.replicas))
+	}
+	s.adj = make([][]sedge, len(s.replicas))
+	s.radj = make([][]sedge, len(s.replicas))
+	for i := 0; i < g.NumEdges(); i++ {
+		e := g.Edge(i)
+		u, v := g.IndexOf(e.Src), g.IndexOf(e.Dst)
+		life := e.Lifespan.Intersect(ival.New(0, horizon))
+		for t := life.Start; t < life.End; t++ {
+			from, okF := s.index[Replica{V: u, T: t}]
+			to, okT := s.index[Replica{V: v, T: t}]
+			if okF && okT {
+				s.adj[from] = append(s.adj[from], sedge{dst: to})
+				s.radj[to] = append(s.radj[to], sedge{dst: from})
+				s.travelE++
+			}
+		}
+	}
+	return s
+}
+
+// sortTimes sorts a small time slice ascending (insertion sort: event lists
+// per vertex are short).
+func sortTimes(ts []ival.Time) {
+	for i := 1; i < len(ts); i++ {
+		for j := i; j > 0 && ts[j] < ts[j-1]; j-- {
+			ts[j], ts[j-1] = ts[j-1], ts[j]
+		}
+	}
+}

@@ -1,0 +1,122 @@
+package core
+
+import (
+	"fmt"
+
+	"graphite/internal/engine"
+	ival "graphite/internal/interval"
+	"graphite/internal/tgraph"
+)
+
+// VertexCtx is the interval vertex handle passed to the user's Init, Compute
+// and Scatter logic. It is only valid for the duration of the call.
+type VertexCtx struct {
+	rt  *runtime
+	eng *engine.Context
+	idx int
+	v   *tgraph.Vertex
+
+	inInit    bool
+	inCompute bool
+	inScatter bool
+	allowed   ival.Interval   // interval the current compute tuple covers
+	piece     ival.Interval   // edge property piece of the current scatter call
+	scatterX  ival.Interval   // scatter overlap: default message interval
+	scatterTo int             // destination of the current scatter call
+	updated   []ival.Interval // state intervals written during this superstep
+}
+
+// ID returns the vertex's identifier.
+func (c *VertexCtx) ID() tgraph.VertexID { return c.v.ID }
+
+// Index returns the vertex's dense index.
+func (c *VertexCtx) Index() int { return c.idx }
+
+// Vertex returns the static temporal vertex (lifespan and properties).
+func (c *VertexCtx) Vertex() *tgraph.Vertex { return c.v }
+
+// Graph returns the temporal graph under computation.
+func (c *VertexCtx) Graph() *tgraph.Graph { return c.rt.g }
+
+// Lifespan returns the vertex lifespan.
+func (c *VertexCtx) Lifespan() ival.Interval { return c.v.Lifespan }
+
+// Superstep returns the 1-based superstep number.
+func (c *VertexCtx) Superstep() int { return c.eng.Superstep() }
+
+// Phase returns the master-set phase.
+func (c *VertexCtx) Phase() int { return c.eng.Phase() }
+
+// NumVertices returns |V| of the graph.
+func (c *VertexCtx) NumVertices() int { return c.rt.g.NumVertices() }
+
+// State returns the vertex's partitioned state for reading.
+func (c *VertexCtx) State() *PartitionedState { return c.rt.states[c.idx] }
+
+// StateAt returns the state value at time-point t.
+func (c *VertexCtx) StateAt(t ival.Time) (any, bool) { return c.State().Get(t) }
+
+// SetState updates the vertex state for iv. During Init any sub-interval of
+// the lifespan may be written; during Compute writes are restricted to the
+// active interval the call was made for — the contract S(τi) = {〈τj , sj〉 |
+// τj ⊑ τi} of Sec. IV-A3. Out-of-range writes return an error and abort the
+// run.
+func (c *VertexCtx) SetState(iv ival.Interval, value any) error {
+	bound := c.v.Lifespan
+	if c.inCompute {
+		bound = c.allowed
+	}
+	if !bound.ContainsInterval(iv) || iv.IsEmpty() {
+		err := fmt.Errorf("%w: vertex %d wrote %v, active interval %v",
+			ErrStateOutOfRange, c.v.ID, iv, bound)
+		c.rt.fail(err)
+		return err
+	}
+	if err := c.rt.states[c.idx].Set(iv, value); err != nil {
+		c.rt.fail(err)
+		return err
+	}
+	c.rt.stateUpdates.Add(1)
+	if !c.inInit {
+		c.updated = append(c.updated, iv)
+	}
+	return nil
+}
+
+// Emit sends a message to the current scatter call's destination without
+// allocating an OutMsg slice; a zero interval inherits the scatter overlap
+// (τm = τ'k). It may only be called during Scatter; algorithms use it in
+// place of returning a non-nil slice on hot paths.
+func (c *VertexCtx) Emit(when ival.Interval, value any) {
+	if !c.inScatter {
+		c.rt.fail(fmt.Errorf("core: Emit called outside Scatter by vertex %d", c.v.ID))
+		return
+	}
+	if when == (ival.Interval{}) {
+		when = c.scatterX
+	}
+	if when.IsEmpty() {
+		return
+	}
+	c.eng.Send(c.scatterTo, when, value)
+}
+
+// ScatterPiece returns, during a Scatter call, the full edge property piece
+// being scattered over (the scatter interval t is its intersection with the
+// updated state; reverse-traversal algorithms need the piece itself to
+// compute departure windows).
+func (c *VertexCtx) ScatterPiece() ival.Interval { return c.piece }
+
+// SendTo sends a message directly to the vertex at dense index dst, valid
+// for the given interval, bypassing scatter. Pregel-style algorithms that
+// message non-adjacent vertices (triangle closure replies, SCC backward
+// sweeps) use this; messages still flow through the engine and are counted.
+func (c *VertexCtx) SendTo(dst int, when ival.Interval, value any) {
+	c.eng.Send(dst, when, value)
+}
+
+// Aggregate contributes to a named aggregator.
+func (c *VertexCtx) Aggregate(name string, v any) { c.eng.Aggregate(name, v) }
+
+// AggValue reads a named aggregator's value from the previous superstep.
+func (c *VertexCtx) AggValue(name string) any { return c.eng.AggValue(name) }

@@ -1,0 +1,163 @@
+package core
+
+import (
+	"errors"
+
+	"graphite/internal/codec"
+	"graphite/internal/engine"
+	ival "graphite/internal/interval"
+	"graphite/internal/tgraph"
+)
+
+// Program is the user-facing interval-centric contract (Sec. IV-A3).
+//
+// Init runs once per vertex before superstep 1 and must set the initial
+// state for the vertex's entire lifespan. Compute runs once per time-warp
+// tuple — an active sub-interval of the vertex, the prior state value for
+// exactly that sub-interval, and the messages grouped onto it — and may
+// update state for sub-intervals of t via VertexCtx.SetState. Scatter runs
+// once per overlapping sub-interval of an updated state and an out-edge
+// property partition, and returns the messages to send to the edge's
+// destination (nil payloads are allowed; a nil slice sends nothing).
+type Program interface {
+	Init(v *VertexCtx)
+	Compute(v *VertexCtx, t ival.Interval, state any, msgs []any)
+	Scatter(v *VertexCtx, e *tgraph.Edge, t ival.Interval, state any) []OutMsg
+}
+
+// WarpCombiner is an optional Program extension (Sec. VI "Inline Warp
+// Combiner"): when implemented, message groups are folded during the warp
+// sweep and Compute receives a single combined message per tuple. The fold
+// must be commutative and associative.
+type WarpCombiner interface {
+	CombineWarp(a, b any) any
+}
+
+// OutMsg is a message produced by Scatter. A zero When inherits the scatter
+// sub-interval, matching the paper's default τm = τ'k.
+type OutMsg struct {
+	When  ival.Interval
+	Value any
+}
+
+// DefaultSuppressionThreshold is the unit-length message fraction above
+// which warp is bypassed (Sec. VI "Warp Suppression").
+const DefaultSuppressionThreshold = 0.70
+
+// Options configures an ICM run.
+type Options struct {
+	// NumWorkers is the BSP worker ("machine") count; 0 means GOMAXPROCS.
+	NumWorkers int
+	// MaxSupersteps bounds the run (e.g. PageRank's fixed iteration count).
+	MaxSupersteps int
+	// ActivateAll keeps all vertices active every superstep; Compute is
+	// then also invoked on message-less vertices once per partition with an
+	// empty group.
+	ActivateAll bool
+	// Reverse scatters along in-edges instead of out-edges (Latest
+	// Departure traverses sink-to-source in space and time).
+	Reverse bool
+	// Undirected scatters along both out- and in-edges, sending to the far
+	// endpoint (connectivity algorithms treat edges as undirected).
+	Undirected bool
+	// ScatterSlackLabel names an edge property whose value widens the
+	// scatter trigger: a state update matches an edge piece when it
+	// intersects the piece translated forward by the property's value.
+	// Reverse-traversal algorithms set this to the travel-time label — an
+	// update over *arrival* times must trigger scatter on the *departure*
+	// windows that can produce those arrivals.
+	ScatterSlackLabel string
+	// PropLabels are the edge property labels whose value boundaries
+	// partition scatter intervals. Empty means all labels on each edge.
+	PropLabels []string
+	// DisableWarp bypasses the warp operator unconditionally, degenerating
+	// to time-point-centric execution (used by the Fig. 6(c) ablation).
+	DisableWarp bool
+	// DisableSuppression turns automatic warp suppression off.
+	DisableSuppression bool
+	// SuppressionThreshold overrides DefaultSuppressionThreshold when > 0.
+	SuppressionThreshold float64
+	// DisableWarpCombiner ignores the program's WarpCombiner (Fig. 6(b)).
+	DisableWarpCombiner bool
+	// ReceiverCombine additionally applies the warp combiner at message
+	// delivery for identical intervals (the paper couples both).
+	ReceiverCombine bool
+	// PayloadCodec and VerifyCodec are passed to the engine for byte
+	// accounting and wire round-trips.
+	PayloadCodec codec.Payload
+	VerifyCodec  bool
+	// Transport routes every cross-worker batch through a real transport
+	// (e.g. engine.NewTCPTransport's loopback mesh); requires PayloadCodec.
+	Transport engine.Transport
+	// Aggregators are registered with the engine before the run.
+	Aggregators map[string]*engine.Aggregator
+	// Master is the optional master-compute hook (phased algorithms).
+	Master engine.Master
+	// CheckInvariants re-verifies the partitioned-state invariant after
+	// every compute call (tests and debugging).
+	CheckInvariants bool
+}
+
+// Stats counts ICM-specific runtime events.
+type Stats struct {
+	WarpCalls       int64 // warp invocations over message groups
+	WarpSuppressed  int64 // vertices×supersteps that took the point path
+	StateUpdates    int64 // SetState calls
+	MaxPartitions   int   // largest partition count seen on any vertex
+	ActiveIntervals int64 // total warp tuples (active vertex intervals)
+}
+
+// Result is the outcome of an ICM run.
+type Result struct {
+	Graph   *tgraph.Graph
+	Metrics *engine.Metrics
+	Stats   Stats
+	states  []*PartitionedState
+}
+
+// State returns the final partitioned state of the vertex at dense index i.
+func (r *Result) State(i int) *PartitionedState { return r.states[i] }
+
+// StateByID returns the final state of a vertex by id, or nil if absent.
+func (r *Result) StateByID(id tgraph.VertexID) *PartitionedState {
+	i := r.Graph.IndexOf(id)
+	if i < 0 {
+		return nil
+	}
+	return r.states[i]
+}
+
+// Run executes an ICM program over a temporal graph.
+func Run(g *tgraph.Graph, prog Program, opts Options) (*Result, error) {
+	if g.NumVertices() == 0 {
+		return nil, errors.New("core: empty graph")
+	}
+	rt := newRuntime(g, prog, opts)
+	cfg := engine.Config{
+		NumWorkers:    opts.NumWorkers,
+		MaxSupersteps: opts.MaxSupersteps,
+		ActivateAll:   opts.ActivateAll,
+		PayloadCodec:  opts.PayloadCodec,
+		VerifyCodec:   opts.VerifyCodec,
+		Transport:     opts.Transport,
+		Master:        opts.Master,
+	}
+	if opts.ReceiverCombine && rt.combine != nil {
+		cfg.Combiner = engine.CombinerFunc(rt.combine)
+	}
+	eng, err := engine.New(g.NumVertices(), rt, cfg)
+	if err != nil {
+		return nil, err
+	}
+	for name, agg := range opts.Aggregators {
+		eng.RegisterAggregator(name, agg)
+	}
+	m, err := eng.Run()
+	if err != nil {
+		return nil, err
+	}
+	if rt.err != nil {
+		return nil, rt.err
+	}
+	return &Result{Graph: g, Metrics: m, Stats: rt.statsSnapshot(), states: rt.states}, nil
+}

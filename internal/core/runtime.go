@@ -1,0 +1,307 @@
+package core
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"graphite/internal/engine"
+	ival "graphite/internal/interval"
+	"graphite/internal/tgraph"
+	"graphite/internal/warp"
+)
+
+// runtime adapts an ICM Program to the BSP engine: it owns the partitioned
+// vertex states, runs the pre-compute time-warp over incoming messages, and
+// the pre-scatter alignment of updated states with out-edge property
+// partitions.
+type runtime struct {
+	g         *tgraph.Graph
+	prog      Program
+	opts      Options
+	combine   warp.CombineFunc // nil when absent or disabled
+	states    []*PartitionedState
+	edgeParts [][]ival.Interval // per edge: lifespan partitioned at property boundaries
+	edgeMatch [][]ival.Interval // per edge piece: the interval that triggers scatter
+	targets   [][]target        // per vertex: edges scatter traverses and their far endpoints
+	threshold float64
+
+	warpCalls       atomic.Int64
+	warpSuppressed  atomic.Int64
+	stateUpdates    atomic.Int64
+	activeIntervals atomic.Int64
+
+	errMu sync.Mutex
+	err   error
+}
+
+// target is one edge a vertex's scatter traverses, with the dense index of
+// the endpoint messages go to.
+type target struct {
+	edge int32
+	dst  int32
+}
+
+func newRuntime(g *tgraph.Graph, prog Program, opts Options) *runtime {
+	rt := &runtime{
+		g:         g,
+		prog:      prog,
+		opts:      opts,
+		states:    make([]*PartitionedState, g.NumVertices()),
+		edgeParts: make([][]ival.Interval, g.NumEdges()),
+		edgeMatch: make([][]ival.Interval, g.NumEdges()),
+		targets:   make([][]target, g.NumVertices()),
+		threshold: opts.SuppressionThreshold,
+	}
+	if rt.threshold <= 0 {
+		rt.threshold = DefaultSuppressionThreshold
+	}
+	if wc, ok := prog.(WarpCombiner); ok && !opts.DisableWarpCombiner {
+		rt.combine = wc.CombineWarp
+	}
+	for i := 0; i < g.NumEdges(); i++ {
+		e := g.Edge(i)
+		rt.edgeParts[i] = edgePartition(e, opts.PropLabels)
+		rt.edgeMatch[i] = rt.edgeParts[i]
+		if opts.ScatterSlackLabel != "" {
+			match := make([]ival.Interval, len(rt.edgeParts[i]))
+			for k, piece := range rt.edgeParts[i] {
+				slack, _ := e.Props.ValueAt(opts.ScatterSlackLabel, piece.Start)
+				match[k] = piece.Translate(slack)
+			}
+			rt.edgeMatch[i] = match
+		}
+	}
+	for v := 0; v < g.NumVertices(); v++ {
+		if !opts.Reverse || opts.Undirected {
+			for _, ei := range g.OutEdges(v) {
+				rt.targets[v] = append(rt.targets[v], target{edge: ei, dst: int32(g.IndexOf(g.Edge(int(ei)).Dst))})
+			}
+		}
+		if opts.Reverse || opts.Undirected {
+			for _, ei := range g.InEdges(v) {
+				rt.targets[v] = append(rt.targets[v], target{edge: ei, dst: int32(g.IndexOf(g.Edge(int(ei)).Src))})
+			}
+		}
+	}
+	return rt
+}
+
+// edgePartition splits an edge's lifespan at the boundaries of its property
+// values so that each scatter call sees time-invariant properties.
+func edgePartition(e *tgraph.Edge, labels []string) []ival.Interval {
+	bounds := []ival.Time{e.Lifespan.Start, e.Lifespan.End}
+	add := func(entries []tgraph.PropEntry) {
+		for _, p := range entries {
+			x := p.Interval.Intersect(e.Lifespan)
+			if !x.IsEmpty() {
+				bounds = append(bounds, x.Start, x.End)
+			}
+		}
+	}
+	if len(labels) == 0 {
+		for _, entries := range e.Props {
+			add(entries)
+		}
+	} else {
+		for _, l := range labels {
+			add(e.Props.Entries(l))
+		}
+	}
+	sort.Slice(bounds, func(a, b int) bool { return bounds[a] < bounds[b] })
+	var parts []ival.Interval
+	for i := 0; i+1 < len(bounds); i++ {
+		if bounds[i] == bounds[i+1] {
+			continue
+		}
+		parts = append(parts, ival.New(bounds[i], bounds[i+1]))
+	}
+	return parts
+}
+
+func (rt *runtime) fail(err error) {
+	rt.errMu.Lock()
+	if rt.err == nil {
+		rt.err = err
+	}
+	rt.errMu.Unlock()
+}
+
+func (rt *runtime) statsSnapshot() Stats {
+	s := Stats{
+		WarpCalls:       rt.warpCalls.Load(),
+		WarpSuppressed:  rt.warpSuppressed.Load(),
+		StateUpdates:    rt.stateUpdates.Load(),
+		ActiveIntervals: rt.activeIntervals.Load(),
+	}
+	for _, st := range rt.states {
+		if st != nil && st.NumParts() > s.MaxPartitions {
+			s.MaxPartitions = st.NumParts()
+		}
+	}
+	return s
+}
+
+// Init implements engine.Program: allocate the state and run the user init.
+func (rt *runtime) Init(ctx *engine.Context) {
+	i := ctx.Vertex()
+	v := rt.g.VertexAt(i)
+	rt.states[i] = NewPartitionedState(v.Lifespan, nil)
+	vc := VertexCtx{rt: rt, eng: ctx, idx: i, v: v, inInit: true}
+	rt.prog.Init(&vc)
+}
+
+// Run implements engine.Program: one superstep for one active vertex.
+func (rt *runtime) Run(ctx *engine.Context, msgs []engine.Message) {
+	i := ctx.Vertex()
+	st := rt.states[i]
+	vc := VertexCtx{rt: rt, eng: ctx, idx: i, v: rt.g.VertexAt(i)}
+
+	var tuples []warp.Tuple
+	if ctx.Superstep() == 1 || (rt.opts.ActivateAll && len(msgs) == 0) {
+		// Superstep 1 runs compute on every vertex for its entire lifespan
+		// with no messages (Sec. IV-A); forced-active vertices without
+		// messages behave the same way in later supersteps.
+		for _, p := range st.Parts() {
+			tuples = append(tuples, warp.Tuple{Interval: p.Interval, State: p.Value})
+		}
+	} else {
+		// Clip message intervals to the vertex lifespan up front: warp
+		// would do it anyway, and the suppression heuristic must see the
+		// effective intervals — a [t, ∞) path message hitting a vertex that
+		// lives for one time-point is a unit message in every sense.
+		life := st.Lifespan()
+		inner := make([]warp.IntervalValue, 0, len(msgs))
+		for _, m := range msgs {
+			if x := m.When.Intersect(life); !x.IsEmpty() {
+				inner = append(inner, warp.IntervalValue{Interval: x, Value: m.Value})
+			}
+		}
+		switch {
+		case rt.opts.DisableWarp:
+			tuples = rt.pointGroups(st, inner)
+		case !rt.opts.DisableSuppression && warp.UnitFraction(inner) > rt.threshold:
+			rt.warpSuppressed.Add(1)
+			tuples = rt.pointGroups(st, inner)
+		case rt.combine != nil:
+			rt.warpCalls.Add(1)
+			tuples = warp.WarpCombined(st.Parts(), inner, rt.combine)
+		default:
+			rt.warpCalls.Add(1)
+			tuples = warp.Warp(st.Parts(), inner)
+		}
+	}
+	if rt.opts.ActivateAll && ctx.Superstep() > 1 && len(msgs) > 0 {
+		// Forced-active vertices compute over their whole lifespan: append
+		// empty-group tuples for the sub-intervals no message covered.
+		var covered ival.Set
+		for _, tu := range tuples {
+			covered.Add(tu.Interval)
+		}
+		for _, p := range st.Parts() {
+			rest := ival.NewSet(p.Interval)
+			for _, c := range covered.Intervals() {
+				rest = rest.Subtract(c)
+			}
+			for _, gap := range rest.Intervals() {
+				tuples = append(tuples, warp.Tuple{Interval: gap, State: p.Value})
+			}
+		}
+	}
+	if len(tuples) == 0 {
+		return
+	}
+	rt.activeIntervals.Add(int64(len(tuples)))
+
+	// Compute step: one user call per warp tuple.
+	for _, tu := range tuples {
+		vc.allowed = tu.Interval
+		vc.inCompute = true
+		rt.prog.Compute(&vc, tu.Interval, tu.State, tu.Msgs)
+		vc.inCompute = false
+		ctx.AddComputeCalls(1)
+		if rt.opts.CheckInvariants {
+			if err := st.Invariant(); err != nil {
+				rt.fail(err)
+			}
+		}
+	}
+	if len(vc.updated) == 0 {
+		return
+	}
+
+	// Scatter step: align updated state partitions with the traversed
+	// edges' property partitions; one scatter call per non-empty
+	// intersection.
+	if len(rt.targets[i]) == 0 {
+		return
+	}
+	upds := coalesceIntervals(vc.updated)
+	for _, p := range st.Parts() {
+		for _, u := range upds {
+			if x := u.Intersect(p.Interval); !x.IsEmpty() {
+				rt.scatterPart(&vc, ctx, rt.targets[i], x, p.Value)
+			}
+		}
+	}
+}
+
+// pointGroups is the suppressed execution path, with the inline combiner
+// applied when available.
+func (rt *runtime) pointGroups(st *PartitionedState, inner []warp.IntervalValue) []warp.Tuple {
+	if rt.combine != nil {
+		return warp.PointGroupsCombined(st.Parts(), inner, rt.combine)
+	}
+	return warp.PointGroups(st.Parts(), inner)
+}
+
+// coalesceIntervals sorts and merges overlapping or adjacent intervals in
+// place; update lists are tiny, so an insertion sort suffices.
+func coalesceIntervals(ivs []ival.Interval) []ival.Interval {
+	for i := 1; i < len(ivs); i++ {
+		for j := i; j > 0 && ivs[j].Start < ivs[j-1].Start; j-- {
+			ivs[j], ivs[j-1] = ivs[j-1], ivs[j]
+		}
+	}
+	out := ivs[:0]
+	for _, iv := range ivs {
+		if n := len(out); n > 0 && out[n-1].End >= iv.Start {
+			if iv.End > out[n-1].End {
+				out[n-1].End = iv.End
+			}
+			continue
+		}
+		out = append(out, iv)
+	}
+	return out
+}
+
+// scatterPart invokes Scatter for one updated 〈interval, state〉 against
+// every overlapping edge property piece.
+func (rt *runtime) scatterPart(vc *VertexCtx, ctx *engine.Context, targets []target, upd ival.Interval, state any) {
+	for _, tg := range targets {
+		e := rt.g.Edge(int(tg.edge))
+		for pi, piece := range rt.edgeParts[tg.edge] {
+			x := rt.edgeMatch[tg.edge][pi].Intersect(upd)
+			if x.IsEmpty() {
+				continue
+			}
+			vc.piece = piece
+			vc.scatterX = x
+			vc.scatterTo = int(tg.dst)
+			vc.inScatter = true
+			ctx.AddScatterCalls(1)
+			for _, om := range rt.prog.Scatter(vc, e, x, state) {
+				when := om.When
+				if when == (ival.Interval{}) {
+					when = x
+				}
+				if when.IsEmpty() {
+					continue
+				}
+				ctx.Send(int(tg.dst), when, om.Value)
+			}
+			vc.inScatter = false
+		}
+	}
+}

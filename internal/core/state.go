@@ -1,0 +1,134 @@
+// Package core implements the interval-centric computing model (ICM) of
+// Sec. IV of the paper: the data-parallel unit is an interval vertex whose
+// dynamic state is a temporal partition of its lifespan. User logic is a
+// compute function, invoked once per time-warp tuple (an aligned interval,
+// the prior state, and the grouped messages), and a scatter function,
+// invoked once per overlapping (updated state × out-edge property)
+// sub-interval. The time-warp operator (internal/warp) performs the temporal
+// alignment and grouping, minimizing user-logic calls and messages.
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	ival "graphite/internal/interval"
+	"graphite/internal/warp"
+)
+
+// ErrStateOutOfRange is returned when compute updates state outside the
+// interval it was invoked for.
+var ErrStateOutOfRange = errors.New("core: state update outside the active interval")
+
+// PartitionedState is the dynamic state of an interval vertex: a list of
+// 〈interval, value〉 pairs that are sorted, non-overlapping, mutually
+// adjacent, and exactly cover the vertex lifespan (Sec. IV-A1). Updating a
+// sub-interval dynamically repartitions the state; adjacent partitions with
+// equal values are re-fused, which is the valid replication-inverse the
+// paper notes ({〈[ts,te),s〉} ≡ {〈[ts,t'),s〉,〈[t',te),s〉}).
+type PartitionedState struct {
+	lifespan ival.Interval
+	parts    []warp.IntervalValue
+}
+
+// NewPartitionedState returns a state covering lifespan with a single
+// initial partition.
+func NewPartitionedState(lifespan ival.Interval, init any) *PartitionedState {
+	return &PartitionedState{
+		lifespan: lifespan,
+		parts:    []warp.IntervalValue{{Interval: lifespan, Value: init}},
+	}
+}
+
+// Lifespan returns the covered interval.
+func (s *PartitionedState) Lifespan() ival.Interval { return s.lifespan }
+
+// Parts returns the current partitions in time order. The slice is owned by
+// the state and must not be modified.
+func (s *PartitionedState) Parts() []warp.IntervalValue { return s.parts }
+
+// NumParts returns the number of partitions.
+func (s *PartitionedState) NumParts() int { return len(s.parts) }
+
+// Get returns the value at time-point t; ok is false outside the lifespan.
+func (s *PartitionedState) Get(t ival.Time) (any, bool) {
+	for _, p := range s.parts {
+		if p.Interval.Contains(t) {
+			return p.Value, true
+		}
+	}
+	return nil, false
+}
+
+// Set updates the state for iv to value, splitting and re-fusing partitions
+// as needed. iv must lie within the lifespan.
+func (s *PartitionedState) Set(iv ival.Interval, value any) error {
+	if iv.IsEmpty() {
+		return fmt.Errorf("%w: empty interval", ErrStateOutOfRange)
+	}
+	if !s.lifespan.ContainsInterval(iv) {
+		return fmt.Errorf("%w: %v outside lifespan %v", ErrStateOutOfRange, iv, s.lifespan)
+	}
+	out := s.parts[:0:0]
+	inserted := false
+	for _, p := range s.parts {
+		x := p.Interval.Intersect(iv)
+		if x.IsEmpty() {
+			out = append(out, p)
+			continue
+		}
+		if p.Interval.Start < x.Start {
+			out = append(out, warp.IntervalValue{Interval: ival.New(p.Interval.Start, x.Start), Value: p.Value})
+		}
+		if !inserted {
+			out = append(out, warp.IntervalValue{Interval: iv, Value: value})
+			inserted = true
+		}
+		if x.End < p.Interval.End {
+			out = append(out, warp.IntervalValue{Interval: ival.New(x.End, p.Interval.End), Value: p.Value})
+		}
+	}
+	s.parts = fuse(out)
+	return nil
+}
+
+// fuse merges adjacent partitions holding equal values.
+func fuse(parts []warp.IntervalValue) []warp.IntervalValue {
+	out := parts[:0]
+	for _, p := range parts {
+		if n := len(out); n > 0 && out[n-1].Interval.Meets(p.Interval) &&
+			warp.ValueEqual(out[n-1].Value, p.Value) {
+			out[n-1].Interval.End = p.Interval.End
+			continue
+		}
+		out = append(out, p)
+	}
+	return out
+}
+
+// Invariant verifies the partitioned-state contract: sorted, adjacent,
+// non-overlapping partitions exactly covering the lifespan. It is used by
+// tests and by the runtime's paranoid mode.
+func (s *PartitionedState) Invariant() error {
+	if len(s.parts) == 0 {
+		return errors.New("core: state has no partitions")
+	}
+	if s.parts[0].Interval.Start != s.lifespan.Start {
+		return fmt.Errorf("core: first partition starts at %d, lifespan at %d",
+			s.parts[0].Interval.Start, s.lifespan.Start)
+	}
+	if s.parts[len(s.parts)-1].Interval.End != s.lifespan.End {
+		return fmt.Errorf("core: last partition ends at %d, lifespan at %d",
+			s.parts[len(s.parts)-1].Interval.End, s.lifespan.End)
+	}
+	for i, p := range s.parts {
+		if p.Interval.IsEmpty() {
+			return fmt.Errorf("core: empty partition %d", i)
+		}
+		if i > 0 && !s.parts[i-1].Interval.Meets(p.Interval) {
+			return fmt.Errorf("core: partitions %d and %d not adjacent: %v, %v",
+				i-1, i, s.parts[i-1].Interval, p.Interval)
+		}
+	}
+	return nil
+}

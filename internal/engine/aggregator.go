@@ -1,0 +1,69 @@
+package engine
+
+import "sync"
+
+// Aggregator folds values contributed by vertices during a superstep into a
+// single value visible to the master and to all vertices in the next
+// superstep (Giraph-style aggregators). Create instances with NewAggregator.
+type Aggregator struct {
+	identity any
+	reduce   func(a, b any) any
+
+	mu  sync.Mutex
+	cur any
+	set bool
+}
+
+// NewAggregator builds an aggregator with the given identity value and a
+// commutative, associative reduce function.
+func NewAggregator(identity any, reduce func(a, b any) any) *Aggregator {
+	return &Aggregator{identity: identity, reduce: reduce}
+}
+
+// SumInt64 returns an aggregator summing int64 contributions.
+func SumInt64() *Aggregator {
+	return NewAggregator(int64(0), func(a, b any) any { return a.(int64) + b.(int64) })
+}
+
+// MinInt64 returns an aggregator taking the minimum of int64 contributions.
+func MinInt64(identity int64) *Aggregator {
+	return NewAggregator(identity, func(a, b any) any {
+		if a.(int64) < b.(int64) {
+			return a
+		}
+		return b
+	})
+}
+
+// BoolOr returns an aggregator OR-ing boolean contributions.
+func BoolOr() *Aggregator {
+	return NewAggregator(false, func(a, b any) any { return a.(bool) || b.(bool) })
+}
+
+// SumFloat64 returns an aggregator summing float64 contributions.
+func SumFloat64() *Aggregator {
+	return NewAggregator(float64(0), func(a, b any) any { return a.(float64) + b.(float64) })
+}
+
+func (a *Aggregator) accumulate(v any) {
+	a.mu.Lock()
+	if !a.set {
+		a.cur, a.set = v, true
+	} else {
+		a.cur = a.reduce(a.cur, v)
+	}
+	a.mu.Unlock()
+}
+
+// drain returns the merged value and resets the aggregator for the next
+// superstep.
+func (a *Aggregator) drain() any {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	v := a.identity
+	if a.set {
+		v = a.cur
+	}
+	a.cur, a.set = nil, false
+	return v
+}

@@ -1,0 +1,463 @@
+// Package engine implements the distributed bulk-synchronous-parallel
+// substrate that both the interval-centric model (internal/core) and the
+// vertex-centric baselines (internal/vcm) run on. It plays the role Apache
+// Giraph plays for GRAPHITE in the paper: hash-partitioned vertex ownership
+// across workers, superstep execution with global barriers, bulk message
+// exchange with optional receiver-side combining, named aggregators, a
+// master-compute hook, and vote-to-halt semantics where vertices are only
+// reactivated by incoming messages.
+//
+// Workers are goroutines; partitioning, message routing, byte accounting and
+// barrier timing mirror a distributed deployment so that the experiment
+// metrics (compute+ time, exclusive messaging time, message bytes) are
+// meaningful.
+package engine
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"graphite/internal/codec"
+	ival "graphite/internal/interval"
+)
+
+// Message is the engine-level message envelope: a payload valid for a
+// time-interval, addressed to a dense vertex index. Non-temporal platforms
+// use a fixed interval.
+type Message struct {
+	Dst   int32
+	When  ival.Interval
+	Value any
+}
+
+// Program is the per-vertex logic a platform layers over the engine.
+type Program interface {
+	// Init runs once for every vertex before superstep 1.
+	Init(ctx *Context)
+	// Run executes one superstep for an active vertex with its inbox.
+	Run(ctx *Context, msgs []Message)
+}
+
+// Master receives control between supersteps, after aggregators are merged;
+// it can read aggregates, switch phases and halt the computation.
+type Master interface {
+	BeforeSuperstep(mc *MasterControl)
+}
+
+// Combiner merges two message payloads addressed to the same vertex for the
+// same interval (receiver-side combining). It must be commutative and
+// associative.
+type Combiner interface {
+	Combine(a, b any) any
+}
+
+// CombinerFunc adapts a function to the Combiner interface.
+type CombinerFunc func(a, b any) any
+
+// Combine implements Combiner.
+func (f CombinerFunc) Combine(a, b any) any { return f(a, b) }
+
+// Config parameterizes a run.
+type Config struct {
+	// NumWorkers is the number of BSP workers ("machines"). Zero means
+	// GOMAXPROCS.
+	NumWorkers int
+	// MaxSupersteps bounds the run; zero means no bound.
+	MaxSupersteps int
+	// ActivateAll keeps every vertex active in every superstep (PageRank
+	// style); the run then ends via MaxSupersteps or a master halt.
+	ActivateAll bool
+	// Partitioner assigns each dense vertex index to a worker; nil means
+	// modulo hashing (Giraph's default hash partitioner). Exploring
+	// partitioning strategies is the paper's stated future work; the seam
+	// makes locality experiments possible.
+	Partitioner func(vertex, numWorkers int) int
+	// Combiner, if set, merges payloads of messages to the same vertex
+	// with identical intervals at delivery time.
+	Combiner Combiner
+	// PayloadCodec, when set, is used to account encoded payload bytes and,
+	// with VerifyCodec, to round-trip payloads crossing worker boundaries.
+	PayloadCodec codec.Payload
+	// VerifyCodec makes every cross-worker message round-trip through
+	// PayloadCodec, as on a real wire. Requires PayloadCodec.
+	VerifyCodec bool
+	// Transport, when set, routes every cross-worker batch through it
+	// (e.g. TCPTransport's loopback mesh), fully serialized. Requires
+	// PayloadCodec.
+	Transport Transport
+	// Master is the optional master-compute hook.
+	Master Master
+}
+
+// Errors reported by Run.
+var (
+	ErrNoVertices = errors.New("engine: graph has no vertices")
+	ErrBadConfig  = errors.New("engine: invalid configuration")
+)
+
+// Engine executes a Program over a vertex set.
+type Engine struct {
+	cfg      Config
+	program  Program
+	numV     int
+	workers  []*worker
+	aggs     map[string]*Aggregator
+	aggVals  map[string]any // merged values from the previous superstep
+	part     []int32        // vertex -> worker
+	slot     []int32        // vertex -> local slot within its worker
+	phase    int
+	halted   bool
+	metrics  Metrics
+	superstp int
+
+	errMu  sync.Mutex
+	runErr error // first transport failure, surfaced by Run
+}
+
+// worker owns the vertices with index ≡ id (mod numWorkers).
+type worker struct {
+	id     int
+	eng    *Engine
+	local  []int32     // dense vertex indices owned by this worker
+	inbox  [][]Message // per local slot
+	active []bool      // per local slot
+	outbox [][]Message // per destination worker, refilled every superstep
+
+	// Per-worker metric partials, merged after every superstep.
+	computeCalls int64
+	scatterCalls int64
+	sentMsgs     int64
+	sentBytes    int64
+
+	scratch []byte // payload sizing buffer, reused across sends
+}
+
+// New prepares an engine for numVertices vertices.
+func New(numVertices int, program Program, cfg Config) (*Engine, error) {
+	if numVertices <= 0 {
+		return nil, ErrNoVertices
+	}
+	if program == nil {
+		return nil, fmt.Errorf("%w: nil program", ErrBadConfig)
+	}
+	if cfg.NumWorkers <= 0 {
+		cfg.NumWorkers = runtime.GOMAXPROCS(0)
+	}
+	if cfg.NumWorkers > numVertices {
+		cfg.NumWorkers = numVertices
+	}
+	if cfg.VerifyCodec && cfg.PayloadCodec == nil {
+		return nil, fmt.Errorf("%w: VerifyCodec requires PayloadCodec", ErrBadConfig)
+	}
+	if cfg.Transport != nil && cfg.PayloadCodec == nil {
+		return nil, fmt.Errorf("%w: Transport requires PayloadCodec", ErrBadConfig)
+	}
+	e := &Engine{
+		cfg:     cfg,
+		program: program,
+		numV:    numVertices,
+		aggs:    map[string]*Aggregator{},
+		aggVals: map[string]any{},
+		part:    make([]int32, numVertices),
+		slot:    make([]int32, numVertices),
+	}
+	part := cfg.Partitioner
+	if part == nil {
+		part = func(v, n int) int { return v % n }
+	}
+	e.workers = make([]*worker, cfg.NumWorkers)
+	for w := range e.workers {
+		e.workers[w] = &worker{id: w, eng: e, outbox: make([][]Message, cfg.NumWorkers)}
+	}
+	for v := 0; v < numVertices; v++ {
+		w := part(v, cfg.NumWorkers)
+		if w < 0 || w >= cfg.NumWorkers {
+			return nil, fmt.Errorf("%w: partitioner sent vertex %d to worker %d of %d",
+				ErrBadConfig, v, w, cfg.NumWorkers)
+		}
+		wk := e.workers[w]
+		e.part[v] = int32(w)
+		e.slot[v] = int32(len(wk.local))
+		wk.local = append(wk.local, int32(v))
+	}
+	for _, wk := range e.workers {
+		wk.inbox = make([][]Message, len(wk.local))
+		wk.active = make([]bool, len(wk.local))
+	}
+	return e, nil
+}
+
+// RegisterAggregator installs a named aggregator before Run.
+func (e *Engine) RegisterAggregator(name string, agg *Aggregator) {
+	e.aggs[name] = agg
+}
+
+// owner returns the worker id and local slot for a vertex index.
+func (e *Engine) owner(v int32) (wid, slot int) {
+	return int(e.part[v]), int(e.slot[v])
+}
+
+// Run executes supersteps until no vertex is active and no messages are in
+// flight (or the master halts, or MaxSupersteps is reached), and returns the
+// run metrics.
+func (e *Engine) Run() (*Metrics, error) {
+	start := time.Now()
+
+	// Superstep 1 initialization: Init on every vertex, all active.
+	e.superstp = 1
+	e.parallel(func(w *worker) {
+		ctx := Context{eng: e, w: w}
+		for slot, v := range w.local {
+			ctx.vertex = v
+			ctx.slot = slot
+			w.active[slot] = true
+			e.program.Init(&ctx)
+		}
+	})
+
+	for {
+		if e.cfg.MaxSupersteps > 0 && e.superstp > e.cfg.MaxSupersteps {
+			break
+		}
+		// Master compute with the previous superstep's aggregates.
+		if e.cfg.Master != nil {
+			mc := MasterControl{eng: e}
+			e.cfg.Master.BeforeSuperstep(&mc)
+			if mc.halt {
+				e.halted = true
+				break
+			}
+		}
+
+		// Compute phase: user logic over active vertices, interleaved with
+		// message emission into outboxes ("compute+" in the paper).
+		t0 := time.Now()
+		e.parallel(func(w *worker) {
+			ctx := Context{eng: e, w: w}
+			for slot, v := range w.local {
+				if !w.active[slot] && !e.cfg.ActivateAll {
+					continue
+				}
+				ctx.vertex = v
+				ctx.slot = slot
+				msgs := w.inbox[slot]
+				e.program.Run(&ctx, msgs)
+				w.inbox[slot] = nil
+				w.active[slot] = false
+			}
+		})
+		t1 := time.Now()
+
+		// Messaging phase: exclusive message delivery after compute.
+		delivered := e.exchange()
+		t2 := time.Now()
+
+		// Barrier: merge aggregators and metric partials.
+		e.mergeAggregates()
+		for _, w := range e.workers {
+			e.metrics.ComputeCalls += w.computeCalls
+			e.metrics.ScatterCalls += w.scatterCalls
+			e.metrics.Messages += w.sentMsgs
+			e.metrics.MessageBytes += w.sentBytes
+			w.computeCalls, w.scatterCalls, w.sentMsgs, w.sentBytes = 0, 0, 0, 0
+		}
+		t3 := time.Now()
+
+		e.metrics.ComputePlusTime += t1.Sub(t0)
+		e.metrics.MessagingTime += t2.Sub(t1)
+		e.metrics.BarrierTime += t3.Sub(t2)
+		e.metrics.Supersteps++
+		e.superstp++
+
+		e.errMu.Lock()
+		rerr := e.runErr
+		e.errMu.Unlock()
+		if rerr != nil {
+			return nil, rerr
+		}
+		if delivered == 0 && !e.anyActive() && !e.cfg.ActivateAll {
+			break
+		}
+		if delivered == 0 && e.cfg.ActivateAll && e.cfg.MaxSupersteps == 0 && e.cfg.Master == nil {
+			// Nothing can ever change again and nothing will stop us.
+			return nil, fmt.Errorf("%w: ActivateAll needs MaxSupersteps or a Master", ErrBadConfig)
+		}
+	}
+	e.metrics.Makespan = time.Since(start)
+	return &e.metrics, nil
+}
+
+// parallel runs fn once per worker, concurrently, and waits for all.
+func (e *Engine) parallel(fn func(*worker)) {
+	var wg sync.WaitGroup
+	wg.Add(len(e.workers))
+	for _, w := range e.workers {
+		go func(w *worker) {
+			defer wg.Done()
+			fn(w)
+		}(w)
+	}
+	wg.Wait()
+}
+
+// exchange moves all outbox batches to destination inboxes, applying the
+// receiver-side combiner, and returns the number of delivered messages.
+func (e *Engine) exchange() int64 {
+	if e.cfg.Transport != nil {
+		return e.exchangeTransport()
+	}
+	var delivered int64
+	var mu sync.Mutex
+	e.parallel(func(dst *worker) {
+		var n int64
+		// Gather batches addressed to dst from every source worker, in
+		// worker order for determinism.
+		for _, src := range e.workers {
+			batch := src.outbox[dst.id]
+			if len(batch) == 0 {
+				continue
+			}
+			crossWorker := src.id != dst.id
+			for _, m := range batch {
+				if crossWorker && e.cfg.VerifyCodec {
+					m.Value = e.roundTrip(m.Value)
+				}
+				_, slot := e.eownerSlot(m.Dst)
+				dst.deliver(slot, m)
+				n++
+			}
+			src.outbox[dst.id] = src.outbox[dst.id][:0]
+		}
+		mu.Lock()
+		delivered += n
+		mu.Unlock()
+	})
+	return delivered
+}
+
+func (e *Engine) eownerSlot(v int32) (int, int) { return e.owner(v) }
+
+// exchangeTransport is the exchange phase over a real transport: every
+// cross-worker batch is serialized, shipped, and decoded on the far side;
+// same-worker batches are delivered directly, as they never leave the node.
+func (e *Engine) exchangeTransport() int64 {
+	var delivered int64
+	var mu sync.Mutex
+	failed := func(err error) {
+		e.errMu.Lock()
+		if e.runErr == nil {
+			e.runErr = err
+		}
+		e.errMu.Unlock()
+	}
+	// Ship phase.
+	e.parallel(func(src *worker) {
+		for dst := range e.workers {
+			if dst == src.id {
+				continue
+			}
+			buf := encodeBatch(nil, src.outbox[dst], e.cfg.PayloadCodec)
+			if err := e.cfg.Transport.Send(src.id, dst, buf); err != nil {
+				failed(err)
+			}
+			src.outbox[dst] = src.outbox[dst][:0]
+		}
+	})
+	// Receive phase.
+	e.parallel(func(dst *worker) {
+		var n int64
+		for _, m := range dst.outbox[dst.id] {
+			_, slot := e.owner(m.Dst)
+			dst.deliver(slot, m)
+			n++
+		}
+		dst.outbox[dst.id] = dst.outbox[dst.id][:0]
+		batches, err := e.cfg.Transport.Recv(dst.id)
+		if err != nil {
+			failed(err)
+			return
+		}
+		for _, b := range batches {
+			msgs, err := decodeBatch(b, e.cfg.PayloadCodec)
+			if err != nil {
+				failed(err)
+				return
+			}
+			for _, m := range msgs {
+				_, slot := e.owner(m.Dst)
+				dst.deliver(slot, m)
+				n++
+			}
+		}
+		mu.Lock()
+		delivered += n
+		mu.Unlock()
+	})
+	return delivered
+}
+
+// deliver appends or combines a message into a local inbox slot and marks
+// the vertex active.
+func (w *worker) deliver(slot int, m Message) {
+	if c := w.eng.cfg.Combiner; c != nil {
+		for i := range w.inbox[slot] {
+			if w.inbox[slot][i].When == m.When {
+				w.inbox[slot][i].Value = c.Combine(w.inbox[slot][i].Value, m.Value)
+				w.active[slot] = true
+				return
+			}
+		}
+	}
+	w.inbox[slot] = append(w.inbox[slot], m)
+	w.active[slot] = true
+}
+
+// roundTrip encodes and decodes a payload through the configured codec,
+// as a real wire would.
+func (e *Engine) roundTrip(v any) any {
+	buf := e.cfg.PayloadCodec.Append(nil, v)
+	out, _, err := e.cfg.PayloadCodec.Decode(buf)
+	if err != nil {
+		panic(fmt.Sprintf("engine: payload codec round-trip failed: %v", err))
+	}
+	return out
+}
+
+func (e *Engine) anyActive() bool {
+	for _, w := range e.workers {
+		for _, a := range w.active {
+			if a {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// mergeAggregates folds the per-worker aggregator partials into the values
+// visible to the master and to vertices in the next superstep.
+func (e *Engine) mergeAggregates() {
+	if len(e.aggs) == 0 {
+		return
+	}
+	names := make([]string, 0, len(e.aggs))
+	for n := range e.aggs {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		agg := e.aggs[n]
+		v := agg.drain()
+		e.aggVals[n] = v
+	}
+}
+
+// Superstep returns the 1-based current superstep (valid during Run).
+func (e *Engine) Superstep() int { return e.superstp }
+
+// Halted reports whether the master stopped the run.
+func (e *Engine) Halted() bool { return e.halted }

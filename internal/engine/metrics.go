@@ -1,0 +1,46 @@
+package engine
+
+import (
+	"fmt"
+	"time"
+)
+
+// Metrics records the behaviour of a run, matching the quantities the paper
+// reports: the makespan is split into compute+ time (user logic interleaved
+// with message emission), exclusive messaging time (delivery after compute)
+// and barrier time; the counters capture the primitive-intrinsic costs
+// (user compute calls, scatter calls, messages, encoded message bytes).
+type Metrics struct {
+	Supersteps   int
+	ComputeCalls int64
+	ScatterCalls int64
+	Messages     int64
+	MessageBytes int64
+
+	ComputePlusTime time.Duration
+	MessagingTime   time.Duration
+	BarrierTime     time.Duration
+	Makespan        time.Duration
+}
+
+// Add accumulates another run's metrics into m; used by baselines that
+// execute one engine run per snapshot or per batch.
+func (m *Metrics) Add(o *Metrics) {
+	m.Supersteps += o.Supersteps
+	m.ComputeCalls += o.ComputeCalls
+	m.ScatterCalls += o.ScatterCalls
+	m.Messages += o.Messages
+	m.MessageBytes += o.MessageBytes
+	m.ComputePlusTime += o.ComputePlusTime
+	m.MessagingTime += o.MessagingTime
+	m.BarrierTime += o.BarrierTime
+	m.Makespan += o.Makespan
+}
+
+// String summarizes the metrics on one line.
+func (m *Metrics) String() string {
+	return fmt.Sprintf("supersteps=%d compute_calls=%d messages=%d bytes=%d compute+=%v messaging=%v barrier=%v makespan=%v",
+		m.Supersteps, m.ComputeCalls, m.Messages, m.MessageBytes,
+		m.ComputePlusTime.Round(time.Microsecond), m.MessagingTime.Round(time.Microsecond),
+		m.BarrierTime.Round(time.Microsecond), m.Makespan.Round(time.Microsecond))
+}

@@ -1,0 +1,222 @@
+package engine
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+
+	"graphite/internal/codec"
+)
+
+// Transport ships encoded message batches between workers during the
+// exchange phase, standing in for the cluster network. Every worker sends
+// exactly one batch (possibly empty) to every other worker per superstep;
+// Recv returns one batch per peer. The in-process default (nil Transport)
+// hands slices over directly; TCPTransport pushes every cross-worker batch
+// through real loopback sockets, exercising the full serialization path.
+type Transport interface {
+	// Send ships an encoded batch from worker src to worker dst (src != dst).
+	Send(src, dst int, batch []byte) error
+	// Recv returns the batches addressed to dst this superstep, one per
+	// other worker, in ascending source order.
+	Recv(dst int) ([][]byte, error)
+	// Close releases the transport's resources.
+	Close() error
+}
+
+// encodeBatch serializes messages: a uvarint count, then per message the
+// destination index, the var-byte interval, and the codec-encoded payload.
+func encodeBatch(buf []byte, msgs []Message, pc codec.Payload) []byte {
+	buf = binary.AppendUvarint(buf, uint64(len(msgs)))
+	for _, m := range msgs {
+		buf = binary.AppendUvarint(buf, uint64(m.Dst))
+		buf = codec.AppendInterval(buf, m.When)
+		buf = pc.Append(buf, m.Value)
+	}
+	return buf
+}
+
+// decodeBatch parses a batch produced by encodeBatch.
+func decodeBatch(buf []byte, pc codec.Payload) ([]Message, error) {
+	n, k := binary.Uvarint(buf)
+	if k <= 0 {
+		return nil, fmt.Errorf("engine: corrupt batch header")
+	}
+	buf = buf[k:]
+	out := make([]Message, 0, n)
+	for i := uint64(0); i < n; i++ {
+		dst, k := binary.Uvarint(buf)
+		if k <= 0 {
+			return nil, fmt.Errorf("engine: corrupt message dst")
+		}
+		buf = buf[k:]
+		when, k, err := codec.Interval(buf)
+		if err != nil {
+			return nil, err
+		}
+		buf = buf[k:]
+		val, k, err := pc.Decode(buf)
+		if err != nil {
+			return nil, err
+		}
+		buf = buf[k:]
+		out = append(out, Message{Dst: int32(dst), When: when, Value: val})
+	}
+	return out, nil
+}
+
+// TCPTransport is a full mesh of loopback TCP connections between the
+// workers of one engine: batches travel length-prefixed over real sockets.
+// Each ordered worker pair (src, dst) has its own connection; the dialing
+// side writes, the accepting side reads.
+type TCPTransport struct {
+	n    int
+	send [][]net.Conn // [src][dst]: dialer endpoints, written by src
+	recv [][]net.Conn // [src][dst]: accepted endpoints, read by dst
+	lns  []net.Listener
+}
+
+// NewTCPTransport wires n workers into a loopback mesh.
+func NewTCPTransport(n int) (*TCPTransport, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("engine: transport needs at least one worker")
+	}
+	t := &TCPTransport{
+		n:    n,
+		send: connMatrix(n),
+		recv: connMatrix(n),
+		lns:  make([]net.Listener, n),
+	}
+	addrs := make([]string, n)
+	for w := 0; w < n; w++ {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Close()
+			return nil, err
+		}
+		t.lns[w] = ln
+		addrs[w] = ln.Addr().String()
+	}
+	// Acceptors: worker w accepts one connection from every peer; the
+	// 4-byte handshake identifies the dialer.
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	var firstErr error
+	fail := func(err error) {
+		mu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		mu.Unlock()
+	}
+	for w := 0; w < n; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < n-1; i++ {
+				conn, err := t.lns[w].Accept()
+				if err != nil {
+					fail(err)
+					return
+				}
+				var id [4]byte
+				if _, err := io.ReadFull(conn, id[:]); err != nil {
+					fail(err)
+					return
+				}
+				src := int(binary.BigEndian.Uint32(id[:]))
+				mu.Lock()
+				t.recv[src][w] = conn
+				mu.Unlock()
+			}
+		}(w)
+	}
+	// Dialers.
+	for w := 0; w < n; w++ {
+		for p := 0; p < n; p++ {
+			if p == w {
+				continue
+			}
+			conn, err := net.Dial("tcp", addrs[p])
+			if err != nil {
+				fail(err)
+				continue
+			}
+			var id [4]byte
+			binary.BigEndian.PutUint32(id[:], uint32(w))
+			if _, err := conn.Write(id[:]); err != nil {
+				fail(err)
+			}
+			t.send[w][p] = conn
+		}
+	}
+	wg.Wait()
+	if firstErr != nil {
+		t.Close()
+		return nil, firstErr
+	}
+	return t, nil
+}
+
+func connMatrix(n int) [][]net.Conn {
+	m := make([][]net.Conn, n)
+	for i := range m {
+		m[i] = make([]net.Conn, n)
+	}
+	return m
+}
+
+// Send implements Transport with a 4-byte length prefix.
+func (t *TCPTransport) Send(src, dst int, batch []byte) error {
+	conn := t.send[src][dst]
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(batch)))
+	if _, err := conn.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := conn.Write(batch)
+	return err
+}
+
+// Recv implements Transport: one frame per peer, ascending source order.
+func (t *TCPTransport) Recv(dst int) ([][]byte, error) {
+	var out [][]byte
+	for src := 0; src < t.n; src++ {
+		if src == dst {
+			continue
+		}
+		conn := t.recv[src][dst]
+		var hdr [4]byte
+		if _, err := io.ReadFull(conn, hdr[:]); err != nil {
+			return nil, err
+		}
+		n := binary.BigEndian.Uint32(hdr[:])
+		buf := make([]byte, n)
+		if _, err := io.ReadFull(conn, buf); err != nil {
+			return nil, err
+		}
+		out = append(out, buf)
+	}
+	return out, nil
+}
+
+// Close shuts the mesh down.
+func (t *TCPTransport) Close() error {
+	for _, ln := range t.lns {
+		if ln != nil {
+			ln.Close()
+		}
+	}
+	for _, m := range [][][]net.Conn{t.send, t.recv} {
+		for _, row := range m {
+			for _, c := range row {
+				if c != nil {
+					c.Close()
+				}
+			}
+		}
+	}
+	return nil
+}

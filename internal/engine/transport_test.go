@@ -1,0 +1,149 @@
+package engine
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+
+	"graphite/internal/codec"
+	ival "graphite/internal/interval"
+)
+
+func TestBatchRoundTrip(t *testing.T) {
+	pc := codec.Int64{}
+	msgs := []Message{
+		{Dst: 3, When: ival.New(2, 9), Value: int64(-7)},
+		{Dst: 0, When: ival.From(5), Value: int64(1 << 40)},
+		{Dst: 1024, When: ival.Point(0), Value: int64(0)},
+	}
+	buf := encodeBatch(nil, msgs, pc)
+	got, err := decodeBatch(buf, pc)
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if !reflect.DeepEqual(got, msgs) {
+		t.Fatalf("round trip:\n%v\n%v", got, msgs)
+	}
+	// Empty batch.
+	buf = encodeBatch(nil, nil, pc)
+	got, err = decodeBatch(buf, pc)
+	if err != nil || len(got) != 0 {
+		t.Fatalf("empty batch: %v %v", got, err)
+	}
+	// Corruption.
+	if _, err := decodeBatch([]byte{0x05, 0x01}, pc); err == nil {
+		t.Fatalf("corrupt batch must fail")
+	}
+}
+
+func TestTCPTransportMesh(t *testing.T) {
+	tr, err := NewTCPTransport(3)
+	if err != nil {
+		t.Fatalf("NewTCPTransport: %v", err)
+	}
+	defer tr.Close()
+	// Everyone sends a tagged frame to everyone else.
+	for src := 0; src < 3; src++ {
+		for dst := 0; dst < 3; dst++ {
+			if src == dst {
+				continue
+			}
+			if err := tr.Send(src, dst, []byte{byte(src*10 + dst)}); err != nil {
+				t.Fatalf("send %d->%d: %v", src, dst, err)
+			}
+		}
+	}
+	for dst := 0; dst < 3; dst++ {
+		batches, err := tr.Recv(dst)
+		if err != nil {
+			t.Fatalf("recv %d: %v", dst, err)
+		}
+		if len(batches) != 2 {
+			t.Fatalf("recv %d: %d batches", dst, len(batches))
+		}
+		// Ascending source order.
+		want := []byte{}
+		for src := 0; src < 3; src++ {
+			if src != dst {
+				want = append(want, byte(src*10+dst))
+			}
+		}
+		for i, b := range batches {
+			if len(b) != 1 || b[0] != want[i] {
+				t.Fatalf("recv %d batch %d = %v, want %v", dst, i, b, want[i])
+			}
+		}
+	}
+}
+
+// TestEngineOverTCPTransport runs the BFS ring program with every
+// cross-worker message traveling through real loopback sockets and checks
+// the results match the in-process path.
+func TestEngineOverTCPTransport(t *testing.T) {
+	const n = 12
+	tr, err := NewTCPTransport(4)
+	if err != nil {
+		t.Fatalf("transport: %v", err)
+	}
+	defer tr.Close()
+	p := &distProgram{adj: ring(n), dist: make([]int64, n)}
+	e, err := New(n, p, Config{NumWorkers: 4, PayloadCodec: codec.Int64{}, Transport: tr})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	m, err := e.Run()
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	for i := 0; i < n; i++ {
+		if p.dist[i] != int64(i) {
+			t.Fatalf("dist[%d] = %d, want %d", i, p.dist[i], i)
+		}
+	}
+	if m.Messages != int64(n) {
+		t.Errorf("messages = %d, want %d", m.Messages, n)
+	}
+}
+
+func TestTransportRequiresCodec(t *testing.T) {
+	tr, err := NewTCPTransport(2)
+	if err != nil {
+		t.Fatalf("transport: %v", err)
+	}
+	defer tr.Close()
+	p := &countProgram{limit: 2}
+	if _, err := New(4, p, Config{NumWorkers: 2, Transport: tr}); !errors.Is(err, ErrBadConfig) {
+		t.Fatalf("want ErrBadConfig, got %v", err)
+	}
+}
+
+func TestTCPTransportRejectsZeroWorkers(t *testing.T) {
+	if _, err := NewTCPTransport(0); err == nil {
+		t.Fatalf("want error for zero workers")
+	}
+	// A single worker mesh is trivially fine (no connections).
+	tr, err := NewTCPTransport(1)
+	if err != nil {
+		t.Fatalf("single worker: %v", err)
+	}
+	tr.Close()
+}
+
+// TestTransportFailureSurfaces kills the mesh mid-run and checks the engine
+// reports the failure instead of hanging or silently dropping messages.
+func TestTransportFailureSurfaces(t *testing.T) {
+	const n = 8
+	tr, err := NewTCPTransport(2)
+	if err != nil {
+		t.Fatalf("transport: %v", err)
+	}
+	tr.Close() // all connections are already dead
+	p := &distProgram{adj: ring(n), dist: make([]int64, n)}
+	e, err := New(n, p, Config{NumWorkers: 2, PayloadCodec: codec.Int64{}, Transport: tr})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	if _, err := e.Run(); err == nil {
+		t.Fatalf("run over a closed transport must fail")
+	}
+}

@@ -1,0 +1,215 @@
+// Package gen generates synthetic temporal property graphs shaped like the
+// six real-world datasets of Table 1 in the ICM paper, plus the LDBC-like
+// graphs used for weak scaling. Absolute sizes are scaled down to laptop
+// scale; the knobs that drive ICM's relative performance are preserved:
+// snapshot count, entity lifespan distributions (unit / mixed / long /
+// full-lifetime), degree distribution (power-law vs. planar road grid),
+// diameter, and property-change rate.
+package gen
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	ival "graphite/internal/interval"
+	"graphite/internal/tgraph"
+)
+
+// Topology selects the structural generator.
+type Topology int
+
+// Topologies.
+const (
+	// Powerlaw wires edges with Zipf-distributed endpoints (social/web).
+	Powerlaw Topology = iota
+	// Grid wires a 2D lattice with bidirectional road segments (USRN).
+	Grid
+)
+
+// LifespanDist selects the edge lifespan distribution.
+type LifespanDist int
+
+// Lifespan distributions.
+const (
+	// UnitLife gives every edge a one-snapshot lifespan (GPlus).
+	UnitLife LifespanDist = iota
+	// FullLife spans every edge over the whole graph lifetime (USRN).
+	FullLife
+	// LongLife draws lifespans around most of the graph lifetime
+	// (Twitter, MAG).
+	LongLife
+	// MixedLife makes most edges unit-length with a long-lived minority
+	// (Reddit, WebUK).
+	MixedLife
+)
+
+// Profile parameterizes a synthetic temporal graph.
+type Profile struct {
+	Name      string
+	Vertices  int
+	AvgDegree int
+	Snapshots int
+	Topology  Topology
+	EdgeLife  LifespanDist
+	// LongFrac is the long-lived fraction for MixedLife.
+	LongFrac float64
+	// VertexChurn makes vertex lifespans start and end inside the window
+	// instead of spanning it (Reddit, MAG grow over time).
+	VertexChurn bool
+	// WithTravelProps attaches travel-time and travel-cost properties to
+	// every edge, re-drawn over PropSegments sub-intervals of its lifespan.
+	WithTravelProps bool
+	// PropSegments is the number of property values per edge lifespan
+	// (>=1); more segments = shorter property lifespans (USRN traffic).
+	PropSegments int
+	// Zipf skew for Powerlaw endpoint selection; 1.2 is a mild power law.
+	Skew float64
+}
+
+// Generate builds a temporal graph from the profile, deterministically for
+// a given seed.
+func Generate(p Profile, seed int64) (*tgraph.Graph, error) {
+	if p.Vertices <= 1 || p.Snapshots < 1 || p.AvgDegree < 1 {
+		return nil, fmt.Errorf("gen: profile %q has degenerate dimensions", p.Name)
+	}
+	if p.PropSegments < 1 {
+		p.PropSegments = 1
+	}
+	if p.Skew <= 1.0 {
+		p.Skew = 1.2
+	}
+	r := rand.New(rand.NewSource(seed))
+	b := tgraph.NewBuilder(p.Vertices, p.Vertices*p.AvgDegree)
+
+	window := ival.New(0, ival.Time(p.Snapshots))
+	lifespans := make([]ival.Interval, p.Vertices)
+	for v := 0; v < p.Vertices; v++ {
+		life := window
+		if p.VertexChurn && p.Snapshots >= 4 {
+			s := ival.Time(r.Intn(p.Snapshots / 2))
+			e := s + ival.Time(p.Snapshots/2+r.Intn(p.Snapshots/2)) + 1
+			if e > window.End {
+				e = window.End
+			}
+			life = ival.New(s, e)
+		}
+		lifespans[v] = life
+		b.AddVertex(tgraph.VertexID(v), life)
+	}
+
+	var eid tgraph.EdgeID
+	addEdge := func(u, v int) {
+		if u == v {
+			return
+		}
+		shared := lifespans[u].Intersect(lifespans[v])
+		if shared.IsEmpty() {
+			return
+		}
+		life := edgeLife(r, p, shared)
+		if life.IsEmpty() {
+			return
+		}
+		b.AddEdge(eid, tgraph.VertexID(u), tgraph.VertexID(v), life)
+		if p.WithTravelProps {
+			attachTravelProps(r, b, eid, life, p.PropSegments)
+		}
+		eid++
+	}
+
+	switch p.Topology {
+	case Grid:
+		side := int(math.Sqrt(float64(p.Vertices)))
+		if side < 2 {
+			side = 2
+		}
+		for y := 0; y < side; y++ {
+			for x := 0; x < side; x++ {
+				v := y*side + x
+				if x+1 < side {
+					addEdge(v, v+1)
+					addEdge(v+1, v)
+				}
+				if y+1 < side {
+					addEdge(v, v+side)
+					addEdge(v+side, v)
+				}
+			}
+		}
+	default: // Powerlaw
+		z := rand.NewZipf(r, p.Skew, 1, uint64(p.Vertices-1))
+		target := p.Vertices * p.AvgDegree
+		for i := 0; i < target; i++ {
+			u := int(z.Uint64())
+			v := r.Intn(p.Vertices)
+			addEdge(u, v)
+		}
+	}
+	if err := b.Err(); err != nil {
+		return nil, err
+	}
+	return b.Build()
+}
+
+// edgeLife draws an edge lifespan inside the shared window of its endpoints.
+func edgeLife(r *rand.Rand, p Profile, shared ival.Interval) ival.Interval {
+	span := int(shared.Length())
+	if span <= 0 {
+		return ival.Empty
+	}
+	unit := func() ival.Interval {
+		return ival.Point(shared.Start + ival.Time(r.Intn(span)))
+	}
+	long := func() ival.Interval {
+		// At least half the shared window, random slack on either side.
+		minLen := (span + 1) / 2
+		s := 0
+		if span > minLen {
+			s = r.Intn(span - minLen + 1)
+		}
+		maxLen := span - s
+		l := minLen
+		if maxLen > minLen {
+			l += r.Intn(maxLen - minLen + 1)
+		}
+		return ival.New(shared.Start+ival.Time(s), shared.Start+ival.Time(s+l))
+	}
+	switch p.EdgeLife {
+	case UnitLife:
+		return unit()
+	case FullLife:
+		return shared
+	case LongLife:
+		return long()
+	case MixedLife:
+		if r.Float64() < p.LongFrac {
+			return long()
+		}
+		return unit()
+	}
+	return shared
+}
+
+// attachTravelProps draws travel-time and travel-cost values over segments
+// of the edge lifespan.
+func attachTravelProps(r *rand.Rand, b *tgraph.Builder, id tgraph.EdgeID, life ival.Interval, segments int) {
+	span := int(life.Length())
+	if segments > span {
+		segments = span
+	}
+	// Split the lifespan into `segments` contiguous pieces.
+	cuts := []ival.Time{life.Start}
+	for i := 1; i < segments; i++ {
+		cuts = append(cuts, life.Start+ival.Time(i*span/segments))
+	}
+	cuts = append(cuts, life.End)
+	for i := 0; i+1 < len(cuts); i++ {
+		piece := ival.New(cuts[i], cuts[i+1])
+		if piece.IsEmpty() {
+			continue
+		}
+		b.SetEdgeProp(id, tgraph.PropTravelTime, piece, int64(1+r.Intn(3)))
+		b.SetEdgeProp(id, tgraph.PropTravelCost, piece, int64(1+r.Intn(10)))
+	}
+}

@@ -1,0 +1,151 @@
+package gen
+
+import (
+	"testing"
+
+	ival "graphite/internal/interval"
+	"graphite/internal/tgraph"
+)
+
+func TestAllProfilesGenerateValidGraphs(t *testing.T) {
+	for _, p := range AllProfiles(0.1) {
+		g, err := Generate(p, 1)
+		if err != nil {
+			t.Fatalf("%s: %v", p.Name, err)
+		}
+		if g.NumVertices() == 0 || g.NumEdges() == 0 {
+			t.Errorf("%s: degenerate graph %v", p.Name, g)
+		}
+		if g.SnapshotCount() > p.Snapshots {
+			t.Errorf("%s: %d snapshots exceed profile %d", p.Name, g.SnapshotCount(), p.Snapshots)
+		}
+		// Every TD profile must carry travel properties on every edge.
+		if p.WithTravelProps {
+			for i := 0; i < g.NumEdges(); i++ {
+				e := g.Edge(i)
+				if _, ok := e.Props.ValueAt(tgraph.PropTravelTime, e.Lifespan.Start); !ok {
+					t.Fatalf("%s: edge %d lacks travel-time", p.Name, e.ID)
+				}
+				if _, ok := e.Props.ValueAt(tgraph.PropTravelCost, e.Lifespan.End-1); !ok {
+					t.Fatalf("%s: edge %d lacks travel-cost at lifespan end", p.Name, e.ID)
+				}
+			}
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	p := RedditLike(0.1)
+	g1, err1 := Generate(p, 9)
+	g2, err2 := Generate(p, 9)
+	if err1 != nil || err2 != nil {
+		t.Fatalf("generate: %v %v", err1, err2)
+	}
+	if g1.NumVertices() != g2.NumVertices() || g1.NumEdges() != g2.NumEdges() {
+		t.Fatalf("same seed must give same sizes")
+	}
+	for i := 0; i < g1.NumEdges(); i++ {
+		e1, e2 := g1.Edge(i), g2.Edge(i)
+		if e1.Src != e2.Src || e1.Dst != e2.Dst || e1.Lifespan != e2.Lifespan {
+			t.Fatalf("edge %d differs across identical seeds", i)
+		}
+	}
+	g3, err := Generate(p, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := g1.NumEdges() == g3.NumEdges()
+	if same {
+		diff := false
+		for i := 0; i < g1.NumEdges(); i++ {
+			if g1.Edge(i).Lifespan != g3.Edge(i).Lifespan || g1.Edge(i).Dst != g3.Edge(i).Dst {
+				diff = true
+				break
+			}
+		}
+		if !diff {
+			t.Errorf("different seeds produced identical graphs")
+		}
+	}
+}
+
+func TestLifespanDistributions(t *testing.T) {
+	check := func(name string, p Profile, test func(c tgraph.Characteristics) bool) {
+		g, err := Generate(p, 5)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if c := g.ComputeCharacteristics(); !test(c) {
+			t.Errorf("%s: characteristics off: %+v", name, c)
+		}
+	}
+	check("unit", Tiny("u", 60, 4, 8, UnitLife), func(c tgraph.Characteristics) bool {
+		return c.AvgEdgeLife == 1
+	})
+	check("full", Tiny("f", 60, 4, 8, FullLife), func(c tgraph.Characteristics) bool {
+		return c.AvgEdgeLife == 8
+	})
+	check("long", Tiny("l", 60, 4, 8, LongLife), func(c tgraph.Characteristics) bool {
+		return c.AvgEdgeLife >= 4
+	})
+	check("mixed", Tiny("m", 80, 5, 10, MixedLife), func(c tgraph.Characteristics) bool {
+		return c.AvgEdgeLife > 1 && c.AvgEdgeLife < 8
+	})
+}
+
+func TestVertexChurn(t *testing.T) {
+	p := Tiny("churn", 60, 4, 16, LongLife)
+	p.VertexChurn = true
+	g, err := Generate(p, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	churned := 0
+	for i := 0; i < g.NumVertices(); i++ {
+		if g.VertexAt(i).Lifespan != ival.New(0, 16) {
+			churned++
+		}
+	}
+	if churned == 0 {
+		t.Errorf("churn profile produced only perpetual vertices")
+	}
+}
+
+func TestGridTopologyIsPlanarish(t *testing.T) {
+	g, err := Generate(USRNLike(0.1), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Grid: max out-degree 4 (two lattice neighbors each way).
+	for v := 0; v < g.NumVertices(); v++ {
+		if d := len(g.OutEdges(v)); d > 4 {
+			t.Fatalf("grid vertex %d has out-degree %d", v, d)
+		}
+	}
+}
+
+func TestGenerateRejectsDegenerateProfiles(t *testing.T) {
+	for _, p := range []Profile{
+		{Name: "novertices", Vertices: 1, AvgDegree: 2, Snapshots: 4},
+		{Name: "nosnaps", Vertices: 10, AvgDegree: 2, Snapshots: 0},
+		{Name: "nodegree", Vertices: 10, AvgDegree: 0, Snapshots: 4},
+	} {
+		if _, err := Generate(p, 1); err == nil {
+			t.Errorf("%s: want error", p.Name)
+		}
+	}
+}
+
+func TestLDBCScalesWithMachines(t *testing.T) {
+	g1, err := Generate(LDBCLike(1, 0.1), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g4, err := Generate(LDBCLike(4, 0.1), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g4.NumVertices() < 3*g1.NumVertices() {
+		t.Errorf("ldbc-4m should be ~4x ldbc-1m: %d vs %d", g4.NumVertices(), g1.NumVertices())
+	}
+}

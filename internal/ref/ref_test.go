@@ -1,0 +1,180 @@
+package ref
+
+import (
+	"testing"
+
+	ival "graphite/internal/interval"
+	"graphite/internal/tgraph"
+)
+
+// loopGraph builds a small graph with a directed cycle and a pendant, with
+// hand-checkable answers: 0→1→2→0 plus 2→3, all alive [0,4), travel time 1,
+// cost 2.
+func loopGraph(t *testing.T) *tgraph.Graph {
+	t.Helper()
+	b := tgraph.NewBuilder(4, 4)
+	for v := tgraph.VertexID(0); v < 4; v++ {
+		b.AddVertex(v, ival.New(0, 8))
+	}
+	add := func(id tgraph.EdgeID, s, d tgraph.VertexID) {
+		b.AddEdge(id, s, d, ival.New(0, 4))
+		b.SetEdgeProp(id, tgraph.PropTravelTime, ival.New(0, 4), 1)
+		b.SetEdgeProp(id, tgraph.PropTravelCost, ival.New(0, 4), 2)
+	}
+	add(0, 0, 1)
+	add(1, 1, 2)
+	add(2, 2, 0)
+	add(3, 2, 3)
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestBFSLevelsHandChecked(t *testing.T) {
+	g := loopGraph(t)
+	got := BFSLevels(g, 1, 0)
+	want := []int64{0, 1, 2, 3}
+	for v := range want {
+		if got[v] != want[v] {
+			t.Errorf("level[%d] = %d, want %d", v, got[v], want[v])
+		}
+	}
+	// After the edges die, only the source is reachable.
+	got = BFSLevels(g, 5, 0)
+	if got[0] != 0 || got[1] != Unreachable {
+		t.Errorf("post-death levels wrong: %v", got)
+	}
+}
+
+func TestWCCAndSCCHandChecked(t *testing.T) {
+	g := loopGraph(t)
+	wcc := WCCLabels(g, 0)
+	for v := 0; v < 4; v++ {
+		if wcc[v] != 0 {
+			t.Errorf("wcc[%d] = %d, want 0", v, wcc[v])
+		}
+	}
+	scc := SCCLabels(g, 0)
+	// 0,1,2 form a cycle named by max id 2; 3 is its own component.
+	if scc[0] != 2 || scc[1] != 2 || scc[2] != 2 || scc[3] != 3 {
+		t.Errorf("scc = %v, want [2 2 2 3]", scc)
+	}
+	// At t=6 there are no edges: everyone is a singleton.
+	scc = SCCLabels(g, 6)
+	for v := int64(0); v < 4; v++ {
+		if scc[v] != v {
+			t.Errorf("singleton scc[%d] = %d", v, scc[v])
+		}
+	}
+}
+
+func TestPageRankMassConservation(t *testing.T) {
+	g := loopGraph(t)
+	ranks := PageRank(g, 1, 10, 0.85)
+	// Vertex 3 is a sink (out-degree 0): mass leaks, so the total is < 1
+	// but every rank is positive and 3 beats nothing upstream of it.
+	var sum float64
+	for _, r := range ranks {
+		if r <= 0 {
+			t.Fatalf("non-positive rank: %v", ranks)
+		}
+		sum += r
+	}
+	if sum > 1.0001 {
+		t.Errorf("rank mass exceeds 1: %f", sum)
+	}
+}
+
+func TestClosuresHandChecked(t *testing.T) {
+	g := loopGraph(t)
+	c := Closures(g, 0)
+	// The directed 3-cycle 0→1→2→0 is closed once at each rotation end.
+	if c[0] != 1 || c[1] != 1 || c[2] != 1 || c[3] != 0 {
+		t.Errorf("closures = %v, want [1 1 1 0]", c)
+	}
+	counts, degs := LCCCounts(g, 0)
+	// Vertex 2 has out-neighbors {0, 3}: wedge 2→0→1 is not closed (2→1
+	// absent); no ordered pair of 2's neighbors is connected.
+	if counts[2] != 0 || degs[2] != 2 {
+		t.Errorf("lcc[2] = %d/%d", counts[2], degs[2])
+	}
+	// Vertex 1 has a single out-neighbor: no wedges.
+	if counts[1] != 0 || degs[1] != 1 {
+		t.Errorf("lcc[1] = %d/%d", counts[1], degs[1])
+	}
+}
+
+func TestTemporalSSSPHandChecked(t *testing.T) {
+	g := loopGraph(t)
+	d := SSSP(g, 0, 0)
+	// 0→1 departs at 0, arrives 1 at cost 2; by t=1 cost at vertex 1 is 2.
+	if d.Cost[1][1] != 2 {
+		t.Errorf("cost[1][1] = %d, want 2", d.Cost[1][1])
+	}
+	if d.Cost[1][0] != Unreachable {
+		t.Errorf("cost[1][0] should be unreachable, got %d", d.Cost[1][0])
+	}
+	// 3 via 0→1→2→3: arrive 3, cost 6.
+	if d.Cost[3][3] != 6 {
+		t.Errorf("cost[3][3] = %d, want 6", d.Cost[3][3])
+	}
+	eat := EAT(g, 0, 0)
+	if eat[3] != 3 || eat[0] != 0 {
+		t.Errorf("eat = %v", eat)
+	}
+	reach := Reachable(g, 0, 0)
+	for v, r := range reach {
+		if !r {
+			t.Errorf("vertex %d should be reachable", v)
+		}
+	}
+	// Starting at t=3: only the 0→1 hop fits before edges die.
+	eat = EAT(g, 0, 3)
+	if eat[1] != 4 || eat[2] != Unreachable {
+		t.Errorf("late-start eat = %v", eat)
+	}
+}
+
+func TestFastestHandChecked(t *testing.T) {
+	g := loopGraph(t)
+	f := Fastest(g, 0, 0)
+	// No waiting needed: durations equal hop counts.
+	want := []int64{0, 1, 2, 3}
+	for v := range want {
+		if f[v] != want[v] {
+			t.Errorf("fastest[%d] = %d, want %d", v, f[v], want[v])
+		}
+	}
+}
+
+func TestLatestDepartureHandChecked(t *testing.T) {
+	g := loopGraph(t)
+	ld := LatestDeparture(g, 3, 8)
+	// Vertex 2 can depart directly up to t=3 (edge alive [0,4)).
+	if ld[2] != 3 {
+		t.Errorf("ld[2] = %d, want 3", ld[2])
+	}
+	// Vertex 0 needs 3 hops of tt 1: depart <= 1.
+	if ld[0] != 1 {
+		t.Errorf("ld[0] = %d, want 1", ld[0])
+	}
+	// The target itself is valid until just before the deadline (clipped
+	// to its lifespan).
+	if ld[3] != 7 {
+		t.Errorf("ld[3] = %d, want 7", ld[3])
+	}
+	// With deadline 2, nothing can arrive in time except trivially.
+	ld = LatestDeparture(g, 3, 2)
+	if ld[0] != -1 || ld[3] != 1 {
+		t.Errorf("tight-deadline ld = %v", ld)
+	}
+}
+
+func TestExpandedHorizon(t *testing.T) {
+	g := loopGraph(t)
+	if h := ExpandedHorizon(g); h <= g.Horizon() {
+		t.Errorf("expanded horizon %d should exceed %d", h, g.Horizon())
+	}
+}

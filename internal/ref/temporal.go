@@ -1,0 +1,222 @@
+package ref
+
+import (
+	"container/heap"
+
+	ival "graphite/internal/interval"
+	"graphite/internal/tgraph"
+)
+
+// TemporalDistances holds a time-expanded search result: Cost[v][t] is the
+// minimum travel cost of a time-respecting journey from the source that has
+// arrived at v by time t (waiting is free), for t in [0, Tmax).
+type TemporalDistances struct {
+	Tmax ival.Time
+	Cost [][]int64
+}
+
+// maxTravelTime scans the travel-time property for its largest value.
+func maxTravelTime(g *tgraph.Graph) int64 {
+	max := int64(1)
+	for i := 0; i < g.NumEdges(); i++ {
+		for _, p := range g.Edge(i).Props.Entries(tgraph.PropTravelTime) {
+			if p.Value > max {
+				max = p.Value
+			}
+		}
+	}
+	return max
+}
+
+// ExpandedHorizon returns the time bound used by the time-expanded oracles:
+// beyond it, nothing in the graph changes and no new arrival can occur.
+func ExpandedHorizon(g *tgraph.Graph) ival.Time {
+	return g.Horizon() + maxTravelTime(g) + 1
+}
+
+// item is a (cost, vertex, time) entry in the Dijkstra frontier.
+type item struct {
+	cost int64
+	v    int
+	t    ival.Time
+}
+
+type pq []item
+
+func (q pq) Len() int           { return len(q) }
+func (q pq) Less(i, j int) bool { return q[i].cost < q[j].cost }
+func (q pq) Swap(i, j int)      { q[i], q[j] = q[j], q[i] }
+func (q *pq) Push(x any)        { *q = append(*q, x.(item)) }
+func (q *pq) Pop() any          { old := *q; n := len(old); x := old[n-1]; *q = old[:n-1]; return x }
+
+// SSSP runs Dijkstra over the time-expanded graph: nodes are (vertex,
+// time-point) pairs clipped to vertex lifespans; waiting edges cost 0 and
+// travel edges cost the travel-cost property at the departure time.
+func SSSP(g *tgraph.Graph, source tgraph.VertexID, startTime ival.Time) *TemporalDistances {
+	n := g.NumVertices()
+	tmax := ExpandedHorizon(g)
+	d := &TemporalDistances{Tmax: tmax, Cost: make([][]int64, n)}
+	for v := range d.Cost {
+		d.Cost[v] = make([]int64, tmax)
+		for t := range d.Cost[v] {
+			d.Cost[v][t] = Unreachable
+		}
+	}
+	s := g.IndexOf(source)
+	if s < 0 {
+		return d
+	}
+	var q pq
+	relax := func(v int, t ival.Time, c int64) {
+		if t >= tmax || !g.VertexAt(v).Lifespan.Contains(t) {
+			return
+		}
+		if c < d.Cost[v][t] {
+			d.Cost[v][t] = c
+			heap.Push(&q, item{cost: c, v: v, t: t})
+		}
+	}
+	// A journey begins when the source exists, at or after startTime.
+	if ls := g.VertexAt(s).Lifespan; startTime < ls.Start {
+		startTime = ls.Start
+	}
+	relax(s, startTime, 0)
+	for q.Len() > 0 {
+		it := heap.Pop(&q).(item)
+		if it.cost > d.Cost[it.v][it.t] {
+			continue
+		}
+		// Wait one unit.
+		relax(it.v, it.t+1, it.cost)
+		// Depart now over every alive out-edge.
+		for _, ei := range g.OutEdges(it.v) {
+			e := g.Edge(int(ei))
+			if !e.Lifespan.Contains(it.t) {
+				continue
+			}
+			tt, ok1 := e.Props.ValueAt(tgraph.PropTravelTime, it.t)
+			tc, ok2 := e.Props.ValueAt(tgraph.PropTravelCost, it.t)
+			if !ok1 || !ok2 {
+				continue
+			}
+			relax(g.IndexOf(e.Dst), it.t+tt, it.cost+tc)
+		}
+	}
+	return d
+}
+
+// EAT returns the earliest arrival time per vertex, or Unreachable.
+func EAT(g *tgraph.Graph, source tgraph.VertexID, startTime ival.Time) []int64 {
+	d := SSSP(g, source, startTime)
+	out := make([]int64, g.NumVertices())
+	for v := range out {
+		out[v] = Unreachable
+		for t := ival.Time(0); t < d.Tmax; t++ {
+			if d.Cost[v][t] != Unreachable {
+				out[v] = t
+				break
+			}
+		}
+	}
+	return out
+}
+
+// Reachable returns per-vertex time-respecting reachability from the source.
+func Reachable(g *tgraph.Graph, source tgraph.VertexID, startTime ival.Time) []bool {
+	eat := EAT(g, source, startTime)
+	out := make([]bool, len(eat))
+	for v := range out {
+		out[v] = eat[v] != Unreachable
+	}
+	return out
+}
+
+// Fastest returns the minimum journey duration (arrival − source departure)
+// per vertex, trying every possible start time; the source itself gets 0.
+func Fastest(g *tgraph.Graph, source tgraph.VertexID, startTime ival.Time) []int64 {
+	n := g.NumVertices()
+	out := make([]int64, n)
+	for v := range out {
+		out[v] = Unreachable
+	}
+	s := g.IndexOf(source)
+	if s < 0 {
+		return out
+	}
+	out[s] = 0
+	horizon := g.Horizon()
+	for s0 := startTime; s0 <= horizon; s0++ {
+		if !g.VertexAt(s).Lifespan.Contains(s0) {
+			continue
+		}
+		eat := EAT(g, source, s0)
+		for v := range out {
+			if v == s || eat[v] == Unreachable {
+				continue
+			}
+			if dur := eat[v] - s0; dur < out[v] {
+				out[v] = dur
+			}
+		}
+	}
+	return out
+}
+
+// LatestDeparture returns, per vertex, the latest time-point at which one
+// can be present and still reach target before deadline (exclusive), or -1.
+// Backward induction over the time-expanded graph.
+func LatestDeparture(g *tgraph.Graph, target tgraph.VertexID, deadline ival.Time) []int64 {
+	n := g.NumVertices()
+	tmax := ExpandedHorizon(g)
+	if deadline <= 0 || deadline > tmax {
+		deadline = tmax
+	}
+	tgt := g.IndexOf(target)
+	valid := make([][]bool, n)
+	for v := range valid {
+		valid[v] = make([]bool, tmax+1)
+	}
+	for t := tmax - 1; t >= 0; t-- {
+		for v := 0; v < n; v++ {
+			if !g.VertexAt(v).Lifespan.Contains(t) {
+				continue
+			}
+			if v == tgt && t < deadline {
+				valid[v][t] = true
+				continue
+			}
+			// Wait (stay alive at t+1) or depart along an alive edge.
+			if g.VertexAt(v).Lifespan.Contains(t+1) && valid[v][t+1] {
+				valid[v][t] = true
+				continue
+			}
+			for _, ei := range g.OutEdges(v) {
+				e := g.Edge(int(ei))
+				if !e.Lifespan.Contains(t) {
+					continue
+				}
+				tt, ok := e.Props.ValueAt(tgraph.PropTravelTime, t)
+				if !ok {
+					continue
+				}
+				at := t + tt
+				w := g.IndexOf(e.Dst)
+				if at < tmax && valid[w][at] {
+					valid[v][t] = true
+					break
+				}
+			}
+		}
+	}
+	out := make([]int64, n)
+	for v := range out {
+		out[v] = -1
+		for t := tmax - 1; t >= 0; t-- {
+			if valid[v][t] {
+				out[v] = t
+				break
+			}
+		}
+	}
+	return out
+}

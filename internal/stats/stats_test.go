@@ -1,0 +1,76 @@
+package stats
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestR2LogLogPerfectFit(t *testing.T) {
+	// y = 3x² is a perfect line in log space.
+	var xs, ys []float64
+	for x := 1.0; x <= 64; x *= 2 {
+		xs = append(xs, x)
+		ys = append(ys, 3*x*x)
+	}
+	if r2 := R2LogLog(xs, ys); math.Abs(r2-1) > 1e-12 {
+		t.Errorf("perfect fit R2 = %v, want 1", r2)
+	}
+}
+
+func TestR2LogLogNoise(t *testing.T) {
+	xs := []float64{1, 2, 4, 8, 16, 32}
+	ys := []float64{5, 1, 9, 2, 7, 3} // uncorrelated
+	r2 := R2LogLog(xs, ys)
+	if r2 < 0 || r2 > 0.5 {
+		t.Errorf("noise R2 = %v, want small", r2)
+	}
+}
+
+func TestR2SkipsNonPositive(t *testing.T) {
+	xs := []float64{0, -1, 2, 4}
+	ys := []float64{1, 1, 4, 16}
+	if r2 := R2LogLog(xs, ys); math.Abs(r2-1) > 1e-12 {
+		t.Errorf("R2 with skipped points = %v, want 1", r2)
+	}
+	if r2 := R2LogLog([]float64{1}, []float64{2}); r2 != 0 {
+		t.Errorf("single point R2 = %v, want 0", r2)
+	}
+}
+
+func TestGeoMeanAndMean(t *testing.T) {
+	if g := GeoMean([]float64{1, 4, 16}); math.Abs(g-4) > 1e-12 {
+		t.Errorf("geomean = %v, want 4", g)
+	}
+	if GeoMean(nil) != 0 || GeoMean([]float64{1, -1}) != 0 {
+		t.Errorf("degenerate geomean should be 0")
+	}
+	if m := Mean([]float64{1, 2, 3}); m != 2 {
+		t.Errorf("mean = %v, want 2", m)
+	}
+	if Mean(nil) != 0 {
+		t.Errorf("empty mean should be 0")
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tab := Table{Header: []string{"Name", "Value"}}
+	tab.Add("alpha", 1)
+	tab.Add("b", 3.14159)
+	var buf bytes.Buffer
+	tab.Render(&buf)
+	out := buf.String()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("want header+sep+2 rows, got %d:\n%s", len(lines), out)
+	}
+	if !strings.Contains(lines[2], "alpha") || !strings.Contains(lines[3], "3.14") {
+		t.Errorf("rows wrong:\n%s", out)
+	}
+	// Columns align: both data rows start their second column at the same
+	// offset.
+	if strings.Index(lines[2], "1") != strings.Index(lines[3], "3.14") {
+		t.Errorf("columns misaligned:\n%s", out)
+	}
+}

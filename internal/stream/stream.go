@@ -1,0 +1,386 @@
+// Package stream builds temporal property graphs from event logs — the form
+// real temporal datasets arrive in (contact traces, transaction logs, edit
+// histories). An Accumulator consumes ordered events (vertex/edge appear,
+// disappear, property changes) and materializes the interval graph the ICM
+// runtime consumes; lifespans are derived from appear/disappear pairs, with
+// still-open entities closed at a configurable horizon or left unbounded.
+//
+// This is the ingestion half of the paper's "streaming temporal graphs"
+// future work: it turns a prefix of an event stream into a fully evolved
+// graph at any cut-off point.
+package stream
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+
+	ival "graphite/internal/interval"
+	"graphite/internal/tgraph"
+)
+
+// Op is an event kind.
+type Op int
+
+// Event kinds.
+const (
+	// AddVertex brings a vertex into existence at the event time.
+	AddVertex Op = iota
+	// RemoveVertex ends a vertex's lifespan at the event time (exclusive).
+	RemoveVertex
+	// AddEdge brings an edge into existence at the event time.
+	AddEdge
+	// RemoveEdge ends an edge's lifespan at the event time (exclusive).
+	RemoveEdge
+	// SetVertexProp starts a new value for a vertex property at the event
+	// time, ending the previous value if any.
+	SetVertexProp
+	// SetEdgeProp starts a new value for an edge property at the event time.
+	SetEdgeProp
+)
+
+// Event is one timestamped mutation.
+type Event struct {
+	Op    Op
+	T     ival.Time
+	V     tgraph.VertexID // vertex events and property owner
+	E     tgraph.EdgeID   // edge events and property owner
+	Src   tgraph.VertexID // AddEdge only
+	Dst   tgraph.VertexID // AddEdge only
+	Label string          // property events
+	Value int64           // property events
+}
+
+// Errors surfaced by the accumulator.
+var (
+	ErrOutOfOrder   = errors.New("stream: events must be time-ordered")
+	ErrUnknownOwner = errors.New("stream: event for unknown entity")
+	ErrReopened     = errors.New("stream: entity re-added after removal (Constraint 1)")
+	ErrStillOpen    = errors.New("stream: entity already open")
+)
+
+// openSpan tracks an entity whose lifespan has begun.
+type openSpan struct {
+	start  ival.Time
+	closed bool
+	end    ival.Time
+}
+
+// propRun tracks the active value run of one property label.
+type propRun struct {
+	start ival.Time
+	value int64
+}
+
+// Accumulator consumes events and materializes temporal graphs.
+type Accumulator struct {
+	now ival.Time
+
+	vspans map[tgraph.VertexID]*openSpan
+	espans map[tgraph.EdgeID]*openSpan
+	etails map[tgraph.EdgeID][2]tgraph.VertexID
+
+	vprops map[tgraph.VertexID]map[string][]tgraph.PropEntry
+	eprops map[tgraph.EdgeID]map[string][]tgraph.PropEntry
+	vruns  map[tgraph.VertexID]map[string]propRun
+	eruns  map[tgraph.EdgeID]map[string]propRun
+
+	events int
+}
+
+// NewAccumulator returns an empty accumulator.
+func NewAccumulator() *Accumulator {
+	return &Accumulator{
+		vspans: map[tgraph.VertexID]*openSpan{},
+		espans: map[tgraph.EdgeID]*openSpan{},
+		etails: map[tgraph.EdgeID][2]tgraph.VertexID{},
+		vprops: map[tgraph.VertexID]map[string][]tgraph.PropEntry{},
+		eprops: map[tgraph.EdgeID]map[string][]tgraph.PropEntry{},
+		vruns:  map[tgraph.VertexID]map[string]propRun{},
+		eruns:  map[tgraph.EdgeID]map[string]propRun{},
+	}
+}
+
+// Events returns the number of events applied.
+func (a *Accumulator) Events() int { return a.events }
+
+// Now returns the time of the last applied event.
+func (a *Accumulator) Now() ival.Time { return a.now }
+
+// Apply folds one event into the accumulator. Events must arrive in
+// non-decreasing time order.
+func (a *Accumulator) Apply(ev Event) error {
+	if ev.T < a.now {
+		return fmt.Errorf("%w: event at %d after %d", ErrOutOfOrder, ev.T, a.now)
+	}
+	a.now = ev.T
+	switch ev.Op {
+	case AddVertex:
+		if s, ok := a.vspans[ev.V]; ok {
+			if s.closed {
+				return fmt.Errorf("%w: vertex %d", ErrReopened, ev.V)
+			}
+			return fmt.Errorf("%w: vertex %d", ErrStillOpen, ev.V)
+		}
+		a.vspans[ev.V] = &openSpan{start: ev.T}
+	case RemoveVertex:
+		s, ok := a.vspans[ev.V]
+		if !ok || s.closed {
+			return fmt.Errorf("%w: vertex %d", ErrUnknownOwner, ev.V)
+		}
+		s.closed, s.end = true, ev.T
+		a.closeRuns(a.vruns[ev.V], a.propsOf(a.vprops, ev.V), ev.T)
+		delete(a.vruns, ev.V)
+	case AddEdge:
+		if s, ok := a.espans[ev.E]; ok {
+			if s.closed {
+				return fmt.Errorf("%w: edge %d", ErrReopened, ev.E)
+			}
+			return fmt.Errorf("%w: edge %d", ErrStillOpen, ev.E)
+		}
+		if !a.vertexAlive(ev.Src, ev.T) || !a.vertexAlive(ev.Dst, ev.T) {
+			return fmt.Errorf("%w: edge %d endpoints at t=%d", ErrUnknownOwner, ev.E, ev.T)
+		}
+		a.espans[ev.E] = &openSpan{start: ev.T}
+		a.etails[ev.E] = [2]tgraph.VertexID{ev.Src, ev.Dst}
+	case RemoveEdge:
+		s, ok := a.espans[ev.E]
+		if !ok || s.closed {
+			return fmt.Errorf("%w: edge %d", ErrUnknownOwner, ev.E)
+		}
+		s.closed, s.end = true, ev.T
+		a.closeRuns(a.eruns[ev.E], a.epropsOf(ev.E), ev.T)
+		delete(a.eruns, ev.E)
+	case SetVertexProp:
+		if !a.vertexAlive(ev.V, ev.T) {
+			return fmt.Errorf("%w: vertex %d", ErrUnknownOwner, ev.V)
+		}
+		runs := a.vruns[ev.V]
+		if runs == nil {
+			runs = map[string]propRun{}
+			a.vruns[ev.V] = runs
+		}
+		a.setProp(runs, a.propsOf(a.vprops, ev.V), ev.Label, ev.Value, ev.T)
+	case SetEdgeProp:
+		s, ok := a.espans[ev.E]
+		if !ok || s.closed {
+			return fmt.Errorf("%w: edge %d", ErrUnknownOwner, ev.E)
+		}
+		runs := a.eruns[ev.E]
+		if runs == nil {
+			runs = map[string]propRun{}
+			a.eruns[ev.E] = runs
+		}
+		a.setProp(runs, a.epropsOf(ev.E), ev.Label, ev.Value, ev.T)
+	default:
+		return fmt.Errorf("stream: unknown op %d", ev.Op)
+	}
+	a.events++
+	return nil
+}
+
+func (a *Accumulator) vertexAlive(id tgraph.VertexID, t ival.Time) bool {
+	s, ok := a.vspans[id]
+	return ok && !s.closed && s.start <= t
+}
+
+func (a *Accumulator) propsOf(m map[tgraph.VertexID]map[string][]tgraph.PropEntry, id tgraph.VertexID) map[string][]tgraph.PropEntry {
+	p := m[id]
+	if p == nil {
+		p = map[string][]tgraph.PropEntry{}
+		m[id] = p
+	}
+	return p
+}
+
+func (a *Accumulator) epropsOf(id tgraph.EdgeID) map[string][]tgraph.PropEntry {
+	p := a.eprops[id]
+	if p == nil {
+		p = map[string][]tgraph.PropEntry{}
+		a.eprops[id] = p
+	}
+	return p
+}
+
+// setProp ends the label's running value at t (if any) and starts a new run.
+func (a *Accumulator) setProp(runs map[string]propRun, sink map[string][]tgraph.PropEntry, label string, value int64, t ival.Time) {
+	if run, ok := runs[label]; ok && run.start < t {
+		sink[label] = append(sink[label], tgraph.PropEntry{Interval: ival.New(run.start, t), Value: run.value})
+	}
+	runs[label] = propRun{start: t, value: value}
+}
+
+// closeRuns flushes every running property value at the closing time.
+func (a *Accumulator) closeRuns(runs map[string]propRun, sink map[string][]tgraph.PropEntry, t ival.Time) {
+	labels := make([]string, 0, len(runs))
+	for l := range runs {
+		labels = append(labels, l)
+	}
+	sort.Strings(labels)
+	for _, l := range labels {
+		run := runs[l]
+		if run.start < t {
+			sink[l] = append(sink[l], tgraph.PropEntry{Interval: ival.New(run.start, t), Value: run.value})
+		}
+	}
+}
+
+// Graph materializes the accumulated state as a valid temporal graph.
+// Entities still open are closed at the horizon when it is positive, or left
+// unbounded when horizon is zero or negative.
+func (a *Accumulator) Graph(horizon ival.Time) (*tgraph.Graph, error) {
+	end := func(s *openSpan) ival.Time {
+		if s.closed {
+			return s.end
+		}
+		if horizon > 0 {
+			return horizon
+		}
+		return ival.Infinity
+	}
+	b := tgraph.NewBuilder(len(a.vspans), len(a.espans))
+	// Deterministic order: sorted ids.
+	vids := make([]tgraph.VertexID, 0, len(a.vspans))
+	for id := range a.vspans {
+		vids = append(vids, id)
+	}
+	sort.Slice(vids, func(i, j int) bool { return vids[i] < vids[j] })
+	for _, id := range vids {
+		s := a.vspans[id]
+		life := ival.New(s.start, end(s))
+		if life.IsEmpty() {
+			continue
+		}
+		b.AddVertex(id, life)
+		a.flushProps(b.SetVertexProp, id, 0, a.vprops[id], a.vruns[id], life)
+	}
+	eids := make([]tgraph.EdgeID, 0, len(a.espans))
+	for id := range a.espans {
+		eids = append(eids, id)
+	}
+	sort.Slice(eids, func(i, j int) bool { return eids[i] < eids[j] })
+	for _, id := range eids {
+		s := a.espans[id]
+		life := ival.New(s.start, end(s))
+		if life.IsEmpty() {
+			continue
+		}
+		tails := a.etails[id]
+		b.AddEdge(id, tails[0], tails[1], life)
+		for label, entries := range a.eprops[id] {
+			for _, p := range entries {
+				if x := p.Interval.Intersect(life); !x.IsEmpty() {
+					b.SetEdgeProp(id, label, x, p.Value)
+				}
+			}
+		}
+		for label, run := range a.eruns[id] {
+			if x := ival.New(run.start, life.End).Intersect(life); !x.IsEmpty() {
+				b.SetEdgeProp(id, label, x, run.value)
+			}
+		}
+	}
+	return b.Build()
+}
+
+// flushProps writes closed entries plus the open runs, clipped to life.
+func (a *Accumulator) flushProps(set func(tgraph.VertexID, string, ival.Interval, int64) *tgraph.Builder,
+	vid tgraph.VertexID, _ tgraph.EdgeID, closed map[string][]tgraph.PropEntry,
+	runs map[string]propRun, life ival.Interval) {
+	for label, entries := range closed {
+		for _, p := range entries {
+			if x := p.Interval.Intersect(life); !x.IsEmpty() {
+				set(vid, label, x, p.Value)
+			}
+		}
+	}
+	for label, run := range runs {
+		if x := ival.New(run.start, life.End).Intersect(life); !x.IsEmpty() {
+			set(vid, label, x, run.value)
+		}
+	}
+}
+
+// ReadLog parses a text event log, one event per line:
+//
+//	av <t> <vid>                  add vertex
+//	rv <t> <vid>                  remove vertex
+//	ae <t> <eid> <src> <dst>      add edge
+//	re <t> <eid>                  remove edge
+//	vp <t> <vid> <label> <value>  set vertex property
+//	ep <t> <eid> <label> <value>  set edge property
+func ReadLog(r io.Reader, acc *Accumulator) error {
+	sc := bufio.NewScanner(r)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		ev, err := parseEvent(line)
+		if err != nil {
+			return fmt.Errorf("stream: line %d: %w", lineNo, err)
+		}
+		if err := acc.Apply(ev); err != nil {
+			return fmt.Errorf("stream: line %d: %w", lineNo, err)
+		}
+	}
+	return sc.Err()
+}
+
+func parseEvent(line string) (Event, error) {
+	f := strings.Fields(line)
+	need := func(n int) error {
+		if len(f) != n {
+			return fmt.Errorf("record %q needs %d fields", f[0], n-1)
+		}
+		return nil
+	}
+	num := func(s string) int64 {
+		v, _ := strconv.ParseInt(s, 10, 64)
+		return v
+	}
+	if len(f) < 2 {
+		return Event{}, fmt.Errorf("short record")
+	}
+	t := num(f[1])
+	switch f[0] {
+	case "av":
+		if err := need(3); err != nil {
+			return Event{}, err
+		}
+		return Event{Op: AddVertex, T: t, V: tgraph.VertexID(num(f[2]))}, nil
+	case "rv":
+		if err := need(3); err != nil {
+			return Event{}, err
+		}
+		return Event{Op: RemoveVertex, T: t, V: tgraph.VertexID(num(f[2]))}, nil
+	case "ae":
+		if err := need(5); err != nil {
+			return Event{}, err
+		}
+		return Event{Op: AddEdge, T: t, E: tgraph.EdgeID(num(f[2])),
+			Src: tgraph.VertexID(num(f[3])), Dst: tgraph.VertexID(num(f[4]))}, nil
+	case "re":
+		if err := need(3); err != nil {
+			return Event{}, err
+		}
+		return Event{Op: RemoveEdge, T: t, E: tgraph.EdgeID(num(f[2]))}, nil
+	case "vp":
+		if err := need(5); err != nil {
+			return Event{}, err
+		}
+		return Event{Op: SetVertexProp, T: t, V: tgraph.VertexID(num(f[2])), Label: f[3], Value: num(f[4])}, nil
+	case "ep":
+		if err := need(5); err != nil {
+			return Event{}, err
+		}
+		return Event{Op: SetEdgeProp, T: t, E: tgraph.EdgeID(num(f[2])), Label: f[3], Value: num(f[4])}, nil
+	}
+	return Event{}, fmt.Errorf("unknown record %q", f[0])
+}

@@ -1,0 +1,151 @@
+package stream
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"graphite/internal/algorithms"
+	ival "graphite/internal/interval"
+	"graphite/internal/tgraph"
+)
+
+func apply(t *testing.T, a *Accumulator, evs ...Event) {
+	t.Helper()
+	for _, ev := range evs {
+		if err := a.Apply(ev); err != nil {
+			t.Fatalf("apply %+v: %v", ev, err)
+		}
+	}
+}
+
+func TestAccumulatorLifespans(t *testing.T) {
+	a := NewAccumulator()
+	apply(t, a,
+		Event{Op: AddVertex, T: 0, V: 1},
+		Event{Op: AddVertex, T: 0, V: 2},
+		Event{Op: AddEdge, T: 2, E: 7, Src: 1, Dst: 2},
+		Event{Op: RemoveEdge, T: 5, E: 7},
+		Event{Op: RemoveVertex, T: 8, V: 2},
+	)
+	g, err := a.Graph(10)
+	if err != nil {
+		t.Fatalf("Graph: %v", err)
+	}
+	if g.Vertex(1).Lifespan != ival.New(0, 10) {
+		t.Errorf("open vertex should close at horizon: %v", g.Vertex(1).Lifespan)
+	}
+	if g.Vertex(2).Lifespan != ival.New(0, 8) {
+		t.Errorf("removed vertex lifespan: %v", g.Vertex(2).Lifespan)
+	}
+	if g.Edge(0).Lifespan != ival.New(2, 5) {
+		t.Errorf("edge lifespan: %v", g.Edge(0).Lifespan)
+	}
+	// Unbounded materialization.
+	g, err = a.Graph(0)
+	if err != nil {
+		t.Fatalf("Graph: %v", err)
+	}
+	if !g.Vertex(1).Lifespan.IsUnbounded() {
+		t.Errorf("open vertex should be unbounded: %v", g.Vertex(1).Lifespan)
+	}
+}
+
+func TestAccumulatorPropertyRuns(t *testing.T) {
+	a := NewAccumulator()
+	apply(t, a,
+		Event{Op: AddVertex, T: 0, V: 1},
+		Event{Op: AddVertex, T: 0, V: 2},
+		Event{Op: AddEdge, T: 0, E: 1, Src: 1, Dst: 2},
+		Event{Op: SetEdgeProp, T: 0, E: 1, Label: "w", Value: 5},
+		Event{Op: SetEdgeProp, T: 3, E: 1, Label: "w", Value: 9},
+		Event{Op: RemoveEdge, T: 7, E: 1},
+	)
+	g, err := a.Graph(10)
+	if err != nil {
+		t.Fatalf("Graph: %v", err)
+	}
+	e := g.Edge(0)
+	if v, _ := e.Props.ValueAt("w", 2); v != 5 {
+		t.Errorf("w@2 = %d, want 5", v)
+	}
+	if v, _ := e.Props.ValueAt("w", 6); v != 9 {
+		t.Errorf("w@6 = %d, want 9", v)
+	}
+	if _, ok := e.Props.ValueAt("w", 7); ok {
+		t.Errorf("property must end with the edge")
+	}
+}
+
+func TestAccumulatorRejectsInvalidStreams(t *testing.T) {
+	a := NewAccumulator()
+	apply(t, a, Event{Op: AddVertex, T: 5, V: 1})
+	if err := a.Apply(Event{Op: AddVertex, T: 3, V: 9}); !errors.Is(err, ErrOutOfOrder) {
+		t.Errorf("want ErrOutOfOrder, got %v", err)
+	}
+	if err := a.Apply(Event{Op: AddVertex, T: 6, V: 1}); !errors.Is(err, ErrStillOpen) {
+		t.Errorf("want ErrStillOpen, got %v", err)
+	}
+	apply(t, a, Event{Op: RemoveVertex, T: 7, V: 1})
+	if err := a.Apply(Event{Op: AddVertex, T: 8, V: 1}); !errors.Is(err, ErrReopened) {
+		t.Errorf("want ErrReopened, got %v", err)
+	}
+	if err := a.Apply(Event{Op: AddEdge, T: 9, E: 1, Src: 1, Dst: 2}); !errors.Is(err, ErrUnknownOwner) {
+		t.Errorf("want ErrUnknownOwner, got %v", err)
+	}
+	if err := a.Apply(Event{Op: RemoveEdge, T: 9, E: 99}); !errors.Is(err, ErrUnknownOwner) {
+		t.Errorf("want ErrUnknownOwner for edge, got %v", err)
+	}
+}
+
+func TestReadLogAndRunICM(t *testing.T) {
+	log := `
+# a tiny contact log
+av 0 1
+av 0 2
+av 0 3
+ae 1 10 1 2
+ep 1 10 travel-time 1
+ep 1 10 travel-cost 2
+re 3 10
+ae 4 11 2 3
+ep 4 11 travel-time 1
+ep 4 11 travel-cost 3
+re 6 11
+`
+	a := NewAccumulator()
+	if err := ReadLog(strings.NewReader(log), a); err != nil {
+		t.Fatalf("ReadLog: %v", err)
+	}
+	if a.Events() != 11 {
+		t.Errorf("events = %d, want 11", a.Events())
+	}
+	g, err := a.Graph(8)
+	if err != nil {
+		t.Fatalf("Graph: %v", err)
+	}
+	// The materialized graph runs straight through the ICM stack.
+	r, err := algorithms.RunSSSP(g, tgraph.VertexID(1), 0, 2)
+	if err != nil {
+		t.Fatalf("RunSSSP: %v", err)
+	}
+	// 1→2 departs in [1,3): cost 2 arriving from t=2. 2→3 departs in
+	// [4,6): total 5 arriving from t=5.
+	costs := algorithms.SSSPCosts(r, 3)
+	if len(costs) != 1 || costs[0].Value != 5 || costs[0].Interval.Start != 5 {
+		t.Fatalf("costs to 3 = %v", costs)
+	}
+}
+
+func TestReadLogRejectsMalformed(t *testing.T) {
+	for _, log := range []string{
+		"zz 1 2",
+		"av 1",
+		"ae 1 5 1",
+		"av 5 1\nav 3 2",
+	} {
+		if err := ReadLog(strings.NewReader(log), NewAccumulator()); err == nil {
+			t.Errorf("log %q should fail", log)
+		}
+	}
+}

@@ -1,0 +1,139 @@
+package tgraph
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	ival "graphite/internal/interval"
+)
+
+func TestBinaryRoundTrip(t *testing.T) {
+	g := TransitExample()
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, g); err != nil {
+		t.Fatalf("WriteBinary: %v", err)
+	}
+	g2, err := ReadBinary(&buf)
+	if err != nil {
+		t.Fatalf("ReadBinary: %v", err)
+	}
+	if g2.NumVertices() != g.NumVertices() || g2.NumEdges() != g.NumEdges() {
+		t.Fatalf("size mismatch: %v vs %v", g2, g)
+	}
+	for i := range g.Vertices() {
+		id := g.Vertices()[i].ID
+		if g2.Vertex(id) == nil || g2.Vertex(id).Lifespan != g.Vertex(id).Lifespan {
+			t.Fatalf("vertex %d mismatch", id)
+		}
+	}
+	for i := 0; i < g.NumEdges(); i++ {
+		e1 := g.Edge(i)
+		var e2 *Edge
+		for j := 0; j < g2.NumEdges(); j++ {
+			if g2.Edge(j).ID == e1.ID {
+				e2 = g2.Edge(j)
+			}
+		}
+		if e2 == nil || e2.Lifespan != e1.Lifespan || e2.Src != e1.Src || e2.Dst != e1.Dst {
+			t.Fatalf("edge %d mismatch", e1.ID)
+		}
+		for _, label := range []string{PropTravelTime, PropTravelCost} {
+			w1 := e1.Props.Entries(label)
+			w2 := e2.Props.Entries(label)
+			if len(w1) != len(w2) {
+				t.Fatalf("edge %d %s entries mismatch", e1.ID, label)
+			}
+			for k := range w1 {
+				if w1[k] != w2[k] {
+					t.Fatalf("edge %d %s entry %d: %v vs %v", e1.ID, label, k, w1[k], w2[k])
+				}
+			}
+		}
+	}
+}
+
+func TestBinarySmallerThanText(t *testing.T) {
+	g := TransitExample()
+	var txt, bin bytes.Buffer
+	if err := Write(&txt, g); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteBinary(&bin, g); err != nil {
+		t.Fatal(err)
+	}
+	if bin.Len() >= txt.Len() {
+		t.Errorf("binary %dB should beat text %dB", bin.Len(), txt.Len())
+	}
+}
+
+func TestBinaryFiles(t *testing.T) {
+	g := TransitExample()
+	path := t.TempDir() + "/g.bin"
+	if err := WriteBinaryFile(path, g); err != nil {
+		t.Fatalf("WriteBinaryFile: %v", err)
+	}
+	g2, err := ReadBinaryFile(path)
+	if err != nil {
+		t.Fatalf("ReadBinaryFile: %v", err)
+	}
+	if g2.NumEdges() != g.NumEdges() {
+		t.Fatalf("file round trip mismatch")
+	}
+}
+
+func TestBinaryRejectsCorruption(t *testing.T) {
+	// Wrong magic.
+	if _, err := ReadBinary(strings.NewReader("NOPE!\nxxxx")); err == nil {
+		t.Errorf("bad magic must fail")
+	}
+	// Truncations at every prefix of a valid stream must error, not panic.
+	g := TransitExample()
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	for _, cut := range []int{7, 9, 15, len(full) / 2, len(full) - 3} {
+		if cut >= len(full) {
+			continue
+		}
+		if _, err := ReadBinary(bytes.NewReader(full[:cut])); err == nil {
+			t.Errorf("truncation at %d must fail", cut)
+		}
+	}
+	// A graph violating constraints in the payload is rejected by Build.
+	b := NewBuilder(1, 0)
+	b.AddVertex(1, ival.New(0, 5))
+	small := b.MustBuild()
+	var sb bytes.Buffer
+	if err := WriteBinary(&sb, small); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadBinary(&sb); err != nil {
+		t.Errorf("minimal graph should round trip: %v", err)
+	}
+}
+
+func TestBinaryUnboundedIntervals(t *testing.T) {
+	b := NewBuilder(2, 1)
+	b.AddVertex(1, ival.Universe)
+	b.AddVertex(2, ival.Universe)
+	b.AddEdge(1, 1, 2, ival.From(7))
+	b.SetEdgeProp(1, "w", ival.From(9), -42)
+	g := b.MustBuild()
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := ReadBinary(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !g2.Edge(0).Lifespan.IsUnbounded() {
+		t.Errorf("unbounded lifespan lost")
+	}
+	if v, ok := g2.Edge(0).Props.ValueAt("w", 100); !ok || v != -42 {
+		t.Errorf("negative property value lost: %d %v", v, ok)
+	}
+}

@@ -1,0 +1,198 @@
+package tgraph
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	ival "graphite/internal/interval"
+)
+
+// Validation errors returned by Builder.Build, wrapping the paper's
+// soundness constraints.
+var (
+	ErrDuplicateVertex  = errors.New("tgraph: duplicate vertex id (Constraint 1)")
+	ErrDuplicateEdge    = errors.New("tgraph: duplicate edge id (Constraint 1)")
+	ErrDanglingEdge     = errors.New("tgraph: edge endpoint does not exist (Constraint 2)")
+	ErrEdgeOutlives     = errors.New("tgraph: edge lifespan not contained in endpoint lifespans (Constraint 2)")
+	ErrPropOutlives     = errors.New("tgraph: property interval not contained in owner lifespan (Constraint 3)")
+	ErrPropConflict     = errors.New("tgraph: overlapping values for one property label (Definition 1)")
+	ErrInvalidLifespan  = errors.New("tgraph: invalid lifespan")
+	ErrUnknownPropOwner = errors.New("tgraph: property for unknown vertex or edge")
+)
+
+// Builder accumulates vertices, edges and properties and validates the
+// temporal graph constraints in Build. The zero value is not usable; call
+// NewBuilder.
+type Builder struct {
+	vertices []Vertex
+	edges    []Edge
+	vseen    map[VertexID]int32
+	eseen    map[EdgeID]int32
+	err      error
+}
+
+// NewBuilder returns an empty Builder with capacity hints.
+func NewBuilder(vcap, ecap int) *Builder {
+	return &Builder{
+		vertices: make([]Vertex, 0, vcap),
+		edges:    make([]Edge, 0, ecap),
+		vseen:    make(map[VertexID]int32, vcap),
+		eseen:    make(map[EdgeID]int32, ecap),
+	}
+}
+
+func (b *Builder) fail(err error) {
+	if b.err == nil {
+		b.err = err
+	}
+}
+
+// AddVertex adds vertex 〈id, lifespan〉. The first error encountered is
+// retained and returned by Build.
+func (b *Builder) AddVertex(id VertexID, lifespan ival.Interval) *Builder {
+	if !lifespan.Valid() {
+		b.fail(fmt.Errorf("%w: vertex %d has %v", ErrInvalidLifespan, id, lifespan))
+		return b
+	}
+	if _, dup := b.vseen[id]; dup {
+		b.fail(fmt.Errorf("%w: vertex %d", ErrDuplicateVertex, id))
+		return b
+	}
+	b.vseen[id] = int32(len(b.vertices))
+	b.vertices = append(b.vertices, Vertex{ID: id, Lifespan: lifespan})
+	return b
+}
+
+// AddEdge adds edge 〈id, src, dst, lifespan〉. Endpoints must already exist.
+func (b *Builder) AddEdge(id EdgeID, src, dst VertexID, lifespan ival.Interval) *Builder {
+	if !lifespan.Valid() {
+		b.fail(fmt.Errorf("%w: edge %d has %v", ErrInvalidLifespan, id, lifespan))
+		return b
+	}
+	if _, dup := b.eseen[id]; dup {
+		b.fail(fmt.Errorf("%w: edge %d", ErrDuplicateEdge, id))
+		return b
+	}
+	si, sok := b.vseen[src]
+	di, dok := b.vseen[dst]
+	if !sok || !dok {
+		b.fail(fmt.Errorf("%w: edge %d (%d->%d)", ErrDanglingEdge, id, src, dst))
+		return b
+	}
+	if !b.vertices[si].Lifespan.ContainsInterval(lifespan) || !b.vertices[di].Lifespan.ContainsInterval(lifespan) {
+		b.fail(fmt.Errorf("%w: edge %d %v, src %v, dst %v",
+			ErrEdgeOutlives, id, lifespan, b.vertices[si].Lifespan, b.vertices[di].Lifespan))
+		return b
+	}
+	b.eseen[id] = int32(len(b.edges))
+	b.edges = append(b.edges, Edge{ID: id, Src: src, Dst: dst, Lifespan: lifespan})
+	return b
+}
+
+// SetVertexProp attaches 〈vid, label, value, interval〉 to a vertex.
+func (b *Builder) SetVertexProp(id VertexID, label string, interval ival.Interval, value int64) *Builder {
+	vi, ok := b.vseen[id]
+	if !ok {
+		b.fail(fmt.Errorf("%w: vertex %d", ErrUnknownPropOwner, id))
+		return b
+	}
+	v := &b.vertices[vi]
+	if !v.Lifespan.ContainsInterval(interval) || interval.IsEmpty() {
+		b.fail(fmt.Errorf("%w: vertex %d prop %q %v outside %v", ErrPropOutlives, id, label, interval, v.Lifespan))
+		return b
+	}
+	if v.Props == nil {
+		v.Props = Props{}
+	}
+	v.Props[label] = append(v.Props[label], PropEntry{Interval: interval, Value: value})
+	return b
+}
+
+// SetEdgeProp attaches 〈eid, label, value, interval〉 to an edge.
+func (b *Builder) SetEdgeProp(id EdgeID, label string, interval ival.Interval, value int64) *Builder {
+	ei, ok := b.eseen[id]
+	if !ok {
+		b.fail(fmt.Errorf("%w: edge %d", ErrUnknownPropOwner, id))
+		return b
+	}
+	e := &b.edges[ei]
+	if !e.Lifespan.ContainsInterval(interval) || interval.IsEmpty() {
+		b.fail(fmt.Errorf("%w: edge %d prop %q %v outside %v", ErrPropOutlives, id, label, interval, e.Lifespan))
+		return b
+	}
+	if e.Props == nil {
+		e.Props = Props{}
+	}
+	e.Props[label] = append(e.Props[label], PropEntry{Interval: interval, Value: value})
+	return b
+}
+
+// Err returns the first error recorded so far, without building.
+func (b *Builder) Err() error { return b.err }
+
+// Build validates all constraints and returns the immutable graph.
+func (b *Builder) Build() (*Graph, error) {
+	if b.err != nil {
+		return nil, b.err
+	}
+	g := &Graph{
+		vertices: b.vertices,
+		edges:    b.edges,
+		vindex:   b.vseen,
+		out:      make([][]int32, len(b.vertices)),
+		in:       make([][]int32, len(b.vertices)),
+		srcIdx:   make([]int32, len(b.edges)),
+		dstIdx:   make([]int32, len(b.edges)),
+	}
+	for i := range g.vertices {
+		v := &g.vertices[i]
+		if err := normalizeProps(v.Props, fmt.Sprintf("vertex %d", v.ID)); err != nil {
+			return nil, err
+		}
+		g.lifespan = g.lifespan.Union(v.Lifespan)
+	}
+	for i := range g.edges {
+		e := &g.edges[i]
+		if err := normalizeProps(e.Props, fmt.Sprintf("edge %d", e.ID)); err != nil {
+			return nil, err
+		}
+		si := g.vindex[e.Src]
+		di := g.vindex[e.Dst]
+		g.srcIdx[i] = si
+		g.dstIdx[i] = di
+		g.out[si] = append(g.out[si], int32(i))
+		g.in[di] = append(g.in[di], int32(i))
+	}
+	g.horizon = g.computeHorizon()
+	return g, nil
+}
+
+// MustBuild is Build that panics on error; for tests and examples.
+func (b *Builder) MustBuild() *Graph {
+	g, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+// normalizeProps sorts each label's entries by start and rejects entries with
+// intersecting intervals and different values (Definition 1). Entries with
+// intersecting intervals and the same value are rejected too: they indicate a
+// malformed input.
+func normalizeProps(p Props, owner string) error {
+	for label, entries := range p {
+		sort.Slice(entries, func(i, j int) bool {
+			return entries[i].Interval.Start < entries[j].Interval.Start
+		})
+		for i := 1; i < len(entries); i++ {
+			if entries[i-1].Interval.Intersects(entries[i].Interval) {
+				return fmt.Errorf("%w: %s label %q: %v and %v",
+					ErrPropConflict, owner, label, entries[i-1].Interval, entries[i].Interval)
+			}
+		}
+		p[label] = entries
+	}
+	return nil
+}

@@ -1,0 +1,67 @@
+package tgraph
+
+import (
+	ival "graphite/internal/interval"
+)
+
+// Names of the edge properties used by the time-dependent algorithms and by
+// the transit fixture.
+const (
+	PropTravelTime = "travel-time"
+	PropTravelCost = "travel-cost"
+)
+
+// TransitExample reconstructs the transit network of Fig. 1(a) of the paper:
+// six perpetual transit stops A–F (ids 0–5) and directed transit options
+// whose edge lifespans are the periods during which the transit can be
+// initiated, with a travel cost property. Travel time on every edge is 1.
+//
+// The fixture reproduces every fact the paper states about the example: the
+// temporal SSSP from A at time 0 yields B reachable in two intervals with
+// costs 4 ([4,6)) and 3 ([6,∞)), C in one interval at cost 3, D at cost 2,
+// E in two intervals with costs 7 ([6,9)) and 5 ([9,∞)), and F unreachable.
+func TransitExample() *Graph {
+	b := NewBuilder(6, 6)
+	for id := VertexID(0); id < 6; id++ {
+		b.AddVertex(id, ival.Universe)
+	}
+	const (
+		A = VertexID(0)
+		B = VertexID(1)
+		C = VertexID(2)
+		D = VertexID(3)
+		E = VertexID(4)
+		F = VertexID(5)
+	)
+	type edge struct {
+		id       EdgeID
+		src, dst VertexID
+		life     ival.Interval
+		costs    []PropEntry
+	}
+	edges := []edge{
+		{0, A, B, ival.New(3, 6), []PropEntry{{ival.New(3, 5), 4}, {ival.New(5, 6), 3}}},
+		{1, A, C, ival.New(1, 2), []PropEntry{{ival.New(1, 2), 3}}},
+		{2, A, D, ival.New(4, 5), []PropEntry{{ival.New(4, 5), 2}}},
+		{3, B, E, ival.New(8, 9), []PropEntry{{ival.New(8, 9), 2}}},
+		{4, C, E, ival.New(5, 6), []PropEntry{{ival.New(5, 6), 4}}},
+		{5, D, F, ival.New(0, 1), []PropEntry{{ival.New(0, 1), 1}}},
+	}
+	for _, e := range edges {
+		b.AddEdge(e.id, e.src, e.dst, e.life)
+		b.SetEdgeProp(e.id, PropTravelTime, e.life, 1)
+		for _, c := range e.costs {
+			b.SetEdgeProp(e.id, PropTravelCost, c.Interval, c.Value)
+		}
+	}
+	return b.MustBuild()
+}
+
+// TransitVertexName maps the fixture's vertex ids to the paper's labels.
+func TransitVertexName(id VertexID) string {
+	names := []string{"A", "B", "C", "D", "E", "F"}
+	if int(id) < len(names) {
+		return names[id]
+	}
+	return "?"
+}

@@ -1,0 +1,154 @@
+// Package tgraph implements the temporal property graph data model of
+// Sec. III of the ICM paper: a directed multigraph whose vertices, edges and
+// property values each carry a half-open lifespan, subject to the paper's
+// three soundness constraints (unique entities, referential integrity of
+// edges, referential integrity of properties).
+//
+// Graphs are immutable once built via Builder; the representation is a
+// CSR-style adjacency layout suitable for the BSP engine.
+package tgraph
+
+import (
+	"fmt"
+
+	ival "graphite/internal/interval"
+)
+
+// VertexID uniquely identifies a vertex for its whole existence
+// (Constraint 1: an id never re-occurs with a different lifespan).
+type VertexID int64
+
+// EdgeID uniquely identifies an edge.
+type EdgeID int64
+
+// PropEntry is one temporally scoped value of a property label. Within a
+// label, entries with different values never overlap in time (Definition 1).
+type PropEntry struct {
+	Interval ival.Interval
+	Value    int64
+}
+
+// Props maps a property label to its temporally partitioned values, sorted by
+// interval start.
+type Props map[string][]PropEntry
+
+// ValueAt returns the value of label at time-point t and whether it exists.
+func (p Props) ValueAt(label string, t ival.Time) (int64, bool) {
+	for _, e := range p[label] {
+		if e.Interval.Contains(t) {
+			return e.Value, true
+		}
+	}
+	return 0, false
+}
+
+// Entries returns the temporal values for label; nil if absent.
+func (p Props) Entries(label string) []PropEntry { return p[label] }
+
+// Vertex is a temporal vertex 〈vid, τ〉 with optional temporal properties.
+type Vertex struct {
+	ID       VertexID
+	Lifespan ival.Interval
+	Props    Props
+}
+
+// Edge is a temporal directed edge 〈eid, src, dst, τ〉 with optional temporal
+// properties. Src and Dst lifespans contain Lifespan (Constraint 2).
+type Edge struct {
+	ID       EdgeID
+	Src      VertexID
+	Dst      VertexID
+	Lifespan ival.Interval
+	Props    Props
+}
+
+// Graph is an immutable temporal property graph.
+type Graph struct {
+	vertices []Vertex
+	edges    []Edge
+	vindex   map[VertexID]int32 // VertexID -> index into vertices
+	out      [][]int32          // vertex index -> indices into edges (out-edges)
+	in       [][]int32          // vertex index -> indices into edges (in-edges)
+	srcIdx   []int32            // edge index -> dense source vertex index
+	dstIdx   []int32            // edge index -> dense destination vertex index
+	lifespan ival.Interval      // hull of all vertex lifespans
+	horizon  ival.Time          // cached largest finite boundary (see Horizon)
+}
+
+// NumVertices returns |V|.
+func (g *Graph) NumVertices() int { return len(g.vertices) }
+
+// NumEdges returns |E|.
+func (g *Graph) NumEdges() int { return len(g.edges) }
+
+// Lifespan returns the hull of all vertex lifespans: the graph's lifetime.
+func (g *Graph) Lifespan() ival.Interval { return g.lifespan }
+
+// Vertices returns the vertex slice in index order. Must not be modified.
+func (g *Graph) Vertices() []Vertex { return g.vertices }
+
+// Edges returns the edge slice in index order. Must not be modified.
+func (g *Graph) Edges() []Edge { return g.edges }
+
+// Vertex returns the vertex with the given id, or nil if absent.
+func (g *Graph) Vertex(id VertexID) *Vertex {
+	i, ok := g.vindex[id]
+	if !ok {
+		return nil
+	}
+	return &g.vertices[i]
+}
+
+// VertexAt returns the vertex at the given dense index.
+func (g *Graph) VertexAt(i int) *Vertex { return &g.vertices[i] }
+
+// IndexOf returns the dense index of a vertex id, or -1 if absent.
+func (g *Graph) IndexOf(id VertexID) int {
+	i, ok := g.vindex[id]
+	if !ok {
+		return -1
+	}
+	return int(i)
+}
+
+// Edge returns the edge at the given dense index.
+func (g *Graph) Edge(i int) *Edge { return &g.edges[i] }
+
+// SrcIndex returns the dense vertex index of edge i's source.
+func (g *Graph) SrcIndex(i int) int { return int(g.srcIdx[i]) }
+
+// DstIndex returns the dense vertex index of edge i's destination.
+func (g *Graph) DstIndex(i int) int { return int(g.dstIdx[i]) }
+
+// OutEdges returns the dense edge indices of the out-edges of vertex index v.
+func (g *Graph) OutEdges(v int) []int32 { return g.out[v] }
+
+// InEdges returns the dense edge indices of the in-edges of vertex index v.
+func (g *Graph) InEdges(v int) []int32 { return g.in[v] }
+
+// OutDegreeAt returns the number of out-edges of vertex index v alive at t.
+func (g *Graph) OutDegreeAt(v int, t ival.Time) int {
+	n := 0
+	for _, ei := range g.out[v] {
+		if g.edges[ei].Lifespan.Contains(t) {
+			n++
+		}
+	}
+	return n
+}
+
+// InDegreeAt returns the number of in-edges of vertex index v alive at t.
+func (g *Graph) InDegreeAt(v int, t ival.Time) int {
+	n := 0
+	for _, ei := range g.in[v] {
+		if g.edges[ei].Lifespan.Contains(t) {
+			n++
+		}
+	}
+	return n
+}
+
+// String summarizes the graph.
+func (g *Graph) String() string {
+	return fmt.Sprintf("tgraph{|V|=%d |E|=%d lifespan=%v}", len(g.vertices), len(g.edges), g.lifespan)
+}

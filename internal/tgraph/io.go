@@ -1,0 +1,198 @@
+package tgraph
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	ival "graphite/internal/interval"
+)
+
+// Text format, one record per line ("inf" is accepted for an unbounded end):
+//
+//	# comment
+//	V  <vid> <start> <end>
+//	VP <vid> <label> <start> <end> <value>
+//	E  <eid> <src> <dst> <start> <end>
+//	EP <eid> <label> <start> <end> <value>
+//
+// Records may appear in any order as long as owners precede their edges and
+// properties; Write emits them in that order.
+
+// Write serializes the graph in the text format.
+func Write(w io.Writer, g *Graph) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "# graphite temporal graph: %d vertices, %d edges\n", g.NumVertices(), g.NumEdges())
+	for i := range g.vertices {
+		v := &g.vertices[i]
+		fmt.Fprintf(bw, "V %d %s %s\n", v.ID, ftime(v.Lifespan.Start), ftime(v.Lifespan.End))
+		for label, es := range v.Props {
+			for _, e := range es {
+				fmt.Fprintf(bw, "VP %d %s %s %s %d\n", v.ID, label, ftime(e.Interval.Start), ftime(e.Interval.End), e.Value)
+			}
+		}
+	}
+	for i := range g.edges {
+		e := &g.edges[i]
+		fmt.Fprintf(bw, "E %d %d %d %s %s\n", e.ID, e.Src, e.Dst, ftime(e.Lifespan.Start), ftime(e.Lifespan.End))
+		for label, es := range e.Props {
+			for _, p := range es {
+				fmt.Fprintf(bw, "EP %d %s %s %s %d\n", e.ID, label, ftime(p.Interval.Start), ftime(p.Interval.End), p.Value)
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// WriteFile serializes the graph to a file.
+func WriteFile(path string, g *Graph) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := Write(f, g); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// Read parses the text format and validates the graph constraints.
+func Read(r io.Reader) (*Graph, error) {
+	b := NewBuilder(0, 0)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		f := strings.Fields(line)
+		var err error
+		switch f[0] {
+		case "V":
+			err = parseV(b, f)
+		case "VP":
+			err = parseVP(b, f)
+		case "E":
+			err = parseE(b, f)
+		case "EP":
+			err = parseEP(b, f)
+		default:
+			err = fmt.Errorf("unknown record type %q", f[0])
+		}
+		if err != nil {
+			return nil, fmt.Errorf("tgraph: line %d: %w", lineNo, err)
+		}
+		if err := b.Err(); err != nil {
+			return nil, fmt.Errorf("tgraph: line %d: %w", lineNo, err)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return b.Build()
+}
+
+// ReadFile parses a graph file.
+func ReadFile(path string) (*Graph, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Read(f)
+}
+
+func parseV(b *Builder, f []string) error {
+	if len(f) != 4 {
+		return fmt.Errorf("V record needs 3 fields, got %d", len(f)-1)
+	}
+	id, err1 := strconv.ParseInt(f[1], 10, 64)
+	iv, err2 := ptimes(f[2], f[3])
+	if err := first(err1, err2); err != nil {
+		return err
+	}
+	b.AddVertex(VertexID(id), iv)
+	return nil
+}
+
+func parseE(b *Builder, f []string) error {
+	if len(f) != 6 {
+		return fmt.Errorf("E record needs 5 fields, got %d", len(f)-1)
+	}
+	id, err1 := strconv.ParseInt(f[1], 10, 64)
+	src, err2 := strconv.ParseInt(f[2], 10, 64)
+	dst, err3 := strconv.ParseInt(f[3], 10, 64)
+	iv, err4 := ptimes(f[4], f[5])
+	if err := first(err1, err2, err3, err4); err != nil {
+		return err
+	}
+	b.AddEdge(EdgeID(id), VertexID(src), VertexID(dst), iv)
+	return nil
+}
+
+func parseVP(b *Builder, f []string) error {
+	if len(f) != 6 {
+		return fmt.Errorf("VP record needs 5 fields, got %d", len(f)-1)
+	}
+	id, err1 := strconv.ParseInt(f[1], 10, 64)
+	iv, err2 := ptimes(f[3], f[4])
+	val, err3 := strconv.ParseInt(f[5], 10, 64)
+	if err := first(err1, err2, err3); err != nil {
+		return err
+	}
+	b.SetVertexProp(VertexID(id), f[2], iv, val)
+	return nil
+}
+
+func parseEP(b *Builder, f []string) error {
+	if len(f) != 6 {
+		return fmt.Errorf("EP record needs 5 fields, got %d", len(f)-1)
+	}
+	id, err1 := strconv.ParseInt(f[1], 10, 64)
+	iv, err2 := ptimes(f[3], f[4])
+	val, err3 := strconv.ParseInt(f[5], 10, 64)
+	if err := first(err1, err2, err3); err != nil {
+		return err
+	}
+	b.SetEdgeProp(EdgeID(id), f[2], iv, val)
+	return nil
+}
+
+func ftime(t ival.Time) string {
+	if t == ival.Infinity {
+		return "inf"
+	}
+	return strconv.FormatInt(t, 10)
+}
+
+func ptime(s string) (ival.Time, error) {
+	if s == "inf" {
+		return ival.Infinity, nil
+	}
+	return strconv.ParseInt(s, 10, 64)
+}
+
+func ptimes(s, e string) (ival.Interval, error) {
+	st, err1 := ptime(s)
+	en, err2 := ptime(e)
+	if err := first(err1, err2); err != nil {
+		return ival.Empty, err
+	}
+	return ival.New(st, en), nil
+}
+
+func first(errs ...error) error {
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,119 @@
+package tgraph
+
+import (
+	ival "graphite/internal/interval"
+)
+
+// Slice materializes the sub-graph restricted to a time window: vertex,
+// edge and property lifespans are clipped to the window and entities that do
+// not exist inside it are dropped. The result is a valid temporal graph in
+// its own right (the constraints survive clipping because containment is
+// preserved under intersection with a fixed window). Offering window queries
+// over temporal property graphs is part of the paper's stated future work.
+func Slice(g *Graph, window ival.Interval) (*Graph, error) {
+	b := NewBuilder(g.NumVertices(), g.NumEdges())
+	for i := range g.vertices {
+		v := &g.vertices[i]
+		life := v.Lifespan.Intersect(window)
+		if life.IsEmpty() {
+			continue
+		}
+		b.AddVertex(v.ID, life)
+		for label, entries := range v.Props {
+			for _, p := range entries {
+				if x := p.Interval.Intersect(window); !x.IsEmpty() {
+					b.SetVertexProp(v.ID, label, x, p.Value)
+				}
+			}
+		}
+	}
+	for i := range g.edges {
+		e := &g.edges[i]
+		life := e.Lifespan.Intersect(window)
+		if life.IsEmpty() {
+			continue
+		}
+		b.AddEdge(e.ID, e.Src, e.Dst, life)
+		for label, entries := range e.Props {
+			for _, p := range entries {
+				if x := p.Interval.Intersect(window); !x.IsEmpty() {
+					b.SetEdgeProp(e.ID, label, x, p.Value)
+				}
+			}
+		}
+	}
+	return b.Build()
+}
+
+// History reports the lifespan, per-label property timeline and temporal
+// degree profile of one vertex — the "vertex history" query of a temporal
+// property graph store.
+type History struct {
+	ID       VertexID
+	Lifespan ival.Interval
+	Props    Props
+	// OutDegree and InDegree are partitioned by the intervals over which
+	// the degree is constant.
+	OutDegree []DegreePoint
+	InDegree  []DegreePoint
+}
+
+// DegreePoint is one constant-degree interval.
+type DegreePoint struct {
+	Interval ival.Interval
+	Degree   int
+}
+
+// VertexHistory extracts the history of the vertex with the given id, or
+// nil if absent.
+func (g *Graph) VertexHistory(id VertexID) *History {
+	vi := g.IndexOf(id)
+	if vi < 0 {
+		return nil
+	}
+	v := g.VertexAt(vi)
+	return &History{
+		ID:        v.ID,
+		Lifespan:  v.Lifespan,
+		Props:     v.Props,
+		OutDegree: degreeProfile(g, v.Lifespan, g.OutEdges(vi)),
+		InDegree:  degreeProfile(g, v.Lifespan, g.InEdges(vi)),
+	}
+}
+
+// degreeProfile partitions the lifespan at edge boundaries and annotates
+// each piece with the number of alive edges.
+func degreeProfile(g *Graph, life ival.Interval, edges []int32) []DegreePoint {
+	bounds := []ival.Time{life.Start, life.End}
+	for _, ei := range edges {
+		x := g.edges[ei].Lifespan.Intersect(life)
+		if !x.IsEmpty() {
+			bounds = append(bounds, x.Start, x.End)
+		}
+	}
+	// Insertion sort: boundary lists are short.
+	for i := 1; i < len(bounds); i++ {
+		for j := i; j > 0 && bounds[j] < bounds[j-1]; j-- {
+			bounds[j], bounds[j-1] = bounds[j-1], bounds[j]
+		}
+	}
+	var out []DegreePoint
+	for i := 0; i+1 < len(bounds); i++ {
+		if bounds[i] == bounds[i+1] {
+			continue
+		}
+		piece := ival.New(bounds[i], bounds[i+1])
+		deg := 0
+		for _, ei := range edges {
+			if g.edges[ei].Lifespan.Contains(piece.Start) {
+				deg++
+			}
+		}
+		if n := len(out); n > 0 && out[n-1].Degree == deg && out[n-1].Interval.Meets(piece) {
+			out[n-1].Interval.End = piece.End
+			continue
+		}
+		out = append(out, DegreePoint{Interval: piece, Degree: deg})
+	}
+	return out
+}

@@ -1,0 +1,91 @@
+package tgraph
+
+import (
+	"testing"
+
+	ival "graphite/internal/interval"
+)
+
+func TestSliceClipsAndDrops(t *testing.T) {
+	g := TransitExample()
+	s, err := Slice(g, ival.New(0, 5))
+	if err != nil {
+		t.Fatalf("Slice: %v", err)
+	}
+	if s.NumVertices() != 6 {
+		t.Fatalf("vertices = %d, want 6 (perpetual lifespans clip, not drop)", s.NumVertices())
+	}
+	// Edges fully outside [0,5) vanish: B→E [8,9) and C→E [5,6).
+	if s.NumEdges() != 4 {
+		t.Fatalf("edges = %d, want 4: %v", s.NumEdges(), s)
+	}
+	// The A→B edge clips to [3,5) and loses its second cost value.
+	var ab *Edge
+	for i := 0; i < s.NumEdges(); i++ {
+		if s.Edge(i).ID == 0 {
+			ab = s.Edge(i)
+		}
+	}
+	if ab == nil || ab.Lifespan != ival.New(3, 5) {
+		t.Fatalf("A→B clip wrong: %+v", ab)
+	}
+	if entries := ab.Props.Entries(PropTravelCost); len(entries) != 1 || entries[0].Value != 4 {
+		t.Fatalf("A→B cost entries = %v", entries)
+	}
+	// Every vertex lifespan is inside the window.
+	for i := 0; i < s.NumVertices(); i++ {
+		if !ival.New(0, 5).ContainsInterval(s.VertexAt(i).Lifespan) {
+			t.Fatalf("vertex %d outside window: %v", s.VertexAt(i).ID, s.VertexAt(i).Lifespan)
+		}
+	}
+}
+
+func TestSliceDropsIsolatedWindow(t *testing.T) {
+	b := NewBuilder(2, 1)
+	b.AddVertex(1, ival.New(0, 3))
+	b.AddVertex(2, ival.New(5, 9))
+	b.AddEdge(1, 1, 1, ival.New(0, 3))
+	g := b.MustBuild()
+	s, err := Slice(g, ival.New(4, 10))
+	if err != nil {
+		t.Fatalf("Slice: %v", err)
+	}
+	if s.NumVertices() != 1 || s.NumEdges() != 0 {
+		t.Fatalf("slice = %v, want vertex 2 only", s)
+	}
+	if s.Vertex(2) == nil || s.Vertex(2).Lifespan != ival.New(5, 9) {
+		t.Fatalf("vertex 2 wrong: %+v", s.Vertex(2))
+	}
+}
+
+func TestVertexHistory(t *testing.T) {
+	g := TransitExample()
+	h := g.VertexHistory(0) // A: out-edges to B [3,6), C [1,2), D [4,5)
+	if h == nil || h.ID != 0 {
+		t.Fatalf("history = %+v", h)
+	}
+	// Degree timeline: [0,1):0 [1,2):1 [2,3):0 [3,4):1 [4,5):2 [5,6):1 [6,∞):0.
+	want := []DegreePoint{
+		{ival.New(0, 1), 0},
+		{ival.New(1, 2), 1},
+		{ival.New(2, 3), 0},
+		{ival.New(3, 4), 1},
+		{ival.New(4, 5), 2},
+		{ival.New(5, 6), 1},
+		{ival.From(6), 0},
+	}
+	if len(h.OutDegree) != len(want) {
+		t.Fatalf("out-degree profile = %v, want %v", h.OutDegree, want)
+	}
+	for i := range want {
+		if h.OutDegree[i] != want[i] {
+			t.Fatalf("out-degree profile[%d] = %v, want %v", i, h.OutDegree[i], want[i])
+		}
+	}
+	if len(h.InDegree) != 1 || h.InDegree[0].Degree != 0 {
+		t.Fatalf("A has no in-edges: %v", h.InDegree)
+	}
+	if g.VertexHistory(99) != nil {
+		t.Fatalf("absent vertex should return nil")
+	}
+}

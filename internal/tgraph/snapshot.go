@@ -1,0 +1,136 @@
+package tgraph
+
+import (
+	ival "graphite/internal/interval"
+)
+
+// Snapshot is a read-only view of the graph at a single time-point, i.e. the
+// static graph S_t that the multi-snapshot baselines operate on.
+type Snapshot struct {
+	G *Graph
+	T ival.Time
+}
+
+// SnapshotAt returns the snapshot view of the graph at time-point t.
+func (g *Graph) SnapshotAt(t ival.Time) Snapshot { return Snapshot{G: g, T: t} }
+
+// VertexActive reports whether vertex index v exists at the snapshot's time.
+func (s Snapshot) VertexActive(v int) bool {
+	return s.G.vertices[v].Lifespan.Contains(s.T)
+}
+
+// EdgeActive reports whether edge index e exists at the snapshot's time.
+func (s Snapshot) EdgeActive(e int) bool {
+	return s.G.edges[e].Lifespan.Contains(s.T)
+}
+
+// NumActive returns the number of active vertices and edges in the snapshot.
+func (s Snapshot) NumActive() (nv, ne int) {
+	for i := range s.G.vertices {
+		if s.VertexActive(i) {
+			nv++
+		}
+	}
+	for i := range s.G.edges {
+		if s.EdgeActive(i) {
+			ne++
+		}
+	}
+	return nv, ne
+}
+
+// OutEdges calls fn for each active out-edge of vertex index v.
+func (s Snapshot) OutEdges(v int, fn func(e *Edge)) {
+	for _, ei := range s.G.out[v] {
+		if e := &s.G.edges[ei]; e.Lifespan.Contains(s.T) {
+			fn(e)
+		}
+	}
+}
+
+// OutEdgesIdx calls fn(edge, dense destination index) for each active
+// out-edge of vertex index v, avoiding id lookups on hot paths.
+func (s Snapshot) OutEdgesIdx(v int, fn func(e *Edge, dst int)) {
+	for _, ei := range s.G.out[v] {
+		if e := &s.G.edges[ei]; e.Lifespan.Contains(s.T) {
+			fn(e, int(s.G.dstIdx[ei]))
+		}
+	}
+}
+
+// InEdges calls fn for each active in-edge of vertex index v.
+func (s Snapshot) InEdges(v int, fn func(e *Edge)) {
+	for _, ei := range s.G.in[v] {
+		if e := &s.G.edges[ei]; e.Lifespan.Contains(s.T) {
+			fn(e)
+		}
+	}
+}
+
+// InEdgesIdx calls fn(edge, dense source index) for each active in-edge of
+// vertex index v.
+func (s Snapshot) InEdgesIdx(v int, fn func(e *Edge, src int)) {
+	for _, ei := range s.G.in[v] {
+		if e := &s.G.edges[ei]; e.Lifespan.Contains(s.T) {
+			fn(e, int(s.G.srcIdx[ei]))
+		}
+	}
+}
+
+// SnapshotCount returns the number of distinct snapshots of the graph: the
+// length of the graph lifespan, with unbounded lifespans measured up to the
+// largest finite boundary (an interval graph whose entities all extend to ∞
+// still has a finite number of *distinct* snapshots).
+func (g *Graph) SnapshotCount() int {
+	h := g.Horizon()
+	if h <= g.lifespan.Start {
+		return 0
+	}
+	return int(h - g.lifespan.Start)
+}
+
+// Horizon returns the exclusive upper bound of "interesting" time: the
+// largest finite interval boundary over all vertices, edges and properties,
+// or lifespan.End when everything is bounded. Snapshots at or beyond the
+// horizon are identical to the one just before it. The value is computed
+// once at build time.
+func (g *Graph) Horizon() ival.Time { return g.horizon }
+
+// computeHorizon scans all entity and property boundaries.
+func (g *Graph) computeHorizon() ival.Time {
+	var h ival.Time
+	bump := func(iv ival.Interval) {
+		if iv.Start > h {
+			h = iv.Start
+		}
+		if iv.End != ival.Infinity && iv.End > h {
+			h = iv.End
+		}
+	}
+	for i := range g.vertices {
+		bump(g.vertices[i].Lifespan)
+		for _, es := range g.vertices[i].Props {
+			for _, e := range es {
+				bump(e.Interval)
+			}
+		}
+	}
+	for i := range g.edges {
+		bump(g.edges[i].Lifespan)
+		for _, es := range g.edges[i].Props {
+			for _, e := range es {
+				bump(e.Interval)
+			}
+		}
+	}
+	if h == g.lifespan.Start { // degenerate: everything unbounded from start
+		h = g.lifespan.Start + 1
+	}
+	return h
+}
+
+// clip bounds an interval to the graph's observable window [start, horizon)
+// for per-snapshot accounting.
+func (g *Graph) clip(iv ival.Interval) ival.Interval {
+	return iv.Intersect(ival.New(g.lifespan.Start, g.Horizon()))
+}

@@ -1,0 +1,124 @@
+package vcm
+
+import (
+	"testing"
+
+	"graphite/internal/codec"
+	ival "graphite/internal/interval"
+	"graphite/internal/tgraph"
+)
+
+// pathGraph: 0→1→2 alive [0,6), plus vertex 3 alive only [0,2).
+func pathGraph(t *testing.T) *tgraph.Graph {
+	t.Helper()
+	b := tgraph.NewBuilder(4, 2)
+	b.AddVertex(0, ival.New(0, 6))
+	b.AddVertex(1, ival.New(0, 6))
+	b.AddVertex(2, ival.New(0, 6))
+	b.AddVertex(3, ival.New(0, 2))
+	b.AddEdge(0, 0, 1, ival.New(0, 6))
+	b.AddEdge(1, 1, 2, ival.New(0, 6))
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+// hopProgram floods hop counts from vertex 0.
+type hopProgram struct{}
+
+func (hopProgram) Init(ctx Ctx) {
+	if ctx.Vertex() == 0 {
+		ctx.SetState(int64(0))
+		ctx.OutEdgesSimple(func(dst int) { ctx.Send(dst, int64(1)) })
+		return
+	}
+	ctx.SetState(int64(-1))
+}
+
+func (hopProgram) Compute(ctx Ctx, msgs []any) {
+	if ctx.State().(int64) != -1 {
+		return
+	}
+	best := int64(1 << 30)
+	for _, m := range msgs {
+		if x := m.(int64); x < best {
+			best = x
+		}
+	}
+	ctx.SetState(best)
+	ctx.OutEdgesSimple(func(dst int) { ctx.Send(dst, best+1) })
+}
+
+func TestRunSnapshotFloods(t *testing.T) {
+	g := pathGraph(t)
+	r, err := RunSnapshot(g, 1, hopProgram{}, Options{NumWorkers: 2, PayloadCodec: codec.Int64{}})
+	if err != nil {
+		t.Fatalf("RunSnapshot: %v", err)
+	}
+	for v, want := range []int64{0, 1, 2} {
+		if got := r.State(v).(int64); got != want {
+			t.Errorf("state[%d] = %d, want %d", v, got, want)
+		}
+	}
+	// Vertex 3 is active at t=1 but isolated.
+	if got := r.State(3).(int64); got != -1 {
+		t.Errorf("state[3] = %d, want -1", got)
+	}
+	if r.Metrics.ComputeCalls < 4 {
+		t.Errorf("compute calls = %d", r.Metrics.ComputeCalls)
+	}
+}
+
+func TestRunSnapshotSkipsDeadVertices(t *testing.T) {
+	g := pathGraph(t)
+	r, err := RunSnapshot(g, 4, hopProgram{}, Options{NumWorkers: 1})
+	if err != nil {
+		t.Fatalf("RunSnapshot: %v", err)
+	}
+	if r.State(3) != nil {
+		t.Errorf("dead vertex must keep a nil state, got %v", r.State(3))
+	}
+	if got := r.State(2).(int64); got != 2 {
+		t.Errorf("state[2] = %d, want 2", got)
+	}
+}
+
+// degProgram records snapshot-scoped context values.
+type degProgram struct {
+	deg  int
+	time ival.Time
+	n    int
+	id   tgraph.VertexID
+	ins  int
+}
+
+func (p *degProgram) Init(ctx Ctx) {
+	if ctx.Vertex() != 1 {
+		return
+	}
+	p.deg = ctx.OutDegree()
+	p.time = ctx.Time()
+	p.n = ctx.NumVertices()
+	p.id = ctx.ID()
+	ctx.InEdgesSimple(func(src int) { p.ins++ })
+	ctx.OutEdges(func(e *tgraph.Edge, dst int) {
+		if e == nil || dst != 2 {
+			p.deg = -99
+		}
+	})
+}
+
+func (p *degProgram) Compute(ctx Ctx, msgs []any) {}
+
+func TestSnapshotContextAccessors(t *testing.T) {
+	g := pathGraph(t)
+	p := &degProgram{}
+	if _, err := RunSnapshot(g, 3, p, Options{NumWorkers: 1}); err != nil {
+		t.Fatalf("RunSnapshot: %v", err)
+	}
+	if p.deg != 1 || p.ins != 1 || p.time != 3 || p.n != 4 || p.id != 1 {
+		t.Errorf("context accessors wrong: %+v", p)
+	}
+}

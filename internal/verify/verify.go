@@ -1,0 +1,314 @@
+// Package verify cross-checks every platform's results on a given temporal
+// graph against the reference oracles — the paper's Sec. VII-B1 claim ("all
+// platforms produce identical results for all the algorithms and graphs")
+// packaged as a reusable check. cmd/graphite-verify exposes it on graph
+// files; the test suites use it on generated graphs.
+package verify
+
+import (
+	"fmt"
+
+	"graphite/internal/algorithms"
+	"graphite/internal/baseline/chlonos"
+	"graphite/internal/baseline/goffish"
+	"graphite/internal/baseline/msb"
+	"graphite/internal/baseline/tgb"
+	"graphite/internal/baseline/valgo"
+	ival "graphite/internal/interval"
+	"graphite/internal/ref"
+	"graphite/internal/tgraph"
+)
+
+// Report is the outcome of one cross-platform verification.
+type Report struct {
+	Checks    int // individual (algorithm, platform, vertex, time) comparisons
+	Mismatch  []string
+	Algorithm string
+}
+
+// ok records a passed comparison; fail records a discrepancy.
+func (r *Report) ok() { r.Checks++ }
+
+func (r *Report) fail(format string, args ...any) {
+	r.Checks++
+	if len(r.Mismatch) < 20 { // keep reports readable
+		r.Mismatch = append(r.Mismatch, fmt.Sprintf(format, args...))
+	}
+}
+
+// Passed reports whether every comparison agreed.
+func (r *Report) Passed() bool { return len(r.Mismatch) == 0 }
+
+// Config selects the verification scope.
+type Config struct {
+	Workers   int
+	BatchSize int
+	Source    tgraph.VertexID // path algorithms' source (default: first vertex)
+	Target    tgraph.VertexID // LD's target (default: last vertex)
+	HasTarget bool
+	HasSource bool
+}
+
+// All verifies every algorithm on every platform that can run it.
+func All(g *tgraph.Graph, cfg Config) ([]*Report, error) {
+	if cfg.Workers <= 0 {
+		cfg.Workers = 4
+	}
+	if cfg.BatchSize <= 0 {
+		cfg.BatchSize = 4
+	}
+	if !cfg.HasSource {
+		cfg.Source = g.VertexAt(0).ID
+	}
+	if !cfg.HasTarget {
+		cfg.Target = g.VertexAt(g.NumVertices() - 1).ID
+	}
+	var out []*Report
+	for _, fn := range []func(*tgraph.Graph, Config) (*Report, error){
+		BFS, WCC, SCC, SSSP, EAT, RH, LD,
+	} {
+		r, err := fn(g, cfg)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+// BFS verifies ICM, MSB and Chlonos BFS against the per-snapshot oracle.
+func BFS(g *tgraph.Graph, cfg Config) (*Report, error) {
+	rep := &Report{Algorithm: "BFS"}
+	icm, err := algorithms.RunBFS(g, cfg.Source, cfg.Workers)
+	if err != nil {
+		return nil, err
+	}
+	mr, err := msb.Run(g, valgo.BFSSpec(int64(cfg.Source)), cfg.Workers)
+	if err != nil {
+		return nil, err
+	}
+	cr, err := chlonos.Run(g, valgo.BFSSpec(int64(cfg.Source)), cfg.BatchSize, cfg.Workers)
+	if err != nil {
+		return nil, err
+	}
+	for ts := g.Lifespan().Start; ts < g.Horizon(); ts++ {
+		want := ref.BFSLevels(g, ts, cfg.Source)
+		for v := 0; v < g.NumVertices(); v++ {
+			if !g.VertexAt(v).Lifespan.Contains(ts) {
+				continue
+			}
+			iGot := int64(algorithms.Unreachable)
+			if x, okv := icm.State(v).Get(ts); okv {
+				iGot = x.(int64)
+			}
+			mGot, _ := mr.State(v, ts).(int64)
+			cGot, _ := cr.State(v, ts).(int64)
+			if iGot != want[v] || mGot != want[v] || cGot != want[v] {
+				rep.fail("BFS v=%d t=%d: icm=%d msb=%d chl=%d oracle=%d", v, ts, iGot, mGot, cGot, want[v])
+				continue
+			}
+			rep.ok()
+		}
+	}
+	return rep, nil
+}
+
+// WCC verifies the three TI platforms' component labels.
+func WCC(g *tgraph.Graph, cfg Config) (*Report, error) {
+	rep := &Report{Algorithm: "WCC"}
+	icm, err := algorithms.RunWCC(g, cfg.Workers)
+	if err != nil {
+		return nil, err
+	}
+	mr, err := msb.Run(g, valgo.WCCSpec(), cfg.Workers)
+	if err != nil {
+		return nil, err
+	}
+	cr, err := chlonos.Run(g, valgo.WCCSpec(), cfg.BatchSize, cfg.Workers)
+	if err != nil {
+		return nil, err
+	}
+	for ts := g.Lifespan().Start; ts < g.Horizon(); ts++ {
+		want := ref.WCCLabels(g, ts)
+		for v := 0; v < g.NumVertices(); v++ {
+			if !g.VertexAt(v).Lifespan.Contains(ts) {
+				continue
+			}
+			var iGot int64
+			if x, okv := icm.State(v).Get(ts); okv {
+				iGot = x.(int64)
+			}
+			mGot, _ := mr.State(v, ts).(int64)
+			cGot, _ := cr.State(v, ts).(int64)
+			if iGot != want[v] || mGot != want[v] || cGot != want[v] {
+				rep.fail("WCC v=%d t=%d: icm=%d msb=%d chl=%d oracle=%d", v, ts, iGot, mGot, cGot, want[v])
+				continue
+			}
+			rep.ok()
+		}
+	}
+	return rep, nil
+}
+
+// SCC verifies the three TI platforms' strongly-connected components.
+func SCC(g *tgraph.Graph, cfg Config) (*Report, error) {
+	rep := &Report{Algorithm: "SCC"}
+	icm, err := algorithms.RunSCC(g, cfg.Workers)
+	if err != nil {
+		return nil, err
+	}
+	mr, err := msb.Run(g, valgo.SCCSpec(), cfg.Workers)
+	if err != nil {
+		return nil, err
+	}
+	cr, err := chlonos.Run(g, valgo.SCCSpec(), cfg.BatchSize, cfg.Workers)
+	if err != nil {
+		return nil, err
+	}
+	for ts := g.Lifespan().Start; ts < g.Horizon(); ts++ {
+		want := ref.SCCLabels(g, ts)
+		for v := 0; v < g.NumVertices(); v++ {
+			if !g.VertexAt(v).Lifespan.Contains(ts) {
+				continue
+			}
+			iGot := int64(-1)
+			for _, l := range algorithms.SCCLabels(icm, g.VertexAt(v).ID) {
+				if l.Interval.Contains(ts) {
+					iGot = l.Value
+				}
+			}
+			mGot := valgo.SCCLabel(mr.State(v, ts))
+			cGot := valgo.SCCLabel(cr.State(v, ts))
+			if iGot != want[v] || mGot != want[v] || cGot != want[v] {
+				rep.fail("SCC v=%d t=%d: icm=%d msb=%d chl=%d oracle=%d", v, ts, iGot, mGot, cGot, want[v])
+				continue
+			}
+			rep.ok()
+		}
+	}
+	return rep, nil
+}
+
+// SSSP verifies ICM, TGB and GoFFish against the time-expanded oracle.
+func SSSP(g *tgraph.Graph, cfg Config) (*Report, error) {
+	rep := &Report{Algorithm: "SSSP"}
+	icm, err := algorithms.RunSSSP(g, cfg.Source, 0, cfg.Workers)
+	if err != nil {
+		return nil, err
+	}
+	tr, err := tgb.RunSSSP(g, cfg.Source, 0, cfg.Workers)
+	if err != nil {
+		return nil, err
+	}
+	gr, err := goffish.RunForward(g, goffish.NewSSSP(cfg.Source, 0), cfg.Workers)
+	if err != nil {
+		return nil, err
+	}
+	d := ref.SSSP(g, cfg.Source, 0)
+	for v := 0; v < g.NumVertices(); v++ {
+		want := int64(ref.Unreachable)
+		for ts := ival.Time(0); ts < d.Tmax; ts++ {
+			if d.Cost[v][ts] < want {
+				want = d.Cost[v][ts]
+			}
+		}
+		iGot := algorithms.MinInt64State(icm.State(v), algorithms.Unreachable)
+		tGot := tr.MinCost(v)
+		gGot := goffish.BestCost(gr, v)
+		if iGot != want || tGot != want || gGot != want {
+			rep.fail("SSSP v=%d: icm=%d tgb=%d gof=%d oracle=%d", v, iGot, tGot, gGot, want)
+			continue
+		}
+		rep.ok()
+	}
+	return rep, nil
+}
+
+// EAT verifies earliest arrival times across the TD platforms.
+func EAT(g *tgraph.Graph, cfg Config) (*Report, error) {
+	rep := &Report{Algorithm: "EAT"}
+	icm, err := algorithms.RunEAT(g, cfg.Source, 0, cfg.Workers)
+	if err != nil {
+		return nil, err
+	}
+	tr, err := tgb.RunEAT(g, cfg.Source, 0, cfg.Workers)
+	if err != nil {
+		return nil, err
+	}
+	gr, err := goffish.RunForward(g, goffish.NewEAT(cfg.Source, 0), cfg.Workers)
+	if err != nil {
+		return nil, err
+	}
+	want := ref.EAT(g, cfg.Source, 0)
+	for v := 0; v < g.NumVertices(); v++ {
+		id := g.VertexAt(v).ID
+		iGot := algorithms.EarliestArrival(icm, id)
+		tGot := tr.EarliestReached(v)
+		gGot := goffish.BestCost(gr, v)
+		if iGot != want[v] || tGot != want[v] || gGot != want[v] {
+			rep.fail("EAT v=%d: icm=%d tgb=%d gof=%d oracle=%d", v, iGot, tGot, gGot, want[v])
+			continue
+		}
+		rep.ok()
+	}
+	return rep, nil
+}
+
+// RH verifies reachability across the TD platforms.
+func RH(g *tgraph.Graph, cfg Config) (*Report, error) {
+	rep := &Report{Algorithm: "RH"}
+	icm, err := algorithms.RunRH(g, cfg.Source, 0, cfg.Workers)
+	if err != nil {
+		return nil, err
+	}
+	tr, err := tgb.RunRH(g, cfg.Source, 0, cfg.Workers)
+	if err != nil {
+		return nil, err
+	}
+	gr, err := goffish.RunForward(g, goffish.NewRH(cfg.Source, 0), cfg.Workers)
+	if err != nil {
+		return nil, err
+	}
+	want := ref.Reachable(g, cfg.Source, 0)
+	for v := 0; v < g.NumVertices(); v++ {
+		iGot := algorithms.Reachable(icm, g.VertexAt(v).ID)
+		tGot := tr.EarliestReached(v) != tgb.Unreachable
+		gGot := goffish.BestCost(gr, v) == 1
+		if iGot != want[v] || tGot != want[v] || gGot != want[v] {
+			rep.fail("RH v=%d: icm=%v tgb=%v gof=%v oracle=%v", v, iGot, tGot, gGot, want[v])
+			continue
+		}
+		rep.ok()
+	}
+	return rep, nil
+}
+
+// LD verifies latest departures across the TD platforms.
+func LD(g *tgraph.Graph, cfg Config) (*Report, error) {
+	rep := &Report{Algorithm: "LD"}
+	deadline := g.Horizon()
+	icm, err := algorithms.RunLD(g, cfg.Target, deadline, cfg.Workers)
+	if err != nil {
+		return nil, err
+	}
+	tr, err := tgb.RunLD(g, cfg.Target, deadline, cfg.Workers)
+	if err != nil {
+		return nil, err
+	}
+	gr, err := goffish.RunLD(g, cfg.Target, deadline, cfg.Workers)
+	if err != nil {
+		return nil, err
+	}
+	want := ref.LatestDeparture(g, cfg.Target, deadline)
+	for v := 0; v < g.NumVertices(); v++ {
+		iGot := algorithms.LatestDeparture(icm, g.VertexAt(v).ID)
+		tGot := tr.LatestReached(v)
+		gGot := gr.States[v].(int64)
+		if iGot != want[v] || tGot != want[v] || gGot != want[v] {
+			rep.fail("LD v=%d: icm=%d tgb=%d gof=%d oracle=%d", v, iGot, tGot, gGot, want[v])
+			continue
+		}
+		rep.ok()
+	}
+	return rep, nil
+}

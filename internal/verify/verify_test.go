@@ -1,0 +1,73 @@
+package verify
+
+import (
+	"testing"
+
+	"graphite/internal/gen"
+	ival "graphite/internal/interval"
+	"graphite/internal/tgraph"
+)
+
+func TestAllPlatformsAgree(t *testing.T) {
+	for _, life := range []gen.LifespanDist{gen.UnitLife, gen.LongLife, gen.MixedLife} {
+		g, err := gen.Generate(gen.Tiny("verify", 36, 4, 8, life), 9)
+		if err != nil {
+			t.Fatal(err)
+		}
+		reports, err := All(g, Config{Workers: 3})
+		if err != nil {
+			t.Fatalf("All: %v", err)
+		}
+		if len(reports) != 7 {
+			t.Fatalf("want 7 reports, got %d", len(reports))
+		}
+		for _, r := range reports {
+			if !r.Passed() {
+				t.Errorf("life=%v %s: %v", life, r.Algorithm, r.Mismatch)
+			}
+			if r.Checks == 0 {
+				t.Errorf("life=%v %s: no comparisons ran", life, r.Algorithm)
+			}
+		}
+	}
+}
+
+func TestReportCapsMismatches(t *testing.T) {
+	r := &Report{Algorithm: "X"}
+	for i := 0; i < 50; i++ {
+		r.fail("boom %d", i)
+	}
+	if len(r.Mismatch) != 20 {
+		t.Errorf("mismatch list should cap at 20, got %d", len(r.Mismatch))
+	}
+	if r.Passed() {
+		t.Errorf("failed report must not pass")
+	}
+	if r.Checks != 50 {
+		t.Errorf("checks = %d, want 50", r.Checks)
+	}
+}
+
+func TestExplicitEndpoints(t *testing.T) {
+	b := tgraph.NewBuilder(3, 2)
+	life := ival.New(0, 6)
+	for v := tgraph.VertexID(10); v < 13; v++ {
+		b.AddVertex(v, life)
+	}
+	b.AddEdge(0, 10, 11, life)
+	b.SetEdgeProp(0, tgraph.PropTravelTime, life, 1)
+	b.SetEdgeProp(0, tgraph.PropTravelCost, life, 2)
+	b.AddEdge(1, 11, 12, life)
+	b.SetEdgeProp(1, tgraph.PropTravelTime, life, 1)
+	b.SetEdgeProp(1, tgraph.PropTravelCost, life, 2)
+	g := b.MustBuild()
+	reports, err := All(g, Config{Workers: 2, Source: 10, HasSource: true, Target: 12, HasTarget: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range reports {
+		if !r.Passed() {
+			t.Errorf("%s: %v", r.Algorithm, r.Mismatch)
+		}
+	}
+}

@@ -1,0 +1,399 @@
+// Package warp implements the time-join and time-warp operators of Sec. IV-B
+// of the ICM paper.
+//
+// Time-warp takes an outer set of temporally partitioned interval/value pairs
+// (a vertex's partitioned states) and an inner set of interval/value pairs
+// (its incoming messages, or its out-edge sub-intervals), and returns the
+// fewest temporally partitioned triples 〈interval, outer value, inner group〉
+// such that:
+//
+//  1. Valid inclusion — every overlapping outer/inner value pair appears in
+//     an output triple for every shared time-point.
+//  2. No invalid inclusion — values appear only for time-points at which both
+//     exist.
+//  3. No duplication — an outer value appears in at most one triple per
+//     time-point.
+//  4. Maximal — adjacent or overlapping triples with the same outer value and
+//     the same inner group are merged.
+//
+// The implementation is a boundary sweep over the sorted inner intervals
+// clipped to each outer partition, O(m log m + p) for m inner tuples and
+// p overlap pairs, in the spirit of the merge-sort temporal aggregation the
+// paper cites.
+package warp
+
+import (
+	"reflect"
+	"slices"
+	"sort"
+
+	ival "graphite/internal/interval"
+)
+
+// Value is an opaque user value carried by states and messages.
+type Value = any
+
+// IntervalValue pairs a time-interval with a value.
+type IntervalValue struct {
+	Interval ival.Interval
+	Value    Value
+}
+
+// Tuple is one output triple of the warp operator: for every time-point in
+// Interval, State is the (single) outer value and Msgs are all inner values
+// alive at that time-point. Msgs preserves multiset semantics: one entry per
+// inner tuple, in inner-set order.
+type Tuple struct {
+	Interval ival.Interval
+	State    Value
+	Msgs     []Value
+}
+
+// JoinTriple is one output of the time-join operator: a maximal common
+// sub-interval of one outer and one inner tuple.
+type JoinTriple struct {
+	Interval ival.Interval
+	Outer    Value
+	Inner    Value
+}
+
+// TimeJoin computes the time-join ⋈̃ of the two sets: one triple per
+// intersecting pair, carrying the intersection interval. Output is ordered by
+// outer tuple, then inner tuple.
+func TimeJoin(outer, inner []IntervalValue) []JoinTriple {
+	var out []JoinTriple
+	for _, o := range outer {
+		for _, i := range inner {
+			if x := o.Interval.Intersect(i.Interval); !x.IsEmpty() {
+				out = append(out, JoinTriple{Interval: x, Outer: o.Value, Inner: i.Value})
+			}
+		}
+	}
+	return out
+}
+
+// CombineFunc folds two inner values into one; used by warp combiners
+// (Sec. VI "Inline Warp Combiner"). It must be commutative and associative.
+type CombineFunc func(a, b Value) Value
+
+// Warp computes the time-warp of outer with inner. The outer set must be
+// temporally partitioned (sorted, non-overlapping); inner may be arbitrary.
+// The output is temporally partitioned and satisfies the four warp
+// properties. Triples with empty inner groups are not produced.
+func Warp(outer, inner []IntervalValue) []Tuple {
+	return warp(outer, inner, nil)
+}
+
+// WarpCombined is Warp with an inline combiner: each output triple's Msgs
+// holds exactly one value, the fold of the group under combine. Folding
+// happens during the sweep, saving the per-group pass that a subsequent
+// compute would otherwise need.
+func WarpCombined(outer, inner []IntervalValue, combine CombineFunc) []Tuple {
+	return warp(outer, inner, combine)
+}
+
+// innerRef is an inner tuple with its original index, used for identity-based
+// group comparison.
+type innerRef struct {
+	idx int
+	iv  ival.Interval
+	val Value
+}
+
+func warp(outer, inner []IntervalValue, combine CombineFunc) []Tuple {
+	if len(outer) == 0 || len(inner) == 0 {
+		return nil
+	}
+	refs := make([]innerRef, 0, len(inner))
+	for i, m := range inner {
+		if !m.Interval.IsEmpty() {
+			refs = append(refs, innerRef{idx: i, iv: m.Interval, val: m.Value})
+		}
+	}
+	if len(refs) == 0 {
+		return nil
+	}
+	sort.Slice(refs, func(a, b int) bool { return refs[a].iv.Start < refs[b].iv.Start })
+
+	var out []Tuple
+	var boundaries []ival.Time
+	var active []innerRef
+	for _, st := range outer {
+		if st.Interval.IsEmpty() {
+			continue
+		}
+		// Inner tuples overlapping this outer partition: starts strictly
+		// before the partition end; ends after the partition start.
+		hi := sort.Search(len(refs), func(k int) bool { return refs[k].iv.Start >= st.Interval.End })
+		boundaries = boundaries[:0]
+		active = active[:0]
+		for _, r := range refs[:hi] {
+			x := r.iv.Intersect(st.Interval)
+			if x.IsEmpty() {
+				continue
+			}
+			active = append(active, innerRef{idx: r.idx, iv: x, val: r.val})
+			boundaries = append(boundaries, x.Start, x.End)
+		}
+		if len(active) == 0 {
+			continue
+		}
+		if combine == nil {
+			// Restore inner-set order so groups preserve message order;
+			// irrelevant under a commutative combiner.
+			sort.Slice(active, func(a, b int) bool { return active[a].idx < active[b].idx })
+		}
+		slices.Sort(boundaries)
+		boundaries = dedupTimes(boundaries)
+
+		// Sweep elementary segments between adjacent boundaries.
+		for bi := 0; bi+1 < len(boundaries); bi++ {
+			seg := ival.New(boundaries[bi], boundaries[bi+1])
+			var msgs []Value
+			if combine != nil {
+				folded, n := fold(active, seg, combine)
+				if n == 0 {
+					continue
+				}
+				msgs = []Value{folded}
+			} else {
+				msgs = collect(active, seg)
+				if len(msgs) == 0 {
+					continue
+				}
+			}
+			// Maximality: merge with the previous triple when it meets
+			// this segment, has an equal outer value, and an identical
+			// inner group.
+			if n := len(out); n > 0 && out[n-1].Interval.Meets(seg) &&
+				sameGroup(out[n-1], st.Value, msgs) {
+				out[n-1].Interval.End = seg.End
+				continue
+			}
+			out = append(out, Tuple{Interval: seg, State: st.Value, Msgs: msgs})
+		}
+	}
+	return out
+}
+
+// collect returns the values of active refs covering seg. Segments are
+// elementary: a ref either contains seg fully or misses it.
+func collect(active []innerRef, seg ival.Interval) []Value {
+	var vals []Value
+	for _, r := range active {
+		if r.iv.ContainsInterval(seg) {
+			vals = append(vals, r.val)
+		}
+	}
+	return vals
+}
+
+// fold combines the values of active refs covering seg without building the
+// group (the inline warp combiner's single pass).
+func fold(active []innerRef, seg ival.Interval, combine CombineFunc) (Value, int) {
+	var folded Value
+	n := 0
+	for _, r := range active {
+		if r.iv.ContainsInterval(seg) {
+			if n == 0 {
+				folded = r.val
+			} else {
+				folded = combine(folded, r.val)
+			}
+			n++
+		}
+	}
+	return folded, n
+}
+
+// sameGroup reports whether the previous output triple has the same state
+// value and inner group as the candidate. Groups are compared as multisets
+// of values — the formal Maximal property ranges over value sets, not
+// positions. Values are compared with reflect.DeepEqual so that slice- and
+// struct-valued messages work.
+func sameGroup(prev Tuple, state Value, msgs []Value) bool {
+	if len(prev.Msgs) != len(msgs) {
+		return false
+	}
+	if !valueEqual(prev.State, state) {
+		return false
+	}
+	used := make([]bool, len(msgs))
+outer:
+	for _, p := range prev.Msgs {
+		for j, m := range msgs {
+			if !used[j] && valueEqual(p, m) {
+				used[j] = true
+				continue outer
+			}
+		}
+		return false
+	}
+	return true
+}
+
+// valueEqual compares two values, with fast paths for the common scalar
+// payloads; reflect.DeepEqual is the fallback for composite values.
+func valueEqual(a, b Value) bool {
+	switch x := a.(type) {
+	case int64:
+		y, ok := b.(int64)
+		return ok && x == y
+	case float64:
+		y, ok := b.(float64)
+		return ok && x == y
+	case int:
+		y, ok := b.(int)
+		return ok && x == y
+	case bool:
+		y, ok := b.(bool)
+		return ok && x == y
+	case string:
+		y, ok := b.(string)
+		return ok && x == y
+	case nil:
+		return b == nil
+	}
+	ta := reflect.TypeOf(a)
+	if tb := reflect.TypeOf(b); ta != tb {
+		return false
+	}
+	if ta.Comparable() {
+		return a == b
+	}
+	return reflect.DeepEqual(a, b)
+}
+
+// ValueEqual exposes the payload comparison for sibling packages that fuse
+// adjacent equal-valued entries (partitioned states, Chlonos message runs).
+func ValueEqual(a, b Value) bool { return valueEqual(a, b) }
+
+func dedupTimes(ts []ival.Time) []ival.Time {
+	out := ts[:0]
+	for i, t := range ts {
+		if i == 0 || t != ts[i-1] {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// UnitFraction returns the fraction of inner tuples whose interval is
+// unit-length; the warp-suppression heuristic of Sec. VI compares this
+// against a threshold to bypass warp entirely.
+func UnitFraction(inner []IntervalValue) float64 {
+	if len(inner) == 0 {
+		return 0
+	}
+	n := 0
+	for _, m := range inner {
+		if m.Interval.IsUnit() {
+			n++
+		}
+	}
+	return float64(n) / float64(len(inner))
+}
+
+// PointGroups degenerates warp to per-time-point grouping: for every
+// time-point covered by at least one inner tuple and an outer partition, one
+// unit-interval tuple is produced. This is the execution mode used when warp
+// is suppressed (Sec. VI "Warp Suppression"); correctness is identical to
+// Warp, only sharing is lost. Unbounded intervals are enumerated point-wise
+// up to the largest finite boundary among the clipped inner intervals, after
+// which a single [B, ∞) tail tuple groups the unbounded survivors, so the
+// result stays finite and exact.
+func PointGroups(outer, inner []IntervalValue) []Tuple {
+	return pointGroups(outer, inner, nil)
+}
+
+// PointGroupsCombined is PointGroups with an inline combiner: each tuple's
+// Msgs holds the single folded value, as in WarpCombined.
+func PointGroupsCombined(outer, inner []IntervalValue, combine CombineFunc) []Tuple {
+	return pointGroups(outer, inner, combine)
+}
+
+func pointGroups(outer, inner []IntervalValue, combine CombineFunc) []Tuple {
+	var out []Tuple
+	for _, st := range outer {
+		if st.Interval.IsEmpty() {
+			continue
+		}
+		// Clip the messages and find the largest finite boundary; points at
+		// or beyond it behave identically, so unbounded tails fold into one
+		// trailing tuple.
+		var clipped []ival.Interval
+		var vals []Value
+		maxFinite := st.Interval.Start
+		unbounded := false
+		for _, m := range inner {
+			x := m.Interval.Intersect(st.Interval)
+			if x.IsEmpty() {
+				continue
+			}
+			clipped = append(clipped, x)
+			vals = append(vals, m.Value)
+			if x.Start > maxFinite {
+				maxFinite = x.Start
+			}
+			if x.End == ival.Infinity {
+				unbounded = true
+			} else if x.End > maxFinite {
+				maxFinite = x.End
+			}
+		}
+		if len(clipped) == 0 {
+			continue
+		}
+		// Bucket message values per covered time-point: total work is the
+		// sum of clipped lengths, i.e. the size of the point-wise output.
+		buckets := make(map[ival.Time][]Value)
+		for i, x := range clipped {
+			end := x.End
+			if end > maxFinite {
+				end = maxFinite
+			}
+			for t := x.Start; t < end; t++ {
+				buckets[t] = append(buckets[t], vals[i])
+			}
+		}
+		pts := make([]ival.Time, 0, len(buckets))
+		for t := range buckets {
+			pts = append(pts, t)
+		}
+		slices.Sort(pts)
+		for _, t := range pts {
+			msgs := buckets[t]
+			if combine != nil {
+				folded := msgs[0]
+				for _, v := range msgs[1:] {
+					folded = combine(folded, v)
+				}
+				msgs = []Value{folded}
+			}
+			out = append(out, Tuple{Interval: ival.Point(t), State: st.Value, Msgs: msgs})
+		}
+		if unbounded {
+			var msgs []Value
+			var folded Value
+			n := 0
+			for i, x := range clipped {
+				if x.End != ival.Infinity {
+					continue
+				}
+				if combine == nil {
+					msgs = append(msgs, vals[i])
+				} else if n == 0 {
+					folded = vals[i]
+				} else {
+					folded = combine(folded, vals[i])
+				}
+				n++
+			}
+			if combine != nil {
+				msgs = []Value{folded}
+			}
+			out = append(out, Tuple{Interval: ival.From(maxFinite), State: st.Value, Msgs: msgs})
+		}
+	}
+	return out
+}

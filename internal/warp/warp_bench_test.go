@@ -1,0 +1,80 @@
+package warp
+
+import (
+	"math/rand"
+	"testing"
+
+	ival "graphite/internal/interval"
+)
+
+// benchInstance builds a realistic per-vertex warp workload: nParts state
+// partitions over [0, span) and nMsgs overlapping messages.
+func benchInstance(nParts, nMsgs int, span ival.Time) (outer, inner []IntervalValue) {
+	r := rand.New(rand.NewSource(1))
+	step := span / ival.Time(nParts)
+	for i := 0; i < nParts; i++ {
+		end := ival.Time(i+1) * step
+		if i == nParts-1 {
+			end = span
+		}
+		outer = append(outer, IntervalValue{ival.New(ival.Time(i)*step, end), int64(i)})
+	}
+	for i := 0; i < nMsgs; i++ {
+		s := ival.Time(r.Intn(int(span)))
+		e := s + ival.Time(r.Intn(int(span-s))) + 1
+		inner = append(inner, IntervalValue{ival.New(s, e), int64(r.Intn(8))})
+	}
+	return
+}
+
+func BenchmarkWarpSmall(b *testing.B) {
+	outer, inner := benchInstance(2, 8, 32)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Warp(outer, inner)
+	}
+}
+
+func BenchmarkWarpLarge(b *testing.B) {
+	outer, inner := benchInstance(8, 64, 256)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Warp(outer, inner)
+	}
+}
+
+func BenchmarkWarpCombinedLarge(b *testing.B) {
+	outer, inner := benchInstance(8, 64, 256)
+	min := func(a, c Value) Value {
+		if a.(int64) < c.(int64) {
+			return a
+		}
+		return c
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		WarpCombined(outer, inner, min)
+	}
+}
+
+func BenchmarkPointGroupsUnit(b *testing.B) {
+	// The suppression path: unit messages over a short lifespan.
+	outer := []IntervalValue{{ival.New(0, 8), int64(0)}}
+	var inner []IntervalValue
+	r := rand.New(rand.NewSource(2))
+	for i := 0; i < 24; i++ {
+		inner = append(inner, IntervalValue{ival.Point(ival.Time(r.Intn(8))), int64(i)})
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		PointGroups(outer, inner)
+	}
+}
+
+func BenchmarkTimeJoin(b *testing.B) {
+	outer, inner := benchInstance(8, 64, 256)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		TimeJoin(outer, inner)
+	}
+}
