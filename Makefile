@@ -1,0 +1,36 @@
+GO ?= go
+
+.PHONY: all build test vet race verify chaos bench clean
+
+all: verify
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# Race-checked run of the fault-tolerance surface (the chaos acceptance
+# tests live here).
+race:
+	$(GO) test -race ./internal/engine/... ./internal/chaos/...
+
+# The full gate: everything vetted, built, and race-tested. Long-running
+# chaos tests honour -short via `make verify SHORT=-short`.
+verify:
+	$(GO) vet ./...
+	$(GO) build ./...
+	$(GO) test $(SHORT) -race ./...
+
+# The fault-injection demonstration: SSSP under seeded faults vs fault-free.
+chaos:
+	$(GO) run ./cmd/graphite-bench chaos
+
+bench:
+	$(GO) run ./cmd/graphite-bench -scale 1 -workers 8 all
+
+clean:
+	$(GO) clean ./...

@@ -6,7 +6,7 @@
 //	graphite-bench [flags] <experiment>...
 //
 // Experiments: table1, table2, fig4, fig5, fig6a, fig6b, fig6c, fig7,
-// msgsize, loc, all.
+// msgsize, loc, chaos, all.
 package main
 
 import (
@@ -30,7 +30,7 @@ func main() {
 	)
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: graphite-bench [flags] <experiment>...\n")
-		fmt.Fprintf(os.Stderr, "experiments: table1 table2 fig4 fig5 fig6a fig6b fig6c fig7 msgsize loc all\n\n")
+		fmt.Fprintf(os.Stderr, "experiments: table1 table2 fig4 fig5 fig6a fig6b fig6c fig7 msgsize loc chaos all\n\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -85,7 +85,7 @@ func run(cfg bench.Config, exp string, algos []bench.Algo) error {
 	w := os.Stdout
 	switch exp {
 	case "all":
-		for _, e := range []string{"table1", "table2", "fig4", "fig5", "fig6a", "fig6b", "fig6c", "fig7", "msgsize", "loc"} {
+		for _, e := range []string{"table1", "table2", "fig4", "fig5", "fig6a", "fig6b", "fig6c", "fig7", "msgsize", "loc", "chaos"} {
 			if err := run(cfg, e, algos); err != nil {
 				return err
 			}
@@ -152,8 +152,14 @@ func run(cfg bench.Config, exp string, algos []bench.Algo) error {
 			return err
 		}
 		bench.RenderLoC(w, rows)
+	case "chaos":
+		rows, err := bench.Chaos(cfg)
+		if err != nil {
+			return err
+		}
+		bench.RenderChaos(w, rows)
 	default:
-		return fmt.Errorf("unknown experiment (try: table1 table2 fig4 fig5 fig6a fig6b fig6c fig7 msgsize loc all)")
+		return fmt.Errorf("unknown experiment (try: table1 table2 fig4 fig5 fig6a fig6b fig6c fig7 msgsize loc chaos all)")
 	}
 	return nil
 }

@@ -30,7 +30,10 @@ package graphite
 
 import (
 	"graphite/internal/algorithms"
+	"graphite/internal/chaos"
+	"graphite/internal/codec"
 	"graphite/internal/core"
+	"graphite/internal/engine"
 	ival "graphite/internal/interval"
 	"graphite/internal/stream"
 	"graphite/internal/tgraph"
@@ -129,6 +132,51 @@ type (
 
 // Run executes an ICM program over a temporal graph.
 var Run = core.Run
+
+// Message payload codecs — required by Options.PayloadCodec whenever a
+// Transport is configured (batches must serialize to cross a wire).
+type (
+	// PayloadCodec encodes and decodes message payload values.
+	PayloadCodec = codec.Payload
+	// Int64Codec is the var-byte int64 payload codec.
+	Int64Codec = codec.Int64
+	// Float64Codec is the fixed 8-byte float64 payload codec.
+	Float64Codec = codec.Float64
+	// Int64SliceCodec is the length-prefixed []int64 payload codec.
+	Int64SliceCodec = codec.Int64Slice
+)
+
+// Fault tolerance: transports, typed failures, and the injection harness.
+type (
+	// Transport ships encoded message batches between BSP workers.
+	Transport = engine.Transport
+	// TCPOptions tunes the loopback TCP mesh (IO timeouts, dial retry).
+	TCPOptions = engine.TCPOptions
+	// VertexPanicError reports a recovered user-program panic with the
+	// vertex, superstep and stack that produced it.
+	VertexPanicError = engine.VertexPanicError
+	// ChaosTransportOptions schedules deterministic transport faults.
+	ChaosTransportOptions = chaos.TransportOptions
+	// PanicPlan schedules one injected user-program panic.
+	PanicPlan = chaos.PanicPlan
+)
+
+var (
+	// NewTCPTransport wires n workers into a loopback TCP mesh.
+	NewTCPTransport = engine.NewTCPTransport
+	// NewTCPTransportOpts is NewTCPTransport with explicit options.
+	NewTCPTransportOpts = engine.NewTCPTransportOpts
+	// NewChaosTransport builds an in-memory mesh with scheduled fault
+	// injection (drops, corruption, duplication, delays).
+	NewChaosTransport = chaos.NewTransport
+	// NewFaultyProgram wraps a program to panic on schedule; use its Wrap
+	// method as Options.WrapProgram.
+	NewFaultyProgram = chaos.NewFaultyProgram
+)
+
+// ErrRecoveryExhausted wraps the run error once rollback-and-replay has hit
+// the Options.MaxRecoveries budget.
+var ErrRecoveryExhausted = engine.ErrRecoveryExhausted
 
 // Time-warp operators.
 type (

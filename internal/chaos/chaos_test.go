@@ -1,0 +1,285 @@
+package chaos
+
+import (
+	"encoding/binary"
+	"errors"
+	"reflect"
+	"sync"
+	"testing"
+
+	"graphite/internal/algorithms"
+	"graphite/internal/codec"
+	"graphite/internal/core"
+	"graphite/internal/engine"
+	ival "graphite/internal/interval"
+	"graphite/internal/tgraph"
+)
+
+// TestTransportFaultSchedule drives the chaos mesh directly and checks every
+// fault kind manifests the way the engine expects: drops error at Send,
+// corruption poisons the frame, duplication trips the straggler check, and
+// Reset wipes the slate.
+func TestTransportFaultSchedule(t *testing.T) {
+	tr, err := NewTransport(2, TransportOptions{Seed: 1, Drops: 1, Every: 1})
+	if err != nil {
+		t.Fatalf("NewTransport: %v", err)
+	}
+	if err := tr.Send(0, 1, []byte{1, 2, 3}); err == nil {
+		t.Fatalf("first send should be dropped")
+	}
+	if err := tr.Send(0, 1, []byte{1, 2, 3}); err != nil {
+		t.Fatalf("retry after drop: %v", err)
+	}
+	frames, err := tr.Recv(1)
+	if err != nil || len(frames) != 1 || !reflect.DeepEqual(frames[0], []byte{1, 2, 3}) {
+		t.Fatalf("recv after retry: %v %v", frames, err)
+	}
+
+	// Corruption: the frame arrives but is undecodable.
+	tr, _ = NewTransport(2, TransportOptions{Seed: 1, Corruptions: 1, Every: 1})
+	if err := tr.Send(0, 1, []byte{1, 2, 3}); err != nil {
+		t.Fatalf("corrupting send should succeed: %v", err)
+	}
+	frames, err = tr.Recv(1)
+	if err != nil {
+		t.Fatalf("recv of corrupt frame: %v", err)
+	}
+	if reflect.DeepEqual(frames[0], []byte{1, 2, 3}) {
+		t.Fatalf("frame should have been corrupted")
+	}
+	if _, k := binary.Uvarint(frames[0]); k > 0 {
+		t.Fatalf("corrupt frame still has a decodable batch header")
+	}
+
+	// Duplication: the straggler check fails the superstep; Reset clears it.
+	tr, _ = NewTransport(2, TransportOptions{Seed: 1, Duplicates: 1, Every: 1})
+	if err := tr.Send(0, 1, []byte{9}); err != nil {
+		t.Fatalf("duplicating send: %v", err)
+	}
+	if _, err := tr.Recv(1); err == nil {
+		t.Fatalf("duplicate frame must fail the receive")
+	}
+	if err := tr.Reset(); err != nil {
+		t.Fatalf("Reset: %v", err)
+	}
+	if _, err := tr.Recv(1); err == nil {
+		t.Fatalf("after Reset the queue must be empty (missing frame)")
+	}
+	if s := tr.Stats(); s.Duplicates != 1 || s.Resets != 1 {
+		t.Fatalf("stats = %+v", s)
+	}
+}
+
+// ringProgram is a BFS-level program over a directed ring implementing
+// engine.Snapshotter, so it can run under checkpointing.
+type ringProgram struct {
+	n    int
+	mu   sync.Mutex
+	dist []int64
+}
+
+func newRingProgram(n int) *ringProgram {
+	return &ringProgram{n: n, dist: make([]int64, n)}
+}
+
+func (p *ringProgram) Init(ctx *engine.Context) {
+	p.mu.Lock()
+	p.dist[ctx.Vertex()] = 1 << 30
+	p.mu.Unlock()
+}
+
+func (p *ringProgram) Run(ctx *engine.Context, msgs []engine.Message) {
+	ctx.AddComputeCalls(1)
+	v := ctx.Vertex()
+	best := int64(1 << 30)
+	if ctx.Superstep() == 1 && v == 0 {
+		best = 0
+	}
+	for _, m := range msgs {
+		if d := m.Value.(int64); d < best {
+			best = d
+		}
+	}
+	p.mu.Lock()
+	cur := p.dist[v]
+	if best < cur {
+		p.dist[v] = best
+	}
+	p.mu.Unlock()
+	if best < cur {
+		ctx.Send((v+1)%p.n, ival.Universe, best+1)
+	}
+}
+
+func (p *ringProgram) Snapshot() any {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return append([]int64(nil), p.dist...)
+}
+
+func (p *ringProgram) Restore(snapshot any) {
+	p.mu.Lock()
+	copy(p.dist, snapshot.([]int64))
+	p.mu.Unlock()
+}
+
+// TestEngineRecoversOverChaosTransport runs BFS over the chaos mesh with
+// checkpointing on and every fault kind scheduled, and demands bit-identical
+// results plus at least one recovery.
+func TestEngineRecoversOverChaosTransport(t *testing.T) {
+	n := 24
+	if testing.Short() {
+		n = 8
+	}
+	tr, err := NewTransport(3, TransportOptions{
+		Seed: 42, Drops: 2, Corruptions: 2, Duplicates: 1, Delays: 2, Every: 7,
+	})
+	if err != nil {
+		t.Fatalf("NewTransport: %v", err)
+	}
+	defer tr.Close()
+	p := newRingProgram(n)
+	fp := NewFaultyProgram(PanicPlan{Superstep: 3, Vertex: AnyVertex})
+	e, err := engine.New(n, fp.Wrap(p), engine.Config{
+		NumWorkers:      3,
+		PayloadCodec:    codec.Int64{},
+		Transport:       tr,
+		CheckpointEvery: 2,
+		MaxRecoveries:   10,
+	})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	m, err := e.Run()
+	if err != nil {
+		t.Fatalf("Run under chaos: %v", err)
+	}
+	for i := 0; i < n; i++ {
+		if p.dist[i] != int64(i) {
+			t.Fatalf("dist[%d] = %d, want %d", i, p.dist[i], i)
+		}
+	}
+	if fp.Panics() < 1 {
+		t.Errorf("scheduled panic never fired")
+	}
+	if tr.Stats().Faults() < 1 {
+		t.Errorf("no transport fault fired: %+v", tr.Stats())
+	}
+	if m.Recoveries < 1 {
+		t.Errorf("run recovered %d times, want >= 1: %v", m.Recoveries, m)
+	}
+	if m.Checkpoints < 1 {
+		t.Errorf("no checkpoints captured: %v", m)
+	}
+	// The ring needs n+1 supersteps of propagation regardless of faults.
+	if m.Supersteps != n+1 {
+		t.Errorf("supersteps = %d, want %d", m.Supersteps, n+1)
+	}
+	if m.Messages != int64(n) {
+		t.Errorf("messages = %d, want %d (replays must not double-count)", m.Messages, n)
+	}
+}
+
+// chaosSSSP runs temporal SSSP from A over the paper's transit example with
+// the given fault injection; faultFree ignores the chaos knobs entirely.
+func chaosSSSP(t *testing.T, checkpointEvery int, tr *Transport, fp *FaultyProgram) (*core.Result, error) {
+	t.Helper()
+	g := tgraph.TransitExample()
+	a := &algorithms.SSSP{Source: 0, StartTime: 0}
+	opts := a.Options()
+	opts.NumWorkers = 3
+	opts.CheckpointEvery = checkpointEvery
+	opts.MaxRecoveries = 10
+	if tr != nil {
+		opts.Transport = tr
+	}
+	if fp != nil {
+		opts.WrapProgram = fp.Wrap
+	}
+	return core.Run(g, a, opts)
+}
+
+// TestChaosSSSPMatchesFaultFree is the headline guarantee: an SSSP run over
+// the transit example with seeded fault injection (transport faults and an
+// injected panic) and checkpointing enabled completes and decodes to exactly
+// the fault-free answer, with identical deterministic metrics.
+func TestChaosSSSPMatchesFaultFree(t *testing.T) {
+	base, err := chaosSSSP(t, 0, nil, nil)
+	if err != nil {
+		t.Fatalf("fault-free run: %v", err)
+	}
+
+	tr, err := NewTransport(3, TransportOptions{
+		Seed: 7, Drops: 1, Corruptions: 1, Duplicates: 1, Delays: 1, Every: 4,
+	})
+	if err != nil {
+		t.Fatalf("NewTransport: %v", err)
+	}
+	defer tr.Close()
+	fp := NewFaultyProgram(PanicPlan{Superstep: 2, Vertex: AnyVertex})
+	got, err := chaosSSSP(t, 1, tr, fp)
+	if err != nil {
+		t.Fatalf("chaos run: %v", err)
+	}
+
+	// The injected faults must actually have fired.
+	if fp.Panics() < 1 {
+		t.Fatalf("scheduled panic never fired")
+	}
+	if tr.Stats().Faults() < 1 {
+		t.Fatalf("no transport fault fired: %+v", tr.Stats())
+	}
+	if got.Metrics.Recoveries < 1 {
+		t.Errorf("chaos run recovered %d times, want >= 1", got.Metrics.Recoveries)
+	}
+
+	// Decoded results are bit-identical to the fault-free run for every
+	// transit stop, including the paper's published costs for B and E.
+	for id := tgraph.VertexID(0); id < 6; id++ {
+		want := algorithms.SSSPCosts(base, id)
+		have := algorithms.SSSPCosts(got, id)
+		if !reflect.DeepEqual(want, have) {
+			t.Errorf("vertex %s: costs %v, want %v", tgraph.TransitVertexName(id), have, want)
+		}
+	}
+	// Deterministic metrics match; timings differ, so compare counters only.
+	bm, gm := base.Metrics, got.Metrics
+	if bm.Supersteps != gm.Supersteps || bm.ComputeCalls != gm.ComputeCalls ||
+		bm.ScatterCalls != gm.ScatterCalls || bm.Messages != gm.Messages ||
+		bm.MessageBytes != gm.MessageBytes {
+		t.Errorf("metrics diverged:\nfault-free: %v\nchaos:      %v", bm, gm)
+	}
+	if base.Stats != got.Stats {
+		t.Errorf("ICM stats diverged:\nfault-free: %+v\nchaos:      %+v", base.Stats, got.Stats)
+	}
+}
+
+// TestChaosWithoutCheckpointFailsCleanly reruns the faulty configurations
+// with checkpointing disabled: the run must return a typed error — with the
+// process alive — instead of recovering or crashing.
+func TestChaosWithoutCheckpointFailsCleanly(t *testing.T) {
+	t.Run("panic", func(t *testing.T) {
+		fp := NewFaultyProgram(PanicPlan{Superstep: 2, Vertex: AnyVertex})
+		_, err := chaosSSSP(t, 0, nil, fp)
+		var vp *engine.VertexPanicError
+		if !errors.As(err, &vp) {
+			t.Fatalf("want *engine.VertexPanicError, got %v", err)
+		}
+		if vp.Superstep != 2 || vp.Vertex < 0 || len(vp.Stack) == 0 {
+			t.Errorf("panic detail = vertex %d superstep %d stack %d bytes",
+				vp.Vertex, vp.Superstep, len(vp.Stack))
+		}
+	})
+	t.Run("transport", func(t *testing.T) {
+		// Three corruptions: send retries can't mask them, and without a
+		// checkpoint the first one is terminal.
+		tr, err := NewTransport(3, TransportOptions{Seed: 3, Corruptions: 3, Every: 4})
+		if err != nil {
+			t.Fatalf("NewTransport: %v", err)
+		}
+		defer tr.Close()
+		if _, err := chaosSSSP(t, 0, tr, nil); err == nil {
+			t.Fatalf("corrupted exchange without checkpointing must fail the run")
+		}
+	})
+}

@@ -96,6 +96,22 @@ type Options struct {
 	// CheckInvariants re-verifies the partitioned-state invariant after
 	// every compute call (tests and debugging).
 	CheckInvariants bool
+	// CheckpointEvery enables superstep checkpointing in the engine: every
+	// k-th superstep the vertex states, inboxes, active flags and merged
+	// aggregates are snapshotted, and a failed superstep (user-program
+	// panic, codec failure, transport error) rolls back and replays instead
+	// of aborting (engine.Config.CheckpointEvery).
+	CheckpointEvery int
+	// MaxRecoveries bounds rollback-and-replay attempts; zero means the
+	// engine default.
+	MaxRecoveries int
+	// SendRetries bounds per-batch transport send retries; zero means the
+	// engine default, negative disables retries.
+	SendRetries int
+	// WrapProgram, when set, wraps the engine-level program before the run.
+	// This is the fault-injection seam internal/chaos uses to schedule
+	// panics inside an otherwise unmodified ICM run.
+	WrapProgram func(engine.Program) engine.Program
 }
 
 // Stats counts ICM-specific runtime events.
@@ -134,18 +150,25 @@ func Run(g *tgraph.Graph, prog Program, opts Options) (*Result, error) {
 	}
 	rt := newRuntime(g, prog, opts)
 	cfg := engine.Config{
-		NumWorkers:    opts.NumWorkers,
-		MaxSupersteps: opts.MaxSupersteps,
-		ActivateAll:   opts.ActivateAll,
-		PayloadCodec:  opts.PayloadCodec,
-		VerifyCodec:   opts.VerifyCodec,
-		Transport:     opts.Transport,
-		Master:        opts.Master,
+		NumWorkers:      opts.NumWorkers,
+		MaxSupersteps:   opts.MaxSupersteps,
+		ActivateAll:     opts.ActivateAll,
+		PayloadCodec:    opts.PayloadCodec,
+		VerifyCodec:     opts.VerifyCodec,
+		Transport:       opts.Transport,
+		Master:          opts.Master,
+		CheckpointEvery: opts.CheckpointEvery,
+		MaxRecoveries:   opts.MaxRecoveries,
+		SendRetries:     opts.SendRetries,
 	}
 	if opts.ReceiverCombine && rt.combine != nil {
 		cfg.Combiner = engine.CombinerFunc(rt.combine)
 	}
-	eng, err := engine.New(g.NumVertices(), rt, cfg)
+	var eprog engine.Program = rt
+	if opts.WrapProgram != nil {
+		eprog = opts.WrapProgram(rt)
+	}
+	eng, err := engine.New(g.NumVertices(), eprog, cfg)
 	if err != nil {
 		return nil, err
 	}

@@ -119,6 +119,51 @@ func edgePartition(e *tgraph.Edge, labels []string) []ival.Interval {
 	return parts
 }
 
+// runtimeSnapshot is the ICM-level state a rollback must restore: cloned
+// partitioned vertex states plus the Stats counters, so a replayed superstep
+// neither loses nor double-counts events.
+type runtimeSnapshot struct {
+	states          []*PartitionedState
+	warpCalls       int64
+	warpSuppressed  int64
+	stateUpdates    int64
+	activeIntervals int64
+}
+
+// Snapshot implements engine.Snapshotter.
+func (rt *runtime) Snapshot() any {
+	s := &runtimeSnapshot{
+		states:          make([]*PartitionedState, len(rt.states)),
+		warpCalls:       rt.warpCalls.Load(),
+		warpSuppressed:  rt.warpSuppressed.Load(),
+		stateUpdates:    rt.stateUpdates.Load(),
+		activeIntervals: rt.activeIntervals.Load(),
+	}
+	for i, st := range rt.states {
+		if st != nil {
+			s.states[i] = st.Clone()
+		}
+	}
+	return s
+}
+
+// Restore implements engine.Snapshotter. It clones again so the same
+// snapshot survives being restored more than once.
+func (rt *runtime) Restore(snapshot any) {
+	s := snapshot.(*runtimeSnapshot)
+	for i, st := range s.states {
+		if st != nil {
+			rt.states[i] = st.Clone()
+		} else {
+			rt.states[i] = nil
+		}
+	}
+	rt.warpCalls.Store(s.warpCalls)
+	rt.warpSuppressed.Store(s.warpSuppressed)
+	rt.stateUpdates.Store(s.stateUpdates)
+	rt.activeIntervals.Store(s.activeIntervals)
+}
+
 func (rt *runtime) fail(err error) {
 	rt.errMu.Lock()
 	if rt.err == nil {

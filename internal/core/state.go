@@ -92,6 +92,17 @@ func (s *PartitionedState) Set(iv ival.Interval, value any) error {
 	return nil
 }
 
+// Clone returns a copy of the partition structure for checkpointing. The
+// partition values themselves are shared: the ICM contract replaces state
+// values via Set and never mutates them in place, so sharing is safe and
+// keeps snapshots cheap.
+func (s *PartitionedState) Clone() *PartitionedState {
+	return &PartitionedState{
+		lifespan: s.lifespan,
+		parts:    append([]warp.IntervalValue(nil), s.parts...),
+	}
+}
+
 // fuse merges adjacent partitions holding equal values.
 func fuse(parts []warp.IntervalValue) []warp.IntervalValue {
 	out := parts[:0]

@@ -1,0 +1,134 @@
+package engine
+
+import "fmt"
+
+// Snapshotter is the optional Program extension checkpointing requires
+// (Config.CheckpointEvery). Snapshot returns an opaque deep-enough copy of
+// all user vertex state; Restore replaces the live state with a previously
+// returned snapshot. A snapshot may be restored more than once (a later
+// superstep can fail again before the next checkpoint), so implementations
+// must not hand out mutable internals that a replay would corrupt.
+type Snapshotter interface {
+	Snapshot() any
+	Restore(snapshot any)
+}
+
+// Resettable is an optional Transport extension. Reset discards every
+// in-flight frame so a rolled-back exchange can be replayed from a clean
+// slate; without it the engine refuses to roll back past a transport
+// failure, because frames from the aborted superstep would desynchronize the
+// replay (the loopback TCP mesh is in this category — a broken socket needs
+// a re-dial, which is out of scope, like master failure).
+type Resettable interface {
+	Reset() error
+}
+
+// checkpoint is one recovery point: everything Run mutates between
+// supersteps, captured at a barrier (no frames in flight, outboxes empty).
+type checkpoint struct {
+	superstep int
+	phase     int
+	halted    bool
+	metrics   Metrics
+	aggVals   map[string]any
+	program   any           // Snapshotter-provided user state
+	inbox     [][][]Message // [worker][slot]
+	active    [][]bool      // [worker][slot]
+}
+
+// capture records a recovery point for the state "about to execute superstep
+// e.superstp". It runs only at barriers, never concurrently with workers.
+func (e *Engine) capture() {
+	c := &checkpoint{
+		superstep: e.superstp,
+		phase:     e.phase,
+		halted:    e.halted,
+		metrics:   e.metrics,
+		aggVals:   make(map[string]any, len(e.aggVals)),
+		program:   e.program.(Snapshotter).Snapshot(),
+		inbox:     make([][][]Message, len(e.workers)),
+		active:    make([][]bool, len(e.workers)),
+	}
+	for k, v := range e.aggVals {
+		c.aggVals[k] = v
+	}
+	for i, w := range e.workers {
+		c.inbox[i] = make([][]Message, len(w.inbox))
+		for s, msgs := range w.inbox {
+			if len(msgs) > 0 {
+				c.inbox[i][s] = append([]Message(nil), msgs...)
+			}
+		}
+		c.active[i] = append([]bool(nil), w.active...)
+	}
+	e.ckpt = c
+	e.checkpoints++
+}
+
+// restoreCheckpoint rewinds the engine to the latest checkpoint: superstep
+// counter, phase, metrics, merged aggregates, user state, inboxes and active
+// flags; outboxes, aggregator partials and per-worker metric partials from
+// the aborted superstep are discarded.
+func (e *Engine) restoreCheckpoint() {
+	c := e.ckpt
+	e.superstp = c.superstep
+	e.phase = c.phase
+	e.halted = c.halted
+	e.metrics = c.metrics
+	e.aggVals = make(map[string]any, len(c.aggVals))
+	for k, v := range c.aggVals {
+		e.aggVals[k] = v
+	}
+	e.program.(Snapshotter).Restore(c.program)
+	for _, agg := range e.aggs {
+		agg.drain()
+	}
+	for i, w := range e.workers {
+		for s := range w.inbox {
+			if msgs := c.inbox[i][s]; len(msgs) > 0 {
+				w.inbox[s] = append([]Message(nil), msgs...)
+			} else {
+				w.inbox[s] = nil
+			}
+		}
+		copy(w.active, c.active[i])
+		for d := range w.outbox {
+			w.outbox[d] = w.outbox[d][:0]
+		}
+		w.computeCalls, w.scatterCalls, w.sentMsgs, w.sentBytes = 0, 0, 0, 0
+	}
+}
+
+// rollback attempts to recover a failed superstep by rewinding to the latest
+// checkpoint and reports whether the run should resume. needsReset says the
+// failure happened during the exchange phase, which may have left frames in
+// flight; recovery then additionally requires a Resettable transport.
+func (e *Engine) rollback(needsReset bool) bool {
+	if e.ckpt == nil {
+		return false
+	}
+	if needsReset && e.cfg.Transport != nil {
+		r, ok := e.cfg.Transport.(Resettable)
+		if !ok {
+			return false
+		}
+		if err := r.Reset(); err != nil {
+			return false
+		}
+	}
+	max := e.cfg.MaxRecoveries
+	if max <= 0 {
+		max = DefaultMaxRecoveries
+	}
+	if e.recoveries >= max {
+		e.errMu.Lock()
+		e.runErr = fmt.Errorf("%w: superstep %d still failing after %d recoveries: %w",
+			ErrRecoveryExhausted, e.superstp, e.recoveries, e.runErr)
+		e.errMu.Unlock()
+		return false
+	}
+	e.recoveries++
+	e.restoreCheckpoint()
+	e.clearErr()
+	return true
+}

@@ -17,8 +17,10 @@ import (
 	"errors"
 	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"graphite/internal/codec"
@@ -91,7 +93,36 @@ type Config struct {
 	Transport Transport
 	// Master is the optional master-compute hook.
 	Master Master
+	// CheckpointEvery, when > 0, captures a recovery point after every k-th
+	// superstep barrier (plus one before superstep 1): user vertex state via
+	// the Snapshotter contract, inboxes, active flags, merged aggregates and
+	// metrics. A failed superstep — user-program panic, codec failure or
+	// transport error — then rolls back to the latest checkpoint and replays
+	// instead of aborting the run. Requires the Program to implement
+	// Snapshotter. Masters are re-invoked on replayed supersteps and must
+	// tolerate that (the replayed aggregates they see are identical).
+	CheckpointEvery int
+	// MaxRecoveries bounds rollback-and-replay attempts per run; zero means
+	// DefaultMaxRecoveries. Only meaningful with CheckpointEvery > 0.
+	MaxRecoveries int
+	// SendRetries is how many times a failed Transport.Send is retried (with
+	// capped exponential backoff) before the superstep is declared failed.
+	// Zero means DefaultSendRetries; negative disables retries.
+	SendRetries int
 }
+
+// Fault-tolerance defaults.
+const (
+	// DefaultMaxRecoveries is the rollback-and-replay budget per run when
+	// Config.MaxRecoveries is zero.
+	DefaultMaxRecoveries = 3
+	// DefaultSendRetries is the per-batch Transport.Send retry budget when
+	// Config.SendRetries is zero.
+	DefaultSendRetries = 2
+	// sendRetryBackoff is the initial delay between Send retries; it doubles
+	// per attempt, capped at 16x.
+	sendRetryBackoff = 2 * time.Millisecond
+)
 
 // Errors reported by Run.
 var (
@@ -115,7 +146,12 @@ type Engine struct {
 	superstp int
 
 	errMu  sync.Mutex
-	runErr error // first transport failure, surfaced by Run
+	runErr error       // first failure of the current superstep
+	hasErr atomic.Bool // lock-free mirror of runErr != nil
+
+	ckpt        *checkpoint // latest recovery point
+	checkpoints int
+	recoveries  int
 }
 
 // worker owns the vertices with index ≡ id (mod numWorkers).
@@ -155,6 +191,11 @@ func New(numVertices int, program Program, cfg Config) (*Engine, error) {
 	}
 	if cfg.Transport != nil && cfg.PayloadCodec == nil {
 		return nil, fmt.Errorf("%w: Transport requires PayloadCodec", ErrBadConfig)
+	}
+	if cfg.CheckpointEvery > 0 {
+		if _, ok := program.(Snapshotter); !ok {
+			return nil, fmt.Errorf("%w: CheckpointEvery requires a Program implementing Snapshotter", ErrBadConfig)
+		}
 	}
 	e := &Engine{
 		cfg:     cfg,
@@ -203,7 +244,9 @@ func (e *Engine) owner(v int32) (wid, slot int) {
 
 // Run executes supersteps until no vertex is active and no messages are in
 // flight (or the master halts, or MaxSupersteps is reached), and returns the
-// run metrics.
+// run metrics. Panics escaping user Program code are recovered and surfaced
+// as a *VertexPanicError; with CheckpointEvery set, failed supersteps are
+// rolled back to the latest checkpoint and replayed instead.
 func (e *Engine) Run() (*Metrics, error) {
 	start := time.Now()
 
@@ -212,12 +255,24 @@ func (e *Engine) Run() (*Metrics, error) {
 	e.parallel(func(w *worker) {
 		ctx := Context{eng: e, w: w}
 		for slot, v := range w.local {
+			if e.failed() {
+				return
+			}
 			ctx.vertex = v
 			ctx.slot = slot
 			w.active[slot] = true
-			e.program.Init(&ctx)
+			if !e.guardedCall(int(v), func() { e.program.Init(&ctx) }) {
+				return
+			}
 		}
 	})
+	if err := e.takeErr(); err != nil {
+		// No checkpoint can exist yet: an Init failure is terminal.
+		return nil, err
+	}
+	if e.cfg.CheckpointEvery > 0 {
+		e.capture()
+	}
 
 	for {
 		if e.cfg.MaxSupersteps > 0 && e.superstp > e.cfg.MaxSupersteps {
@@ -242,19 +297,41 @@ func (e *Engine) Run() (*Metrics, error) {
 				if !w.active[slot] && !e.cfg.ActivateAll {
 					continue
 				}
+				if e.failed() {
+					return
+				}
 				ctx.vertex = v
 				ctx.slot = slot
 				msgs := w.inbox[slot]
-				e.program.Run(&ctx, msgs)
+				if !e.guardedCall(int(v), func() { e.program.Run(&ctx, msgs) }) {
+					return
+				}
 				w.inbox[slot] = nil
 				w.active[slot] = false
 			}
 		})
 		t1 := time.Now()
+		if e.failed() {
+			// A compute failure leaves no frames in flight: rollback never
+			// needs a transport reset here.
+			if e.rollback(false) {
+				continue
+			}
+			return nil, e.takeErr()
+		}
 
 		// Messaging phase: exclusive message delivery after compute.
 		delivered := e.exchange()
 		t2 := time.Now()
+
+		// A failed exchange is checked before the barrier merge so a partial
+		// superstep's metrics are never folded into the totals.
+		if e.failed() {
+			if e.rollback(true) {
+				continue
+			}
+			return nil, e.takeErr()
+		}
 
 		// Barrier: merge aggregators and metric partials.
 		e.mergeAggregates()
@@ -273,11 +350,8 @@ func (e *Engine) Run() (*Metrics, error) {
 		e.metrics.Supersteps++
 		e.superstp++
 
-		e.errMu.Lock()
-		rerr := e.runErr
-		e.errMu.Unlock()
-		if rerr != nil {
-			return nil, rerr
+		if e.cfg.CheckpointEvery > 0 && (e.superstp-1)%e.cfg.CheckpointEvery == 0 {
+			e.capture()
 		}
 		if delivered == 0 && !e.anyActive() && !e.cfg.ActivateAll {
 			break
@@ -288,16 +362,77 @@ func (e *Engine) Run() (*Metrics, error) {
 		}
 	}
 	e.metrics.Makespan = time.Since(start)
+	e.metrics.Checkpoints = e.checkpoints
+	e.metrics.Recoveries = e.recoveries
 	return &e.metrics, nil
 }
 
-// parallel runs fn once per worker, concurrently, and waits for all.
+// fail records the first failure of the current superstep.
+func (e *Engine) fail(err error) {
+	e.errMu.Lock()
+	if e.runErr == nil {
+		e.runErr = err
+		e.hasErr.Store(true)
+	}
+	e.errMu.Unlock()
+}
+
+// failed reports whether the current superstep has failed; workers use it to
+// stop early instead of computing doomed vertices.
+func (e *Engine) failed() bool { return e.hasErr.Load() }
+
+// takeErr returns the recorded failure, if any.
+func (e *Engine) takeErr() error {
+	e.errMu.Lock()
+	defer e.errMu.Unlock()
+	return e.runErr
+}
+
+// clearErr resets the failure state after a successful rollback.
+func (e *Engine) clearErr() {
+	e.errMu.Lock()
+	e.runErr = nil
+	e.hasErr.Store(false)
+	e.errMu.Unlock()
+}
+
+// guardedCall runs one user-program invocation for a vertex, converting an
+// escaping panic into a *VertexPanicError recorded as the superstep failure;
+// it reports whether fn completed normally.
+func (e *Engine) guardedCall(vertex int, fn func()) (ok bool) {
+	defer func() {
+		if r := recover(); r != nil {
+			e.fail(&VertexPanicError{
+				Vertex:    vertex,
+				Superstep: e.superstp,
+				Value:     r,
+				Stack:     debug.Stack(),
+			})
+		}
+	}()
+	fn()
+	return true
+}
+
+// parallel runs fn once per worker, concurrently, and waits for all. A panic
+// escaping fn itself (engine bugs, codec paths outside guardedCall) is
+// recovered as a run failure rather than killing the process.
 func (e *Engine) parallel(fn func(*worker)) {
 	var wg sync.WaitGroup
 	wg.Add(len(e.workers))
 	for _, w := range e.workers {
 		go func(w *worker) {
 			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					e.fail(&VertexPanicError{
+						Vertex:    -1,
+						Superstep: e.superstp,
+						Value:     r,
+						Stack:     debug.Stack(),
+					})
+				}
+			}()
 			fn(w)
 		}(w)
 	}
@@ -324,7 +459,12 @@ func (e *Engine) exchange() int64 {
 			crossWorker := src.id != dst.id
 			for _, m := range batch {
 				if crossWorker && e.cfg.VerifyCodec {
-					m.Value = e.roundTrip(m.Value)
+					rv, err := e.roundTrip(m.Value)
+					if err != nil {
+						e.fail(err)
+						return
+					}
+					m.Value = rv
 				}
 				_, slot := e.eownerSlot(m.Dst)
 				dst.deliver(slot, m)
@@ -347,22 +487,17 @@ func (e *Engine) eownerSlot(v int32) (int, int) { return e.owner(v) }
 func (e *Engine) exchangeTransport() int64 {
 	var delivered int64
 	var mu sync.Mutex
-	failed := func(err error) {
-		e.errMu.Lock()
-		if e.runErr == nil {
-			e.runErr = err
-		}
-		e.errMu.Unlock()
-	}
-	// Ship phase.
+	// Ship phase. A failed Send is retried with capped exponential backoff
+	// before the superstep is declared failed: transient faults (a dropped
+	// frame, a congested peer) should not force a rollback.
 	e.parallel(func(src *worker) {
 		for dst := range e.workers {
 			if dst == src.id {
 				continue
 			}
 			buf := encodeBatch(nil, src.outbox[dst], e.cfg.PayloadCodec)
-			if err := e.cfg.Transport.Send(src.id, dst, buf); err != nil {
-				failed(err)
+			if err := e.sendWithRetry(src.id, dst, buf); err != nil {
+				e.fail(err)
 			}
 			src.outbox[dst] = src.outbox[dst][:0]
 		}
@@ -378,13 +513,13 @@ func (e *Engine) exchangeTransport() int64 {
 		dst.outbox[dst.id] = dst.outbox[dst.id][:0]
 		batches, err := e.cfg.Transport.Recv(dst.id)
 		if err != nil {
-			failed(err)
+			e.fail(err)
 			return
 		}
 		for _, b := range batches {
 			msgs, err := decodeBatch(b, e.cfg.PayloadCodec)
 			if err != nil {
-				failed(err)
+				e.fail(err)
 				return
 			}
 			for _, m := range msgs {
@@ -416,15 +551,42 @@ func (w *worker) deliver(slot int, m Message) {
 	w.active[slot] = true
 }
 
+// sendWithRetry ships one batch, retrying transient failures per
+// Config.SendRetries before giving up.
+func (e *Engine) sendWithRetry(src, dst int, batch []byte) error {
+	retries := e.cfg.SendRetries
+	switch {
+	case retries == 0:
+		retries = DefaultSendRetries
+	case retries < 0:
+		retries = 0
+	}
+	backoff := sendRetryBackoff
+	var err error
+	for attempt := 0; attempt <= retries; attempt++ {
+		if attempt > 0 {
+			time.Sleep(backoff)
+			if backoff < 16*sendRetryBackoff {
+				backoff *= 2
+			}
+		}
+		if err = e.cfg.Transport.Send(src, dst, batch); err == nil {
+			return nil
+		}
+	}
+	return fmt.Errorf("engine: send %d->%d failed after %d attempts: %w", src, dst, retries+1, err)
+}
+
 // roundTrip encodes and decodes a payload through the configured codec,
-// as a real wire would.
-func (e *Engine) roundTrip(v any) any {
+// as a real wire would. A codec failure is a superstep failure, not a
+// process-killing panic.
+func (e *Engine) roundTrip(v any) (any, error) {
 	buf := e.cfg.PayloadCodec.Append(nil, v)
 	out, _, err := e.cfg.PayloadCodec.Decode(buf)
 	if err != nil {
-		panic(fmt.Sprintf("engine: payload codec round-trip failed: %v", err))
+		return nil, fmt.Errorf("engine: payload codec round-trip failed: %w", err)
 	}
-	return out
+	return out, nil
 }
 
 func (e *Engine) anyActive() bool {

@@ -1,0 +1,307 @@
+package engine
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+
+	"graphite/internal/codec"
+	ival "graphite/internal/interval"
+)
+
+// faultProgram propagates BFS levels around a directed ring and injects one
+// fault on demand: a panic in Init, a panic in Run, or nothing.
+type faultProgram struct {
+	n           int
+	mu          sync.Mutex
+	dist        []int64
+	panicInit   int // vertex to panic in Init, -1 for never
+	panicRunAt  int // superstep to panic in Run, 0 for never
+	panicEvery  bool
+	panicsFired int
+}
+
+func newFaultProgram(n int) *faultProgram {
+	return &faultProgram{n: n, dist: make([]int64, n), panicInit: -1}
+}
+
+func (p *faultProgram) Init(ctx *Context) {
+	if ctx.Vertex() == p.panicInit {
+		panic("injected init panic")
+	}
+	p.mu.Lock()
+	p.dist[ctx.Vertex()] = 1 << 30
+	p.mu.Unlock()
+}
+
+func (p *faultProgram) Run(ctx *Context, msgs []Message) {
+	if p.panicRunAt != 0 && ctx.Superstep() == p.panicRunAt {
+		p.mu.Lock()
+		fire := p.panicEvery || p.panicsFired == 0
+		if fire {
+			p.panicsFired++
+		}
+		p.mu.Unlock()
+		if fire {
+			panic(fmt.Sprintf("injected run panic at superstep %d", ctx.Superstep()))
+		}
+	}
+	v := ctx.Vertex()
+	best := int64(1 << 30)
+	if ctx.Superstep() == 1 && v == 0 {
+		best = 0
+	}
+	for _, m := range msgs {
+		if d := m.Value.(int64); d < best {
+			best = d
+		}
+	}
+	p.mu.Lock()
+	cur := p.dist[v]
+	if best < cur {
+		p.dist[v] = best
+	}
+	p.mu.Unlock()
+	if best < cur {
+		ctx.Send((v+1)%p.n, ival.Universe, best+1)
+	}
+}
+
+func (p *faultProgram) Snapshot() any {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return append([]int64(nil), p.dist...)
+}
+
+func (p *faultProgram) Restore(snapshot any) {
+	p.mu.Lock()
+	copy(p.dist, snapshot.([]int64))
+	p.mu.Unlock()
+}
+
+// badCodec decodes nothing, failing every round-trip.
+type badCodec struct{}
+
+func (badCodec) Append(buf []byte, v any) []byte { return append(buf, 0) }
+func (badCodec) Decode(buf []byte) (any, int, error) {
+	return nil, 0, errors.New("badCodec: always fails")
+}
+
+// errTransport fails every send.
+type errTransport struct{}
+
+func (errTransport) Send(src, dst int, batch []byte) error {
+	return errors.New("errTransport: send failed")
+}
+func (errTransport) Recv(dst int) ([][]byte, error) { return nil, nil }
+func (errTransport) Close() error                   { return nil }
+
+// TestRunSurvivesFaults is the satellite table: every user-level fault —
+// panic in Init, panic in Run, a codec round-trip failure, and a mid-run
+// transport error — must surface as an error from Run with the process
+// alive, never as a crash.
+func TestRunSurvivesFaults(t *testing.T) {
+	const n = 8
+	cases := []struct {
+		name      string
+		configure func(p *faultProgram) Config
+		wantPanic bool // error must be a *VertexPanicError
+	}{
+		{
+			name: "panic in Init",
+			configure: func(p *faultProgram) Config {
+				p.panicInit = 3
+				return Config{NumWorkers: 2}
+			},
+			wantPanic: true,
+		},
+		{
+			name: "panic in Run",
+			configure: func(p *faultProgram) Config {
+				p.panicRunAt = 2
+				return Config{NumWorkers: 2}
+			},
+			wantPanic: true,
+		},
+		{
+			name: "codec round-trip failure",
+			configure: func(p *faultProgram) Config {
+				return Config{NumWorkers: 2, PayloadCodec: badCodec{}, VerifyCodec: true}
+			},
+		},
+		{
+			name: "mid-run transport error",
+			configure: func(p *faultProgram) Config {
+				// SendRetries -1 disables retries so the stub's permanent
+				// failure surfaces immediately.
+				return Config{NumWorkers: 2, PayloadCodec: codec.Int64{},
+					Transport: errTransport{}, SendRetries: -1}
+			},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			p := newFaultProgram(n)
+			cfg := tc.configure(p)
+			e, err := New(n, p, cfg)
+			if err != nil {
+				t.Fatalf("New: %v", err)
+			}
+			m, err := e.Run()
+			if err == nil {
+				t.Fatalf("Run must fail, got metrics %v", m)
+			}
+			var vp *VertexPanicError
+			if got := errors.As(err, &vp); got != tc.wantPanic {
+				t.Fatalf("VertexPanicError presence = %v, want %v (err: %v)", got, tc.wantPanic, err)
+			}
+			if tc.wantPanic {
+				if vp.Vertex < 0 || vp.Superstep < 1 || len(vp.Stack) == 0 {
+					t.Errorf("panic detail incomplete: vertex %d superstep %d stack %d bytes",
+						vp.Vertex, vp.Superstep, len(vp.Stack))
+				}
+			}
+		})
+	}
+}
+
+// TestCheckpointRecoversFromPanic: with CheckpointEvery set, a one-shot
+// panic rolls back and replays to the exact fault-free answer and metrics.
+func TestCheckpointRecoversFromPanic(t *testing.T) {
+	const n = 10
+	clean := newFaultProgram(n)
+	e, err := New(n, clean, Config{NumWorkers: 3})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	want, err := e.Run()
+	if err != nil {
+		t.Fatalf("fault-free run: %v", err)
+	}
+
+	for _, every := range []int{1, 2, 4} {
+		p := newFaultProgram(n)
+		p.panicRunAt = 4
+		e, err := New(n, p, Config{NumWorkers: 3, CheckpointEvery: every})
+		if err != nil {
+			t.Fatalf("New(every=%d): %v", every, err)
+		}
+		got, err := e.Run()
+		if err != nil {
+			t.Fatalf("run with CheckpointEvery=%d: %v", every, err)
+		}
+		for i := 0; i < n; i++ {
+			if p.dist[i] != int64(i) {
+				t.Fatalf("every=%d: dist[%d] = %d, want %d", every, i, p.dist[i], i)
+			}
+		}
+		if p.panicsFired != 1 {
+			t.Errorf("every=%d: panics fired = %d, want 1", every, p.panicsFired)
+		}
+		if got.Recoveries != 1 {
+			t.Errorf("every=%d: recoveries = %d, want 1", every, got.Recoveries)
+		}
+		if got.Supersteps != want.Supersteps || got.Messages != want.Messages ||
+			got.MessageBytes != want.MessageBytes {
+			t.Errorf("every=%d: metrics diverged:\nclean: %v\nrecovered: %v", every, want, got)
+		}
+	}
+}
+
+// TestRecoveryExhausted: a deterministic fault that outlives the recovery
+// budget must surface ErrRecoveryExhausted with the original cause wrapped.
+func TestRecoveryExhausted(t *testing.T) {
+	const n = 6
+	p := newFaultProgram(n)
+	p.panicRunAt = 3
+	p.panicEvery = true // refires on every replay
+	e, err := New(n, p, Config{NumWorkers: 2, CheckpointEvery: 1, MaxRecoveries: 2})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	_, err = e.Run()
+	if !errors.Is(err, ErrRecoveryExhausted) {
+		t.Fatalf("want ErrRecoveryExhausted, got %v", err)
+	}
+	var vp *VertexPanicError
+	if !errors.As(err, &vp) {
+		t.Fatalf("exhausted error must wrap the underlying panic, got %v", err)
+	}
+	if p.panicsFired != 3 {
+		t.Errorf("panics fired = %d, want 3 (initial + 2 replays)", p.panicsFired)
+	}
+}
+
+// TestCheckpointRequiresSnapshotter: checkpointing without the Snapshotter
+// contract is a configuration error, caught up front.
+func TestCheckpointRequiresSnapshotter(t *testing.T) {
+	p := &countProgram{limit: 2}
+	if _, err := New(4, p, Config{NumWorkers: 2, CheckpointEvery: 1}); !errors.Is(err, ErrBadConfig) {
+		t.Fatalf("want ErrBadConfig, got %v", err)
+	}
+}
+
+// TestCheckpointWithAggregatorsAndMaster: rollback must restore merged
+// aggregates and phase, and masters see identical values on replay.
+type replayMaster struct {
+	mu    sync.Mutex
+	seen  map[int][]int64 // superstep -> aggregate values observed
+	halt  int
+	count int
+}
+
+func (m *replayMaster) BeforeSuperstep(mc *MasterControl) {
+	m.mu.Lock()
+	var v int64
+	if x, ok := mc.AggValue("sum").(int64); ok {
+		v = x
+	}
+	m.seen[mc.Superstep()] = append(m.seen[mc.Superstep()], v)
+	m.count++
+	m.mu.Unlock()
+	mc.SetPhase(mc.Superstep())
+	if m.halt > 0 && mc.Superstep() >= m.halt {
+		mc.Halt()
+	}
+}
+
+// aggFaultProgram aggregates 1 per vertex per superstep and panics once.
+type aggFaultProgram struct {
+	faultProgram
+}
+
+func (p *aggFaultProgram) Run(ctx *Context, msgs []Message) {
+	ctx.Aggregate("sum", int64(1))
+	p.faultProgram.Run(ctx, msgs)
+}
+
+func TestCheckpointWithAggregatorsAndMaster(t *testing.T) {
+	const n = 6
+	p := &aggFaultProgram{faultProgram: *newFaultProgram(n)}
+	p.panicRunAt = 3
+	master := &replayMaster{seen: map[int][]int64{}}
+	e, err := New(n, p, Config{NumWorkers: 2, CheckpointEvery: 1, Master: master})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	e.RegisterAggregator("sum", SumInt64())
+	m, err := e.Run()
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if m.Recoveries != 1 {
+		t.Fatalf("recoveries = %d, want 1", m.Recoveries)
+	}
+	// Superstep 3 ran twice (original + replay); the master must have seen
+	// the identical aggregate value both times.
+	vals := master.seen[3]
+	if len(vals) != 2 || vals[0] != vals[1] {
+		t.Errorf("replayed master observations at superstep 3 = %v, want two identical", vals)
+	}
+	for i := 0; i < n; i++ {
+		if p.dist[i] != int64(i) {
+			t.Fatalf("dist[%d] = %d, want %d", i, p.dist[i], i)
+		}
+	}
+}

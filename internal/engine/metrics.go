@@ -17,6 +17,12 @@ type Metrics struct {
 	Messages     int64
 	MessageBytes int64
 
+	// Checkpoints and Recoveries count fault-tolerance events: recovery
+	// points captured and rollback-and-replay cycles taken. Both are zero on
+	// a fault-free run without checkpointing.
+	Checkpoints int
+	Recoveries  int
+
 	ComputePlusTime time.Duration
 	MessagingTime   time.Duration
 	BarrierTime     time.Duration
@@ -31,16 +37,23 @@ func (m *Metrics) Add(o *Metrics) {
 	m.ScatterCalls += o.ScatterCalls
 	m.Messages += o.Messages
 	m.MessageBytes += o.MessageBytes
+	m.Checkpoints += o.Checkpoints
+	m.Recoveries += o.Recoveries
 	m.ComputePlusTime += o.ComputePlusTime
 	m.MessagingTime += o.MessagingTime
 	m.BarrierTime += o.BarrierTime
 	m.Makespan += o.Makespan
 }
 
-// String summarizes the metrics on one line.
+// String summarizes the metrics on one line; fault-tolerance counters only
+// appear when non-zero.
 func (m *Metrics) String() string {
-	return fmt.Sprintf("supersteps=%d compute_calls=%d messages=%d bytes=%d compute+=%v messaging=%v barrier=%v makespan=%v",
+	s := fmt.Sprintf("supersteps=%d compute_calls=%d messages=%d bytes=%d compute+=%v messaging=%v barrier=%v makespan=%v",
 		m.Supersteps, m.ComputeCalls, m.Messages, m.MessageBytes,
 		m.ComputePlusTime.Round(time.Microsecond), m.MessagingTime.Round(time.Microsecond),
 		m.BarrierTime.Round(time.Microsecond), m.Makespan.Round(time.Microsecond))
+	if m.Checkpoints > 0 || m.Recoveries > 0 {
+		s += fmt.Sprintf(" checkpoints=%d recoveries=%d", m.Checkpoints, m.Recoveries)
+	}
+	return s
 }

@@ -6,6 +6,7 @@ import (
 	"io"
 	"net"
 	"sync"
+	"time"
 
 	"graphite/internal/codec"
 )
@@ -72,29 +73,81 @@ func decodeBatch(buf []byte, pc codec.Payload) ([]Message, error) {
 // Each ordered worker pair (src, dst) has its own connection; the dialing
 // side writes, the accepting side reads.
 type TCPTransport struct {
-	n    int
-	send [][]net.Conn // [src][dst]: dialer endpoints, written by src
-	recv [][]net.Conn // [src][dst]: accepted endpoints, read by dst
-	lns  []net.Listener
+	n         int
+	send      [][]net.Conn // [src][dst]: dialer endpoints, written by src
+	recv      [][]net.Conn // [src][dst]: accepted endpoints, read by dst
+	lns       []net.Listener
+	ioTimeout time.Duration
 }
 
-// NewTCPTransport wires n workers into a loopback mesh.
+// TCPOptions tunes the loopback mesh's fault behaviour. The zero value
+// selects the defaults below.
+type TCPOptions struct {
+	// IOTimeout bounds each Send write and each Recv frame read so a dead
+	// peer surfaces as an error instead of a hung barrier; zero means
+	// DefaultIOTimeout, negative disables deadlines.
+	IOTimeout time.Duration
+	// SetupTimeout bounds mesh construction — accepts and dials both; zero
+	// means DefaultSetupTimeout.
+	SetupTimeout time.Duration
+	// DialAttempts is how many times each peer is dialed before setup fails;
+	// transient ECONNREFUSED while peers are still binding is retried with
+	// exponential backoff. Zero means DefaultDialAttempts.
+	DialAttempts int
+	// DialBackoff is the initial delay between dial attempts, doubling per
+	// attempt and capped at 16x; zero means DefaultDialBackoff.
+	DialBackoff time.Duration
+}
+
+// TCP mesh defaults.
+const (
+	DefaultIOTimeout    = 30 * time.Second
+	DefaultSetupTimeout = 10 * time.Second
+	DefaultDialAttempts = 5
+	DefaultDialBackoff  = 5 * time.Millisecond
+)
+
+// NewTCPTransport wires n workers into a loopback mesh with default options.
 func NewTCPTransport(n int) (*TCPTransport, error) {
+	return NewTCPTransportOpts(n, TCPOptions{})
+}
+
+// NewTCPTransportOpts wires n workers into a loopback mesh.
+func NewTCPTransportOpts(n int, opts TCPOptions) (*TCPTransport, error) {
 	if n < 1 {
 		return nil, fmt.Errorf("engine: transport needs at least one worker")
 	}
-	t := &TCPTransport{
-		n:    n,
-		send: connMatrix(n),
-		recv: connMatrix(n),
-		lns:  make([]net.Listener, n),
+	if opts.IOTimeout == 0 {
+		opts.IOTimeout = DefaultIOTimeout
 	}
+	if opts.SetupTimeout <= 0 {
+		opts.SetupTimeout = DefaultSetupTimeout
+	}
+	if opts.DialAttempts <= 0 {
+		opts.DialAttempts = DefaultDialAttempts
+	}
+	if opts.DialBackoff <= 0 {
+		opts.DialBackoff = DefaultDialBackoff
+	}
+	t := &TCPTransport{
+		n:         n,
+		send:      connMatrix(n),
+		recv:      connMatrix(n),
+		lns:       make([]net.Listener, n),
+		ioTimeout: opts.IOTimeout,
+	}
+	deadline := time.Now().Add(opts.SetupTimeout)
 	addrs := make([]string, n)
 	for w := 0; w < n; w++ {
 		ln, err := net.Listen("tcp", "127.0.0.1:0")
 		if err != nil {
 			t.Close()
 			return nil, err
+		}
+		// Accept deadline: a peer that never dials must fail setup, not hang
+		// it forever.
+		if tl, ok := ln.(*net.TCPListener); ok {
+			tl.SetDeadline(deadline)
 		}
 		t.lns[w] = ln
 		addrs[w] = ln.Addr().String()
@@ -121,34 +174,42 @@ func NewTCPTransport(n int) (*TCPTransport, error) {
 					fail(err)
 					return
 				}
+				conn.SetReadDeadline(deadline)
 				var id [4]byte
 				if _, err := io.ReadFull(conn, id[:]); err != nil {
 					fail(err)
 					return
 				}
+				conn.SetReadDeadline(time.Time{})
 				src := int(binary.BigEndian.Uint32(id[:]))
+				if src < 0 || src >= n || src == w {
+					fail(fmt.Errorf("engine: bad handshake id %d at worker %d", src, w))
+					return
+				}
 				mu.Lock()
 				t.recv[src][w] = conn
 				mu.Unlock()
 			}
 		}(w)
 	}
-	// Dialers.
+	// Dialers, with capped exponential backoff on transient failures.
 	for w := 0; w < n; w++ {
 		for p := 0; p < n; p++ {
 			if p == w {
 				continue
 			}
-			conn, err := net.Dial("tcp", addrs[p])
+			conn, err := dialRetry(addrs[p], opts.DialAttempts, opts.DialBackoff, deadline)
 			if err != nil {
 				fail(err)
 				continue
 			}
+			conn.SetWriteDeadline(deadline)
 			var id [4]byte
 			binary.BigEndian.PutUint32(id[:], uint32(w))
 			if _, err := conn.Write(id[:]); err != nil {
 				fail(err)
 			}
+			conn.SetWriteDeadline(time.Time{})
 			t.send[w][p] = conn
 		}
 	}
@@ -160,6 +221,30 @@ func NewTCPTransport(n int) (*TCPTransport, error) {
 	return t, nil
 }
 
+// dialRetry dials addr up to attempts times with capped exponential backoff,
+// never past deadline.
+func dialRetry(addr string, attempts int, backoff time.Duration, deadline time.Time) (net.Conn, error) {
+	capped := 16 * backoff
+	var err error
+	for i := 0; i < attempts; i++ {
+		if i > 0 {
+			if time.Now().Add(backoff).After(deadline) {
+				break
+			}
+			time.Sleep(backoff)
+			if backoff < capped {
+				backoff *= 2
+			}
+		}
+		d := net.Dialer{Deadline: deadline}
+		var conn net.Conn
+		if conn, err = d.Dial("tcp", addr); err == nil {
+			return conn, nil
+		}
+	}
+	return nil, fmt.Errorf("engine: dial %s failed after %d attempts: %w", addr, attempts, err)
+}
+
 func connMatrix(n int) [][]net.Conn {
 	m := make([][]net.Conn, n)
 	for i := range m {
@@ -168,9 +253,20 @@ func connMatrix(n int) [][]net.Conn {
 	return m
 }
 
-// Send implements Transport with a 4-byte length prefix.
+// Send implements Transport with a 4-byte length prefix. A missing
+// connection (failed dial, closed mesh) is a descriptive error, never a nil
+// dereference; each write is bounded by the configured IO timeout.
 func (t *TCPTransport) Send(src, dst int, batch []byte) error {
+	if src < 0 || src >= t.n || dst < 0 || dst >= t.n || src == dst {
+		return fmt.Errorf("engine: invalid send pair %d->%d in %d-worker mesh", src, dst, t.n)
+	}
 	conn := t.send[src][dst]
+	if conn == nil {
+		return fmt.Errorf("engine: no connection %d->%d (dial failed or mesh closed)", src, dst)
+	}
+	if t.ioTimeout > 0 {
+		conn.SetWriteDeadline(time.Now().Add(t.ioTimeout))
+	}
 	var hdr [4]byte
 	binary.BigEndian.PutUint32(hdr[:], uint32(len(batch)))
 	if _, err := conn.Write(hdr[:]); err != nil {
@@ -181,13 +277,24 @@ func (t *TCPTransport) Send(src, dst int, batch []byte) error {
 }
 
 // Recv implements Transport: one frame per peer, ascending source order.
+// Each frame read is bounded by the configured IO timeout so a dead peer
+// cannot block the barrier forever.
 func (t *TCPTransport) Recv(dst int) ([][]byte, error) {
+	if dst < 0 || dst >= t.n {
+		return nil, fmt.Errorf("engine: invalid recv worker %d in %d-worker mesh", dst, t.n)
+	}
 	var out [][]byte
 	for src := 0; src < t.n; src++ {
 		if src == dst {
 			continue
 		}
 		conn := t.recv[src][dst]
+		if conn == nil {
+			return nil, fmt.Errorf("engine: no connection %d->%d (dial failed or mesh closed)", src, dst)
+		}
+		if t.ioTimeout > 0 {
+			conn.SetReadDeadline(time.Now().Add(t.ioTimeout))
+		}
 		var hdr [4]byte
 		if _, err := io.ReadFull(conn, hdr[:]); err != nil {
 			return nil, err

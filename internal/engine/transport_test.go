@@ -2,8 +2,10 @@ package engine
 
 import (
 	"errors"
+	"net"
 	"reflect"
 	"testing"
+	"time"
 
 	"graphite/internal/codec"
 	ival "graphite/internal/interval"
@@ -146,4 +148,75 @@ func TestTransportFailureSurfaces(t *testing.T) {
 	if _, err := e.Run(); err == nil {
 		t.Fatalf("run over a closed transport must fail")
 	}
+}
+
+// TestTCPTransportNilConnGuard exercises the missing-connection and bounds
+// guards directly: both must be descriptive errors, never nil dereferences.
+func TestTCPTransportNilConnGuard(t *testing.T) {
+	tr := &TCPTransport{n: 2, send: connMatrix(2), recv: connMatrix(2)}
+	if err := tr.Send(0, 1, []byte{1}); err == nil {
+		t.Fatalf("send over missing connection must fail")
+	}
+	if _, err := tr.Recv(1); err == nil {
+		t.Fatalf("recv over missing connection must fail")
+	}
+	if err := tr.Send(0, 5, nil); err == nil {
+		t.Fatalf("out-of-range dst must fail")
+	}
+	if err := tr.Send(1, 1, nil); err == nil {
+		t.Fatalf("self send must fail")
+	}
+	if _, err := tr.Recv(-1); err == nil {
+		t.Fatalf("out-of-range recv worker must fail")
+	}
+}
+
+// TestTCPTransportRecvTimeout checks a silent peer surfaces as a timeout
+// error instead of blocking the barrier forever.
+func TestTCPTransportRecvTimeout(t *testing.T) {
+	tr, err := NewTCPTransportOpts(2, TCPOptions{IOTimeout: 50 * time.Millisecond})
+	if err != nil {
+		t.Fatalf("transport: %v", err)
+	}
+	defer tr.Close()
+	start := time.Now()
+	if _, err := tr.Recv(1); err == nil {
+		t.Fatalf("recv with no sender must time out")
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("timeout took %v, deadline not applied", elapsed)
+	}
+}
+
+// TestDialRetryLateListener verifies mesh setup survives a peer that binds
+// late: dialRetry keeps retrying with backoff until the listener appears.
+func TestDialRetryLateListener(t *testing.T) {
+	// Reserve a port, free it, then rebind it shortly after the first dial
+	// attempt has already failed.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		time.Sleep(20 * time.Millisecond)
+		ln2, err := net.Listen("tcp", addr)
+		if err != nil {
+			return // port raced away; the dial below will be skipped
+		}
+		defer ln2.Close()
+		if conn, err := ln2.Accept(); err == nil {
+			conn.Close()
+		}
+	}()
+	conn, err := dialRetry(addr, 10, 5*time.Millisecond, time.Now().Add(5*time.Second))
+	if err != nil {
+		t.Skipf("port rebind raced: %v", err)
+	}
+	conn.Close()
+	<-done
 }
