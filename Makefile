@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet race verify chaos bench clean
+.PHONY: all build test vet race verify chaos bench trace-smoke clean
 
 all: verify
 
@@ -13,10 +13,10 @@ vet:
 test:
 	$(GO) test ./...
 
-# Race-checked run of the fault-tolerance surface (the chaos acceptance
-# tests live here).
+# Race-checked run of the fault-tolerance and observability surfaces (the
+# chaos acceptance tests and the concurrent registry tests live here).
 race:
-	$(GO) test -race ./internal/engine/... ./internal/chaos/...
+	$(GO) test -race ./internal/engine/... ./internal/chaos/... ./internal/obs/...
 
 # The full gate: everything vetted, built, and race-tested. Long-running
 # chaos tests honour -short via `make verify SHORT=-short`.
@@ -31,6 +31,15 @@ chaos:
 
 bench:
 	$(GO) run ./cmd/graphite-bench -scale 1 -workers 8 all
+
+# End-to-end tracing smoke test: run transit SSSP with a JSONL trace, then
+# validate the trace (schema, superstep contiguity, totals reconciliation)
+# and render the per-superstep breakdown.
+TRACE ?= /tmp/graphite-trace-smoke.jsonl
+trace-smoke:
+	$(GO) run ./cmd/graphite-run -graph transit -algo sssp -source 0 -workers 2 -trace $(TRACE) > /dev/null
+	$(GO) run ./cmd/graphite-trace -check $(TRACE)
+	$(GO) run ./cmd/graphite-trace $(TRACE)
 
 clean:
 	$(GO) clean ./...

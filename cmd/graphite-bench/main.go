@@ -7,6 +7,11 @@
 //
 // Experiments: table1, table2, fig4, fig5, fig6a, fig6b, fig6c, fig7,
 // msgsize, loc, chaos, all.
+//
+// With -trace, every ICM run in the selected experiments appends its
+// per-superstep event stream to one JSONL file (render with graphite-trace);
+// with -pprof, the metrics registry and the Go profiler are served over HTTP
+// while the experiments run.
 package main
 
 import (
@@ -17,16 +22,20 @@ import (
 
 	"graphite/internal/bench"
 	"graphite/internal/gen"
+	"graphite/internal/obs"
 )
 
 func main() {
 	var (
-		scale   = flag.Float64("scale", 1.0, "dataset scale factor (1.0 ~ quick laptop runs)")
-		workers = flag.Int("workers", 8, "BSP workers (the paper's cluster uses 8 nodes)")
-		batch   = flag.Int("batch", 6, "Chlonos snapshots per batch")
-		prIters = flag.Int("pr-iters", 10, "PageRank iterations")
-		seed    = flag.Int64("seed", 42, "dataset generator seed")
-		algos   = flag.String("algos", "", "comma-separated algorithm subset for table2/fig4/fig5 (default: all 12)")
+		scale     = flag.Float64("scale", 1.0, "dataset scale factor (1.0 ~ quick laptop runs)")
+		workers   = flag.Int("workers", 8, "BSP workers (the paper's cluster uses 8 nodes)")
+		batch     = flag.Int("batch", 6, "Chlonos snapshots per batch")
+		prIters   = flag.Int("pr-iters", 10, "PageRank iterations")
+		seed      = flag.Int64("seed", 42, "dataset generator seed")
+		algos     = flag.String("algos", "", "comma-separated algorithm subset for table2/fig4/fig5 (default: all 12)")
+		tracePath = flag.String("trace", "", "append every ICM run's JSONL trace to this file")
+		pprofAddr = flag.String("pprof", "", "serve /debug/vars and /debug/pprof on this address")
+		verbose   = flag.Bool("v", false, "verbose (debug-level) logging")
 	)
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: graphite-bench [flags] <experiment>...\n")
@@ -34,6 +43,7 @@ func main() {
 		flag.PrintDefaults()
 	}
 	flag.Parse()
+	log := obs.CLILogger("graphite-bench", *verbose)
 	if flag.NArg() == 0 {
 		flag.Usage()
 		os.Exit(2)
@@ -45,12 +55,37 @@ func main() {
 		BatchSize:    *batch,
 		PRIterations: *prIters,
 		Seed:         *seed,
+		Registry:     obs.NewRegistry(),
+	}
+	if *pprofAddr != "" {
+		srv, err := obs.ServeDebug(*pprofAddr, cfg.Registry)
+		if err != nil {
+			log.Error("pprof endpoint", "err", err)
+			os.Exit(1)
+		}
+		defer srv.Close()
+		log.Info("debug endpoint up", "addr", srv.Addr)
+	}
+	if *tracePath != "" {
+		jt, err := obs.CreateJSONLTrace(*tracePath)
+		if err != nil {
+			log.Error("open trace", "err", err)
+			os.Exit(1)
+		}
+		cfg.Tracer = jt
+		defer func() {
+			if err := jt.Close(); err != nil {
+				log.Error("close trace", "err", err)
+			}
+		}()
+		log.Debug("tracing ICM runs", "path", *tracePath)
 	}
 	selected := parseAlgos(*algos)
 
 	for _, exp := range flag.Args() {
+		log.Debug("experiment start", "exp", exp)
 		if err := run(cfg, exp, selected); err != nil {
-			fmt.Fprintf(os.Stderr, "graphite-bench: %s: %v\n", exp, err)
+			log.Error("experiment failed", "exp", exp, "err", err)
 			os.Exit(1)
 		}
 		fmt.Println()

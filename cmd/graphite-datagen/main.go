@@ -4,28 +4,30 @@
 //
 // Usage:
 //
-//	graphite-datagen -out DIR [-scale S] [-seed N] [profile...]
+//	graphite-datagen -out DIR [-scale S] [-seed N] [-v] [profile...]
 package main
 
 import (
 	"flag"
-	"fmt"
 	"os"
 	"path/filepath"
 
 	"graphite/internal/gen"
+	"graphite/internal/obs"
 	"graphite/internal/stats"
 	"graphite/internal/tgraph"
 )
 
 func main() {
 	var (
-		out    = flag.String("out", "", "output directory (empty: print characteristics only)")
-		scale  = flag.Float64("scale", 1.0, "dataset scale factor")
-		seed   = flag.Int64("seed", 42, "generator seed")
-		format = flag.String("format", "text", "output format: text or binary")
+		out     = flag.String("out", "", "output directory (empty: print characteristics only)")
+		scale   = flag.Float64("scale", 1.0, "dataset scale factor")
+		seed    = flag.Int64("seed", 42, "generator seed")
+		format  = flag.String("format", "text", "output format: text or binary")
+		verbose = flag.Bool("v", false, "verbose (debug-level) logging")
 	)
 	flag.Parse()
+	log := obs.CLILogger("graphite-datagen", *verbose)
 
 	profiles := gen.AllProfiles(gen.Scale(*scale))
 	if flag.NArg() > 0 {
@@ -37,7 +39,7 @@ func main() {
 		for _, name := range flag.Args() {
 			p, ok := byName[name]
 			if !ok {
-				fmt.Fprintf(os.Stderr, "graphite-datagen: unknown profile %q\n", name)
+				log.Error("unknown profile", "profile", name)
 				os.Exit(2)
 			}
 			profiles = append(profiles, p)
@@ -49,15 +51,16 @@ func main() {
 		"LifeV", "LifeE", "LifeProp", "File",
 	}}
 	for _, p := range profiles {
+		log.Debug("generating", "profile", p.Name, "scale", *scale)
 		g, err := gen.Generate(p, *seed)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "graphite-datagen: %s: %v\n", p.Name, err)
+			log.Error("generate profile", "profile", p.Name, "err", err)
 			os.Exit(1)
 		}
 		file := "-"
 		if *out != "" {
 			if err := os.MkdirAll(*out, 0o755); err != nil {
-				fmt.Fprintf(os.Stderr, "graphite-datagen: %v\n", err)
+				log.Error("create output dir", "dir", *out, "err", err)
 				os.Exit(1)
 			}
 			write := tgraph.WriteFile
@@ -67,9 +70,10 @@ func main() {
 			}
 			file = filepath.Join(*out, p.Name+ext)
 			if err := write(file, g); err != nil {
-				fmt.Fprintf(os.Stderr, "graphite-datagen: write %s: %v\n", file, err)
+				log.Error("write graph", "path", file, "err", err)
 				os.Exit(1)
 			}
+			log.Debug("profile written", "profile", p.Name, "path", file)
 		}
 		c := g.ComputeCharacteristics()
 		t.Add(p.Name, c.Snapshots, c.IntervalV, c.IntervalE, c.LargestSnapV, c.LargestSnapE,

@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	graphite-ingest -log events.txt -out graph.tg [-horizon T] [-format binary]
+//	graphite-ingest -log events.txt -out graph.tg [-horizon T] [-format binary] [-v]
 //
 // Log records: av/rv (vertex), ae/re (edge), vp/ep (property); see
 // internal/stream.ReadLog for the exact grammar.
@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"os"
 
+	"graphite/internal/obs"
 	"graphite/internal/stream"
 	"graphite/internal/tgraph"
 )
@@ -25,8 +26,10 @@ func main() {
 		out     = flag.String("out", "", "output graph file")
 		horizon = flag.Int64("horizon", 0, "close still-open entities at this time (0: leave unbounded)")
 		format  = flag.String("format", "text", "output format: text or binary")
+		verbose = flag.Bool("v", false, "verbose (debug-level) logging")
 	)
 	flag.Parse()
+	log := obs.CLILogger("graphite-ingest", *verbose)
 	if *out == "" {
 		flag.Usage()
 		os.Exit(2)
@@ -36,30 +39,30 @@ func main() {
 	if *logPath != "" {
 		f, err := os.Open(*logPath)
 		if err != nil {
-			fatal("%v", err)
+			log.Error("open log", "err", err)
+			os.Exit(1)
 		}
 		defer f.Close()
 		in = f
 	}
 	acc := stream.NewAccumulator()
 	if err := stream.ReadLog(in, acc); err != nil {
-		fatal("%v", err)
+		log.Error("read log", "err", err)
+		os.Exit(1)
 	}
+	log.Debug("log consumed", "events", acc.Events())
 	g, err := acc.Graph(*horizon)
 	if err != nil {
-		fatal("materialize: %v", err)
+		log.Error("materialize graph", "err", err)
+		os.Exit(1)
 	}
 	write := tgraph.WriteFile
 	if *format == "binary" {
 		write = tgraph.WriteBinaryFile
 	}
 	if err := write(*out, g); err != nil {
-		fatal("write %s: %v", *out, err)
+		log.Error("write graph", "path", *out, "err", err)
+		os.Exit(1)
 	}
-	fmt.Printf("ingested %d events -> %v -> %s\n", acc.Events(), g, *out)
-}
-
-func fatal(format string, args ...any) {
-	fmt.Fprintf(os.Stderr, "graphite-ingest: "+format+"\n", args...)
-	os.Exit(1)
+	log.Info("ingested", "events", acc.Events(), "graph", fmt.Sprint(g), "out", *out)
 }

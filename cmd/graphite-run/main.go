@@ -5,11 +5,19 @@
 //
 //	graphite-run -graph FILE -algo NAME [-source ID] [-target ID]
 //	             [-start T] [-deadline T] [-workers N] [-top K]
+//	             [-trace out.jsonl] [-pprof addr] [-v]
+//
+// The special graph name "transit" runs over the paper's built-in transit
+// example without needing a file. With -trace, the run's per-superstep event
+// stream is written as JSONL; render or validate it with graphite-trace.
+// With -pprof, /debug/vars (the metrics registry) and /debug/pprof are
+// served on the given address for the duration of the run.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"log/slog"
 	"os"
 	"sort"
 	"strings"
@@ -17,72 +25,87 @@ import (
 	"graphite/internal/algorithms"
 	"graphite/internal/core"
 	ival "graphite/internal/interval"
+	"graphite/internal/obs"
 	"graphite/internal/tgraph"
 )
 
 func main() {
 	var (
-		graphPath = flag.String("graph", "", "temporal graph file (tgraph text format)")
-		algo      = flag.String("algo", "", "algorithm: bfs wcc scc pr sssp eat fast ld tmst rh lcc tc")
+		graphPath = flag.String("graph", "", `temporal graph file, or "transit" for the built-in example`)
+		algo      = flag.String("algo", "", "algorithm: "+strings.Join(algorithms.Names(), " "))
 		source    = flag.Int64("source", 0, "source vertex id (path algorithms)")
 		target    = flag.Int64("target", -1, "target vertex id (LD; default: source)")
 		start     = flag.Int64("start", 0, "journey start time")
 		deadline  = flag.Int64("deadline", 0, "LD deadline (0: graph horizon)")
 		workers   = flag.Int("workers", 0, "BSP workers (0: GOMAXPROCS)")
 		top       = flag.Int("top", 10, "print at most this many vertices")
+		tracePath = flag.String("trace", "", "write the per-superstep JSONL trace to this file")
+		pprofAddr = flag.String("pprof", "", "serve /debug/vars and /debug/pprof on this address")
+		verbose   = flag.Bool("v", false, "verbose (debug-level) logging")
 	)
 	flag.Parse()
+	log := obs.CLILogger("graphite-run", *verbose)
 	if *graphPath == "" || *algo == "" {
 		flag.Usage()
 		os.Exit(2)
 	}
-	g, err := tgraph.ReadAnyFile(*graphPath)
-	if err != nil {
-		fatal("load graph: %v", err)
+
+	var g *tgraph.Graph
+	if *graphPath == "transit" {
+		g = tgraph.TransitExample()
+	} else {
+		var err error
+		g, err = tgraph.ReadAnyFile(*graphPath)
+		if err != nil {
+			fatal(log, "load graph", err)
+		}
 	}
-	fmt.Printf("loaded %v (horizon %d)\n", g, g.Horizon())
+	log.Info("graph loaded", "graph", fmt.Sprint(g), "horizon", int64(g.Horizon()))
 
 	src := tgraph.VertexID(*source)
 	tgt := tgraph.VertexID(*target)
 	if *target < 0 {
 		tgt = src
 	}
-	dl := ival.Time(*deadline)
-	if dl == 0 {
-		dl = g.Horizon()
+
+	reg := obs.NewRegistry()
+	if *pprofAddr != "" {
+		srv, err := obs.ServeDebug(*pprofAddr, reg)
+		if err != nil {
+			fatal(log, "pprof endpoint", err)
+		}
+		defer srv.Close()
+		log.Info("debug endpoint up", "addr", srv.Addr)
 	}
 
-	var r *core.Result
-	switch strings.ToLower(*algo) {
-	case "bfs":
-		r, err = algorithms.RunBFS(g, src, *workers)
-	case "wcc":
-		r, err = algorithms.RunWCC(g, *workers)
-	case "scc":
-		r, err = algorithms.RunSCC(g, *workers)
-	case "pr":
-		r, err = algorithms.RunPageRank(g, 10, *workers)
-	case "sssp":
-		r, err = algorithms.RunSSSP(g, src, *start, *workers)
-	case "eat":
-		r, err = algorithms.RunEAT(g, src, *start, *workers)
-	case "fast":
-		r, err = algorithms.RunFAST(g, src, *start, *workers)
-	case "ld":
-		r, err = algorithms.RunLD(g, tgt, dl, *workers)
-	case "tmst":
-		r, err = algorithms.RunTMST(g, src, *start, *workers)
-	case "rh":
-		r, err = algorithms.RunRH(g, src, *start, *workers)
-	case "lcc":
-		r, err = algorithms.RunLCC(g, *workers)
-	case "tc":
-		r, err = algorithms.RunTC(g, *workers)
-	default:
-		fatal("unknown algorithm %q", *algo)
-	}
+	prog, opts, err := algorithms.New(g, *algo, algorithms.Params{
+		Source:    src,
+		Target:    tgt,
+		StartTime: ival.Time(*start),
+		Deadline:  ival.Time(*deadline),
+	})
 	if err != nil {
-		fatal("run: %v", err)
+		fatal(log, "select algorithm", err)
+	}
+	opts.NumWorkers = *workers
+	opts.Registry = reg
+	if *tracePath != "" {
+		jt, err := obs.CreateJSONLTrace(*tracePath)
+		if err != nil {
+			fatal(log, "open trace", err)
+		}
+		opts.Tracer = jt
+		defer func() {
+			if err := jt.Close(); err != nil {
+				log.Error("close trace", "err", err)
+			}
+		}()
+		log.Debug("tracing", "path", *tracePath)
+	}
+
+	r, err := core.Run(g, prog, opts)
+	if err != nil {
+		fatal(log, "run", err)
 	}
 
 	fmt.Printf("metrics: %v\n", r.Metrics)
@@ -109,7 +132,7 @@ func main() {
 	}
 }
 
-func fatal(format string, args ...any) {
-	fmt.Fprintf(os.Stderr, "graphite-run: "+format+"\n", args...)
+func fatal(log *slog.Logger, msg string, err error) {
+	log.Error(msg, "err", err)
 	os.Exit(1)
 }

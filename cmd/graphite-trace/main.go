@@ -1,0 +1,85 @@
+// Command graphite-trace renders a JSONL trace written by graphite-run or
+// graphite-bench (-trace flag) as the paper-style per-superstep breakdown
+// table: compute+/messaging/barrier splits, primitive counts, warp behaviour
+// and fault events per superstep, plus the run totals.
+//
+// Usage:
+//
+//	graphite-trace [-check] [-v] trace.jsonl
+//
+// A trace file may hold several runs back to back (graphite-bench appends
+// every ICM run of an experiment to one file); each run is rendered — or
+// validated — separately.
+//
+// With -check the trace is validated instead of rendered: schema shape,
+// superstep contiguity (rollback-and-replay aware), and exact reconciliation
+// of per-superstep sums against the run_end totals. A failed check exits
+// non-zero, which is what the Makefile trace-smoke target keys off.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"graphite/internal/obs"
+)
+
+func main() {
+	var (
+		check   = flag.Bool("check", false, "validate the trace instead of rendering it")
+		verbose = flag.Bool("v", false, "verbose (debug-level) logging")
+	)
+	flag.Parse()
+	log := obs.CLILogger("graphite-trace", *verbose)
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: graphite-trace [-check] trace.jsonl")
+		os.Exit(2)
+	}
+	path := flag.Arg(0)
+	f, err := os.Open(path)
+	if err != nil {
+		log.Error("open trace", "err", err)
+		os.Exit(1)
+	}
+	defer f.Close()
+	events, err := obs.ParseTrace(f)
+	if err != nil {
+		log.Error("parse trace", "err", err)
+		os.Exit(1)
+	}
+	// graphite-bench appends every ICM run to one file; treat a trace as a
+	// sequence of runs throughout.
+	runs := obs.SplitRuns(events)
+	log.Debug("trace parsed", "path", path, "events", len(events), "runs", len(runs))
+	if len(runs) == 0 {
+		log.Error("trace invalid", "err", "no run_start event found")
+		os.Exit(1)
+	}
+
+	if *check {
+		for i, run := range runs {
+			if err := obs.ValidateTrace(run); err != nil {
+				log.Error("trace invalid", "run", i+1, "err", err)
+				os.Exit(1)
+			}
+		}
+		fmt.Printf("trace OK: %d events, %d run(s)\n", len(events), len(runs))
+		return
+	}
+
+	for i, run := range runs {
+		if len(runs) > 1 {
+			fmt.Printf("--- run %d/%d ---\n", i+1, len(runs))
+		}
+		s, err := obs.Summarize(run)
+		if err != nil {
+			log.Error("summarize trace", "run", i+1, "err", err)
+			os.Exit(1)
+		}
+		s.Render(os.Stdout)
+		if i < len(runs)-1 {
+			fmt.Println()
+		}
+	}
+}

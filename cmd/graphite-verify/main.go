@@ -14,6 +14,7 @@ import (
 	"os"
 
 	"graphite/internal/gen"
+	"graphite/internal/obs"
 	"graphite/internal/tgraph"
 	"graphite/internal/verify"
 )
@@ -27,8 +28,10 @@ func main() {
 		workers   = flag.Int("workers", 4, "BSP workers")
 		source    = flag.Int64("source", -1, "source vertex id (default: first vertex)")
 		target    = flag.Int64("target", -1, "LD target vertex id (default: last vertex)")
+		verbose   = flag.Bool("v", false, "verbose (debug-level) logging")
 	)
 	flag.Parse()
+	log := obs.CLILogger("graphite-verify", *verbose)
 
 	var g *tgraph.Graph
 	var err error
@@ -49,10 +52,10 @@ func main() {
 		os.Exit(2)
 	}
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "graphite-verify: %v\n", err)
+		log.Error("load graph", "err", err)
 		os.Exit(1)
 	}
-	fmt.Printf("verifying %v across GRAPHITE, MSB, Chlonos, TGB, GoFFish and the oracles\n", g)
+	log.Info("verifying across GRAPHITE, MSB, Chlonos, TGB, GoFFish and the oracles", "graph", fmt.Sprint(g))
 
 	cfg := verify.Config{Workers: *workers}
 	if *source >= 0 {
@@ -63,7 +66,7 @@ func main() {
 	}
 	reports, err := verify.All(g, cfg)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "graphite-verify: %v\n", err)
+		log.Error("verification run", "err", err)
 		os.Exit(1)
 	}
 	failed := false

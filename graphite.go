@@ -19,7 +19,9 @@
 //   - internal/gen — synthetic dataset generators shaped like the paper's
 //     six graphs;
 //   - internal/bench — the experiment harness regenerating every table and
-//     figure of the evaluation.
+//     figure of the evaluation;
+//   - internal/obs — observability: the metrics registry, typed
+//     per-superstep trace events, and the JSONL/expvar/pprof sinks.
 //
 // A minimal program:
 //
@@ -35,6 +37,7 @@ import (
 	"graphite/internal/core"
 	"graphite/internal/engine"
 	ival "graphite/internal/interval"
+	"graphite/internal/obs"
 	"graphite/internal/stream"
 	"graphite/internal/tgraph"
 	"graphite/internal/warp"
@@ -178,6 +181,48 @@ var (
 // the Options.MaxRecoveries budget.
 var ErrRecoveryExhausted = engine.ErrRecoveryExhausted
 
+// Observability: the metrics registry, the per-superstep trace stream and
+// its sinks. Set Options.Tracer and/or Options.Registry to instrument a
+// run; render or validate JSONL traces with the graphite-trace command or
+// ParseTrace/ValidateTrace/Summarize here.
+type (
+	// Tracer receives typed per-superstep events from a run.
+	Tracer = obs.Tracer
+	// TraceEvent is one typed trace record.
+	TraceEvent = obs.Event
+	// MetricsRegistry is the named counter/gauge/histogram collection the
+	// engine and the ICM runtime publish into.
+	MetricsRegistry = obs.Registry
+	// TraceRecorder keeps a run's events in memory.
+	TraceRecorder = obs.Recorder
+	// JSONLTracer streams events to a JSONL file or writer.
+	JSONLTracer = obs.JSONLTracer
+	// TraceSummary is a trace folded into per-superstep breakdown rows.
+	TraceSummary = obs.Summary
+)
+
+var (
+	// NewMetricsRegistry returns an empty metrics registry.
+	NewMetricsRegistry = obs.NewRegistry
+	// NewJSONLTracer streams trace events to a writer.
+	NewJSONLTracer = obs.NewJSONLTracer
+	// CreateJSONLTrace creates a JSONL trace file.
+	CreateJSONLTrace = obs.CreateJSONLTrace
+	// MultiTrace fans events out to several tracers.
+	MultiTrace = func(ts ...obs.Tracer) obs.Tracer { return obs.MultiTracer(ts) }
+	// ParseTrace reads a JSONL trace back into typed events.
+	ParseTrace = obs.ParseTrace
+	// ValidateTrace checks a trace's schema and totals reconciliation.
+	ValidateTrace = obs.ValidateTrace
+	// SummarizeTrace folds events into the per-superstep breakdown.
+	SummarizeTrace = obs.Summarize
+	// SplitTraceRuns splits a multi-run trace at each run_start.
+	SplitTraceRuns = obs.SplitRuns
+	// ServeDebug serves /debug/vars (with the registry under "graphite")
+	// and /debug/pprof on addr until the returned server is closed.
+	ServeDebug = obs.ServeDebug
+)
+
 // Time-warp operators.
 type (
 	// WarpTuple is one output triple of the warp operator.
@@ -224,6 +269,20 @@ var (
 	// RunFFM runs temporal feed-forward motif counting (an extension: the
 	// transaction-network pattern the paper's introduction motivates).
 	RunFFM = algorithms.RunFFM
+)
+
+// AlgorithmParams parameterizes the algorithm catalog: source/target
+// vertices, start time, deadline and iteration budget (zero values pick
+// sensible defaults).
+type AlgorithmParams = algorithms.Params
+
+var (
+	// NewAlgorithm builds a named catalog algorithm ("bfs", "sssp", ...)
+	// with its canonical Options — the seam for attaching Options.Tracer or
+	// Options.Registry to a packaged algorithm before graphite.Run.
+	NewAlgorithm = algorithms.New
+	// AlgorithmNames lists the catalog names.
+	AlgorithmNames = algorithms.Names
 )
 
 // Result decoders.

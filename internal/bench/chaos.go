@@ -50,6 +50,8 @@ func Chaos(cfg Config) ([]ChaosRow, error) {
 		if fp != nil {
 			opts.WrapProgram = fp.Wrap
 		}
+		opts.Tracer = cfg.Tracer
+		opts.Registry = cfg.Registry
 		return core.Run(g, a, opts)
 	}
 

@@ -147,6 +147,8 @@ func runICMCombiner(cfg Config, al Algo, g *tgraph.Graph, source tgraph.VertexID
 	if disable {
 		opts.ReceiverCombine = false
 	}
+	opts.Tracer = cfg.Tracer
+	opts.Registry = cfg.Registry
 	return core.Run(g, prog, opts)
 }
 
@@ -226,6 +228,8 @@ func runICMSuppression(cfg Config, al Algo, g *tgraph.Graph, source tgraph.Verte
 	}
 	opts.NumWorkers = cfg.Workers
 	opts.DisableSuppression = disable
+	opts.Tracer = cfg.Tracer
+	opts.Registry = cfg.Registry
 	return core.Run(g, prog, opts)
 }
 

@@ -9,6 +9,7 @@ package bench
 
 import (
 	"fmt"
+	"strings"
 
 	"graphite/internal/algorithms"
 	"graphite/internal/baseline/chlonos"
@@ -19,6 +20,7 @@ import (
 	"graphite/internal/core"
 	"graphite/internal/engine"
 	"graphite/internal/gen"
+	"graphite/internal/obs"
 	"graphite/internal/tgraph"
 )
 
@@ -81,6 +83,11 @@ type Config struct {
 	PRIterations int
 	// Seed drives the dataset generators.
 	Seed int64
+	// Tracer and Registry, when set, are threaded into every ICM run (the
+	// baselines keep their own engine-internal metrics): the tracer receives
+	// the per-superstep event stream, the registry the run counters.
+	Tracer   obs.Tracer
+	Registry *obs.Registry
 }
 
 // DefaultConfig mirrors the paper's setup at laptop scale.
@@ -149,33 +156,18 @@ func Run(cfg Config, pl Platform, al Algo, g *tgraph.Graph) (*engine.Metrics, er
 }
 
 func runICM(cfg Config, al Algo, g *tgraph.Graph, source, target tgraph.VertexID, w int) (*core.Result, error) {
-	switch al {
-	case BFS:
-		return algorithms.RunBFS(g, source, w)
-	case WCC:
-		return algorithms.RunWCC(g, w)
-	case SCC:
-		return algorithms.RunSCC(g, w)
-	case PR:
-		return algorithms.RunPageRank(g, cfg.PRIterations, w)
-	case SSSP:
-		return algorithms.RunSSSP(g, source, 0, w)
-	case EAT:
-		return algorithms.RunEAT(g, source, 0, w)
-	case FAST:
-		return algorithms.RunFAST(g, source, 0, w)
-	case LD:
-		return algorithms.RunLD(g, target, g.Horizon(), w)
-	case TMST:
-		return algorithms.RunTMST(g, source, 0, w)
-	case RH:
-		return algorithms.RunRH(g, source, 0, w)
-	case LCC:
-		return algorithms.RunLCC(g, w)
-	case TC:
-		return algorithms.RunTC(g, w)
+	prog, opts, err := algorithms.New(g, strings.ToLower(string(al)), algorithms.Params{
+		Source:     source,
+		Target:     target,
+		Iterations: cfg.PRIterations,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("bench: %w", err)
 	}
-	return nil, fmt.Errorf("bench: unknown algorithm %q", al)
+	opts.NumWorkers = w
+	opts.Tracer = cfg.Tracer
+	opts.Registry = cfg.Registry
+	return core.Run(g, prog, opts)
 }
 
 func tiSpec(cfg Config, al Algo, source tgraph.VertexID) (valgo.Spec, error) {

@@ -12,6 +12,7 @@ import (
 	"graphite/internal/core"
 	"graphite/internal/engine"
 	ival "graphite/internal/interval"
+	"graphite/internal/obs"
 	"graphite/internal/tgraph"
 )
 
@@ -251,6 +252,57 @@ func TestChaosSSSPMatchesFaultFree(t *testing.T) {
 	}
 	if base.Stats != got.Stats {
 		t.Errorf("ICM stats diverged:\nfault-free: %+v\nchaos:      %+v", base.Stats, got.Stats)
+	}
+}
+
+// TestChaosTraceEvents attaches a tracer to a chaos run and demands the
+// fault path shows up in the event stream — checkpoints, recoveries and
+// send retries — and that the resulting trace still validates: the
+// replay-aware reconciliation must hold even when supersteps were rolled
+// back and re-executed.
+func TestChaosTraceEvents(t *testing.T) {
+	tr, err := NewTransport(3, TransportOptions{
+		Seed: 7, Drops: 1, Corruptions: 1, Duplicates: 1, Delays: 1, Every: 4,
+	})
+	if err != nil {
+		t.Fatalf("NewTransport: %v", err)
+	}
+	defer tr.Close()
+	fp := NewFaultyProgram(PanicPlan{Superstep: 2, Vertex: AnyVertex})
+
+	g := tgraph.TransitExample()
+	a := &algorithms.SSSP{Source: 0, StartTime: 0}
+	opts := a.Options()
+	opts.NumWorkers = 3
+	opts.CheckpointEvery = 1
+	opts.MaxRecoveries = 10
+	opts.Transport = tr
+	opts.WrapProgram = fp.Wrap
+	rec := &obs.Recorder{}
+	opts.Tracer = rec
+	res, err := core.Run(g, a, opts)
+	if err != nil {
+		t.Fatalf("chaos run: %v", err)
+	}
+
+	if got := rec.Count("checkpoint"); got != res.Metrics.Checkpoints || got < 1 {
+		t.Errorf("checkpoint events = %d, metrics say %d (want >= 1)", got, res.Metrics.Checkpoints)
+	}
+	if got := rec.Count("recovery"); got != res.Metrics.Recoveries || got < 1 {
+		t.Errorf("recovery events = %d, metrics say %d (want >= 1)", got, res.Metrics.Recoveries)
+	}
+	if tr.Stats().Drops >= 1 && rec.Count("send_retry") < 1 {
+		t.Errorf("transport dropped %d sends but no send_retry event was traced", tr.Stats().Drops)
+	}
+	for _, e := range rec.Events() {
+		if r, ok := e.(obs.Recovery); ok {
+			if r.Reason == "" || r.Attempt < 1 || r.ResumeAt < 1 || r.Failed < r.ResumeAt {
+				t.Errorf("recovery event underspecified: %+v", r)
+			}
+		}
+	}
+	if err := obs.ValidateTrace(rec.Events()); err != nil {
+		t.Errorf("chaos trace does not validate: %v", err)
 	}
 }
 

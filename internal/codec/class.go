@@ -1,0 +1,49 @@
+package codec
+
+import ival "graphite/internal/interval"
+
+// IntervalClass names the encoding class an interval falls into — the same
+// taxonomy the header flags encode. The observability layer splits message
+// byte counts by class, since the unit/unbounded single-point encodings are
+// where the paper's 59–78% size reduction comes from.
+type IntervalClass uint8
+
+// Interval encoding classes, in header-flag order.
+const (
+	ClassEmpty IntervalClass = iota
+	ClassUnit
+	ClassUnbounded
+	ClassGeneral
+
+	// NumIntervalClasses sizes per-class accumulator arrays.
+	NumIntervalClasses = 4
+)
+
+// ClassOf returns the encoding class AppendInterval would use for iv.
+func ClassOf(iv ival.Interval) IntervalClass {
+	switch {
+	case iv.IsEmpty():
+		return ClassEmpty
+	case iv.IsUnit():
+		return ClassUnit
+	case iv.IsUnbounded():
+		return ClassUnbounded
+	default:
+		return ClassGeneral
+	}
+}
+
+// String returns the class name as used in registry metric names.
+func (c IntervalClass) String() string {
+	switch c {
+	case ClassEmpty:
+		return "empty"
+	case ClassUnit:
+		return "unit"
+	case ClassUnbounded:
+		return "unbounded"
+	case ClassGeneral:
+		return "general"
+	}
+	return "unknown"
+}

@@ -6,6 +6,7 @@ import (
 	"graphite/internal/codec"
 	"graphite/internal/engine"
 	ival "graphite/internal/interval"
+	"graphite/internal/obs"
 	"graphite/internal/tgraph"
 )
 
@@ -112,6 +113,13 @@ type Options struct {
 	// This is the fault-injection seam internal/chaos uses to schedule
 	// panics inside an otherwise unmodified ICM run.
 	WrapProgram func(engine.Program) engine.Program
+	// Tracer, when set, receives the engine's per-superstep event stream
+	// augmented with the ICM layer's warp statistics (a WarpStats event per
+	// superstep, emitted just before superstep_end).
+	Tracer obs.Tracer
+	// Registry, when set, is handed to the engine for its counters and also
+	// receives the run's ICM stats (warp calls, suppression, state updates).
+	Registry *obs.Registry
 }
 
 // Stats counts ICM-specific runtime events.
@@ -160,6 +168,11 @@ func Run(g *tgraph.Graph, prog Program, opts Options) (*Result, error) {
 		CheckpointEvery: opts.CheckpointEvery,
 		MaxRecoveries:   opts.MaxRecoveries,
 		SendRetries:     opts.SendRetries,
+		Registry:        opts.Registry,
+	}
+	if opts.Tracer != nil {
+		rt.traced = true
+		cfg.Tracer = &icmTracer{rt: rt, next: opts.Tracer}
 	}
 	if opts.ReceiverCombine && rt.combine != nil {
 		cfg.Combiner = engine.CombinerFunc(rt.combine)
@@ -182,5 +195,9 @@ func Run(g *tgraph.Graph, prog Program, opts Options) (*Result, error) {
 	if rt.err != nil {
 		return nil, rt.err
 	}
-	return &Result{Graph: g, Metrics: m, Stats: rt.statsSnapshot(), states: rt.states}, nil
+	s := rt.statsSnapshot()
+	if opts.Registry != nil {
+		publishStats(opts.Registry, s)
+	}
+	return &Result{Graph: g, Metrics: m, Stats: s, states: rt.states}, nil
 }

@@ -31,6 +31,13 @@ type runtime struct {
 	stateUpdates    atomic.Int64
 	activeIntervals atomic.Int64
 
+	// Trace-only counters (maintained when traced is set): warp group fan-in
+	// and the unit-message share the suppression heuristic keys off.
+	traced       bool
+	mergedGroups atomic.Int64
+	msgsIn       atomic.Int64
+	unitMsgsIn   atomic.Int64
+
 	errMu sync.Mutex
 	err   error
 }
@@ -128,6 +135,9 @@ type runtimeSnapshot struct {
 	warpSuppressed  int64
 	stateUpdates    int64
 	activeIntervals int64
+	mergedGroups    int64
+	msgsIn          int64
+	unitMsgsIn      int64
 }
 
 // Snapshot implements engine.Snapshotter.
@@ -138,6 +148,9 @@ func (rt *runtime) Snapshot() any {
 		warpSuppressed:  rt.warpSuppressed.Load(),
 		stateUpdates:    rt.stateUpdates.Load(),
 		activeIntervals: rt.activeIntervals.Load(),
+		mergedGroups:    rt.mergedGroups.Load(),
+		msgsIn:          rt.msgsIn.Load(),
+		unitMsgsIn:      rt.unitMsgsIn.Load(),
 	}
 	for i, st := range rt.states {
 		if st != nil {
@@ -162,6 +175,9 @@ func (rt *runtime) Restore(snapshot any) {
 	rt.warpSuppressed.Store(s.warpSuppressed)
 	rt.stateUpdates.Store(s.stateUpdates)
 	rt.activeIntervals.Store(s.activeIntervals)
+	rt.mergedGroups.Store(s.mergedGroups)
+	rt.msgsIn.Store(s.msgsIn)
+	rt.unitMsgsIn.Store(s.unitMsgsIn)
 }
 
 func (rt *runtime) fail(err error) {
@@ -222,6 +238,16 @@ func (rt *runtime) Run(ctx *engine.Context, msgs []engine.Message) {
 				inner = append(inner, warp.IntervalValue{Interval: x, Value: m.Value})
 			}
 		}
+		if rt.traced && len(inner) > 0 {
+			var unit int64
+			for _, iv := range inner {
+				if iv.Interval.IsUnit() {
+					unit++
+				}
+			}
+			rt.msgsIn.Add(int64(len(inner)))
+			rt.unitMsgsIn.Add(unit)
+		}
 		switch {
 		case rt.opts.DisableWarp:
 			tuples = rt.pointGroups(st, inner)
@@ -257,6 +283,17 @@ func (rt *runtime) Run(ctx *engine.Context, msgs []engine.Message) {
 		return
 	}
 	rt.activeIntervals.Add(int64(len(tuples)))
+	if rt.traced {
+		var merged int64
+		for _, tu := range tuples {
+			if len(tu.Msgs) >= 2 {
+				merged++
+			}
+		}
+		if merged != 0 {
+			rt.mergedGroups.Add(merged)
+		}
+	}
 
 	// Compute step: one user call per warp tuple.
 	for _, tu := range tuples {

@@ -1,0 +1,78 @@
+package engine
+
+import (
+	"testing"
+
+	"graphite/internal/codec"
+	ival "graphite/internal/interval"
+	"graphite/internal/obs"
+)
+
+type idleProgram struct{}
+
+func (idleProgram) Init(*Context) {}
+
+func (idleProgram) Run(*Context, []Message) {}
+
+// sendContext builds an engine with tracing disabled (or a tracer attached)
+// and hands back a live Context on worker 0 with a pre-grown outbox, so the
+// Send path itself is what gets measured.
+func sendContext(t testing.TB, tracer obs.Tracer) *Context {
+	t.Helper()
+	e, err := New(4, idleProgram{}, Config{
+		NumWorkers:   2,
+		PayloadCodec: codec.Int64{},
+		Tracer:       tracer,
+	})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	ctx := &Context{eng: e, w: e.workers[0], vertex: 0}
+	// Warm the outbox and the codec scratch buffer past any growth.
+	for i := 0; i < 64; i++ {
+		ctx.Send(1, ival.Universe, int64(5))
+	}
+	for dw := range ctx.w.outbox {
+		ctx.w.outbox[dw] = ctx.w.outbox[dw][:0]
+	}
+	return ctx
+}
+
+// TestSendNoAllocsUntraced is the acceptance check that observability is
+// free when off: with no tracer configured, Context.Send — which still
+// counts messages, bytes and interval-encoding classes — must not allocate.
+func TestSendNoAllocsUntraced(t *testing.T) {
+	ctx := sendContext(t, nil)
+	var v any = int64(5) // box once; Send takes any
+	intervals := []ival.Interval{
+		ival.Universe,  // unbounded class
+		ival.Point(3),  // unit class
+		ival.New(2, 9), // general class
+		ival.New(5, 5), // empty class
+	}
+	for _, iv := range intervals {
+		iv := iv
+		allocs := testing.AllocsPerRun(200, func() {
+			ctx.Send(1, iv, v)
+			ctx.w.outbox[1] = ctx.w.outbox[1][:0]
+		})
+		if allocs != 0 {
+			t.Errorf("Send(%v) with tracing off allocates %.1f per call, want 0", iv, allocs)
+		}
+	}
+}
+
+// BenchmarkContextSend reports the Send hot path with tracing off — the
+// configuration every production run uses.
+func BenchmarkContextSend(b *testing.B) {
+	ctx := sendContext(b, nil)
+	var v any = int64(5)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ctx.Send(1, ival.Universe, v)
+		if len(ctx.w.outbox[1]) >= 1024 {
+			ctx.w.outbox[1] = ctx.w.outbox[1][:0]
+		}
+	}
+}

@@ -1,6 +1,11 @@
 package engine
 
-import "fmt"
+import (
+	"fmt"
+
+	"graphite/internal/codec"
+	"graphite/internal/obs"
+)
 
 // Snapshotter is the optional Program extension checkpointing requires
 // (Config.CheckpointEvery). Snapshot returns an opaque deep-enough copy of
@@ -26,14 +31,15 @@ type Resettable interface {
 // checkpoint is one recovery point: everything Run mutates between
 // supersteps, captured at a barrier (no frames in flight, outboxes empty).
 type checkpoint struct {
-	superstep int
-	phase     int
-	halted    bool
-	metrics   Metrics
-	aggVals   map[string]any
-	program   any           // Snapshotter-provided user state
-	inbox     [][][]Message // [worker][slot]
-	active    [][]bool      // [worker][slot]
+	superstep  int
+	phase      int
+	halted     bool
+	metrics    Metrics // absolute registry totals at capture time
+	classBytes [codec.NumIntervalClasses]int64
+	aggVals    map[string]any
+	program    any           // Snapshotter-provided user state
+	inbox      [][][]Message // [worker][slot]
+	active     [][]bool      // [worker][slot]
 }
 
 // capture records a recovery point for the state "about to execute superstep
@@ -43,11 +49,14 @@ func (e *Engine) capture() {
 		superstep: e.superstp,
 		phase:     e.phase,
 		halted:    e.halted,
-		metrics:   e.metrics,
+		metrics:   e.rawView(),
 		aggVals:   make(map[string]any, len(e.aggVals)),
 		program:   e.program.(Snapshotter).Snapshot(),
 		inbox:     make([][][]Message, len(e.workers)),
 		active:    make([][]bool, len(e.workers)),
+	}
+	for i, ctr := range e.ec.classBytes {
+		c.classBytes[i] = ctr.Load()
 	}
 	for k, v := range e.aggVals {
 		c.aggVals[k] = v
@@ -63,6 +72,10 @@ func (e *Engine) capture() {
 	}
 	e.ckpt = c
 	e.checkpoints++
+	e.ec.checkpoints.Inc()
+	if e.traced {
+		e.tracer.Emit(obs.Checkpoint{Superstep: e.superstp, Index: e.checkpoints})
+	}
 }
 
 // restoreCheckpoint rewinds the engine to the latest checkpoint: superstep
@@ -74,7 +87,7 @@ func (e *Engine) restoreCheckpoint() {
 	e.superstp = c.superstep
 	e.phase = c.phase
 	e.halted = c.halted
-	e.metrics = c.metrics
+	e.storeRaw(c.metrics, c.classBytes)
 	e.aggVals = make(map[string]any, len(c.aggVals))
 	for k, v := range c.aggVals {
 		e.aggVals[k] = v
@@ -95,7 +108,7 @@ func (e *Engine) restoreCheckpoint() {
 		for d := range w.outbox {
 			w.outbox[d] = w.outbox[d][:0]
 		}
-		w.computeCalls, w.scatterCalls, w.sentMsgs, w.sentBytes = 0, 0, 0, 0
+		w.resetPartials()
 	}
 }
 
@@ -127,8 +140,23 @@ func (e *Engine) rollback(needsReset bool) bool {
 		e.errMu.Unlock()
 		return false
 	}
+	failed := e.superstp
+	reason := ""
+	if err := e.takeErr(); err != nil {
+		reason = err.Error()
+	}
 	e.recoveries++
+	e.ec.recoveries.Inc()
 	e.restoreCheckpoint()
 	e.clearErr()
+	if e.traced {
+		e.tracer.Emit(obs.Recovery{
+			Failed:   failed,
+			ResumeAt: e.superstp,
+			Attempt:  e.recoveries,
+			Reason:   reason,
+			Reset:    needsReset && e.cfg.Transport != nil,
+		})
+	}
 	return true
 }

@@ -34,7 +34,9 @@ func (c *Context) Send(dst int, when ival.Interval, value any) {
 	dw := int(c.eng.part[dst])
 	w.outbox[dw] = append(w.outbox[dw], Message{Dst: int32(dst), When: when, Value: value})
 	w.sentMsgs++
-	w.sentBytes += int64(codec.IntervalSize(when)) + c.payloadSize(value)
+	ivalBytes := int64(codec.IntervalSize(when))
+	w.sentBytes += ivalBytes + c.payloadSize(value)
+	w.classBytes[codec.ClassOf(when)] += ivalBytes
 }
 
 // payloadSize estimates encoded payload bytes, preferring the configured

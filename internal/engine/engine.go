@@ -25,6 +25,7 @@ import (
 
 	"graphite/internal/codec"
 	ival "graphite/internal/interval"
+	"graphite/internal/obs"
 )
 
 // Message is the engine-level message envelope: a payload valid for a
@@ -109,6 +110,17 @@ type Config struct {
 	// capped exponential backoff) before the superstep is declared failed.
 	// Zero means DefaultSendRetries; negative disables retries.
 	SendRetries int
+	// Tracer, when set, receives the typed per-superstep event stream:
+	// run/superstep lifecycle, per-worker phase timings, checkpoint, recovery
+	// and send-retry events. Lifecycle events are emitted from the
+	// coordinating goroutine in deterministic order; only send-retry events
+	// fire from workers. Nil disables tracing with no overhead on the send
+	// path.
+	Tracer obs.Tracer
+	// Registry, when set, is where the engine publishes its counters and
+	// histograms (e.g. for the /debug/vars endpoint); nil gives the engine a
+	// private registry. The Metrics Run returns are a per-run view over it.
+	Registry *obs.Registry
 }
 
 // Fault-tolerance defaults.
@@ -142,8 +154,15 @@ type Engine struct {
 	slot     []int32        // vertex -> local slot within its worker
 	phase    int
 	halted   bool
-	metrics  Metrics
 	superstp int
+
+	// Observability: totals live in the registry; Metrics is a per-run view
+	// over it (registry value minus the Run-start baseline).
+	reg    *obs.Registry
+	ec     engCounters
+	base   Metrics
+	tracer obs.Tracer
+	traced bool
 
 	errMu  sync.Mutex
 	runErr error       // first failure of the current superstep
@@ -168,6 +187,15 @@ type worker struct {
 	scatterCalls int64
 	sentMsgs     int64
 	sentBytes    int64
+	classBytes   [codec.NumIntervalClasses]int64 // interval bytes by encoding class
+
+	// Per-phase observations for the superstep in flight: each worker
+	// records into its own fields; the coordinator reads them after the
+	// phase barrier (workers are quiescent then), so no synchronization.
+	computeNS  int64
+	shipNS     int64
+	exchangeNS int64
+	delivered  int64
 
 	scratch []byte // payload sizing buffer, reused across sends
 }
@@ -205,7 +233,14 @@ func New(numVertices int, program Program, cfg Config) (*Engine, error) {
 		aggVals: map[string]any{},
 		part:    make([]int32, numVertices),
 		slot:    make([]int32, numVertices),
+		tracer:  cfg.Tracer,
+		traced:  cfg.Tracer != nil,
 	}
+	reg := cfg.Registry
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	e.bindRegistry(reg)
 	part := cfg.Partitioner
 	if part == nil {
 		part = func(v, n int) int { return v % n }
@@ -249,6 +284,14 @@ func (e *Engine) owner(v int32) (wid, slot int) {
 // rolled back to the latest checkpoint and replayed instead.
 func (e *Engine) Run() (*Metrics, error) {
 	start := time.Now()
+	e.base = e.rawView()
+	if e.traced {
+		e.tracer.Emit(obs.RunStart{
+			Vertices:    e.numV,
+			Workers:     len(e.workers),
+			Checkpoints: e.cfg.CheckpointEvery > 0,
+		})
+	}
 
 	// Superstep 1 initialization: Init on every vertex, all active.
 	e.superstp = 1
@@ -288,10 +331,16 @@ func (e *Engine) Run() (*Metrics, error) {
 			}
 		}
 
+		if e.traced {
+			e.tracer.Emit(obs.SuperstepStart{Superstep: e.superstp, Active: e.countActive()})
+		}
+
 		// Compute phase: user logic over active vertices, interleaved with
 		// message emission into outboxes ("compute+" in the paper).
 		t0 := time.Now()
 		e.parallel(func(w *worker) {
+			phaseStart := time.Now()
+			defer func() { w.computeNS = time.Since(phaseStart).Nanoseconds() }()
 			ctx := Context{eng: e, w: w}
 			for slot, v := range w.local {
 				if !w.active[slot] && !e.cfg.ActivateAll {
@@ -319,6 +368,12 @@ func (e *Engine) Run() (*Metrics, error) {
 			}
 			return nil, e.takeErr()
 		}
+		if e.traced {
+			// Worker partials hold exactly the compute phase's deltas here:
+			// they were reset at the previous barrier and the exchange phase
+			// does not touch them.
+			e.emitWorkerPhases("compute")
+		}
 
 		// Messaging phase: exclusive message delivery after compute.
 		delivered := e.exchange()
@@ -332,22 +387,46 @@ func (e *Engine) Run() (*Metrics, error) {
 			}
 			return nil, e.takeErr()
 		}
-
-		// Barrier: merge aggregators and metric partials.
-		e.mergeAggregates()
-		for _, w := range e.workers {
-			e.metrics.ComputeCalls += w.computeCalls
-			e.metrics.ScatterCalls += w.scatterCalls
-			e.metrics.Messages += w.sentMsgs
-			e.metrics.MessageBytes += w.sentBytes
-			w.computeCalls, w.scatterCalls, w.sentMsgs, w.sentBytes = 0, 0, 0, 0
+		if e.traced {
+			if e.cfg.Transport != nil {
+				e.emitWorkerPhases("ship")
+			}
+			e.emitWorkerPhases("exchange")
 		}
+
+		// Barrier: merge aggregators and metric partials into the registry.
+		e.mergeAggregates()
+		st := e.mergePartials()
 		t3 := time.Now()
 
-		e.metrics.ComputePlusTime += t1.Sub(t0)
-		e.metrics.MessagingTime += t2.Sub(t1)
-		e.metrics.BarrierTime += t3.Sub(t2)
-		e.metrics.Supersteps++
+		computeD, messagingD, barrierD := t1.Sub(t0), t2.Sub(t1), t3.Sub(t2)
+		e.ec.computeNS.Add(computeD.Nanoseconds())
+		e.ec.messagingNS.Add(messagingD.Nanoseconds())
+		e.ec.barrierNS.Add(barrierD.Nanoseconds())
+		e.ec.hCompute.Observe(computeD)
+		e.ec.hMessaging.Observe(messagingD)
+		e.ec.hBarrier.Observe(barrierD)
+		e.ec.supersteps.Inc()
+		if e.traced {
+			e.tracer.Emit(obs.SuperstepEnd{
+				Superstep:    e.superstp,
+				ComputeNS:    computeD.Nanoseconds(),
+				MessagingNS:  messagingD.Nanoseconds(),
+				BarrierNS:    barrierD.Nanoseconds(),
+				ComputeCalls: st.computeCalls,
+				ScatterCalls: st.scatterCalls,
+				Messages:     st.sentMsgs,
+				MessageBytes: st.sentBytes,
+				Delivered:    delivered,
+				Active:       e.countActive(),
+				Intervals: obs.IntervalBytes{
+					Unit:      st.classBytes[codec.ClassUnit],
+					Unbounded: st.classBytes[codec.ClassUnbounded],
+					General:   st.classBytes[codec.ClassGeneral],
+					Empty:     st.classBytes[codec.ClassEmpty],
+				},
+			})
+		}
 		e.superstp++
 
 		if e.cfg.CheckpointEvery > 0 && (e.superstp-1)%e.cfg.CheckpointEvery == 0 {
@@ -361,10 +440,25 @@ func (e *Engine) Run() (*Metrics, error) {
 			return nil, fmt.Errorf("%w: ActivateAll needs MaxSupersteps or a Master", ErrBadConfig)
 		}
 	}
-	e.metrics.Makespan = time.Since(start)
-	e.metrics.Checkpoints = e.checkpoints
-	e.metrics.Recoveries = e.recoveries
-	return &e.metrics, nil
+	e.ec.makespanNS.Store(time.Since(start).Nanoseconds())
+	m := e.metricsView()
+	if e.traced {
+		e.tracer.Emit(obs.RunEnd{
+			Supersteps:   m.Supersteps,
+			ComputeCalls: m.ComputeCalls,
+			ScatterCalls: m.ScatterCalls,
+			Messages:     m.Messages,
+			MessageBytes: m.MessageBytes,
+			Checkpoints:  m.Checkpoints,
+			Recoveries:   m.Recoveries,
+			ComputeNS:    int64(m.ComputePlusTime),
+			MessagingNS:  int64(m.MessagingTime),
+			BarrierNS:    int64(m.BarrierTime),
+			MakespanNS:   int64(m.Makespan),
+			Halted:       e.halted,
+		})
+	}
+	return &m, nil
 }
 
 // fail records the first failure of the current superstep.
@@ -445,10 +539,13 @@ func (e *Engine) exchange() int64 {
 	if e.cfg.Transport != nil {
 		return e.exchangeTransport()
 	}
-	var delivered int64
-	var mu sync.Mutex
 	e.parallel(func(dst *worker) {
+		phaseStart := time.Now()
 		var n int64
+		defer func() {
+			dst.delivered = n
+			dst.exchangeNS = time.Since(phaseStart).Nanoseconds()
+		}()
 		// Gather batches addressed to dst from every source worker, in
 		// worker order for determinism.
 		for _, src := range e.workers {
@@ -472,11 +569,18 @@ func (e *Engine) exchange() int64 {
 			}
 			src.outbox[dst.id] = src.outbox[dst.id][:0]
 		}
-		mu.Lock()
-		delivered += n
-		mu.Unlock()
 	})
-	return delivered
+	return e.sumDelivered()
+}
+
+// sumDelivered folds the per-worker delivery counts after an exchange phase
+// barrier; workers are quiescent, so plain reads suffice.
+func (e *Engine) sumDelivered() int64 {
+	var n int64
+	for _, w := range e.workers {
+		n += w.delivered
+	}
+	return n
 }
 
 func (e *Engine) eownerSlot(v int32) (int, int) { return e.owner(v) }
@@ -485,12 +589,12 @@ func (e *Engine) eownerSlot(v int32) (int, int) { return e.owner(v) }
 // cross-worker batch is serialized, shipped, and decoded on the far side;
 // same-worker batches are delivered directly, as they never leave the node.
 func (e *Engine) exchangeTransport() int64 {
-	var delivered int64
-	var mu sync.Mutex
 	// Ship phase. A failed Send is retried with capped exponential backoff
 	// before the superstep is declared failed: transient faults (a dropped
 	// frame, a congested peer) should not force a rollback.
 	e.parallel(func(src *worker) {
+		phaseStart := time.Now()
+		defer func() { src.shipNS = time.Since(phaseStart).Nanoseconds() }()
 		for dst := range e.workers {
 			if dst == src.id {
 				continue
@@ -504,7 +608,12 @@ func (e *Engine) exchangeTransport() int64 {
 	})
 	// Receive phase.
 	e.parallel(func(dst *worker) {
+		phaseStart := time.Now()
 		var n int64
+		defer func() {
+			dst.delivered = n
+			dst.exchangeNS = time.Since(phaseStart).Nanoseconds()
+		}()
 		for _, m := range dst.outbox[dst.id] {
 			_, slot := e.owner(m.Dst)
 			dst.deliver(slot, m)
@@ -528,11 +637,8 @@ func (e *Engine) exchangeTransport() int64 {
 				n++
 			}
 		}
-		mu.Lock()
-		delivered += n
-		mu.Unlock()
 	})
-	return delivered
+	return e.sumDelivered()
 }
 
 // deliver appends or combines a message into a local inbox slot and marks
@@ -572,6 +678,19 @@ func (e *Engine) sendWithRetry(src, dst int, batch []byte) error {
 		}
 		if err = e.cfg.Transport.Send(src, dst, batch); err == nil {
 			return nil
+		}
+		// Retry accounting fires from worker goroutines: the counter is
+		// atomic and tracers are required to be concurrency-safe. superstp
+		// is stable here (only mutated at barriers).
+		e.ec.sendRetries.Inc()
+		if e.traced {
+			e.tracer.Emit(obs.SendRetry{
+				Superstep: e.superstp,
+				Src:       src,
+				Dst:       dst,
+				Attempt:   attempt + 1,
+				Error:     err.Error(),
+			})
 		}
 	}
 	return fmt.Errorf("engine: send %d->%d failed after %d attempts: %w", src, dst, retries+1, err)

@@ -23,6 +23,13 @@ type Metrics struct {
 	Checkpoints int
 	Recoveries  int
 
+	// Runs is how many engine runs are folded into these metrics: 1 for a
+	// single run, accumulated by Add for the baselines that execute one run
+	// per snapshot or per batch. Makespan is then the total across runs;
+	// MeanMakespan and MaxMakespan summarize the per-run distribution.
+	Runs        int
+	MaxMakespan time.Duration
+
 	ComputePlusTime time.Duration
 	MessagingTime   time.Duration
 	BarrierTime     time.Duration
@@ -30,7 +37,9 @@ type Metrics struct {
 }
 
 // Add accumulates another run's metrics into m; used by baselines that
-// execute one engine run per snapshot or per batch.
+// execute one engine run per snapshot or per batch. Metrics built before the
+// Runs counter existed (zero Runs) count as one run, so mean/max stay honest
+// for hand-assembled values too.
 func (m *Metrics) Add(o *Metrics) {
 	m.Supersteps += o.Supersteps
 	m.ComputeCalls += o.ComputeCalls
@@ -39,10 +48,30 @@ func (m *Metrics) Add(o *Metrics) {
 	m.MessageBytes += o.MessageBytes
 	m.Checkpoints += o.Checkpoints
 	m.Recoveries += o.Recoveries
+	oRuns, oMax := o.Runs, o.MaxMakespan
+	if oRuns == 0 {
+		oRuns = 1
+	}
+	if oMax == 0 {
+		oMax = o.Makespan
+	}
+	m.Runs += oRuns
+	if oMax > m.MaxMakespan {
+		m.MaxMakespan = oMax
+	}
 	m.ComputePlusTime += o.ComputePlusTime
 	m.MessagingTime += o.MessagingTime
 	m.BarrierTime += o.BarrierTime
 	m.Makespan += o.Makespan
+}
+
+// MeanMakespan returns the average makespan per folded run (the makespan
+// itself when Runs is zero or one).
+func (m *Metrics) MeanMakespan() time.Duration {
+	if m.Runs <= 1 {
+		return m.Makespan
+	}
+	return m.Makespan / time.Duration(m.Runs)
 }
 
 // String summarizes the metrics on one line; fault-tolerance counters only
@@ -54,6 +83,10 @@ func (m *Metrics) String() string {
 		m.BarrierTime.Round(time.Microsecond), m.Makespan.Round(time.Microsecond))
 	if m.Checkpoints > 0 || m.Recoveries > 0 {
 		s += fmt.Sprintf(" checkpoints=%d recoveries=%d", m.Checkpoints, m.Recoveries)
+	}
+	if m.Runs > 1 {
+		s += fmt.Sprintf(" runs=%d mean_makespan=%v max_makespan=%v",
+			m.Runs, m.MeanMakespan().Round(time.Microsecond), m.MaxMakespan.Round(time.Microsecond))
 	}
 	return s
 }

@@ -1,0 +1,65 @@
+package engine
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestMetricsAddFoldsRuns: the baselines fold one engine run per snapshot
+// (or batch) with Add — the run count, mean and max makespan must summarize
+// the per-run distribution, and pre-Runs-era values (zero Runs) must count
+// as one run each.
+func TestMetricsAddFoldsRuns(t *testing.T) {
+	var m Metrics
+	m.Add(&Metrics{Supersteps: 3, Messages: 10, Makespan: 30 * time.Millisecond})
+	m.Add(&Metrics{Supersteps: 2, Messages: 5, Makespan: 10 * time.Millisecond})
+	m.Add(&Metrics{Supersteps: 1, Messages: 1, Makespan: 20 * time.Millisecond})
+
+	if m.Runs != 3 {
+		t.Errorf("Runs = %d, want 3", m.Runs)
+	}
+	if m.Supersteps != 6 || m.Messages != 16 {
+		t.Errorf("sums wrong: supersteps=%d messages=%d", m.Supersteps, m.Messages)
+	}
+	if m.Makespan != 60*time.Millisecond {
+		t.Errorf("Makespan = %v, want 60ms (total across runs)", m.Makespan)
+	}
+	if got := m.MeanMakespan(); got != 20*time.Millisecond {
+		t.Errorf("MeanMakespan = %v, want 20ms", got)
+	}
+	if m.MaxMakespan != 30*time.Millisecond {
+		t.Errorf("MaxMakespan = %v, want 30ms", m.MaxMakespan)
+	}
+
+	// Folding already-folded metrics keeps the run count and max honest.
+	var total Metrics
+	total.Add(&m)
+	total.Add(&Metrics{Runs: 2, Makespan: 100 * time.Millisecond, MaxMakespan: 90 * time.Millisecond})
+	if total.Runs != 5 {
+		t.Errorf("nested Runs = %d, want 5", total.Runs)
+	}
+	if total.MaxMakespan != 90*time.Millisecond {
+		t.Errorf("nested MaxMakespan = %v, want 90ms", total.MaxMakespan)
+	}
+	if got := total.MeanMakespan(); got != 32*time.Millisecond {
+		t.Errorf("nested MeanMakespan = %v, want 32ms", got)
+	}
+}
+
+func TestMetricsStringRunsSuffix(t *testing.T) {
+	single := &Metrics{Makespan: 10 * time.Millisecond}
+	if s := single.String(); strings.Contains(s, "runs=") {
+		t.Errorf("single-run String should omit runs summary: %s", s)
+	}
+	m := &Metrics{}
+	m.Add(&Metrics{Makespan: 10 * time.Millisecond})
+	m.Add(&Metrics{Makespan: 30 * time.Millisecond})
+	m.Add(&Metrics{Makespan: 20 * time.Millisecond})
+	s := m.String()
+	for _, want := range []string{"runs=3", "mean_makespan=20ms", "max_makespan=30ms"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String() = %q, missing %q", s, want)
+		}
+	}
+}

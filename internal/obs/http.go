@@ -1,0 +1,72 @@
+package obs
+
+import (
+	"expvar"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sync"
+	"sync/atomic"
+)
+
+// The expvar bridge: expvar.Publish panics on duplicate names, so the
+// registry behind the published Func is swappable and published once per
+// process. The most recently served registry wins, which is what a CLI
+// run wants.
+var (
+	publishOnce  sync.Once
+	publishedReg atomic.Pointer[Registry]
+)
+
+func publish(reg *Registry) {
+	publishedReg.Store(reg)
+	publishOnce.Do(func() {
+		expvar.Publish("graphite", expvar.Func(func() any {
+			if r := publishedReg.Load(); r != nil {
+				return r.Snapshot()
+			}
+			return nil
+		}))
+	})
+}
+
+// DebugServer is a running /debug endpoint. Close stops it.
+type DebugServer struct {
+	// Addr is the bound address (useful with ":0").
+	Addr string
+	srv  *http.Server
+	ln   net.Listener
+}
+
+// ServeDebug exposes the registry and the Go profiler over HTTP on addr:
+// /debug/vars (expvar JSON, registry published under "graphite") and
+// /debug/pprof/... (profiles, heap, goroutines). It returns once the
+// listener is bound; the server runs until Close. Opt-in: nothing listens
+// unless a CLI was started with -pprof.
+func ServeDebug(addr string, reg *Registry) (*DebugServer, error) {
+	if reg != nil {
+		publish(reg)
+	}
+	mux := http.NewServeMux()
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("obs: debug listener: %w", err)
+	}
+	s := &DebugServer{
+		Addr: ln.Addr().String(),
+		srv:  &http.Server{Handler: mux},
+		ln:   ln,
+	}
+	go s.srv.Serve(ln) //nolint:errcheck // Serve returns ErrServerClosed on Close
+	return s, nil
+}
+
+// Close stops the server.
+func (s *DebugServer) Close() error { return s.srv.Close() }

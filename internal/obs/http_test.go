@@ -1,0 +1,68 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"testing"
+)
+
+// TestServeDebug starts the debug endpoint on an ephemeral port and checks
+// the registry shows up under /debug/vars and the pprof index answers.
+func TestServeDebug(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter(CMessages).Add(42)
+	s, err := ServeDebug("127.0.0.1:0", reg)
+	if err != nil {
+		t.Fatalf("ServeDebug: %v", err)
+	}
+	defer s.Close()
+
+	resp, err := http.Get("http://" + s.Addr + "/debug/vars")
+	if err != nil {
+		t.Fatalf("GET /debug/vars: %v", err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	var vars struct {
+		Graphite map[string]any `json:"graphite"`
+	}
+	if err := json.Unmarshal(body, &vars); err != nil {
+		t.Fatalf("unmarshal /debug/vars: %v", err)
+	}
+	if got := vars.Graphite[CMessages]; got != float64(42) {
+		t.Errorf("graphite.%s = %v, want 42", CMessages, got)
+	}
+
+	resp, err = http.Get("http://" + s.Addr + "/debug/pprof/")
+	if err != nil {
+		t.Fatalf("GET /debug/pprof/: %v", err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("/debug/pprof/ status = %d, want 200", resp.StatusCode)
+	}
+
+	// A second endpoint over a different registry must not panic on the
+	// expvar re-publish, and /debug/vars must follow the latest registry.
+	reg2 := NewRegistry()
+	reg2.Counter(CMessages).Add(7)
+	s2, err := ServeDebug("127.0.0.1:0", reg2)
+	if err != nil {
+		t.Fatalf("second ServeDebug: %v", err)
+	}
+	defer s2.Close()
+	resp, err = http.Get("http://" + s2.Addr + "/debug/vars")
+	if err != nil {
+		t.Fatalf("GET second /debug/vars: %v", err)
+	}
+	body, _ = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err := json.Unmarshal(body, &vars); err != nil {
+		t.Fatalf("unmarshal second /debug/vars: %v", err)
+	}
+	if got := vars.Graphite[CMessages]; got != float64(7) {
+		t.Errorf("after second publish, graphite.%s = %v, want 7", CMessages, got)
+	}
+}

@@ -1,0 +1,90 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+)
+
+// JSONLTracer writes one JSON object per event, flat, with a leading
+// "type" discriminator:
+//
+//	{"type":"superstep_end","superstep":3,"compute_ns":12345,...}
+//
+// The writer is buffered and mutex-protected (retry events arrive from
+// worker goroutines); Close flushes.
+type JSONLTracer struct {
+	mu  sync.Mutex
+	bw  *bufio.Writer
+	c   io.Closer
+	err error
+}
+
+// NewJSONLTracer wraps w. If w is also an io.Closer, Close closes it.
+func NewJSONLTracer(w io.Writer) *JSONLTracer {
+	t := &JSONLTracer{bw: bufio.NewWriter(w)}
+	if c, ok := w.(io.Closer); ok {
+		t.c = c
+	}
+	return t
+}
+
+// CreateJSONLTrace creates (truncating) a trace file at path.
+func CreateJSONLTrace(path string) (*JSONLTracer, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, fmt.Errorf("obs: create trace: %w", err)
+	}
+	return NewJSONLTracer(f), nil
+}
+
+// Emit implements Tracer.
+func (t *JSONLTracer) Emit(e Event) {
+	line, err := MarshalEvent(e)
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.err != nil {
+		return
+	}
+	if err == nil {
+		_, err = t.bw.Write(line)
+	}
+	if err == nil {
+		err = t.bw.WriteByte('\n')
+	}
+	t.err = err
+}
+
+// Close flushes the buffer and closes the underlying writer when it is a
+// Closer; it returns the first error seen on the stream.
+func (t *JSONLTracer) Close() error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if err := t.bw.Flush(); err != nil && t.err == nil {
+		t.err = err
+	}
+	if t.c != nil {
+		if err := t.c.Close(); err != nil && t.err == nil {
+			t.err = err
+		}
+	}
+	return t.err
+}
+
+// MarshalEvent renders one event as its flat JSONL line (no trailing
+// newline): the event's own fields with "type" spliced in front.
+func MarshalEvent(e Event) ([]byte, error) {
+	body, err := json.Marshal(e)
+	if err != nil {
+		return nil, fmt.Errorf("obs: marshal %s event: %w", e.Kind(), err)
+	}
+	head := fmt.Appendf(nil, `{"type":%q`, e.Kind())
+	if len(body) <= 2 { // "{}" — event with no fields
+		return append(head, '}'), nil
+	}
+	head = append(head, ',')
+	return append(head, body[1:]...), nil
+}

@@ -1,0 +1,28 @@
+package obs
+
+import (
+	"io"
+	"log/slog"
+	"os"
+)
+
+// NewLogger returns the stack's structured logger: text-format slog on w,
+// at Info level, or Debug when verbose. All diagnostics go through it;
+// stdout stays reserved for actual program output (tables, vertex states,
+// rendered traces).
+func NewLogger(w io.Writer, verbose bool) *slog.Logger {
+	lvl := slog.LevelInfo
+	if verbose {
+		lvl = slog.LevelDebug
+	}
+	return slog.New(slog.NewTextHandler(w, &slog.HandlerOptions{Level: lvl}))
+}
+
+// CLILogger is the shared CLI setup: a NewLogger on stderr tagged with the
+// command name, installed as the slog default so library code logging via
+// the default logger is uniform across all the graphite-* commands.
+func CLILogger(cmd string, verbose bool) *slog.Logger {
+	l := NewLogger(os.Stderr, verbose).With("cmd", cmd)
+	slog.SetDefault(l)
+	return l
+}

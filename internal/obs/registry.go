@@ -1,0 +1,296 @@
+// Package obs is the observability layer of the stack: a dependency-free
+// metrics registry (counters, gauges, fixed-bucket duration histograms), a
+// Tracer contract receiving typed per-superstep events from the BSP engine
+// and the ICM runtime, sinks for both (a JSONL trace writer, an expvar +
+// pprof debug endpoint), and the shared slog setup the CLIs use.
+//
+// The paper's entire evaluation (Sec. VII) is built from per-superstep
+// instrumentation — compute+/messaging/barrier splits, compute-call and
+// message counts, encoded byte sizes — so the same quantities are what the
+// registry names and the trace events carry. engine.Metrics is a view over
+// the registry; a JSONL trace is the per-superstep decomposition of the same
+// totals, and the two reconcile exactly on a fault-free run.
+package obs
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Canonical registry names. The engine and the ICM runtime publish under
+// these; sinks and tests address them by name.
+const (
+	// Engine totals (the Metrics view reads these).
+	CSupersteps    = "engine.supersteps"
+	CComputeCalls  = "engine.compute_calls"
+	CScatterCalls  = "engine.scatter_calls"
+	CMessages      = "engine.messages"
+	CMessageBytes  = "engine.message_bytes"
+	CCheckpoints   = "engine.checkpoints"
+	CRecoveries    = "engine.recoveries"
+	CComputePlusNS = "engine.compute_plus_ns"
+	CMessagingNS   = "engine.messaging_ns"
+	CBarrierNS     = "engine.barrier_ns"
+	CMakespanNS    = "engine.makespan_ns"
+	CSendRetries   = "engine.send_retries"
+
+	// Per-superstep duration distributions.
+	HSuperstepComputeNS   = "engine.superstep.compute_ns"
+	HSuperstepMessagingNS = "engine.superstep.messaging_ns"
+	HSuperstepBarrierNS   = "engine.superstep.barrier_ns"
+
+	// Interval-encoding bytes by codec class (Sec. VI "Interval Messages").
+	CIntervalBytesUnit      = "codec.interval_bytes.unit"
+	CIntervalBytesUnbounded = "codec.interval_bytes.unbounded"
+	CIntervalBytesGeneral   = "codec.interval_bytes.general"
+	CIntervalBytesEmpty     = "codec.interval_bytes.empty"
+
+	// ICM runtime totals.
+	CWarpCalls       = "icm.warp_calls"
+	CWarpSuppressed  = "icm.warp_suppressed"
+	CStateUpdates    = "icm.state_updates"
+	CActiveIntervals = "icm.active_intervals"
+	GMaxPartitions   = "icm.max_partitions"
+)
+
+// Counter is a monotonic (except Store, used by checkpoint rollback) int64
+// metric, safe for concurrent use. The zero value is ready.
+type Counter struct{ v atomic.Int64 }
+
+// Add increments the counter by n.
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Store overwrites the counter; the engine's rollback path rewinds totals
+// to a checkpoint with it.
+func (c *Counter) Store(n int64) { c.v.Store(n) }
+
+// Load returns the current value.
+func (c *Counter) Load() int64 { return c.v.Load() }
+
+// Gauge is a point-in-time int64 metric, safe for concurrent use. The zero
+// value is ready.
+type Gauge struct{ v atomic.Int64 }
+
+// Set overwrites the gauge.
+func (g *Gauge) Set(n int64) { g.v.Store(n) }
+
+// Add adjusts the gauge by n.
+func (g *Gauge) Add(n int64) { g.v.Add(n) }
+
+// Load returns the current value.
+func (g *Gauge) Load() int64 { return g.v.Load() }
+
+// DefaultDurationBuckets are the histogram bucket upper bounds used when a
+// histogram is created without explicit bounds: exponential from 10µs to
+// ~40s, wide enough for a superstep phase at any of the bench scales.
+var DefaultDurationBuckets = []time.Duration{
+	10 * time.Microsecond, 40 * time.Microsecond, 160 * time.Microsecond,
+	640 * time.Microsecond, 2560 * time.Microsecond, 10 * time.Millisecond,
+	41 * time.Millisecond, 164 * time.Millisecond, 655 * time.Millisecond,
+	2621 * time.Millisecond, 10486 * time.Millisecond, 41943 * time.Millisecond,
+}
+
+// Histogram is a fixed-bucket duration histogram, safe for concurrent use.
+// An observation lands in the first bucket whose upper bound is >= the
+// value (inclusive, Prometheus "le" semantics); values above every bound
+// land in the implicit overflow bucket. The zero value is ready and records
+// count and sum only.
+type Histogram struct {
+	bounds []int64 // upper bounds in nanoseconds, ascending
+	counts []atomic.Int64
+	over   atomic.Int64
+	count  atomic.Int64
+	sum    atomic.Int64
+}
+
+// NewHistogram returns a histogram with the given bucket upper bounds
+// (sorted ascending; nil means DefaultDurationBuckets).
+func NewHistogram(bounds []time.Duration) *Histogram {
+	if bounds == nil {
+		bounds = DefaultDurationBuckets
+	}
+	h := &Histogram{
+		bounds: make([]int64, len(bounds)),
+		counts: make([]atomic.Int64, len(bounds)),
+	}
+	for i, b := range bounds {
+		h.bounds[i] = int64(b)
+	}
+	sort.Slice(h.bounds, func(a, b int) bool { return h.bounds[a] < h.bounds[b] })
+	return h
+}
+
+// Observe records one duration.
+func (h *Histogram) Observe(d time.Duration) {
+	n := int64(d)
+	h.count.Add(1)
+	h.sum.Add(n)
+	for i, b := range h.bounds {
+		if n <= b {
+			h.counts[i].Add(1)
+			return
+		}
+	}
+	if h.bounds != nil {
+		h.over.Add(1)
+	}
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Sum returns the total of all observations.
+func (h *Histogram) Sum() time.Duration { return time.Duration(h.sum.Load()) }
+
+// HistogramBucket is one bucket of a histogram snapshot.
+type HistogramBucket struct {
+	UpperBound time.Duration `json:"le_ns"`
+	Count      int64         `json:"count"`
+}
+
+// HistogramSnapshot is a consistent-enough copy of a histogram for export.
+type HistogramSnapshot struct {
+	Count    int64             `json:"count"`
+	SumNS    int64             `json:"sum_ns"`
+	Buckets  []HistogramBucket `json:"buckets,omitempty"`
+	Overflow int64             `json:"overflow,omitempty"`
+}
+
+// Snapshot exports the histogram.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	s := HistogramSnapshot{
+		Count:    h.count.Load(),
+		SumNS:    h.sum.Load(),
+		Overflow: h.over.Load(),
+	}
+	for i, b := range h.bounds {
+		s.Buckets = append(s.Buckets, HistogramBucket{
+			UpperBound: time.Duration(b),
+			Count:      h.counts[i].Load(),
+		})
+	}
+	return s
+}
+
+// Registry is a named collection of counters, gauges and histograms.
+// Lookups get-or-create, so producers and consumers need no registration
+// order. The zero value is ready; methods are safe for concurrent use.
+type Registry struct {
+	mu       sync.RWMutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry { return &Registry{} }
+
+// Counter returns the named counter, creating it on first use.
+func (r *Registry) Counter(name string) *Counter {
+	r.mu.RLock()
+	c := r.counters[name]
+	r.mu.RUnlock()
+	if c != nil {
+		return c
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.counters == nil {
+		r.counters = map[string]*Counter{}
+	}
+	if c = r.counters[name]; c == nil {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use.
+func (r *Registry) Gauge(name string) *Gauge {
+	r.mu.RLock()
+	g := r.gauges[name]
+	r.mu.RUnlock()
+	if g != nil {
+		return g
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.gauges == nil {
+		r.gauges = map[string]*Gauge{}
+	}
+	if g = r.gauges[name]; g == nil {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the named histogram with the default duration buckets,
+// creating it on first use.
+func (r *Registry) Histogram(name string) *Histogram {
+	return r.HistogramWith(name, nil)
+}
+
+// HistogramWith returns the named histogram, creating it with the given
+// bucket bounds on first use (nil means DefaultDurationBuckets). Bounds are
+// fixed at creation; later callers get the existing histogram.
+func (r *Registry) HistogramWith(name string, bounds []time.Duration) *Histogram {
+	r.mu.RLock()
+	h := r.hists[name]
+	r.mu.RUnlock()
+	if h != nil {
+		return h
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.hists == nil {
+		r.hists = map[string]*Histogram{}
+	}
+	if h = r.hists[name]; h == nil {
+		h = NewHistogram(bounds)
+		r.hists[name] = h
+	}
+	return h
+}
+
+// Snapshot exports every metric: counters and gauges as int64, histograms
+// as HistogramSnapshot. Keys are the registry names; encoding/json renders
+// them in sorted order, so dumps are stable.
+func (r *Registry) Snapshot() map[string]any {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make(map[string]any, len(r.counters)+len(r.gauges)+len(r.hists))
+	for n, c := range r.counters {
+		out[n] = c.Load()
+	}
+	for n, g := range r.gauges {
+		out[n] = g.Load()
+	}
+	for n, h := range r.hists {
+		out[n] = h.Snapshot()
+	}
+	return out
+}
+
+// Names returns every registered metric name, sorted.
+func (r *Registry) Names() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	names := make([]string, 0, len(r.counters)+len(r.gauges)+len(r.hists))
+	for n := range r.counters {
+		names = append(names, n)
+	}
+	for n := range r.gauges {
+		names = append(names, n)
+	}
+	for n := range r.hists {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}

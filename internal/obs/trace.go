@@ -1,0 +1,204 @@
+package obs
+
+import "sync"
+
+// Event is one typed trace record. Concrete events are the structs below;
+// Kind returns the stable snake_case tag the JSONL schema uses.
+type Event interface {
+	Kind() string
+}
+
+// Tracer receives the event stream of a run. The engine emits superstep
+// lifecycle events from the coordinating goroutine in a deterministic
+// order, but retry events fire from worker goroutines, so implementations
+// must be safe for concurrent use. A nil Tracer disables tracing with zero
+// overhead (no events are constructed).
+type Tracer interface {
+	Emit(e Event)
+}
+
+// RunStart opens a run: the shape of the computation.
+type RunStart struct {
+	Vertices    int  `json:"vertices"`
+	Workers     int  `json:"workers"`
+	Checkpoints bool `json:"checkpoints,omitempty"` // checkpointing enabled
+}
+
+// Kind implements Event.
+func (RunStart) Kind() string { return "run_start" }
+
+// SuperstepStart opens one superstep, before the compute phase.
+type SuperstepStart struct {
+	Superstep int `json:"superstep"`
+	Active    int `json:"active"` // vertices entering the compute phase
+}
+
+// Kind implements Event.
+func (SuperstepStart) Kind() string { return "superstep_start" }
+
+// WorkerPhase is one worker's share of one phase of a superstep: "compute"
+// (user logic + message emission) or "exchange" (delivery; over a real
+// transport the send half is reported as "ship" and the receive half as
+// "exchange"). Counter fields carry the phase's deltas for that worker.
+type WorkerPhase struct {
+	Superstep    int    `json:"superstep"`
+	Worker       int    `json:"worker"`
+	Phase        string `json:"phase"`
+	NS           int64  `json:"ns"`
+	ComputeCalls int64  `json:"compute_calls,omitempty"`
+	ScatterCalls int64  `json:"scatter_calls,omitempty"`
+	SentMsgs     int64  `json:"sent_msgs,omitempty"`
+	SentBytes    int64  `json:"sent_bytes,omitempty"`
+	Delivered    int64  `json:"delivered,omitempty"`
+}
+
+// Kind implements Event.
+func (WorkerPhase) Kind() string { return "worker_phase" }
+
+// IntervalBytes splits interval-encoded bytes by codec class (Sec. VI
+// "Interval Messages"): the unit/unbounded flag classes are what produce
+// the paper's 59-78% message-size reduction.
+type IntervalBytes struct {
+	Unit      int64 `json:"unit,omitempty"`
+	Unbounded int64 `json:"unbounded,omitempty"`
+	General   int64 `json:"general,omitempty"`
+	Empty     int64 `json:"empty,omitempty"`
+}
+
+// SuperstepEnd closes one superstep at its barrier with the superstep's
+// metric deltas — the per-superstep decomposition of engine.Metrics. Sums
+// of these fields across a fault-free trace equal the run totals exactly.
+type SuperstepEnd struct {
+	Superstep    int           `json:"superstep"`
+	ComputeNS    int64         `json:"compute_ns"`
+	MessagingNS  int64         `json:"messaging_ns"`
+	BarrierNS    int64         `json:"barrier_ns"`
+	ComputeCalls int64         `json:"compute_calls"`
+	ScatterCalls int64         `json:"scatter_calls"`
+	Messages     int64         `json:"messages"`
+	MessageBytes int64         `json:"message_bytes"`
+	Delivered    int64         `json:"delivered"`
+	Active       int           `json:"active"` // vertices active after delivery
+	Intervals    IntervalBytes `json:"interval_bytes"`
+}
+
+// Kind implements Event.
+func (SuperstepEnd) Kind() string { return "superstep_end" }
+
+// WarpStats is the ICM runtime's per-superstep share of the warp operator:
+// how many vertices warped vs took the suppressed point path, the message
+// group fan-in, and the unit-interval message fraction that feeds the
+// suppression heuristic (Sec. VI "Warp Suppression").
+type WarpStats struct {
+	Superstep    int     `json:"superstep"`
+	WarpCalls    int64   `json:"warp_calls"`
+	Suppressed   int64   `json:"suppressed"`
+	Tuples       int64   `json:"tuples"`        // warp tuples (active vertex intervals)
+	MergedGroups int64   `json:"merged_groups"` // tuples grouping >= 2 messages
+	MsgsIn       int64   `json:"msgs_in"`       // effective (lifespan-clipped) messages
+	UnitMsgsIn   int64   `json:"unit_msgs_in"`  // of which unit-length
+	UnitFraction float64 `json:"unit_fraction"`
+}
+
+// Kind implements Event.
+func (WarpStats) Kind() string { return "warp" }
+
+// Checkpoint records one captured recovery point, taken at the barrier
+// before executing Superstep.
+type Checkpoint struct {
+	Superstep int `json:"superstep"`
+	Index     int `json:"index"` // 1-based checkpoint count
+}
+
+// Kind implements Event.
+func (Checkpoint) Kind() string { return "checkpoint" }
+
+// Recovery records one rollback-and-replay: superstep Failed was abandoned
+// and the run resumes from ResumeAt.
+type Recovery struct {
+	Failed   int    `json:"failed"`
+	ResumeAt int    `json:"resume_at"`
+	Attempt  int    `json:"attempt"` // 1-based recovery count
+	Reason   string `json:"reason"`
+	Reset    bool   `json:"reset,omitempty"` // transport reset was required
+}
+
+// Kind implements Event.
+func (Recovery) Kind() string { return "recovery" }
+
+// SendRetry records one failed Transport.Send attempt that will be (or has
+// exhausted being) retried. Emitted from worker goroutines.
+type SendRetry struct {
+	Superstep int    `json:"superstep"`
+	Src       int    `json:"src"`
+	Dst       int    `json:"dst"`
+	Attempt   int    `json:"attempt"` // 1-based attempt that failed
+	Error     string `json:"error"`
+}
+
+// Kind implements Event.
+func (SendRetry) Kind() string { return "send_retry" }
+
+// RunEnd closes a run with the final totals — the same quantities as the
+// engine.Metrics view, so a trace is self-reconciling.
+type RunEnd struct {
+	Supersteps   int   `json:"supersteps"`
+	ComputeCalls int64 `json:"compute_calls"`
+	ScatterCalls int64 `json:"scatter_calls"`
+	Messages     int64 `json:"messages"`
+	MessageBytes int64 `json:"message_bytes"`
+	Checkpoints  int   `json:"checkpoints"`
+	Recoveries   int   `json:"recoveries"`
+	ComputeNS    int64 `json:"compute_ns"`
+	MessagingNS  int64 `json:"messaging_ns"`
+	BarrierNS    int64 `json:"barrier_ns"`
+	MakespanNS   int64 `json:"makespan_ns"`
+	Halted       bool  `json:"halted,omitempty"`
+}
+
+// Kind implements Event.
+func (RunEnd) Kind() string { return "run_end" }
+
+// Recorder is a Tracer that keeps every event in memory, for tests and for
+// building summaries without a file round-trip.
+type Recorder struct {
+	mu     sync.Mutex
+	events []Event
+}
+
+// Emit implements Tracer.
+func (r *Recorder) Emit(e Event) {
+	r.mu.Lock()
+	r.events = append(r.events, e)
+	r.mu.Unlock()
+}
+
+// Events returns a copy of everything recorded so far.
+func (r *Recorder) Events() []Event {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]Event(nil), r.events...)
+}
+
+// Count returns how many events of the given kind were recorded.
+func (r *Recorder) Count(kind string) int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	n := 0
+	for _, e := range r.events {
+		if e.Kind() == kind {
+			n++
+		}
+	}
+	return n
+}
+
+// MultiTracer fans every event out to several sinks.
+type MultiTracer []Tracer
+
+// Emit implements Tracer.
+func (m MultiTracer) Emit(e Event) {
+	for _, t := range m {
+		t.Emit(e)
+	}
+}

@@ -1,0 +1,237 @@
+package obs
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+// fullStream is a synthetic fault-free trace of two supersteps whose sums
+// reconcile with its run_end — the shape the engine emits.
+func fullStream() []Event {
+	return []Event{
+		RunStart{Vertices: 4, Workers: 2},
+		SuperstepStart{Superstep: 1, Active: 4},
+		WorkerPhase{Superstep: 1, Worker: 0, Phase: "compute", NS: 10, ComputeCalls: 2, SentMsgs: 3, SentBytes: 30},
+		WorkerPhase{Superstep: 1, Worker: 1, Phase: "compute", NS: 12, ComputeCalls: 2, SentMsgs: 1, SentBytes: 10},
+		SuperstepEnd{Superstep: 1, ComputeNS: 12, MessagingNS: 5, BarrierNS: 2,
+			ComputeCalls: 4, Messages: 4, MessageBytes: 40, Delivered: 4, Active: 3},
+		SuperstepStart{Superstep: 2, Active: 3},
+		SuperstepEnd{Superstep: 2, ComputeNS: 8, MessagingNS: 3, BarrierNS: 1,
+			ComputeCalls: 3, Active: 0},
+		RunEnd{Supersteps: 2, ComputeCalls: 7, Messages: 4, MessageBytes: 40,
+			ComputeNS: 20, MessagingNS: 8, BarrierNS: 3, MakespanNS: 40, Halted: true},
+	}
+}
+
+func TestRecorderAndMultiTracer(t *testing.T) {
+	var a, b Recorder
+	mt := MultiTracer{&a, &b}
+	for _, e := range fullStream() {
+		mt.Emit(e)
+	}
+	if a.Count("superstep_end") != 2 || b.Count("superstep_end") != 2 {
+		t.Errorf("fan-out lost events: a=%d b=%d", a.Count("superstep_end"), b.Count("superstep_end"))
+	}
+	ev := a.Events()
+	if len(ev) != len(fullStream()) {
+		t.Fatalf("recorded %d events, want %d", len(ev), len(fullStream()))
+	}
+	// Events() hands out a copy.
+	ev[0] = RunEnd{}
+	if _, ok := a.Events()[0].(RunStart); !ok {
+		t.Error("Events() exposed internal storage")
+	}
+}
+
+func TestRecorderConcurrent(t *testing.T) {
+	var r Recorder
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				r.Emit(SendRetry{Superstep: i})
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.Count("send_retry"); got != 8*500 {
+		t.Errorf("recorded %d events, want %d", got, 8*500)
+	}
+}
+
+// TestMarshalEventShape pins the flat JSONL schema: type tag first, event
+// fields spliced into the same object.
+func TestMarshalEventShape(t *testing.T) {
+	line, err := MarshalEvent(SuperstepStart{Superstep: 3, Active: 7})
+	if err != nil {
+		t.Fatalf("MarshalEvent: %v", err)
+	}
+	want := `{"type":"superstep_start","superstep":3,"active":7}`
+	if string(line) != want {
+		t.Errorf("line = %s, want %s", line, want)
+	}
+}
+
+func TestParseTraceRoundTrip(t *testing.T) {
+	events := fullStream()
+	events = append(events, // exercise every remaining event type
+		WarpStats{Superstep: 1, WarpCalls: 2, MsgsIn: 4, UnitMsgsIn: 3, UnitFraction: 0.75},
+		Checkpoint{Superstep: 2, Index: 1},
+		Recovery{Failed: 2, ResumeAt: 1, Attempt: 1, Reason: "panic", Reset: true},
+		SendRetry{Superstep: 1, Src: 0, Dst: 1, Attempt: 1, Error: "drop"},
+	)
+	var sb strings.Builder
+	jt := NewJSONLTracer(&sb)
+	for _, e := range events {
+		jt.Emit(e)
+	}
+	if err := jt.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	back, err := ParseTrace(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatalf("ParseTrace: %v", err)
+	}
+	if len(back) != len(events) {
+		t.Fatalf("parsed %d events, want %d", len(back), len(events))
+	}
+	for i := range events {
+		if back[i] != events[i] {
+			t.Errorf("event %d: %#v != %#v", i, back[i], events[i])
+		}
+	}
+}
+
+func TestParseTraceRejectsUnknownType(t *testing.T) {
+	_, err := ParseTrace(strings.NewReader(`{"type":"wormhole"}`))
+	if err == nil || !strings.Contains(err.Error(), "unknown event type") {
+		t.Errorf("unknown type error = %v", err)
+	}
+}
+
+func TestValidateTraceAcceptsFaultFree(t *testing.T) {
+	if err := ValidateTrace(fullStream()); err != nil {
+		t.Errorf("fault-free stream rejected: %v", err)
+	}
+}
+
+// TestValidateTraceReplayAware: a rollback-and-replay trace must reconcile
+// using only the surviving execution of each superstep — the replayed
+// superstep's first (abandoned) totals are discarded, exactly mirroring the
+// engine's metric rewind.
+func TestValidateTraceReplayAware(t *testing.T) {
+	events := []Event{
+		RunStart{Vertices: 4, Workers: 2, Checkpoints: true},
+		Checkpoint{Superstep: 1, Index: 1},
+		SuperstepStart{Superstep: 1, Active: 4},
+		SuperstepEnd{Superstep: 1, ComputeCalls: 4, Messages: 4},
+		Checkpoint{Superstep: 2, Index: 2},
+		SuperstepStart{Superstep: 2, Active: 4},
+		SuperstepEnd{Superstep: 2, ComputeCalls: 9, Messages: 9}, // abandoned
+		Recovery{Failed: 3, ResumeAt: 2, Attempt: 1, Reason: "panic"},
+		SuperstepStart{Superstep: 2, Active: 4},
+		SuperstepEnd{Superstep: 2, ComputeCalls: 3, Messages: 3}, // survives
+		RunEnd{Supersteps: 2, ComputeCalls: 7, Messages: 7, Checkpoints: 2, Recoveries: 1},
+	}
+	if err := ValidateTrace(events); err != nil {
+		t.Errorf("replay-aware validation failed: %v", err)
+	}
+}
+
+func TestValidateTraceRejections(t *testing.T) {
+	base := fullStream()
+	cases := []struct {
+		name   string
+		events []Event
+		want   string
+	}{
+		{"empty", nil, "empty trace"},
+		{"no run_start", base[1:], "must open with run_start"},
+		{"no run_end", base[:len(base)-1], "must close with run_end"},
+		{"missing superstep", func() []Event {
+			ev := append([]Event(nil), base...)
+			// Drop superstep 1's end: count check fires first.
+			return append(ev[:4], ev[5:]...)
+		}(), "surviving supersteps"},
+		{"end without start", func() []Event {
+			ev := append([]Event(nil), base...)
+			return append(ev[:5], ev[6:]...) // drop superstep 2's start
+		}(), "without a superstep_start"},
+		{"bad totals", func() []Event {
+			ev := append([]Event(nil), base...)
+			end := ev[len(ev)-1].(RunEnd)
+			end.Messages += 5
+			ev[len(ev)-1] = end
+			return ev
+		}(), "does not reconcile"},
+	}
+	for _, tc := range cases {
+		err := ValidateTrace(tc.events)
+		if err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: error = %v, want substring %q", tc.name, err, tc.want)
+		}
+	}
+}
+
+// TestSplitRuns: a concatenated multi-run stream (what graphite-bench
+// writes) splits at each run_start, and every piece validates on its own.
+func TestSplitRuns(t *testing.T) {
+	one := fullStream()
+	three := append(append(append([]Event{}, one...), one...), one...)
+	runs := SplitRuns(three)
+	if len(runs) != 3 {
+		t.Fatalf("SplitRuns found %d runs, want 3", len(runs))
+	}
+	for i, run := range runs {
+		if len(run) != len(one) {
+			t.Errorf("run %d has %d events, want %d", i, len(run), len(one))
+		}
+		if err := ValidateTrace(run); err != nil {
+			t.Errorf("run %d does not validate: %v", i, err)
+		}
+	}
+	if got := SplitRuns(nil); got != nil {
+		t.Errorf("SplitRuns(nil) = %v, want nil", got)
+	}
+	// Events before the first run_start are dropped.
+	if got := SplitRuns([]Event{SuperstepStart{Superstep: 1}}); got != nil {
+		t.Errorf("leading orphan events should be dropped, got %v", got)
+	}
+}
+
+// TestSummarizeReplayOverwrite: a replayed superstep appears once in the
+// summary, with the surviving execution's metrics and a recovery count.
+func TestSummarizeReplayOverwrite(t *testing.T) {
+	events := []Event{
+		RunStart{Vertices: 4, Workers: 2},
+		SuperstepStart{Superstep: 1, Active: 4},
+		SuperstepEnd{Superstep: 1, ComputeCalls: 9, Messages: 9}, // abandoned
+		Recovery{Failed: 1, ResumeAt: 1, Attempt: 1, Reason: "panic"},
+		SuperstepStart{Superstep: 1, Active: 4},
+		SuperstepEnd{Superstep: 1, ComputeCalls: 4, Messages: 4, Active: 0},
+		RunEnd{Supersteps: 1, ComputeCalls: 4, Messages: 4, Recoveries: 1},
+	}
+	s, err := Summarize(events)
+	if err != nil {
+		t.Fatalf("Summarize: %v", err)
+	}
+	if len(s.Rows) != 1 {
+		t.Fatalf("summary has %d rows, want 1", len(s.Rows))
+	}
+	r := s.Rows[0]
+	if r.ComputeCalls != 4 || r.Messages != 4 {
+		t.Errorf("row kept abandoned metrics: %+v", r)
+	}
+	if r.Recoveries != 1 {
+		t.Errorf("row recoveries = %d, want 1", r.Recoveries)
+	}
+	var sb strings.Builder
+	s.Render(&sb)
+	if !strings.Contains(sb.String(), "recover×1") {
+		t.Errorf("render lost the recovery marker:\n%s", sb.String())
+	}
+}
