@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet race verify chaos bench trace-smoke clean
+.PHONY: all build test vet race verify chaos bench trace-smoke serve-smoke clean
 
 all: verify
 
@@ -13,10 +13,11 @@ vet:
 test:
 	$(GO) test ./...
 
-# Race-checked run of the fault-tolerance and observability surfaces (the
-# chaos acceptance tests and the concurrent registry tests live here).
+# Race-checked run of the fault-tolerance, observability and serving
+# surfaces (the chaos acceptance tests, the concurrent registry tests and
+# the query-service concurrency tests live here).
 race:
-	$(GO) test -race ./internal/engine/... ./internal/chaos/... ./internal/obs/...
+	$(GO) test -race ./internal/engine/... ./internal/chaos/... ./internal/obs/... ./internal/serve/...
 
 # The full gate: everything vetted, built, and race-tested. Long-running
 # chaos tests honour -short via `make verify SHORT=-short`.
@@ -40,6 +41,12 @@ trace-smoke:
 	$(GO) run ./cmd/graphite-run -graph transit -algo sssp -source 0 -workers 2 -trace $(TRACE) > /dev/null
 	$(GO) run ./cmd/graphite-trace -check $(TRACE)
 	$(GO) run ./cmd/graphite-trace $(TRACE)
+
+# End-to-end serving smoke test: boot an in-process query server over the
+# transit example, fire a mixed burst of requests at it, and fail unless
+# every request succeeds and /debug/vars shows live result-cache hits.
+serve-smoke:
+	$(GO) run ./cmd/graphite-loadgen -boot
 
 clean:
 	$(GO) clean ./...

@@ -19,13 +19,13 @@ import (
 	"fmt"
 	"log/slog"
 	"os"
-	"sort"
 	"strings"
 
 	"graphite/internal/algorithms"
 	"graphite/internal/core"
 	ival "graphite/internal/interval"
 	"graphite/internal/obs"
+	"graphite/internal/serve"
 	"graphite/internal/tgraph"
 )
 
@@ -112,23 +112,10 @@ func main() {
 	fmt.Printf("stats: warp=%d suppressed=%d active-intervals=%d max-partitions=%d\n",
 		r.Stats.WarpCalls, r.Stats.WarpSuppressed, r.Stats.ActiveIntervals, r.Stats.MaxPartitions)
 
-	// Print the first vertices by id.
-	ids := make([]tgraph.VertexID, 0, g.NumVertices())
-	for i := 0; i < g.NumVertices(); i++ {
-		ids = append(ids, g.VertexAt(i).ID)
-	}
-	sort.Slice(ids, func(a, b int) bool { return ids[a] < ids[b] })
-	if len(ids) > *top {
-		ids = ids[:*top]
-	}
-	for _, id := range ids {
-		st := r.StateByID(id)
-		fmt.Printf("vertex %d: ", id)
-		var parts []string
-		for _, p := range st.Parts() {
-			parts = append(parts, fmt.Sprintf("%v=%v", p.Interval, p.Value))
-		}
-		fmt.Println(strings.Join(parts, " "))
+	// Print the first vertices by id, through the canonical renderer shared
+	// with the serving layer.
+	for _, line := range serve.FormatResult(r, *top) {
+		fmt.Println(line)
 	}
 }
 

@@ -21,7 +21,10 @@
 //   - internal/bench — the experiment harness regenerating every table and
 //     figure of the evaluation;
 //   - internal/obs — observability: the metrics registry, typed
-//     per-superstep trace events, and the JSONL/expvar/pprof sinks.
+//     per-superstep trace events, and the JSONL/expvar/pprof sinks;
+//   - internal/serve — the resident query service: a multi-graph JSON HTTP
+//     server with admission control, result caching, singleflight dedup and
+//     cancellable runs (cmd/graphite-serve is its daemon).
 //
 // A minimal program:
 //
@@ -38,6 +41,7 @@ import (
 	"graphite/internal/engine"
 	ival "graphite/internal/interval"
 	"graphite/internal/obs"
+	"graphite/internal/serve"
 	"graphite/internal/stream"
 	"graphite/internal/tgraph"
 	"graphite/internal/warp"
@@ -315,3 +319,47 @@ var (
 
 // Unreachable is the sentinel cost/time for vertices no journey reaches.
 const Unreachable = algorithms.Unreachable
+
+// The serving layer: a resident query service over pre-loaded temporal
+// graphs. Build one with NewQueryServer, mount QueryServer.Handler on any
+// net/http server (cmd/graphite-serve is the packaged daemon), stop with
+// Drain then Close.
+type (
+	// QueryServer is a resident temporal graph query service with admission
+	// control, an LRU result cache, singleflight dedup of identical in-flight
+	// requests, and cooperative run cancellation.
+	QueryServer = serve.Server
+	// QueryServerConfig parameterizes a QueryServer.
+	QueryServerConfig = serve.Config
+	// QueryRequest is one run request against a served graph.
+	QueryRequest = serve.RunRequest
+	// QueryResult is a served run outcome.
+	QueryResult = serve.RunResult
+	// QueryWindow restricts a request to a time window.
+	QueryWindow = serve.Window
+	// QueryJob is the API view of an asynchronous run.
+	QueryJob = serve.JobView
+)
+
+var (
+	// NewQueryServer builds a query service over pre-loaded graphs.
+	NewQueryServer = serve.New
+	// QueryFingerprint is the canonical cache key of a (graph, algorithm,
+	// params, window) request; semantically identical requests share it.
+	QueryFingerprint = serve.Fingerprint
+	// FormatResult renders a run's per-vertex states exactly as
+	// cmd/graphite-run prints them.
+	FormatResult = serve.FormatResult
+)
+
+// Typed serving errors, and the engine-level cancellation sentinel every
+// aborted run (deadline, disconnect, shutdown) surfaces.
+var (
+	// ErrRunCanceled marks a run aborted at a superstep barrier by its
+	// context, distinct from every fault-tolerance error.
+	ErrRunCanceled = engine.ErrCanceled
+	// ErrServerBusy is the admission-control rejection (HTTP 429).
+	ErrServerBusy = serve.ErrBusy
+	// ErrServerDraining rejects new work during graceful shutdown (503).
+	ErrServerDraining = serve.ErrDraining
+)

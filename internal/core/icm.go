@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 
 	"graphite/internal/codec"
@@ -113,6 +114,11 @@ type Options struct {
 	// This is the fault-injection seam internal/chaos uses to schedule
 	// panics inside an otherwise unmodified ICM run.
 	WrapProgram func(engine.Program) engine.Program
+	// Context, when set, makes the run cancellable: cancellation is observed
+	// at superstep barriers and surfaces as an error wrapping
+	// engine.ErrCanceled (engine.Config.Context). The serving layer uses this
+	// to abort timed-out or disconnected requests mid-run.
+	Context context.Context
 	// Tracer, when set, receives the engine's per-superstep event stream
 	// augmented with the ICM layer's warp statistics (a WarpStats event per
 	// superstep, emitted just before superstep_end).
@@ -169,6 +175,7 @@ func Run(g *tgraph.Graph, prog Program, opts Options) (*Result, error) {
 		MaxRecoveries:   opts.MaxRecoveries,
 		SendRetries:     opts.SendRetries,
 		Registry:        opts.Registry,
+		Context:         opts.Context,
 	}
 	if opts.Tracer != nil {
 		rt.traced = true

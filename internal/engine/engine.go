@@ -14,6 +14,7 @@
 package engine
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"runtime"
@@ -121,6 +122,12 @@ type Config struct {
 	// histograms (e.g. for the /debug/vars endpoint); nil gives the engine a
 	// private registry. The Metrics Run returns are a per-run view over it.
 	Registry *obs.Registry
+	// Context, when set, makes the run cancellable: workers stop claiming
+	// vertices as soon as they observe cancellation, and Run aborts at the
+	// next superstep barrier with an error wrapping ErrCanceled. Cancellation
+	// is an external abort, never a recoverable fault — it bypasses
+	// checkpoint rollback-and-replay. Nil means the run cannot be canceled.
+	Context context.Context
 }
 
 // Fault-tolerance defaults.
@@ -167,6 +174,8 @@ type Engine struct {
 	errMu  sync.Mutex
 	runErr error       // first failure of the current superstep
 	hasErr atomic.Bool // lock-free mirror of runErr != nil
+
+	ctx context.Context // nil when the run is not cancellable
 
 	ckpt        *checkpoint // latest recovery point
 	checkpoints int
@@ -235,6 +244,7 @@ func New(numVertices int, program Program, cfg Config) (*Engine, error) {
 		slot:    make([]int32, numVertices),
 		tracer:  cfg.Tracer,
 		traced:  cfg.Tracer != nil,
+		ctx:     cfg.Context,
 	}
 	reg := cfg.Registry
 	if reg == nil {
@@ -281,7 +291,9 @@ func (e *Engine) owner(v int32) (wid, slot int) {
 // flight (or the master halts, or MaxSupersteps is reached), and returns the
 // run metrics. Panics escaping user Program code are recovered and surfaced
 // as a *VertexPanicError; with CheckpointEvery set, failed supersteps are
-// rolled back to the latest checkpoint and replayed instead.
+// rolled back to the latest checkpoint and replayed instead. When
+// Config.Context is canceled the run aborts at the next superstep barrier
+// with an error wrapping ErrCanceled, leaving no goroutines behind.
 func (e *Engine) Run() (*Metrics, error) {
 	start := time.Now()
 	e.base = e.rawView()
@@ -298,7 +310,7 @@ func (e *Engine) Run() (*Metrics, error) {
 	e.parallel(func(w *worker) {
 		ctx := Context{eng: e, w: w}
 		for slot, v := range w.local {
-			if e.failed() {
+			if e.aborted() {
 				return
 			}
 			ctx.vertex = v
@@ -309,6 +321,9 @@ func (e *Engine) Run() (*Metrics, error) {
 			}
 		}
 	})
+	if err := e.canceled(); err != nil {
+		return nil, err
+	}
 	if err := e.takeErr(); err != nil {
 		// No checkpoint can exist yet: an Init failure is terminal.
 		return nil, err
@@ -318,6 +333,9 @@ func (e *Engine) Run() (*Metrics, error) {
 	}
 
 	for {
+		if err := e.canceled(); err != nil {
+			return nil, err
+		}
 		if e.cfg.MaxSupersteps > 0 && e.superstp > e.cfg.MaxSupersteps {
 			break
 		}
@@ -346,7 +364,7 @@ func (e *Engine) Run() (*Metrics, error) {
 				if !w.active[slot] && !e.cfg.ActivateAll {
 					continue
 				}
-				if e.failed() {
+				if e.aborted() {
 					return
 				}
 				ctx.vertex = v
@@ -360,6 +378,11 @@ func (e *Engine) Run() (*Metrics, error) {
 			}
 		})
 		t1 := time.Now()
+		// Cancellation wins over a concurrent fault: the run is being torn
+		// down either way, and rollback must never replay a canceled phase.
+		if err := e.canceled(); err != nil {
+			return nil, err
+		}
 		if e.failed() {
 			// A compute failure leaves no frames in flight: rollback never
 			// needs a transport reset here.
@@ -381,6 +404,9 @@ func (e *Engine) Run() (*Metrics, error) {
 
 		// A failed exchange is checked before the barrier merge so a partial
 		// superstep's metrics are never folded into the totals.
+		if err := e.canceled(); err != nil {
+			return nil, err
+		}
 		if e.failed() {
 			if e.rollback(true) {
 				continue
@@ -474,6 +500,37 @@ func (e *Engine) fail(err error) {
 // failed reports whether the current superstep has failed; workers use it to
 // stop early instead of computing doomed vertices.
 func (e *Engine) failed() bool { return e.hasErr.Load() }
+
+// canceled returns the typed cancellation error once Config.Context is done,
+// else nil. Only the coordinating goroutine calls it, at barriers.
+func (e *Engine) canceled() error {
+	if e.ctx == nil {
+		return nil
+	}
+	select {
+	case <-e.ctx.Done():
+		return fmt.Errorf("%w at superstep %d: %v", ErrCanceled, e.superstp, e.ctx.Err())
+	default:
+		return nil
+	}
+}
+
+// aborted reports whether workers should stop claiming vertices: either the
+// superstep has failed or the run's context was canceled. The phase still
+// runs to its barrier, where the coordinator surfaces the typed error.
+func (e *Engine) aborted() bool {
+	if e.hasErr.Load() {
+		return true
+	}
+	if e.ctx != nil {
+		select {
+		case <-e.ctx.Done():
+			return true
+		default:
+		}
+	}
+	return false
+}
 
 // takeErr returns the recorded failure, if any.
 func (e *Engine) takeErr() error {

@@ -30,3 +30,10 @@ func (e *VertexPanicError) Error() string {
 // ErrRecoveryExhausted is wrapped into the run error when rollback-and-replay
 // attempts exceed Config.MaxRecoveries.
 var ErrRecoveryExhausted = errors.New("engine: recovery attempts exhausted")
+
+// ErrCanceled is wrapped into the run error when Config.Context is canceled.
+// Cancellation is cooperative: workers stop claiming vertices as soon as they
+// observe it, and the run aborts at the next superstep barrier. It is an
+// external abort, not a fault — checkpoint recovery never rolls back and
+// replays a canceled superstep. Test with errors.Is(err, ErrCanceled).
+var ErrCanceled = errors.New("engine: run canceled")

@@ -39,12 +39,11 @@ type DebugServer struct {
 	ln   net.Listener
 }
 
-// ServeDebug exposes the registry and the Go profiler over HTTP on addr:
-// /debug/vars (expvar JSON, registry published under "graphite") and
-// /debug/pprof/... (profiles, heap, goroutines). It returns once the
-// listener is bound; the server runs until Close. Opt-in: nothing listens
-// unless a CLI was started with -pprof.
-func ServeDebug(addr string, reg *Registry) (*DebugServer, error) {
+// DebugMux returns the debug surface as an embeddable mux: /debug/vars
+// (expvar JSON, registry published under "graphite") and /debug/pprof/...
+// (profiles, heap, goroutines). The serving layer mounts it next to its API;
+// ServeDebug serves it standalone for the CLIs.
+func DebugMux(reg *Registry) *http.ServeMux {
 	if reg != nil {
 		publish(reg)
 	}
@@ -55,6 +54,14 @@ func ServeDebug(addr string, reg *Registry) (*DebugServer, error) {
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// ServeDebug exposes DebugMux over HTTP on addr. It returns once the
+// listener is bound; the server runs until Close. Opt-in: nothing listens
+// unless a CLI was started with -pprof.
+func ServeDebug(addr string, reg *Registry) (*DebugServer, error) {
+	mux := DebugMux(reg)
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("obs: debug listener: %w", err)

@@ -1,0 +1,102 @@
+package serve
+
+// The wire types of the JSON API. Numbers that are semantically times or
+// vertex ids are int64 end to end; state values and intervals are rendered
+// as strings with the same fmt verbs cmd/graphite-run prints, which is what
+// makes a served result reconstructible bit-for-bit into the CLI's output
+// (see FormatResult / RunResult.FormatLines).
+
+// Window restricts a run to a time sub-window of the graph; the server
+// slices the graph to it before running. End <= 0 means unbounded.
+type Window struct {
+	Start int64 `json:"start"`
+	End   int64 `json:"end"`
+}
+
+// RunRequest asks the server to run one catalog algorithm over a loaded
+// graph. Params carries the algorithm inputs by name (source, target, start,
+// deadline, iterations); unknown keys are rejected.
+type RunRequest struct {
+	// Graph names one of the server's loaded graphs.
+	Graph string `json:"graph"`
+	// Algorithm is a catalog name ("sssp", "eat", "pr", ...).
+	Algorithm string `json:"algorithm"`
+	// Params are the algorithm parameters; omitted keys take the catalog
+	// defaults, so semantically identical requests share a cache entry.
+	Params map[string]int64 `json:"params,omitempty"`
+	// Window restricts the run to a time sub-window; nil means the graph's
+	// full lifetime.
+	Window *Window `json:"window,omitempty"`
+	// Workers overrides the BSP worker count for this run; it affects
+	// execution only, never results, so it is not part of the cache key.
+	Workers int `json:"workers,omitempty"`
+	// TimeoutMS bounds the run; zero means the server's default deadline. A
+	// run past its deadline is aborted at the next superstep barrier.
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+	// Async makes the call return a job id immediately; poll /v1/jobs/{id}.
+	Async bool `json:"async,omitempty"`
+	// NoCache bypasses the result cache and singleflight dedup for this
+	// request (the fresh result still does not overwrite the cache).
+	NoCache bool `json:"no_cache,omitempty"`
+}
+
+// StatePart is one partition of a vertex's final interval state, rendered
+// exactly as the CLI prints it.
+type StatePart struct {
+	Interval string `json:"interval"`
+	Value    string `json:"value"`
+}
+
+// VertexResult is one vertex's final state.
+type VertexResult struct {
+	ID    int64       `json:"id"`
+	Parts []StatePart `json:"parts,omitempty"`
+}
+
+// RunMetrics summarizes a run for the response; the full breakdown is
+// available by attaching a tracer via Config.RunTracer.
+type RunMetrics struct {
+	Supersteps      int   `json:"supersteps"`
+	ComputeCalls    int64 `json:"compute_calls"`
+	ScatterCalls    int64 `json:"scatter_calls"`
+	Messages        int64 `json:"messages"`
+	MessageBytes    int64 `json:"message_bytes"`
+	MakespanNS      int64 `json:"makespan_ns"`
+	WarpCalls       int64 `json:"warp_calls"`
+	WarpSuppressed  int64 `json:"warp_suppressed"`
+	ActiveIntervals int64 `json:"active_intervals"`
+}
+
+// RunResult is a finished run: the canonical identity of the request, the
+// per-vertex interval states, and the run metrics. Cached is per-response:
+// true when the result was served from the cache or deduplicated onto
+// another request's run rather than executed for this caller.
+type RunResult struct {
+	Graph       string         `json:"graph"`
+	Algorithm   string         `json:"algorithm"`
+	Fingerprint string         `json:"fingerprint"`
+	Window      string         `json:"window"`
+	Cached      bool           `json:"cached"`
+	Metrics     RunMetrics     `json:"metrics"`
+	Vertices    []VertexResult `json:"vertices"`
+}
+
+// GraphInfo describes one loaded graph for /v1/graphs.
+type GraphInfo struct {
+	Name     string `json:"name"`
+	Vertices int    `json:"vertices"`
+	Edges    int    `json:"edges"`
+	Lifespan string `json:"lifespan"`
+	Horizon  int64  `json:"horizon"`
+}
+
+// JobView is the external state of an async job.
+type JobView struct {
+	ID          string     `json:"id"`
+	Status      string     `json:"status"`
+	Graph       string     `json:"graph"`
+	Algorithm   string     `json:"algorithm"`
+	Fingerprint string     `json:"fingerprint"`
+	Error       string     `json:"error,omitempty"`
+	Result      *RunResult `json:"result,omitempty"`
+}

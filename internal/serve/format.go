@@ -1,0 +1,98 @@
+package serve
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"graphite/internal/core"
+	"graphite/internal/tgraph"
+)
+
+// This file is the single definition of the canonical per-vertex result
+// rendering. cmd/graphite-run prints through FormatResult and the server
+// ships the same strings inside RunResult, so a served result reconstructs
+// the CLI's output bit for bit — the property the serving tests pin down.
+
+// sortedIDs returns a graph's vertex ids ascending, truncated to top when
+// top > 0 — the CLI's print order.
+func sortedIDs(g *tgraph.Graph, top int) []tgraph.VertexID {
+	ids := make([]tgraph.VertexID, 0, g.NumVertices())
+	for i := 0; i < g.NumVertices(); i++ {
+		ids = append(ids, g.VertexAt(i).ID)
+	}
+	sort.Slice(ids, func(a, b int) bool { return ids[a] < ids[b] })
+	if top > 0 && len(ids) > top {
+		ids = ids[:top]
+	}
+	return ids
+}
+
+// FormatResult renders a run's final per-vertex states exactly as
+// cmd/graphite-run prints them: one "vertex <id>: <interval>=<value> ..."
+// line per vertex, ids ascending, at most top lines when top > 0.
+func FormatResult(r *core.Result, top int) []string {
+	lines := make([]string, 0, r.Graph.NumVertices())
+	for _, id := range sortedIDs(r.Graph, top) {
+		st := r.StateByID(id)
+		var parts []string
+		for _, p := range st.Parts() {
+			parts = append(parts, fmt.Sprintf("%v=%v", p.Interval, p.Value))
+		}
+		lines = append(lines, fmt.Sprintf("vertex %d: %s", id, strings.Join(parts, " ")))
+	}
+	return lines
+}
+
+// buildResult shapes a finished core run into the wire result. Interval and
+// value strings use the same verbs as FormatResult so FormatLines round-trips
+// exactly.
+func buildResult(p *prepared, r *core.Result) *RunResult {
+	res := &RunResult{
+		Graph:       p.graphName,
+		Algorithm:   p.algo,
+		Fingerprint: p.fp,
+		Window:      windowLabel(p.window),
+		Metrics: RunMetrics{
+			Supersteps:      r.Metrics.Supersteps,
+			ComputeCalls:    r.Metrics.ComputeCalls,
+			ScatterCalls:    r.Metrics.ScatterCalls,
+			Messages:        r.Metrics.Messages,
+			MessageBytes:    r.Metrics.MessageBytes,
+			MakespanNS:      int64(r.Metrics.Makespan),
+			WarpCalls:       r.Stats.WarpCalls,
+			WarpSuppressed:  r.Stats.WarpSuppressed,
+			ActiveIntervals: r.Stats.ActiveIntervals,
+		},
+	}
+	for _, id := range sortedIDs(r.Graph, 0) {
+		st := r.StateByID(id)
+		v := VertexResult{ID: int64(id)}
+		for _, part := range st.Parts() {
+			v.Parts = append(v.Parts, StatePart{
+				Interval: fmt.Sprintf("%v", part.Interval),
+				Value:    fmt.Sprintf("%v", part.Value),
+			})
+		}
+		res.Vertices = append(res.Vertices, v)
+	}
+	return res
+}
+
+// FormatLines reconstructs the cmd/graphite-run rendering from a served
+// result: identical to FormatResult over the same run.
+func (r *RunResult) FormatLines(top int) []string {
+	vs := r.Vertices
+	if top > 0 && len(vs) > top {
+		vs = vs[:top]
+	}
+	lines := make([]string, 0, len(vs))
+	for _, v := range vs {
+		parts := make([]string, 0, len(v.Parts))
+		for _, p := range v.Parts {
+			parts = append(parts, p.Interval+"="+p.Value)
+		}
+		lines = append(lines, fmt.Sprintf("vertex %d: %s", v.ID, strings.Join(parts, " ")))
+	}
+	return lines
+}

@@ -1,0 +1,148 @@
+// Package loadgen is a small load driver for the graphite query service.
+// It fires a mixed burst of run requests at a server — repeated identical
+// requests that should collapse onto the result cache or singleflight, plus
+// distinct ones that must execute — and reads the server's /debug/vars
+// metrics back so callers can assert on cache behaviour. It backs the
+// `make serve-smoke` target via cmd/graphite-loadgen.
+package loadgen
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"time"
+)
+
+// Request is one run request POSTed to /v1/run. It mirrors serve.RunRequest's
+// wire shape; loadgen keeps its own copy so it exercises the server strictly
+// through the public HTTP surface.
+type Request struct {
+	Graph     string           `json:"graph"`
+	Algorithm string           `json:"algorithm"`
+	Params    map[string]int64 `json:"params,omitempty"`
+	TimeoutMS int64            `json:"timeout_ms,omitempty"`
+}
+
+// Result summarises a burst: per-status counts and basic latency stats.
+type Result struct {
+	Requests  int
+	ByStatus  map[int]int
+	Errors    []string
+	Elapsed   time.Duration
+	CacheHits int64 // fraction of 200s that the server marked "cached": true
+}
+
+// Fire sends each request repeat times with conc concurrent clients and
+// collects the outcome. Every response body is fully drained so connections
+// are reused.
+func Fire(baseURL string, reqs []Request, repeat, conc int) (*Result, error) {
+	if repeat < 1 {
+		repeat = 1
+	}
+	if conc < 1 {
+		conc = 1
+	}
+	type item struct{ body []byte }
+	var work []item
+	for _, r := range reqs {
+		b, err := json.Marshal(r)
+		if err != nil {
+			return nil, fmt.Errorf("loadgen: marshal request: %w", err)
+		}
+		for i := 0; i < repeat; i++ {
+			work = append(work, item{body: b})
+		}
+	}
+
+	res := &Result{Requests: len(work), ByStatus: map[int]int{}}
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	ch := make(chan item)
+	client := &http.Client{Timeout: 60 * time.Second}
+	start := time.Now()
+	for i := 0; i < conc; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for it := range ch {
+				status, cached, err := post(client, baseURL+"/v1/run", it.body)
+				mu.Lock()
+				if err != nil {
+					res.Errors = append(res.Errors, err.Error())
+				} else {
+					res.ByStatus[status]++
+					if cached {
+						res.CacheHits++
+					}
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+	for _, it := range work {
+		ch <- it
+	}
+	close(ch)
+	wg.Wait()
+	res.Elapsed = time.Since(start)
+	return res, nil
+}
+
+func post(client *http.Client, url string, body []byte) (status int, cached bool, err error) {
+	resp, err := client.Post(url, "application/json", bytes.NewReader(body))
+	if err != nil {
+		return 0, false, err
+	}
+	defer resp.Body.Close()
+	var out struct {
+		Cached bool `json:"cached"`
+	}
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return resp.StatusCode, false, err
+	}
+	if resp.StatusCode == http.StatusOK {
+		_ = json.Unmarshal(data, &out)
+	}
+	return resp.StatusCode, out.Cached, nil
+}
+
+// DebugVars fetches /debug/vars and returns the "graphite" registry snapshot:
+// metric name → value. Counters and gauges are float64s; histograms are
+// nested maps.
+func DebugVars(baseURL string) (map[string]any, error) {
+	resp, err := http.Get(baseURL + "/debug/vars")
+	if err != nil {
+		return nil, fmt.Errorf("loadgen: fetch /debug/vars: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("loadgen: /debug/vars: HTTP %d", resp.StatusCode)
+	}
+	var all map[string]json.RawMessage
+	if err := json.NewDecoder(resp.Body).Decode(&all); err != nil {
+		return nil, fmt.Errorf("loadgen: decode /debug/vars: %w", err)
+	}
+	raw, ok := all["graphite"]
+	if !ok {
+		return nil, fmt.Errorf(`loadgen: /debug/vars has no "graphite" key`)
+	}
+	var snap map[string]any
+	if err := json.Unmarshal(raw, &snap); err != nil {
+		return nil, fmt.Errorf("loadgen: decode graphite snapshot: %w", err)
+	}
+	return snap, nil
+}
+
+// Metric reads a numeric metric from a DebugVars snapshot, returning 0 if
+// absent or non-numeric.
+func Metric(snap map[string]any, name string) float64 {
+	v, ok := snap[name].(float64)
+	if !ok {
+		return 0
+	}
+	return v
+}

@@ -1,0 +1,71 @@
+package loadgen
+
+import (
+	"net/http/httptest"
+	"testing"
+
+	"graphite/internal/serve"
+	"graphite/internal/tgraph"
+)
+
+// TestFireAgainstInProcessServer is the smoke path cmd/graphite-loadgen
+// automates: a mixed burst against a booted server must succeed end to end
+// with live cache hits visible through /debug/vars.
+func TestFireAgainstInProcessServer(t *testing.T) {
+	s, err := serve.New(serve.Config{
+		Graphs: map[string]*tgraph.Graph{"transit": tgraph.TransitExample()},
+	})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	defer s.Close()
+
+	reqs := []Request{
+		{Graph: "transit", Algorithm: "sssp", Params: map[string]int64{"source": 1}},
+		{Graph: "transit", Algorithm: "bfs", Params: map[string]int64{"source": 1}},
+	}
+	res, err := Fire(ts.URL, reqs, 6, 4)
+	if err != nil {
+		t.Fatalf("Fire: %v", err)
+	}
+	if len(res.Errors) > 0 {
+		t.Fatalf("transport errors: %v", res.Errors)
+	}
+	if res.ByStatus[200] != res.Requests {
+		t.Fatalf("statuses: %v, want all %d OK", res.ByStatus, res.Requests)
+	}
+
+	// A sequential confirm pass: everything is cached now, so these must all
+	// be hits.
+	res2, err := Fire(ts.URL, reqs, 1, 1)
+	if err != nil {
+		t.Fatalf("confirm pass: %v", err)
+	}
+	if res2.ByStatus[200] != res2.Requests {
+		t.Fatalf("confirm statuses: %v", res2.ByStatus)
+	}
+
+	snap, err := DebugVars(ts.URL)
+	if err != nil {
+		t.Fatalf("DebugVars: %v", err)
+	}
+	hits := Metric(snap, serve.CCacheHits)
+	dedup := Metric(snap, serve.CFlightDedup)
+	executed := Metric(snap, serve.CRunsExecuted)
+	total := res.Requests + res2.Requests
+	if executed != float64(len(reqs)) {
+		t.Fatalf("runs executed: %v, want %d (one per distinct request)", executed, len(reqs))
+	}
+	if hits+dedup != float64(total)-executed {
+		t.Fatalf("hits(%v)+dedup(%v) != requests(%d)-executed(%v)",
+			hits, dedup, total, executed)
+	}
+	if hits < float64(len(reqs)) {
+		t.Fatalf("cache hits: %v, want >= %d (the confirm pass)", hits, len(reqs))
+	}
+	if res2.CacheHits != int64(len(reqs)) {
+		t.Fatalf("confirm pass cached responses: %d, want %d", res2.CacheHits, len(reqs))
+	}
+}

@@ -1,0 +1,548 @@
+// Package serve is the temporal graph query service: a resident server that
+// loads temporal graphs once and answers concurrent algorithm requests
+// against them over a JSON HTTP API, the layer graphite adds over an
+// interval-centric runtime.
+//
+// Every request flows through the same pipeline:
+//
+//	prepare   — resolve the graph, canonicalize algorithm + params + window,
+//	            compute the request fingerprint;
+//	cache     — an LRU over finished results keyed by fingerprint, so
+//	            repeated or overlapping requests skip BSP entirely;
+//	flight    — singleflight dedup: concurrent identical requests share one
+//	            run, the stragglers wait on the leader's result;
+//	admission — a bounded executor: at most MaxConcurrent runs execute while
+//	            up to QueueDepth more wait; beyond that the request is
+//	            rejected immediately with ErrBusy (HTTP 429);
+//	run       — the BSP run itself, under a context that merges the request
+//	            deadline with the server's lifetime so timeouts, disconnects
+//	            and shutdown all abort at the next superstep barrier as
+//	            engine.ErrCanceled.
+//
+// The server is instrumented end to end through internal/obs: per-endpoint
+// request counters and latency histograms, cache hit/miss counters, queue and
+// in-flight gauges, and an optional per-run tracer attachment. Everything is
+// visible on /debug/vars next to /debug/pprof.
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sort"
+	"time"
+
+	"graphite/internal/algorithms"
+	"graphite/internal/core"
+	"graphite/internal/engine"
+	ival "graphite/internal/interval"
+	"graphite/internal/obs"
+	"graphite/internal/tgraph"
+	"sync"
+)
+
+// Typed service errors; the HTTP layer maps them to status codes.
+var (
+	// ErrBadRequest marks malformed or semantically invalid requests (400).
+	ErrBadRequest = errors.New("serve: bad request")
+	// ErrUnknownGraph is returned for a graph name the server did not load (404).
+	ErrUnknownGraph = errors.New("serve: unknown graph")
+	// ErrUnknownJob is returned for an absent job id (404).
+	ErrUnknownJob = errors.New("serve: unknown job")
+	// ErrBusy is the admission-control rejection: the executor queue is full (429).
+	ErrBusy = errors.New("serve: executor queue full")
+	// ErrDraining rejects new work while the server drains for shutdown (503).
+	ErrDraining = errors.New("serve: server draining")
+)
+
+// Registry names the serving layer publishes; everything else the server
+// records is per-endpoint ("serve.http.<name>.requests" / ".errors" /
+// ".latency_ns").
+const (
+	CCacheHits        = "serve.cache.hits"
+	CCacheMisses      = "serve.cache.misses"
+	GCacheSize        = "serve.cache.size"
+	CFlightDedup      = "serve.flight.dedup"
+	CRunsExecuted     = "serve.runs.executed"
+	CRunsCanceled     = "serve.runs.canceled"
+	CRunsFailed       = "serve.runs.failed"
+	CRejectedBusy     = "serve.rejected.busy"
+	CRejectedDraining = "serve.rejected.draining"
+	GRunsInflight     = "serve.runs.inflight"
+	GQueueDepth       = "serve.queue.depth"
+	GJobsActive       = "serve.jobs.active"
+	CJobsSubmitted    = "serve.jobs.submitted"
+	HRunLatencyNS     = "serve.run.latency_ns"
+)
+
+// Defaults for zero Config fields.
+const (
+	DefaultQueueDepth = 64
+	DefaultCacheSize  = 128
+	DefaultTimeout    = 30 * time.Second
+	DefaultMaxJobs    = 256
+)
+
+// Config parameterizes a Server.
+type Config struct {
+	// Graphs are the pre-loaded temporal graphs the server answers queries
+	// against, by name. At least one is required.
+	Graphs map[string]*tgraph.Graph
+	// MaxConcurrent bounds simultaneously executing BSP runs; zero means
+	// GOMAXPROCS.
+	MaxConcurrent int
+	// QueueDepth bounds runs waiting for an executor slot beyond
+	// MaxConcurrent; a request arriving past that is rejected with ErrBusy.
+	// Zero means DefaultQueueDepth.
+	QueueDepth int
+	// CacheSize is the result-cache capacity in entries; zero means
+	// DefaultCacheSize, negative disables caching.
+	CacheSize int
+	// RequestTimeout is the per-request deadline applied when a request
+	// carries none; zero means DefaultTimeout.
+	RequestTimeout time.Duration
+	// MaxJobs caps retained async jobs (finished jobs are evicted oldest
+	// first past the cap); zero means DefaultMaxJobs.
+	MaxJobs int
+	// Workers is the BSP worker count per run when a request does not choose
+	// one; zero means GOMAXPROCS. Worker count never affects results, only
+	// execution, so it is not part of the cache fingerprint.
+	Workers int
+	// Registry receives the serving-layer metrics; nil creates a private one.
+	Registry *obs.Registry
+	// RunTracer, when set, is invoked once per executed (non-cached,
+	// non-deduped) run and may return a tracer to attach to it — the seam for
+	// per-run JSONL traces or sampling. Returning nil leaves the run untraced.
+	RunTracer func(graph, algo, fingerprint string) obs.Tracer
+}
+
+// Server is a resident temporal graph query service. Create with New, expose
+// with Handler, stop with Drain (graceful) and/or Close.
+type Server struct {
+	cfg    Config
+	reg    *obs.Registry
+	graphs map[string]*tgraph.Graph
+	names  []string // sorted graph names
+
+	cache *resultCache
+	jobs  *jobStore
+
+	flightMu sync.Mutex
+	flight   map[string]*call
+
+	// Admission state: reserved counts leaders holding an executor ticket
+	// (running or queued); draining rejects new reservations and drainCh
+	// waiters are closed when the last ticket is released.
+	admMu       sync.Mutex
+	reserved    int
+	maxAdmitted int
+	draining    bool
+	drainCh     []chan struct{}
+
+	sem chan struct{} // executor slots, cap MaxConcurrent
+
+	root      context.Context // canceled by Close: aborts every running job
+	stop      context.CancelFunc
+	closeOnce sync.Once
+
+	m serveMetrics
+}
+
+type serveMetrics struct {
+	cacheHits, cacheMisses         *obs.Counter
+	dedup                          *obs.Counter
+	executed, canceled, failed     *obs.Counter
+	rejectedBusy, rejectedDraining *obs.Counter
+	jobsSubmitted                  *obs.Counter
+	cacheSize, inflight, queued    *obs.Gauge
+	jobsActive                     *obs.Gauge
+	runLatency                     *obs.Histogram
+}
+
+// call is one in-flight singleflight run: the leader executes, completes the
+// call and closes done; joiners wait on done.
+type call struct {
+	owns bool // registered in the flight map (cacheable request)
+	done chan struct{}
+	res  *RunResult
+	err  error
+}
+
+// New builds a Server over the given pre-loaded graphs.
+func New(cfg Config) (*Server, error) {
+	if len(cfg.Graphs) == 0 {
+		return nil, fmt.Errorf("%w: no graphs configured", ErrBadRequest)
+	}
+	if cfg.MaxConcurrent <= 0 {
+		cfg.MaxConcurrent = runtime.GOMAXPROCS(0)
+	}
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = DefaultQueueDepth
+	}
+	switch {
+	case cfg.CacheSize == 0:
+		cfg.CacheSize = DefaultCacheSize
+	case cfg.CacheSize < 0:
+		cfg.CacheSize = 0
+	}
+	if cfg.RequestTimeout <= 0 {
+		cfg.RequestTimeout = DefaultTimeout
+	}
+	if cfg.MaxJobs <= 0 {
+		cfg.MaxJobs = DefaultMaxJobs
+	}
+	reg := cfg.Registry
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	root, stop := context.WithCancel(context.Background())
+	s := &Server{
+		cfg:         cfg,
+		reg:         reg,
+		graphs:      make(map[string]*tgraph.Graph, len(cfg.Graphs)),
+		cache:       newResultCache(cfg.CacheSize),
+		flight:      map[string]*call{},
+		maxAdmitted: cfg.MaxConcurrent + cfg.QueueDepth,
+		sem:         make(chan struct{}, cfg.MaxConcurrent),
+		root:        root,
+		stop:        stop,
+	}
+	for name, g := range cfg.Graphs {
+		if g == nil || g.NumVertices() == 0 {
+			return nil, fmt.Errorf("%w: graph %q is empty", ErrBadRequest, name)
+		}
+		s.graphs[name] = g
+		s.names = append(s.names, name)
+	}
+	sort.Strings(s.names)
+	s.m = serveMetrics{
+		cacheHits:        reg.Counter(CCacheHits),
+		cacheMisses:      reg.Counter(CCacheMisses),
+		dedup:            reg.Counter(CFlightDedup),
+		executed:         reg.Counter(CRunsExecuted),
+		canceled:         reg.Counter(CRunsCanceled),
+		failed:           reg.Counter(CRunsFailed),
+		rejectedBusy:     reg.Counter(CRejectedBusy),
+		rejectedDraining: reg.Counter(CRejectedDraining),
+		jobsSubmitted:    reg.Counter(CJobsSubmitted),
+		cacheSize:        reg.Gauge(GCacheSize),
+		inflight:         reg.Gauge(GRunsInflight),
+		queued:           reg.Gauge(GQueueDepth),
+		jobsActive:       reg.Gauge(GJobsActive),
+		runLatency:       reg.Histogram(HRunLatencyNS),
+	}
+	s.jobs = newJobStore(cfg.MaxJobs, s.m.jobsActive, s.m.jobsSubmitted)
+	return s, nil
+}
+
+// Registry returns the registry the server publishes its metrics into.
+func (s *Server) Registry() *obs.Registry { return s.reg }
+
+// GraphNames lists the loaded graphs, sorted.
+func (s *Server) GraphNames() []string { return append([]string(nil), s.names...) }
+
+// prepared is a request resolved to canonical form: the semantic identity of
+// the run, plus everything the executor needs to start it.
+type prepared struct {
+	graphName string
+	algo      string
+	g         *tgraph.Graph
+	params    map[string]int64
+	explicit  map[string]bool // params the caller actually sent, for validation
+	window    ival.Interval
+	workers   int
+	fp        string
+}
+
+// prepare canonicalizes a request and computes its fingerprint. It performs
+// no graph work beyond name resolution, so rejects are cheap.
+func (s *Server) prepare(req *RunRequest) (*prepared, error) {
+	g, ok := s.graphs[req.Graph]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q (have %v)", ErrUnknownGraph, req.Graph, s.names)
+	}
+	algo, err := CanonicalAlgo(req.Algorithm)
+	if err != nil {
+		return nil, err
+	}
+	params, err := normalizeParams(req.Params)
+	if err != nil {
+		return nil, err
+	}
+	window, err := normalizeWindow(req.Window)
+	if err != nil {
+		return nil, err
+	}
+	explicit := make(map[string]bool, len(req.Params))
+	for k := range req.Params {
+		explicit[k] = true
+	}
+	workers := req.Workers
+	if workers <= 0 {
+		workers = s.cfg.Workers
+	}
+	return &prepared{
+		graphName: req.Graph,
+		algo:      algo,
+		g:         g,
+		params:    params,
+		explicit:  explicit,
+		window:    window,
+		workers:   workers,
+		fp:        Fingerprint(req.Graph, algo, params, window),
+	}, nil
+}
+
+// admission is begin's verdict: exactly one field is set.
+type admission struct {
+	cached *RunResult // result already in the cache
+	joined *call      // identical run in flight: wait on it
+	lead   *call      // this caller runs; it holds an executor ticket
+}
+
+// begin resolves a prepared request against the cache, the flight map and
+// admission control, in that order. Cache hits and singleflight joins are
+// free: only leaders consume executor tickets, so duplicate traffic cannot
+// exhaust the queue. A returned lead call obligates the caller to finish()
+// it (which also releases the ticket).
+func (s *Server) begin(p *prepared, noCache bool) (admission, error) {
+	if !noCache {
+		if res, ok := s.cache.get(p.fp); ok {
+			s.m.cacheHits.Inc()
+			return admission{cached: res}, nil
+		}
+	}
+	s.flightMu.Lock()
+	defer s.flightMu.Unlock()
+	if !noCache {
+		if c, ok := s.flight[p.fp]; ok {
+			s.m.dedup.Inc()
+			return admission{joined: c}, nil
+		}
+	}
+	if err := s.reserve(); err != nil {
+		return admission{}, err
+	}
+	c := &call{owns: !noCache, done: make(chan struct{})}
+	if c.owns {
+		s.flight[p.fp] = c
+		s.m.cacheMisses.Inc()
+	}
+	return admission{lead: c}, nil
+}
+
+// finish completes a leader's call: publish the result to the cache, wake the
+// joiners, release the executor ticket.
+func (s *Server) finish(p *prepared, c *call, res *RunResult, err error) {
+	if err == nil && c.owns {
+		s.cache.put(p.fp, res)
+		s.m.cacheSize.Set(int64(s.cache.len()))
+	}
+	s.flightMu.Lock()
+	c.res, c.err = res, err
+	if c.owns {
+		delete(s.flight, p.fp)
+	}
+	s.flightMu.Unlock()
+	close(c.done)
+	s.release()
+}
+
+// reserve claims one executor ticket (run or queue slot) or rejects.
+func (s *Server) reserve() error {
+	s.admMu.Lock()
+	defer s.admMu.Unlock()
+	if s.draining {
+		s.m.rejectedDraining.Inc()
+		return ErrDraining
+	}
+	if s.reserved >= s.maxAdmitted {
+		s.m.rejectedBusy.Inc()
+		return ErrBusy
+	}
+	s.reserved++
+	return nil
+}
+
+// release returns a ticket and wakes drain waiters on the last one.
+func (s *Server) release() {
+	s.admMu.Lock()
+	s.reserved--
+	var wake []chan struct{}
+	if s.reserved == 0 && s.draining {
+		wake, s.drainCh = s.drainCh, nil
+	}
+	s.admMu.Unlock()
+	for _, ch := range wake {
+		close(ch)
+	}
+}
+
+// Draining reports whether the server has begun shutting down.
+func (s *Server) Draining() bool {
+	s.admMu.Lock()
+	defer s.admMu.Unlock()
+	return s.draining
+}
+
+// Drain begins a graceful shutdown: new runs are rejected with ErrDraining
+// while in-flight and queued runs execute to completion. It returns once the
+// last executor ticket is released, or with ctx's error if the grace period
+// expires first (the caller then typically Closes to hard-abort).
+func (s *Server) Drain(ctx context.Context) error {
+	s.admMu.Lock()
+	s.draining = true
+	if s.reserved == 0 {
+		s.admMu.Unlock()
+		return nil
+	}
+	ch := make(chan struct{})
+	s.drainCh = append(s.drainCh, ch)
+	s.admMu.Unlock()
+	select {
+	case <-ch:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Close hard-stops the server: new work is rejected and the lifetime context
+// is canceled, which aborts every running job at its next superstep barrier.
+// It waits for the executor to empty before returning.
+func (s *Server) Close() error {
+	s.closeOnce.Do(func() {
+		s.admMu.Lock()
+		s.draining = true
+		s.admMu.Unlock()
+		s.stop()
+		_ = s.Drain(context.Background())
+	})
+	return nil
+}
+
+// Execute answers one request synchronously: through the cache, deduplicated
+// against identical in-flight runs, or by running BSP under ctx. The typed
+// errors (ErrBusy, ErrDraining, ErrBadRequest, ErrUnknownGraph,
+// engine.ErrCanceled) describe every non-success outcome.
+func (s *Server) Execute(ctx context.Context, req *RunRequest) (*RunResult, error) {
+	p, err := s.prepare(req)
+	if err != nil {
+		return nil, err
+	}
+	adm, err := s.begin(p, req.NoCache)
+	if err != nil {
+		return nil, err
+	}
+	switch {
+	case adm.cached != nil:
+		return cachedCopy(adm.cached), nil
+	case adm.joined != nil:
+		select {
+		case <-adm.joined.done:
+			if adm.joined.err != nil {
+				return nil, adm.joined.err
+			}
+			return cachedCopy(adm.joined.res), nil
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	default:
+		res, err := s.runBSP(ctx, p)
+		s.finish(p, adm.lead, res, err)
+		return res, err
+	}
+}
+
+// runBSP waits for an executor slot, then executes the prepared run under a
+// context that additionally aborts when the server closes. Slicing to the
+// request window, parameter validation against the (possibly sliced) graph,
+// and result shaping all happen here, on the executor's time.
+func (s *Server) runBSP(ctx context.Context, p *prepared) (*RunResult, error) {
+	s.m.queued.Add(1)
+	select {
+	case s.sem <- struct{}{}:
+		s.m.queued.Add(-1)
+	case <-ctx.Done():
+		s.m.queued.Add(-1)
+		return nil, ctx.Err()
+	case <-s.root.Done():
+		s.m.queued.Add(-1)
+		return nil, ErrDraining
+	}
+	defer func() { <-s.sem }()
+	s.m.inflight.Add(1)
+	defer s.m.inflight.Add(-1)
+
+	runCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	stop := context.AfterFunc(s.root, cancel)
+	defer stop()
+
+	g := p.g
+	if p.window != ival.Universe {
+		var err error
+		g, err = tgraph.Slice(p.g, p.window)
+		if err != nil {
+			return nil, fmt.Errorf("%w: window %s: %v", ErrBadRequest, windowLabel(p.window), err)
+		}
+		if g.NumVertices() == 0 {
+			return nil, fmt.Errorf("%w: window %s contains no vertices", ErrBadRequest, windowLabel(p.window))
+		}
+	}
+	for _, k := range []string{"source", "target"} {
+		if p.explicit[k] && g.IndexOf(tgraph.VertexID(p.params[k])) < 0 {
+			return nil, fmt.Errorf("%w: %s vertex %d not in graph %q window %s",
+				ErrBadRequest, k, p.params[k], p.graphName, windowLabel(p.window))
+		}
+	}
+	prog, opts, err := algorithms.New(g, p.algo, algorithms.Params{
+		Source:     tgraph.VertexID(p.params["source"]),
+		Target:     tgraph.VertexID(p.params["target"]),
+		StartTime:  ival.Time(p.params["start"]),
+		Deadline:   ival.Time(p.params["deadline"]),
+		Iterations: int(p.params["iterations"]),
+	})
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadRequest, err)
+	}
+	opts.NumWorkers = p.workers
+	// Each run gets a private registry: engine.Metrics is a baseline-diff
+	// view, which concurrent runs sharing a registry would corrupt. The
+	// serving layer's own aggregates live in s.reg.
+	opts.Registry = obs.NewRegistry()
+	opts.Context = runCtx
+	if s.cfg.RunTracer != nil {
+		if tr := s.cfg.RunTracer(p.graphName, p.algo, p.fp); tr != nil {
+			opts.Tracer = tr
+		}
+	}
+
+	start := time.Now()
+	r, err := core.Run(g, prog, opts)
+	s.m.runLatency.Observe(time.Since(start))
+	if err != nil {
+		if errors.Is(err, engine.ErrCanceled) {
+			s.m.canceled.Inc()
+			// Attribute the abort: a canceled runCtx with a live request
+			// context means the server was shutting down.
+			if ctx.Err() == nil && s.root.Err() != nil {
+				return nil, fmt.Errorf("%w: %v", ErrDraining, err)
+			}
+		} else {
+			s.m.failed.Inc()
+		}
+		return nil, err
+	}
+	s.m.executed.Inc()
+	return buildResult(p, r), nil
+}
+
+// cachedCopy returns a response-ready shallow copy of an immutable cached
+// result with the Cached flag set; the shared slices are never mutated.
+func cachedCopy(res *RunResult) *RunResult {
+	cp := *res
+	cp.Cached = true
+	return &cp
+}

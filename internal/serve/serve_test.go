@@ -1,0 +1,425 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"graphite/internal/algorithms"
+	"graphite/internal/core"
+	"graphite/internal/tgraph"
+)
+
+// newTestServer boots a Server over the transit example plus an httptest
+// frontend, torn down with the test.
+func newTestServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
+	t.Helper()
+	if cfg.Graphs == nil {
+		cfg.Graphs = map[string]*tgraph.Graph{"transit": tgraph.TransitExample()}
+	}
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		_ = s.Close()
+	})
+	return s, ts
+}
+
+// postRun POSTs a run request and decodes the response into out (which may be
+// nil to discard), returning the HTTP status.
+func postRun(t *testing.T, ts *httptest.Server, req RunRequest, out any) int {
+	t.Helper()
+	body, err := json.Marshal(req)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	resp, err := http.Post(ts.URL+"/v1/run", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatalf("POST /v1/run: %v", err)
+	}
+	defer resp.Body.Close()
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatalf("decode response: %v", err)
+		}
+	}
+	return resp.StatusCode
+}
+
+func getJob(t *testing.T, ts *httptest.Server, id string) JobView {
+	t.Helper()
+	resp, err := http.Get(ts.URL + "/v1/jobs/" + id)
+	if err != nil {
+		t.Fatalf("GET job: %v", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET job %s: HTTP %d", id, resp.StatusCode)
+	}
+	var jv JobView
+	if err := json.NewDecoder(resp.Body).Decode(&jv); err != nil {
+		t.Fatalf("decode job: %v", err)
+	}
+	return jv
+}
+
+// waitJob polls a job until pred holds or the timeout expires.
+func waitJob(t *testing.T, ts *httptest.Server, id string, timeout time.Duration, pred func(JobView) bool) JobView {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for {
+		jv := getJob(t, ts, id)
+		if pred(jv) {
+			return jv
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job %s did not reach expected state in %v (status %q)", id, timeout, jv.Status)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestConcurrentIdenticalRequestsExecuteOnce is the singleflight pin: many
+// concurrent identical requests must trigger exactly one BSP execution; the
+// rest join the in-flight run or hit the result cache.
+func TestConcurrentIdenticalRequestsExecuteOnce(t *testing.T) {
+	s, ts := newTestServer(t, Config{})
+	const n = 32
+	req := RunRequest{
+		Graph:     "transit",
+		Algorithm: "pr",
+		Params:    map[string]int64{"iterations": 500},
+	}
+	var wg sync.WaitGroup
+	start := make(chan struct{})
+	codes := make([]int, n)
+	cached := make([]bool, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			<-start
+			var res RunResult
+			codes[i] = postRun(t, ts, req, &res)
+			cached[i] = res.Cached
+		}(i)
+	}
+	close(start)
+	wg.Wait()
+	for i, code := range codes {
+		if code != http.StatusOK {
+			t.Fatalf("request %d: HTTP %d", i, code)
+		}
+	}
+	reg := s.Registry()
+	if got := reg.Counter(CRunsExecuted).Load(); got != 1 {
+		t.Fatalf("runs executed: got %d, want exactly 1", got)
+	}
+	hits := reg.Counter(CCacheHits).Load()
+	dedup := reg.Counter(CFlightDedup).Load()
+	if hits+dedup != n-1 {
+		t.Fatalf("hits(%d)+dedup(%d) = %d, want %d", hits, dedup, hits+dedup, n-1)
+	}
+	if got := reg.Counter(CCacheMisses).Load(); got != 1 {
+		t.Fatalf("cache misses: got %d, want 1", got)
+	}
+}
+
+// TestQueueFullRejects pins admission control: with one executor slot and one
+// queue slot occupied by distinct long runs, the next request is rejected with
+// 429 immediately, and the rejection is counted.
+func TestQueueFullRejects(t *testing.T) {
+	s, ts := newTestServer(t, Config{MaxConcurrent: 1, QueueDepth: 1})
+	long := func(iters int64) RunRequest {
+		return RunRequest{
+			Graph:     "transit",
+			Algorithm: "pr",
+			Params:    map[string]int64{"iterations": iters},
+			Async:     true,
+		}
+	}
+	// Distinct iteration counts → distinct fingerprints → both are leaders
+	// holding tickets (one running, one queued).
+	j1, err := s.Submit(&RunRequest{Graph: "transit", Algorithm: "pr",
+		Params: map[string]int64{"iterations": 2_000_000}, Async: true})
+	if err != nil {
+		t.Fatalf("submit 1: %v", err)
+	}
+	j2, err := s.Submit(&RunRequest{Graph: "transit", Algorithm: "pr",
+		Params: map[string]int64{"iterations": 2_000_001}, Async: true})
+	if err != nil {
+		t.Fatalf("submit 2: %v", err)
+	}
+	var errBody map[string]any
+	if code := postRun(t, ts, long(2_000_002).withSync(), &errBody); code != http.StatusTooManyRequests {
+		t.Fatalf("third request: HTTP %d (%v), want 429", code, errBody)
+	}
+	if got := s.Registry().Counter(CRejectedBusy).Load(); got < 1 {
+		t.Fatalf("rejected.busy: got %d, want >= 1", got)
+	}
+	// An identical duplicate of a queued run still joins in-flight instead of
+	// being rejected: dedup must not consume tickets.
+	dup, err := s.Submit(&RunRequest{Graph: "transit", Algorithm: "pr",
+		Params: map[string]int64{"iterations": 2_000_001}, Async: true})
+	if err != nil {
+		t.Fatalf("duplicate submit should join in flight, got %v", err)
+	}
+	// Hard stop; the long runs abort at their next barrier and every job
+	// reaches a terminal state.
+	if err := s.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	for _, id := range []string{j1.ID, j2.ID, dup.ID} {
+		waitJob(t, ts, id, 10*time.Second, func(jv JobView) bool {
+			return jv.Status == JobCanceled || jv.Status == JobFailed
+		})
+	}
+}
+
+// withSync strips the Async flag for reuse in sync posts.
+func (r RunRequest) withSync() RunRequest { r.Async = false; return r }
+
+// TestGracefulDrain pins shutdown semantics: Drain lets the in-flight run
+// finish (the job completes with a result), while new work is rejected with
+// 503 and health flips to draining.
+func TestGracefulDrain(t *testing.T) {
+	s, ts := newTestServer(t, Config{MaxConcurrent: 2})
+	jv, err := s.Submit(&RunRequest{Graph: "transit", Algorithm: "pr",
+		Params: map[string]int64{"iterations": 5000}, Async: true})
+	if err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+	waitJob(t, ts, jv.ID, 5*time.Second, func(j JobView) bool { return j.Status != JobPending })
+
+	drained := make(chan error, 1)
+	go func() { drained <- s.Drain(context.Background()) }()
+	// Draining flips synchronously under the admission lock; wait for it.
+	deadline := time.Now().Add(2 * time.Second)
+	for !s.Draining() {
+		if time.Now().After(deadline) {
+			t.Fatal("server never started draining")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	if code := postRun(t, ts, RunRequest{Graph: "transit", Algorithm: "sssp",
+		Params: map[string]int64{"source": 1}}, nil); code != http.StatusServiceUnavailable {
+		t.Fatalf("request during drain: HTTP %d, want 503", code)
+	}
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatalf("healthz: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("healthz during drain: HTTP %d, want 503", resp.StatusCode)
+	}
+
+	select {
+	case err := <-drained:
+		if err != nil {
+			t.Fatalf("drain: %v", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("drain did not complete")
+	}
+	// The in-flight job was allowed to finish, not canceled.
+	final := waitJob(t, ts, jv.ID, 5*time.Second, func(j JobView) bool { return j.Status == JobDone })
+	if final.Result == nil {
+		t.Fatal("drained job has no result")
+	}
+	if got := s.Registry().Counter(CRunsCanceled).Load(); got != 0 {
+		t.Fatalf("runs canceled during graceful drain: %d, want 0", got)
+	}
+}
+
+// TestServedResultMatchesCLI pins bit-identical rendering: the served result,
+// reconstructed through FormatLines, must equal FormatResult over a direct
+// core.Run with the same parameters — the exact lines cmd/graphite-run prints.
+func TestServedResultMatchesCLI(t *testing.T) {
+	g := tgraph.TransitExample()
+	_, ts := newTestServer(t, Config{Graphs: map[string]*tgraph.Graph{"transit": g}})
+
+	for _, algo := range []string{"sssp", "eat", "bfs"} {
+		var res RunResult
+		if code := postRun(t, ts, RunRequest{Graph: "transit", Algorithm: algo,
+			Params: map[string]int64{"source": 1}}, &res); code != http.StatusOK {
+			t.Fatalf("%s: HTTP %d", algo, code)
+		}
+		prog, opts, err := algorithms.New(g, algo, algorithms.Params{Source: 1, Target: 1})
+		if err != nil {
+			t.Fatalf("%s: %v", algo, err)
+		}
+		r, err := core.Run(g, prog, opts)
+		if err != nil {
+			t.Fatalf("%s: direct run: %v", algo, err)
+		}
+		want := FormatResult(r, 10)
+		got := res.FormatLines(10)
+		if len(got) != len(want) {
+			t.Fatalf("%s: %d lines served vs %d direct", algo, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Errorf("%s line %d:\nserved %q\ndirect %q", algo, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestRequestDeadlineCancels pins cooperative cancellation end to end: a run
+// that cannot finish inside its deadline comes back 504 and is counted as
+// canceled, not failed.
+func TestRequestDeadlineCancels(t *testing.T) {
+	s, ts := newTestServer(t, Config{})
+	var errBody map[string]any
+	code := postRun(t, ts, RunRequest{
+		Graph:     "transit",
+		Algorithm: "pr",
+		Params:    map[string]int64{"iterations": 5_000_000},
+		TimeoutMS: 50,
+	}, &errBody)
+	if code != http.StatusGatewayTimeout {
+		t.Fatalf("deadline run: HTTP %d (%v), want 504", code, errBody)
+	}
+	reg := s.Registry()
+	if got := reg.Counter(CRunsCanceled).Load(); got != 1 {
+		t.Fatalf("runs canceled: got %d, want 1", got)
+	}
+	if got := reg.Counter(CRunsFailed).Load(); got != 0 {
+		t.Fatalf("runs failed: got %d, want 0", got)
+	}
+}
+
+// TestJobLifecycle pins the async path: submit returns 202 with a pending or
+// running job, polling converges to done with a result identical to the sync
+// answer, and DELETE cancels a running job at its next barrier.
+func TestJobLifecycle(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+
+	var sync RunResult
+	if code := postRun(t, ts, RunRequest{Graph: "transit", Algorithm: "sssp",
+		Params: map[string]int64{"source": 1}}, &sync); code != http.StatusOK {
+		t.Fatalf("sync run: HTTP %d", code)
+	}
+
+	var jv JobView
+	if code := postRun(t, ts, RunRequest{Graph: "transit", Algorithm: "sssp",
+		Params: map[string]int64{"source": 1}, Async: true, NoCache: true}, &jv); code != http.StatusAccepted {
+		t.Fatalf("submit: HTTP %d", code)
+	}
+	done := waitJob(t, ts, jv.ID, 10*time.Second, func(j JobView) bool { return terminal(j.Status) })
+	if done.Status != JobDone || done.Result == nil {
+		t.Fatalf("job finished %q (err %q), want done with result", done.Status, done.Error)
+	}
+	if got, want := fmt.Sprint(done.Result.FormatLines(0)), fmt.Sprint(sync.FormatLines(0)); got != want {
+		t.Fatalf("async result diverged from sync:\nasync %s\nsync  %s", got, want)
+	}
+
+	// Cancel a long-running job via DELETE.
+	if code := postRun(t, ts, RunRequest{Graph: "transit", Algorithm: "pr",
+		Params: map[string]int64{"iterations": 5_000_000}, Async: true}, &jv); code != http.StatusAccepted {
+		t.Fatalf("submit long: HTTP %d", code)
+	}
+	waitJob(t, ts, jv.ID, 5*time.Second, func(j JobView) bool { return j.Status == JobRunning })
+	delReq, _ := http.NewRequest(http.MethodDelete, ts.URL+"/v1/jobs/"+jv.ID, nil)
+	resp, err := http.DefaultClient.Do(delReq)
+	if err != nil {
+		t.Fatalf("DELETE: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("DELETE: HTTP %d", resp.StatusCode)
+	}
+	canceled := waitJob(t, ts, jv.ID, 10*time.Second, func(j JobView) bool { return terminal(j.Status) })
+	if canceled.Status != JobCanceled {
+		t.Fatalf("deleted job finished %q (err %q), want canceled", canceled.Status, canceled.Error)
+	}
+
+	// Unknown job id is a 404.
+	resp, err = http.Get(ts.URL + "/v1/jobs/nope")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown job: HTTP %d, want 404", resp.StatusCode)
+	}
+}
+
+// TestRequestValidation pins the 4xx surface.
+func TestRequestValidation(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	cases := []struct {
+		name string
+		body string
+		want int
+	}{
+		{"unknown graph", `{"graph":"nope","algorithm":"sssp"}`, http.StatusNotFound},
+		{"unknown algorithm", `{"graph":"transit","algorithm":"dijkstra"}`, http.StatusBadRequest},
+		{"unknown field", `{"graph":"transit","algorithm":"sssp","frobnicate":1}`, http.StatusBadRequest},
+		{"unknown param", `{"graph":"transit","algorithm":"sssp","params":{"sources":1}}`, http.StatusBadRequest},
+		{"negative window", `{"graph":"transit","algorithm":"sssp","window":{"start":-2}}`, http.StatusBadRequest},
+		{"missing source vertex", `{"graph":"transit","algorithm":"sssp","params":{"source":99}}`, http.StatusBadRequest},
+		{"malformed json", `{"graph":`, http.StatusBadRequest},
+	}
+	for _, tc := range cases {
+		resp, err := http.Post(ts.URL+"/v1/run", "application/json", bytes.NewBufferString(tc.body))
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != tc.want {
+			t.Errorf("%s: HTTP %d, want %d", tc.name, resp.StatusCode, tc.want)
+		}
+	}
+}
+
+// TestWindowedRun pins window slicing through the API: a bounded window runs
+// over the sliced graph and is fingerprinted apart from the unbounded run.
+func TestWindowedRun(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	var full, windowed RunResult
+	if code := postRun(t, ts, RunRequest{Graph: "transit", Algorithm: "sssp",
+		Params: map[string]int64{"source": 1}}, &full); code != http.StatusOK {
+		t.Fatalf("full run: HTTP %d", code)
+	}
+	if code := postRun(t, ts, RunRequest{Graph: "transit", Algorithm: "sssp",
+		Params: map[string]int64{"source": 1},
+		Window: &Window{Start: 0, End: 4}}, &windowed); code != http.StatusOK {
+		t.Fatalf("windowed run: HTTP %d", code)
+	}
+	if full.Fingerprint == windowed.Fingerprint {
+		t.Fatal("windowed run shares a fingerprint with the full run")
+	}
+	if windowed.Window != "[0,4)" {
+		t.Fatalf("window label: %q", windowed.Window)
+	}
+}
+
+// TestExecuteTypedErrors exercises the Go-level surface without HTTP.
+func TestExecuteTypedErrors(t *testing.T) {
+	s, _ := newTestServer(t, Config{})
+	ctx := context.Background()
+	if _, err := s.Execute(ctx, &RunRequest{Graph: "nope", Algorithm: "sssp"}); !errors.Is(err, ErrUnknownGraph) {
+		t.Fatalf("unknown graph: %v", err)
+	}
+	if _, err := s.Execute(ctx, &RunRequest{Graph: "transit", Algorithm: "nope"}); !errors.Is(err, ErrBadRequest) {
+		t.Fatalf("unknown algorithm: %v", err)
+	}
+	if _, err := s.Execute(ctx, &RunRequest{Graph: "transit", Algorithm: "sssp",
+		Params: map[string]int64{"source": 99}}); !errors.Is(err, ErrBadRequest) {
+		t.Fatalf("missing source vertex: %v", err)
+	}
+}
