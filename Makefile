@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet race verify chaos bench trace-smoke serve-smoke clean
+.PHONY: all build test vet race verify fuzz chaos bench trace-smoke serve-smoke clean
 
 all: verify
 
@@ -14,10 +14,21 @@ test:
 	$(GO) test ./...
 
 # Race-checked run of the fault-tolerance, observability and serving
-# surfaces (the chaos acceptance tests, the concurrent registry tests and
-# the query-service concurrency tests live here).
+# surfaces (the chaos acceptance tests, the concurrent registry tests, the
+# query-service concurrency tests, and the pool-aliasing test), plus the
+# warp/algorithm layers whose per-worker scratch reuse must stay race-free.
 race:
-	$(GO) test -race ./internal/engine/... ./internal/chaos/... ./internal/obs/... ./internal/serve/...
+	$(GO) test -race ./internal/engine/... ./internal/chaos/... ./internal/obs/... ./internal/serve/... ./internal/warp/... ./internal/algorithms/...
+
+# Fuzz smoke: every fuzz target in the codec, state and warp layers for
+# FUZZTIME each (Go allows one -fuzz target per invocation).
+FUZZTIME ?= 30s
+fuzz:
+	$(GO) test -run '^$$' -fuzz FuzzIntervalDecode -fuzztime $(FUZZTIME) ./internal/codec
+	$(GO) test -run '^$$' -fuzz FuzzInt64SliceDecode -fuzztime $(FUZZTIME) ./internal/codec
+	$(GO) test -run '^$$' -fuzz FuzzIntervalAppendDecode -fuzztime $(FUZZTIME) ./internal/codec
+	$(GO) test -run '^$$' -fuzz FuzzStateSet -fuzztime $(FUZZTIME) ./internal/core
+	$(GO) test -run '^$$' -fuzz FuzzWarp -fuzztime $(FUZZTIME) ./internal/warp
 
 # The full gate: everything vetted, built, and race-tested. Long-running
 # chaos tests honour -short via `make verify SHORT=-short`.

@@ -6,7 +6,7 @@
 //	graphite-bench [flags] <experiment>...
 //
 // Experiments: table1, table2, fig4, fig5, fig6a, fig6b, fig6c, fig7,
-// msgsize, loc, chaos, all.
+// msgsize, loc, chaos, alloc, all.
 //
 // With -trace, every ICM run in the selected experiments appends its
 // per-superstep event stream to one JSONL file (render with graphite-trace);
@@ -39,7 +39,7 @@ func main() {
 	)
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: graphite-bench [flags] <experiment>...\n")
-		fmt.Fprintf(os.Stderr, "experiments: table1 table2 fig4 fig5 fig6a fig6b fig6c fig7 msgsize loc chaos all\n\n")
+		fmt.Fprintf(os.Stderr, "experiments: table1 table2 fig4 fig5 fig6a fig6b fig6c fig7 msgsize loc chaos alloc all\n\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -120,7 +120,7 @@ func run(cfg bench.Config, exp string, algos []bench.Algo) error {
 	w := os.Stdout
 	switch exp {
 	case "all":
-		for _, e := range []string{"table1", "table2", "fig4", "fig5", "fig6a", "fig6b", "fig6c", "fig7", "msgsize", "loc", "chaos"} {
+		for _, e := range []string{"table1", "table2", "fig4", "fig5", "fig6a", "fig6b", "fig6c", "fig7", "msgsize", "loc", "chaos", "alloc"} {
 			if err := run(cfg, e, algos); err != nil {
 				return err
 			}
@@ -193,8 +193,14 @@ func run(cfg bench.Config, exp string, algos []bench.Algo) error {
 			return err
 		}
 		bench.RenderChaos(w, rows)
+	case "alloc":
+		rows, err := bench.Alloc(cfg)
+		if err != nil {
+			return err
+		}
+		bench.RenderAlloc(w, rows)
 	default:
-		return fmt.Errorf("unknown experiment (try: table1 table2 fig4 fig5 fig6a fig6b fig6c fig7 msgsize loc chaos all)")
+		return fmt.Errorf("unknown experiment (try: table1 table2 fig4 fig5 fig6a fig6b fig6c fig7 msgsize loc chaos alloc all)")
 	}
 	return nil
 }

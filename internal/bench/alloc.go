@@ -1,0 +1,98 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+
+	"graphite/internal/stats"
+	"graphite/internal/tgraph"
+)
+
+// --- alloc: bytes allocated per ICM run (GC pressure on the hot path) ---
+
+// AllocRow reports the heap traffic of one (graph, algorithm) ICM run:
+// total bytes and object allocations attributed to the run, plus the same
+// normalized per superstep — the number the pooled hot path is meant to
+// drive toward zero at steady state.
+type AllocRow struct {
+	Graph          string
+	Algo           Algo
+	Supersteps     int
+	Bytes          uint64 // heap bytes allocated during the run
+	Objects        uint64 // heap objects allocated during the run
+	BytesPerStep   uint64
+	ObjectsPerStep uint64
+}
+
+// AllocAlgos are the algorithms measured by the alloc experiment: the two
+// alloc-gate algorithms (SSSP, PR) plus BFS and EAT for breadth.
+var AllocAlgos = []Algo{BFS, PR, SSSP, EAT}
+
+// Alloc measures heap allocation per ICM run on every dataset profile. Each
+// run is measured with runtime.MemStats deltas around it; a warm-up run per
+// (graph, algorithm) pair lets pools and grow-only buffers reach steady
+// state first so the measurement reflects the recurring cost, not one-time
+// warm-up growth.
+func Alloc(cfg Config) ([]AllocRow, error) {
+	ds, err := Datasets(cfg)
+	if err != nil {
+		return nil, err
+	}
+	var rows []AllocRow
+	for _, d := range ds {
+		for _, al := range AllocAlgos {
+			row, err := allocRun(cfg, al, d.Graph)
+			if err != nil {
+				return nil, fmt.Errorf("bench: alloc %s/%s: %w", d.Profile.Name, al, err)
+			}
+			row.Graph = d.Profile.Name
+			rows = append(rows, row)
+		}
+	}
+	return rows, nil
+}
+
+func allocRun(cfg Config, al Algo, g *tgraph.Graph) (AllocRow, error) {
+	source := g.VertexAt(0).ID
+	target := g.VertexAt(g.NumVertices() - 1).ID
+	// Warm-up run: grow-only buffers and pools reach steady state.
+	if _, err := runICM(cfg, al, g, source, target, cfg.Workers); err != nil {
+		return AllocRow{}, err
+	}
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	r, err := runICM(cfg, al, g, source, target, cfg.Workers)
+	if err != nil {
+		return AllocRow{}, err
+	}
+	runtime.ReadMemStats(&after)
+	row := AllocRow{
+		Algo:       al,
+		Supersteps: int(r.Metrics.Supersteps),
+		Bytes:      after.TotalAlloc - before.TotalAlloc,
+		Objects:    after.Mallocs - before.Mallocs,
+	}
+	if row.Supersteps > 0 {
+		row.BytesPerStep = row.Bytes / uint64(row.Supersteps)
+		row.ObjectsPerStep = row.Objects / uint64(row.Supersteps)
+	}
+	return row, nil
+}
+
+// RenderAlloc prints the allocation table.
+func RenderAlloc(w io.Writer, rows []AllocRow) {
+	fmt.Fprintln(w, "Alloc: heap traffic per ICM run (steady state, after one warm-up run)")
+	t := stats.Table{Header: []string{
+		"Graph", "Algo", "Supersteps", "Bytes", "Objects", "Bytes/step", "Objects/step",
+	}}
+	var totalBytes, totalObjects uint64
+	for _, r := range rows {
+		totalBytes += r.Bytes
+		totalObjects += r.Objects
+		t.Add(r.Graph, string(r.Algo), r.Supersteps, r.Bytes, r.Objects, r.BytesPerStep, r.ObjectsPerStep)
+	}
+	t.Add("TOTAL", "", "", totalBytes, totalObjects, "", "")
+	t.Render(w)
+}

@@ -243,6 +243,16 @@ func TestChaosSSSPMatchesFaultFree(t *testing.T) {
 			t.Errorf("vertex %s: costs %v, want %v", tgraph.TransitVertexName(id), have, want)
 		}
 	}
+	// Stronger than the decoded costs: the raw partitioned states must be
+	// bit-for-bit identical. Delivery now runs through pooled message slabs
+	// that rollback recycles, so this pins that no replay ever aliases a
+	// recycled (or chaos-corrupted) buffer into a surviving state.
+	for i := 0; i < base.Graph.NumVertices(); i++ {
+		if !reflect.DeepEqual(base.State(i).Parts(), got.State(i).Parts()) {
+			t.Errorf("vertex %d partitions diverged:\nfault-free: %v\nchaos:      %v",
+				i, base.State(i).Parts(), got.State(i).Parts())
+		}
+	}
 	// Deterministic metrics match; timings differ, so compare counters only.
 	bm, gm := base.Metrics, got.Metrics
 	if bm.Supersteps != gm.Supersteps || bm.ComputeCalls != gm.ComputeCalls ||

@@ -1,0 +1,7 @@
+//go:build race
+
+package codec
+
+// raceEnabled mirrors internal/engine's: deterministic pool-recycle contracts
+// are skipped under the race detector, where sync.Pool drops puts at random.
+const raceEnabled = true

@@ -1,0 +1,59 @@
+package codec
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Slab is a reusable byte buffer for encoded message batches. Callers append
+// into Buf and hand the slab back to its pool when the bytes are no longer
+// referenced by anyone; the backing array is then reused instead of
+// reallocated, which is what keeps the steady-state exchange phase off the
+// allocator.
+type Slab struct {
+	Buf []byte
+}
+
+// SlabPool hands out byte slabs backed by a sync.Pool and keeps reuse
+// statistics. The zero value is ready. A slab must only be Put back once
+// nothing retains its bytes: consumers that keep a reference (a transport
+// that queues frames, a checkpoint) must copy first — returning an aliased
+// slab would let the next Get scribble over data someone still reads, which
+// is exactly how a fault-injected (corrupted) frame could leak back into a
+// healthy superstep.
+type SlabPool struct {
+	pool        sync.Pool
+	hits        atomic.Int64
+	misses      atomic.Int64
+	bytesReused atomic.Int64
+}
+
+// Get returns a slab with zero length and whatever capacity a previous user
+// grew it to.
+func (p *SlabPool) Get() *Slab {
+	if v := p.pool.Get(); v != nil {
+		s := v.(*Slab)
+		p.hits.Add(1)
+		p.bytesReused.Add(int64(cap(s.Buf)))
+		s.Buf = s.Buf[:0]
+		return s
+	}
+	p.misses.Add(1)
+	return &Slab{}
+}
+
+// Put returns a slab to the pool. The caller must not touch the slab after.
+func (p *SlabPool) Put(s *Slab) {
+	if s == nil {
+		return
+	}
+	s.Buf = s.Buf[:0]
+	p.pool.Put(s)
+}
+
+// Stats reports cumulative pool behaviour: hits (a Get served from the
+// pool), misses (a Get that had to allocate), and the total capacity in
+// bytes handed back out by hits.
+func (p *SlabPool) Stats() (hits, misses, bytesReused int64) {
+	return p.hits.Load(), p.misses.Load(), p.bytesReused.Load()
+}

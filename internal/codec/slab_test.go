@@ -1,0 +1,33 @@
+package codec
+
+import "testing"
+
+// TestSlabPoolRecycles checks the byte-slab pool contract: a recycled slab
+// comes back truncated with capacity intact, and the counters distinguish
+// hits from misses and account reused bytes.
+func TestSlabPoolRecycles(t *testing.T) {
+	if raceEnabled {
+		t.Skip("recycle contract skipped under -race: sync.Pool drops puts at random under the race detector")
+	}
+	var p SlabPool
+	s := p.Get()
+	if s == nil || len(s.Buf) != 0 {
+		t.Fatalf("fresh slab: %+v", s)
+	}
+	if hits, misses, reused := p.Stats(); hits != 0 || misses != 1 || reused != 0 {
+		t.Fatalf("after first get: hits=%d misses=%d reused=%d, want 0/1/0", hits, misses, reused)
+	}
+	s.Buf = append(s.Buf, 1, 2, 3, 4)
+	wantCap := cap(s.Buf)
+	p.Put(s)
+
+	s2 := p.Get()
+	if len(s2.Buf) != 0 || cap(s2.Buf) != wantCap {
+		t.Fatalf("recycled slab: len=%d cap=%d, want 0/%d", len(s2.Buf), cap(s2.Buf), wantCap)
+	}
+	if hits, misses, reused := p.Stats(); hits != 1 || misses != 1 || reused != int64(wantCap) {
+		t.Fatalf("after recycle: hits=%d misses=%d reused=%d, want 1/1/%d", hits, misses, reused, wantCap)
+	}
+	p.Put(s2)
+	p.Put(nil) // nil put is a harmless no-op
+}

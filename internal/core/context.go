@@ -62,6 +62,13 @@ func (c *VertexCtx) StateAt(t ival.Time) (any, bool) { return c.State().Get(t) }
 // τj ⊑ τi} of Sec. IV-A3. Out-of-range writes return an error and abort the
 // run.
 func (c *VertexCtx) SetState(iv ival.Interval, value any) error {
+	if c.inScatter {
+		// Scatter aligns the partitions being iterated; a Set would recycle
+		// the backing array mid-iteration (see PartitionedState.Parts).
+		err := fmt.Errorf("core: vertex %d called SetState during Scatter", c.v.ID)
+		c.rt.fail(err)
+		return err
+	}
 	bound := c.v.Lifespan
 	if c.inCompute {
 		bound = c.allowed

@@ -1,0 +1,7 @@
+//go:build race
+
+package core
+
+// raceEnabled mirrors internal/engine's: allocation gates are skipped under
+// the race detector, whose instrumentation perturbs pooling and allocation.
+const raceEnabled = true

@@ -26,6 +26,11 @@ type runtime struct {
 	targets   [][]target        // per vertex: edges scatter traverses and their far endpoints
 	threshold float64
 
+	// Per-worker reusable scratch; sized lazily at the first Run call, when
+	// the engine's effective worker count is known.
+	wss    []workspace
+	wsOnce sync.Once
+
 	warpCalls       atomic.Int64
 	warpSuppressed  atomic.Int64
 	stateUpdates    atomic.Int64
@@ -212,73 +217,17 @@ func (rt *runtime) Init(ctx *engine.Context) {
 	rt.prog.Init(&vc)
 }
 
-// Run implements engine.Program: one superstep for one active vertex.
+// Run implements engine.Program: one superstep for one active vertex. The
+// worker's workspace supplies every buffer the superstep needs, so the
+// steady-state align → compute → scatter path performs no allocation.
 func (rt *runtime) Run(ctx *engine.Context, msgs []engine.Message) {
 	i := ctx.Vertex()
 	st := rt.states[i]
-	vc := VertexCtx{rt: rt, eng: ctx, idx: i, v: rt.g.VertexAt(i)}
+	ws := rt.workspace(ctx)
+	vc := &ws.vc
+	*vc = VertexCtx{rt: rt, eng: ctx, idx: i, v: rt.g.VertexAt(i), updated: vc.updated[:0]}
 
-	var tuples []warp.Tuple
-	if ctx.Superstep() == 1 || (rt.opts.ActivateAll && len(msgs) == 0) {
-		// Superstep 1 runs compute on every vertex for its entire lifespan
-		// with no messages (Sec. IV-A); forced-active vertices without
-		// messages behave the same way in later supersteps.
-		for _, p := range st.Parts() {
-			tuples = append(tuples, warp.Tuple{Interval: p.Interval, State: p.Value})
-		}
-	} else {
-		// Clip message intervals to the vertex lifespan up front: warp
-		// would do it anyway, and the suppression heuristic must see the
-		// effective intervals — a [t, ∞) path message hitting a vertex that
-		// lives for one time-point is a unit message in every sense.
-		life := st.Lifespan()
-		inner := make([]warp.IntervalValue, 0, len(msgs))
-		for _, m := range msgs {
-			if x := m.When.Intersect(life); !x.IsEmpty() {
-				inner = append(inner, warp.IntervalValue{Interval: x, Value: m.Value})
-			}
-		}
-		if rt.traced && len(inner) > 0 {
-			var unit int64
-			for _, iv := range inner {
-				if iv.Interval.IsUnit() {
-					unit++
-				}
-			}
-			rt.msgsIn.Add(int64(len(inner)))
-			rt.unitMsgsIn.Add(unit)
-		}
-		switch {
-		case rt.opts.DisableWarp:
-			tuples = rt.pointGroups(st, inner)
-		case !rt.opts.DisableSuppression && warp.UnitFraction(inner) > rt.threshold:
-			rt.warpSuppressed.Add(1)
-			tuples = rt.pointGroups(st, inner)
-		case rt.combine != nil:
-			rt.warpCalls.Add(1)
-			tuples = warp.WarpCombined(st.Parts(), inner, rt.combine)
-		default:
-			rt.warpCalls.Add(1)
-			tuples = warp.Warp(st.Parts(), inner)
-		}
-	}
-	if rt.opts.ActivateAll && ctx.Superstep() > 1 && len(msgs) > 0 {
-		// Forced-active vertices compute over their whole lifespan: append
-		// empty-group tuples for the sub-intervals no message covered.
-		var covered ival.Set
-		for _, tu := range tuples {
-			covered.Add(tu.Interval)
-		}
-		for _, p := range st.Parts() {
-			rest := ival.NewSet(p.Interval)
-			for _, c := range covered.Intervals() {
-				rest = rest.Subtract(c)
-			}
-			for _, gap := range rest.Intervals() {
-				tuples = append(tuples, warp.Tuple{Interval: gap, State: p.Value})
-			}
-		}
-	}
+	tuples := rt.align(ws, st, msgs, ctx.Superstep())
 	if len(tuples) == 0 {
 		return
 	}
@@ -299,7 +248,7 @@ func (rt *runtime) Run(ctx *engine.Context, msgs []engine.Message) {
 	for _, tu := range tuples {
 		vc.allowed = tu.Interval
 		vc.inCompute = true
-		rt.prog.Compute(&vc, tu.Interval, tu.State, tu.Msgs)
+		rt.prog.Compute(vc, tu.Interval, tu.State, tu.Msgs)
 		vc.inCompute = false
 		ctx.AddComputeCalls(1)
 		if rt.opts.CheckInvariants {
@@ -322,19 +271,80 @@ func (rt *runtime) Run(ctx *engine.Context, msgs []engine.Message) {
 	for _, p := range st.Parts() {
 		for _, u := range upds {
 			if x := u.Intersect(p.Interval); !x.IsEmpty() {
-				rt.scatterPart(&vc, ctx, rt.targets[i], x, p.Value)
+				rt.scatterPart(vc, ctx, rt.targets[i], x, p.Value)
 			}
 		}
 	}
 }
 
-// pointGroups is the suppressed execution path, with the inline combiner
-// applied when available.
-func (rt *runtime) pointGroups(st *PartitionedState, inner []warp.IntervalValue) []warp.Tuple {
-	if rt.combine != nil {
-		return warp.PointGroupsCombined(st.Parts(), inner, rt.combine)
+// align produces the compute tuples for one vertex and superstep: the
+// pre-compute time-warp of Sec. IV-B, its suppressed and disabled fallbacks,
+// and the whole-lifespan activation paths. The result lives in the worker's
+// workspace and is valid only until the worker's next vertex.
+func (rt *runtime) align(ws *workspace, st *PartitionedState, msgs []engine.Message, superstep int) []warp.Tuple {
+	tuples := ws.tuples[:0]
+	if superstep == 1 || (rt.opts.ActivateAll && len(msgs) == 0) {
+		// Superstep 1 runs compute on every vertex for its entire lifespan
+		// with no messages (Sec. IV-A); forced-active vertices without
+		// messages behave the same way in later supersteps.
+		for _, p := range st.Parts() {
+			tuples = append(tuples, warp.Tuple{Interval: p.Interval, State: p.Value})
+		}
+		ws.tuples = tuples
+		return tuples
 	}
-	return warp.PointGroups(st.Parts(), inner)
+	// Clip message intervals to the vertex lifespan up front: warp would do
+	// it anyway, and the suppression heuristic must see the effective
+	// intervals — a [t, ∞) path message hitting a vertex that lives for one
+	// time-point is a unit message in every sense.
+	life := st.Lifespan()
+	inner := ws.inner[:0]
+	for _, m := range msgs {
+		if x := m.When.Intersect(life); !x.IsEmpty() {
+			inner = append(inner, warp.IntervalValue{Interval: x, Value: m.Value})
+		}
+	}
+	ws.inner = inner
+	if rt.traced && len(inner) > 0 {
+		var unit int64
+		for _, iv := range inner {
+			if iv.Interval.IsUnit() {
+				unit++
+			}
+		}
+		rt.msgsIn.Add(int64(len(inner)))
+		rt.unitMsgsIn.Add(unit)
+	}
+	switch {
+	case rt.opts.DisableWarp:
+		tuples = rt.pointGroups(ws, tuples, st, inner)
+	case !rt.opts.DisableSuppression && warp.UnitFraction(inner) > rt.threshold:
+		rt.warpSuppressed.Add(1)
+		tuples = rt.pointGroups(ws, tuples, st, inner)
+	case rt.combine != nil:
+		rt.warpCalls.Add(1)
+		tuples = ws.scratch.WarpCombined(tuples, st.Parts(), inner, rt.combine)
+	default:
+		rt.warpCalls.Add(1)
+		tuples = ws.scratch.Warp(tuples, st.Parts(), inner)
+	}
+	if rt.opts.ActivateAll {
+		// Forced-active vertices compute over their whole lifespan: append
+		// empty-group tuples for the sub-intervals no message covered.
+		// (Superstep 1 and the no-message case returned above.)
+		tuples = fillGaps(tuples, st.Parts())
+	}
+	ws.tuples = tuples
+	return tuples
+}
+
+// pointGroups is the suppressed execution path, with the inline combiner
+// applied when available; it appends into dst with the workspace scratch.
+func (rt *runtime) pointGroups(ws *workspace, dst []warp.Tuple, st *PartitionedState, inner []warp.IntervalValue) []warp.Tuple {
+	if rt.combine != nil {
+		return ws.scratch.PointGroupsCombined(dst, st.Parts(), inner, rt.combine)
+	}
+	return ws.scratch.PointGroups(dst, st.Parts(), inner)
 }
 
 // coalesceIntervals sorts and merges overlapping or adjacent intervals in

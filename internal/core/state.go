@@ -29,6 +29,12 @@ var ErrStateOutOfRange = errors.New("core: state update outside the active inter
 type PartitionedState struct {
 	lifespan ival.Interval
 	parts    []warp.IntervalValue
+	// spare is the partition array the last Set retired; the next Set builds
+	// into it, so repartitioning ping-pongs between two arrays and stops
+	// allocating once both have grown to the working size. Invariant: parts
+	// and spare never share backing (Clone resets spare, so checkpointed
+	// copies are independent).
+	spare []warp.IntervalValue
 }
 
 // NewPartitionedState returns a state covering lifespan with a single
@@ -44,7 +50,8 @@ func NewPartitionedState(lifespan ival.Interval, init any) *PartitionedState {
 func (s *PartitionedState) Lifespan() ival.Interval { return s.lifespan }
 
 // Parts returns the current partitions in time order. The slice is owned by
-// the state and must not be modified.
+// the state and must not be modified; it is valid only until the next Set,
+// which recycles the backing array.
 func (s *PartitionedState) Parts() []warp.IntervalValue { return s.parts }
 
 // NumParts returns the number of partitions.
@@ -69,7 +76,7 @@ func (s *PartitionedState) Set(iv ival.Interval, value any) error {
 	if !s.lifespan.ContainsInterval(iv) {
 		return fmt.Errorf("%w: %v outside lifespan %v", ErrStateOutOfRange, iv, s.lifespan)
 	}
-	out := s.parts[:0:0]
+	out := s.spare[:0]
 	inserted := false
 	for _, p := range s.parts {
 		x := p.Interval.Intersect(iv)
@@ -88,6 +95,7 @@ func (s *PartitionedState) Set(iv ival.Interval, value any) error {
 			out = append(out, warp.IntervalValue{Interval: ival.New(x.End, p.Interval.End), Value: p.Value})
 		}
 	}
+	s.spare = s.parts[:0]
 	s.parts = fuse(out)
 	return nil
 }

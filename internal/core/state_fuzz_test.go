@@ -1,0 +1,105 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+
+	ival "graphite/internal/interval"
+	"graphite/internal/warp"
+)
+
+// FuzzStateSet drives PartitionedState.Set with a fuzzer-chosen lifespan and
+// op sequence against a point-wise model, checking after every op that the
+// partition invariant holds, fusion is maximal, out-of-range updates fail
+// without mutating the state, and the swap-buffer repartitioning (parts and
+// spare ping-pong since the zero-allocation rework) never corrupts values.
+func FuzzStateSet(f *testing.F) {
+	f.Add([]byte{4, 10, 0, 0, 2, 1, 3, 4, 2, 1, 15, 3})
+	f.Add([]byte{0, 200, 2, 3, 1, 9, 15, 4})
+	f.Add([]byte{7, 1, 7, 0, 0})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		i := 0
+		next := func() byte {
+			if i >= len(data) {
+				return 0
+			}
+			b := data[i]
+			i++
+			return b
+		}
+
+		base := ival.Time(next() % 8)
+		span := ival.Time(1 + next()%24)
+		life := ival.New(base, base+span)
+		if next()%8 == 0 {
+			life = ival.From(base)
+		}
+		s := NewPartitionedState(life, int64(-1))
+
+		// The point-wise model: sample points cover every finite boundary the
+		// ops can produce, plus a far point for unbounded lifespans.
+		var samples []ival.Time
+		for p := ival.Time(0); p < base+span+8; p++ {
+			samples = append(samples, p)
+		}
+		samples = append(samples, ival.Infinity-1)
+		model := map[ival.Time]int64{}
+		for _, p := range samples {
+			if life.Contains(p) {
+				model[p] = -1
+			}
+		}
+
+		for op := 0; op < 12; op++ {
+			start := ival.Time(next() % 40)
+			var iv ival.Interval
+			if b := next(); b%16 == 15 {
+				iv = ival.From(start)
+			} else {
+				iv = ival.New(start, start+ival.Time(b%6)) // width 0 = empty
+			}
+			val := int64(next() % 5)
+
+			before := append([]warp.IntervalValue(nil), s.Parts()...)
+			err := s.Set(iv, val)
+			if iv.IsEmpty() || !life.ContainsInterval(iv) {
+				if err == nil {
+					t.Fatalf("op %d: Set(%v) inside lifespan %v must fail", op, iv, life)
+				}
+				if !reflect.DeepEqual(before, s.Parts()) {
+					t.Fatalf("op %d: failed Set(%v) mutated the state: %v -> %v", op, iv, before, s.Parts())
+				}
+				continue
+			}
+			if err != nil {
+				t.Fatalf("op %d: Set(%v, %d) in lifespan %v: %v", op, iv, val, life, err)
+			}
+			for _, p := range samples {
+				if iv.Contains(p) && life.Contains(p) {
+					model[p] = val
+				}
+			}
+
+			if err := s.Invariant(); err != nil {
+				t.Fatalf("op %d: after Set(%v, %d): %v", op, iv, val, err)
+			}
+			parts := s.Parts()
+			for k := 1; k < len(parts); k++ {
+				if parts[k-1].Interval.Meets(parts[k].Interval) &&
+					warp.ValueEqual(parts[k-1].Value, parts[k].Value) {
+					t.Fatalf("op %d: unfused equal partitions %v and %v", op, parts[k-1], parts[k])
+				}
+			}
+			for _, p := range samples {
+				got, ok := s.Get(p)
+				want, inLife := model[p]
+				if ok != inLife {
+					t.Fatalf("op %d: Get(%d) ok=%v, want %v (lifespan %v)", op, p, ok, inLife, life)
+				}
+				if ok && got.(int64) != want {
+					t.Fatalf("op %d: Get(%d) = %v, model %d\nparts: %v", op, p, got, want, parts)
+				}
+			}
+		}
+	})
+}

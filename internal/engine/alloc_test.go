@@ -62,6 +62,161 @@ func TestSendNoAllocsUntraced(t *testing.T) {
 	}
 }
 
+// minInt64Combiner mirrors SSSP's receiver-side combiner: it returns one of
+// its (already boxed) inputs, so combining itself cannot allocate.
+func minInt64Combiner(a, b any) any {
+	if a.(int64) < b.(int64) {
+		return a
+	}
+	return b
+}
+
+// steadyExchangeStep builds an engine, installs a fixed traffic template, and
+// returns one steady-state exchange superstep: refill every outbox from the
+// template, run every worker's in-memory exchange, then recycle the delivered
+// inbox slabs exactly as the compute phase would. The step is pre-run until
+// all grow-only buffers and the message arena have reached their working
+// size, so what remains is the pure data path.
+func steadyExchangeStep(t testing.TB, cfg Config, traffic [][][]Message) func() {
+	t.Helper()
+	numV := 0
+	for _, perDst := range traffic {
+		for _, batch := range perDst {
+			for _, m := range batch {
+				if int(m.Dst) >= numV {
+					numV = int(m.Dst) + 1
+				}
+			}
+		}
+	}
+	e, err := New(numV, idleProgram{}, cfg)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	step := func() {
+		for _, w := range e.workers {
+			for dst := range e.workers {
+				w.outbox[dst] = append(w.outbox[dst][:0], traffic[w.id][dst]...)
+			}
+		}
+		for _, w := range e.workers {
+			w.exchangeLocal()
+		}
+		for _, w := range e.workers {
+			for s, sl := range w.inbox {
+				if sl != nil {
+					w.inbox[s] = nil
+					msgArena.put(sl)
+				}
+			}
+		}
+	}
+	for i := 0; i < 8; i++ {
+		step()
+	}
+	return step
+}
+
+// ssspTraffic is SSSP-on-transit-shaped exchange load: unbounded [t, ∞)
+// message intervals, int64 costs, several messages per destination so the
+// receiver-side combiner path runs. Payloads are boxed once here, never
+// inside the measured step.
+func ssspTraffic(workers, vertices int) [][][]Message {
+	tr := make([][][]Message, workers)
+	for src := range tr {
+		tr[src] = make([][]Message, workers)
+		for v := 0; v < vertices; v++ {
+			dst := v % workers
+			for k := 0; k < 3; k++ {
+				tr[src][dst] = append(tr[src][dst], Message{
+					Dst:   int32(v),
+					When:  ival.From(ival.Time(5 + k)),
+					Value: int64(300 + v + k),
+				})
+			}
+		}
+	}
+	return tr
+}
+
+// prTraffic is PageRank-on-transit-shaped exchange load: general (bounded)
+// message intervals, float64 rank mass, no combiner — every message is
+// appended to its destination slab.
+func prTraffic(workers, vertices int) [][][]Message {
+	tr := make([][][]Message, workers)
+	for src := range tr {
+		tr[src] = make([][]Message, workers)
+		for v := 0; v < vertices; v++ {
+			dst := v % workers
+			for k := 0; k < 3; k++ {
+				tr[src][dst] = append(tr[src][dst], Message{
+					Dst:   int32(v),
+					When:  ival.New(ival.Time(2+k), ival.Time(9+k)),
+					Value: float64(v+1) * 0.137,
+				})
+			}
+		}
+	}
+	return tr
+}
+
+// TestExchangeNoAllocsSteadyState is the exchange-phase half of the
+// zero-allocation gate: with the message arena warm, a full in-memory
+// exchange superstep — outbox refill, delivery into pooled inbox slabs
+// (combined and uncombined), and slab recycling — must not allocate, for both
+// SSSP-shaped and PageRank-shaped traffic.
+func TestExchangeNoAllocsSteadyState(t *testing.T) {
+	if raceEnabled {
+		t.Skip("alloc gate skipped under -race: sync.Pool drops items at random under the race detector")
+	}
+	cases := []struct {
+		name    string
+		cfg     Config
+		traffic [][][]Message
+	}{
+		{
+			name: "sssp-shaped",
+			cfg: Config{
+				NumWorkers:   2,
+				PayloadCodec: codec.Int64{},
+				Combiner:     CombinerFunc(minInt64Combiner),
+			},
+			traffic: ssspTraffic(2, 8),
+		},
+		{
+			name: "pr-shaped",
+			cfg: Config{
+				NumWorkers:   2,
+				PayloadCodec: codec.Float64{},
+			},
+			traffic: prTraffic(2, 8),
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			step := steadyExchangeStep(t, tc.cfg, tc.traffic)
+			if allocs := testing.AllocsPerRun(100, step); allocs != 0 {
+				t.Errorf("steady-state exchange superstep allocates %.1f times, want 0", allocs)
+			}
+		})
+	}
+}
+
+// BenchmarkExchangeSteadyState reports the full in-memory exchange superstep
+// under SSSP-shaped traffic.
+func BenchmarkExchangeSteadyState(b *testing.B) {
+	step := steadyExchangeStep(b, Config{
+		NumWorkers:   2,
+		PayloadCodec: codec.Int64{},
+		Combiner:     CombinerFunc(minInt64Combiner),
+	}, ssspTraffic(2, 8))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		step()
+	}
+}
+
 // BenchmarkContextSend reports the Send hot path with tracing off — the
 // configuration every production run uses.
 func BenchmarkContextSend(b *testing.B) {

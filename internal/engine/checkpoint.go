@@ -63,9 +63,11 @@ func (e *Engine) capture() {
 	}
 	for i, w := range e.workers {
 		c.inbox[i] = make([][]Message, len(w.inbox))
-		for s, msgs := range w.inbox {
-			if len(msgs) > 0 {
-				c.inbox[i][s] = append([]Message(nil), msgs...)
+		for s, sl := range w.inbox {
+			if sl != nil && len(sl.msgs) > 0 {
+				// Checkpoints copy out of the pooled slab: a slab is recycled
+				// long before a rollback might need the snapshot again.
+				c.inbox[i][s] = append([]Message(nil), sl.msgs...)
 			}
 		}
 		c.active[i] = append([]bool(nil), w.active...)
@@ -98,10 +100,19 @@ func (e *Engine) restoreCheckpoint() {
 	}
 	for i, w := range e.workers {
 		for s := range w.inbox {
-			if msgs := c.inbox[i][s]; len(msgs) > 0 {
-				w.inbox[s] = append([]Message(nil), msgs...)
-			} else {
+			// Recycle whatever the failed superstep delivered — including
+			// payloads decoded from corrupted frames; put zeroes the slab so
+			// nothing poisoned survives in the pool — then rebuild the slot
+			// from a fresh copy of the snapshot (a snapshot can be restored
+			// more than once, so it must never share a buffer with live state).
+			if sl := w.inbox[s]; sl != nil {
 				w.inbox[s] = nil
+				msgArena.put(sl)
+			}
+			if msgs := c.inbox[i][s]; len(msgs) > 0 {
+				sl := msgArena.get()
+				sl.msgs = append(sl.msgs, msgs...)
+				w.inbox[s] = sl
 			}
 		}
 		copy(w.active, c.active[i])

@@ -24,6 +24,12 @@ func (c *Context) Superstep() int { return c.eng.superstp }
 // NumWorkers returns the number of BSP workers.
 func (c *Context) NumWorkers() int { return len(c.eng.workers) }
 
+// Worker returns the id of the worker executing this vertex. Platform
+// layers key per-worker scratch workspaces off it: every vertex a worker
+// owns runs on that worker's goroutine, so workspace access needs no
+// synchronization.
+func (c *Context) Worker() int { return c.w.id }
+
 // Phase returns the master-set phase number (0 until changed).
 func (c *Context) Phase() int { return c.eng.phase }
 

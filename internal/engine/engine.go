@@ -42,7 +42,10 @@ type Message struct {
 type Program interface {
 	// Init runs once for every vertex before superstep 1.
 	Init(ctx *Context)
-	// Run executes one superstep for an active vertex with its inbox.
+	// Run executes one superstep for an active vertex with its inbox. The
+	// msgs slice is only valid for the duration of the call: its backing
+	// buffer is pooled and recycled for a later superstep as soon as Run
+	// returns, so implementations must copy anything they keep.
 	Run(ctx *Context, msgs []Message)
 }
 
@@ -187,7 +190,7 @@ type worker struct {
 	id     int
 	eng    *Engine
 	local  []int32     // dense vertex indices owned by this worker
-	inbox  [][]Message // per local slot
+	inbox  []*msgSlab  // per local slot; arena-pooled, nil when empty
 	active []bool      // per local slot
 	outbox [][]Message // per destination worker, refilled every superstep
 
@@ -206,7 +209,8 @@ type worker struct {
 	exchangeNS int64
 	delivered  int64
 
-	scratch []byte // payload sizing buffer, reused across sends
+	scratch []byte    // payload sizing buffer, reused across sends
+	decode  []Message // transport decode buffer, reused across batches
 }
 
 // New prepares an engine for numVertices vertices.
@@ -271,7 +275,7 @@ func New(numVertices int, program Program, cfg Config) (*Engine, error) {
 		wk.local = append(wk.local, int32(v))
 	}
 	for _, wk := range e.workers {
-		wk.inbox = make([][]Message, len(wk.local))
+		wk.inbox = make([]*msgSlab, len(wk.local))
 		wk.active = make([]bool, len(wk.local))
 	}
 	return e, nil
@@ -369,11 +373,19 @@ func (e *Engine) Run() (*Metrics, error) {
 				}
 				ctx.vertex = v
 				ctx.slot = slot
-				msgs := w.inbox[slot]
+				var msgs []Message
+				if sl := w.inbox[slot]; sl != nil {
+					msgs = sl.msgs
+				}
 				if !e.guardedCall(int(v), func() { e.program.Run(&ctx, msgs) }) {
+					// A panicking vertex keeps its slab: rollback recycles
+					// every live inbox slab before replaying.
 					return
 				}
-				w.inbox[slot] = nil
+				if sl := w.inbox[slot]; sl != nil {
+					w.inbox[slot] = nil
+					msgArena.put(sl)
+				}
 				w.active[slot] = false
 			}
 		})
@@ -433,6 +445,7 @@ func (e *Engine) Run() (*Metrics, error) {
 		e.ec.hMessaging.Observe(messagingD)
 		e.ec.hBarrier.Observe(barrierD)
 		e.ec.supersteps.Inc()
+		e.setPoolGauges()
 		if e.traced {
 			e.tracer.Emit(obs.SuperstepEnd{
 				Superstep:    e.superstp,
@@ -466,7 +479,18 @@ func (e *Engine) Run() (*Metrics, error) {
 			return nil, fmt.Errorf("%w: ActivateAll needs MaxSupersteps or a Master", ErrBadConfig)
 		}
 	}
+	// Return undelivered inbox slabs (MaxSupersteps can end a run with
+	// messages still queued) to the arena for the next run.
+	for _, w := range e.workers {
+		for s, sl := range w.inbox {
+			if sl != nil {
+				w.inbox[s] = nil
+				msgArena.put(sl)
+			}
+		}
+	}
 	e.ec.makespanNS.Store(time.Since(start).Nanoseconds())
+	e.setPoolGauges()
 	m := e.metricsView()
 	if e.traced {
 		e.tracer.Emit(obs.RunEnd{
@@ -596,38 +620,45 @@ func (e *Engine) exchange() int64 {
 	if e.cfg.Transport != nil {
 		return e.exchangeTransport()
 	}
-	e.parallel(func(dst *worker) {
-		phaseStart := time.Now()
-		var n int64
-		defer func() {
-			dst.delivered = n
-			dst.exchangeNS = time.Since(phaseStart).Nanoseconds()
-		}()
-		// Gather batches addressed to dst from every source worker, in
-		// worker order for determinism.
-		for _, src := range e.workers {
-			batch := src.outbox[dst.id]
-			if len(batch) == 0 {
-				continue
-			}
-			crossWorker := src.id != dst.id
-			for _, m := range batch {
-				if crossWorker && e.cfg.VerifyCodec {
-					rv, err := e.roundTrip(m.Value)
-					if err != nil {
-						e.fail(err)
-						return
-					}
-					m.Value = rv
-				}
-				_, slot := e.eownerSlot(m.Dst)
-				dst.deliver(slot, m)
-				n++
-			}
-			src.outbox[dst.id] = src.outbox[dst.id][:0]
-		}
-	})
+	e.parallel(func(dst *worker) { dst.exchangeLocal() })
 	return e.sumDelivered()
+}
+
+// exchangeLocal is one worker's in-memory exchange phase: it gathers the
+// batches every source worker addressed to it and delivers them into its
+// own inbox slabs. Separated from the goroutine fan-out so the alloc gate
+// can measure the data path itself; at steady state it must not allocate.
+func (w *worker) exchangeLocal() {
+	e := w.eng
+	phaseStart := time.Now()
+	var n int64
+	defer func() {
+		w.delivered = n
+		w.exchangeNS = time.Since(phaseStart).Nanoseconds()
+	}()
+	// Gather batches addressed to this worker from every source worker, in
+	// worker order for determinism.
+	for _, src := range e.workers {
+		batch := src.outbox[w.id]
+		if len(batch) == 0 {
+			continue
+		}
+		crossWorker := src.id != w.id
+		for _, m := range batch {
+			if crossWorker && e.cfg.VerifyCodec {
+				rv, err := e.roundTrip(w, m.Value)
+				if err != nil {
+					e.fail(err)
+					return
+				}
+				m.Value = rv
+			}
+			_, slot := e.eownerSlot(m.Dst)
+			w.deliver(slot, m)
+			n++
+		}
+		src.outbox[w.id] = src.outbox[w.id][:0]
+	}
 }
 
 // sumDelivered folds the per-worker delivery counts after an exchange phase
@@ -656,8 +687,14 @@ func (e *Engine) exchangeTransport() int64 {
 			if dst == src.id {
 				continue
 			}
-			buf := encodeBatch(nil, src.outbox[dst], e.cfg.PayloadCodec)
-			if err := e.sendWithRetry(src.id, dst, buf); err != nil {
+			// Encode into a pooled slab; Transport.Send must not retain the
+			// batch (see the Transport contract), so the slab can go straight
+			// back to the pool for the next destination.
+			slab := batchSlabs.Get()
+			slab.Buf = encodeBatch(slab.Buf, src.outbox[dst], e.cfg.PayloadCodec)
+			err := e.sendWithRetry(src.id, dst, slab.Buf)
+			batchSlabs.Put(slab)
+			if err != nil {
 				e.fail(err)
 			}
 			src.outbox[dst] = src.outbox[dst][:0]
@@ -683,7 +720,8 @@ func (e *Engine) exchangeTransport() int64 {
 			return
 		}
 		for _, b := range batches {
-			msgs, err := decodeBatch(b, e.cfg.PayloadCodec)
+			msgs, err := decodeBatchInto(dst.decode[:0], b, e.cfg.PayloadCodec)
+			dst.decode = msgs[:0]
 			if err != nil {
 				e.fail(err)
 				return
@@ -694,23 +732,32 @@ func (e *Engine) exchangeTransport() int64 {
 				n++
 			}
 		}
+		// Drop payload references so the reusable decode buffer never pins
+		// the last batch's values across supersteps.
+		clear(dst.decode[:cap(dst.decode)])
 	})
 	return e.sumDelivered()
 }
 
-// deliver appends or combines a message into a local inbox slot and marks
-// the vertex active.
+// deliver appends or combines a message into a local inbox slab and marks
+// the vertex active. Slabs come from the arena on first delivery and go
+// back right after the vertex's Run call consumes them.
 func (w *worker) deliver(slot int, m Message) {
+	sl := w.inbox[slot]
+	if sl == nil {
+		sl = msgArena.get()
+		w.inbox[slot] = sl
+	}
 	if c := w.eng.cfg.Combiner; c != nil {
-		for i := range w.inbox[slot] {
-			if w.inbox[slot][i].When == m.When {
-				w.inbox[slot][i].Value = c.Combine(w.inbox[slot][i].Value, m.Value)
+		for i := range sl.msgs {
+			if sl.msgs[i].When == m.When {
+				sl.msgs[i].Value = c.Combine(sl.msgs[i].Value, m.Value)
 				w.active[slot] = true
 				return
 			}
 		}
 	}
-	w.inbox[slot] = append(w.inbox[slot], m)
+	sl.msgs = append(sl.msgs, m)
 	w.active[slot] = true
 }
 
@@ -754,11 +801,11 @@ func (e *Engine) sendWithRetry(src, dst int, batch []byte) error {
 }
 
 // roundTrip encodes and decodes a payload through the configured codec,
-// as a real wire would. A codec failure is a superstep failure, not a
-// process-killing panic.
-func (e *Engine) roundTrip(v any) (any, error) {
-	buf := e.cfg.PayloadCodec.Append(nil, v)
-	out, _, err := e.cfg.PayloadCodec.Decode(buf)
+// as a real wire would, using the calling worker's scratch buffer. A codec
+// failure is a superstep failure, not a process-killing panic.
+func (e *Engine) roundTrip(w *worker, v any) (any, error) {
+	w.scratch = e.cfg.PayloadCodec.Append(w.scratch[:0], v)
+	out, _, err := e.cfg.PayloadCodec.Decode(w.scratch)
 	if err != nil {
 		return nil, fmt.Errorf("engine: payload codec round-trip failed: %w", err)
 	}

@@ -8,6 +8,7 @@ import (
 
 	"graphite/internal/codec"
 	ival "graphite/internal/interval"
+	"graphite/internal/obs"
 )
 
 // faultProgram propagates BFS levels around a directed ring and injects one
@@ -303,5 +304,95 @@ func TestCheckpointWithAggregatorsAndMaster(t *testing.T) {
 		if p.dist[i] != int64(i) {
 			t.Fatalf("dist[%d] = %d, want %d", i, p.dist[i], i)
 		}
+	}
+}
+
+// classByteProgram rings tokens for a fixed number of supersteps, shipping
+// one message of each interval-encoding class per hop, with an optional
+// one-shot injected panic. It carries no user state, so Snapshot/Restore are
+// trivial.
+type classByteProgram struct {
+	n, steps    int
+	panicRunAt  int
+	mu          sync.Mutex
+	panicsFired int
+}
+
+func (p *classByteProgram) Init(*Context) {}
+
+func (p *classByteProgram) Run(ctx *Context, msgs []Message) {
+	if p.panicRunAt != 0 && ctx.Superstep() == p.panicRunAt {
+		p.mu.Lock()
+		fire := p.panicsFired == 0
+		if fire {
+			p.panicsFired++
+		}
+		p.mu.Unlock()
+		if fire {
+			panic("injected class-byte panic")
+		}
+	}
+	if ctx.Superstep() >= p.steps {
+		return
+	}
+	s := ival.Time(ctx.Superstep())
+	dst := (ctx.Vertex() + 1) % p.n
+	ctx.Send(dst, ival.Universe, int64(1))    // unbounded class
+	ctx.Send(dst, ival.Point(s), int64(2))    // unit class
+	ctx.Send(dst, ival.New(1, s+5), int64(3)) // general class
+}
+
+func (p *classByteProgram) Snapshot() any { return nil }
+func (p *classByteProgram) Restore(any)   {}
+
+// TestCheckpointRewindDoesNotDoubleCountClassBytes pins the rewind accounting
+// at the registry level: with CheckpointEvery=1, a panicked superstep is
+// rolled back and replayed, and the per-class interval byte counters (and the
+// message totals) must come out identical to a fault-free run — the replay
+// must not re-add what the checkpoint already captured, and the aborted
+// attempt must not leak partial counts.
+func TestCheckpointRewindDoesNotDoubleCountClassBytes(t *testing.T) {
+	const n = 8
+	counters := []string{
+		obs.CIntervalBytesUnit, obs.CIntervalBytesUnbounded,
+		obs.CIntervalBytesGeneral, obs.CIntervalBytesEmpty,
+		obs.CMessages, obs.CMessageBytes,
+	}
+	run := func(panicAt, every int) (*obs.Registry, Metrics) {
+		t.Helper()
+		reg := obs.NewRegistry()
+		p := &classByteProgram{n: n, steps: 5, panicRunAt: panicAt}
+		e, err := New(n, p, Config{
+			NumWorkers:      3,
+			PayloadCodec:    codec.Int64{},
+			Registry:        reg,
+			CheckpointEvery: every,
+		})
+		if err != nil {
+			t.Fatalf("New: %v", err)
+		}
+		m, err := e.Run()
+		if err != nil {
+			t.Fatalf("Run(panicAt=%d): %v", panicAt, err)
+		}
+		return reg, *m
+	}
+
+	cleanReg, _ := run(0, 0)
+	faultReg, fm := run(3, 1)
+	if fm.Recoveries != 1 {
+		t.Fatalf("recoveries = %d, want 1", fm.Recoveries)
+	}
+	for _, name := range counters {
+		clean, fault := cleanReg.Counter(name).Load(), faultReg.Counter(name).Load()
+		if clean != fault {
+			t.Errorf("%s = %d after rollback+replay, want %d (fault-free)", name, fault, clean)
+		}
+	}
+	if got := cleanReg.Counter(obs.CIntervalBytesUnit).Load(); got <= 0 {
+		t.Fatalf("unit-class bytes = %d, want > 0 — the fixture must exercise the class counters", got)
+	}
+	if got := cleanReg.Counter(obs.CIntervalBytesGeneral).Load(); got <= 0 {
+		t.Fatalf("general-class bytes = %d, want > 0", got)
 	}
 }

@@ -41,6 +41,16 @@ type Metrics struct {
 // Runs counter existed (zero Runs) count as one run, so mean/max stay honest
 // for hand-assembled values too.
 func (m *Metrics) Add(o *Metrics) {
+	// The receiver needs the same normalization as o: a hand-assembled
+	// single run holds zero Runs and zero MaxMakespan, and without this its
+	// own makespan would never enter the max and Runs would come up one
+	// short. A zero-valued accumulator stays at zero runs.
+	if m.Runs == 0 && *m != (Metrics{}) {
+		m.Runs = 1
+		if m.MaxMakespan == 0 {
+			m.MaxMakespan = m.Makespan
+		}
+	}
 	m.Supersteps += o.Supersteps
 	m.ComputeCalls += o.ComputeCalls
 	m.ScatterCalls += o.ScatterCalls

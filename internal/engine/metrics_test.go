@@ -47,6 +47,23 @@ func TestMetricsAddFoldsRuns(t *testing.T) {
 	}
 }
 
+// TestMetricsAddNormalizesReceiver: a hand-assembled single run used as the
+// accumulator (zero Runs, zero MaxMakespan) must count itself — its own
+// makespan enters the max and the run count, not just o's.
+func TestMetricsAddNormalizesReceiver(t *testing.T) {
+	m := Metrics{Supersteps: 4, Makespan: 40 * time.Millisecond}
+	m.Add(&Metrics{Supersteps: 1, Makespan: 10 * time.Millisecond})
+	if m.Runs != 2 {
+		t.Errorf("Runs = %d, want 2 (receiver run + added run)", m.Runs)
+	}
+	if m.MaxMakespan != 40*time.Millisecond {
+		t.Errorf("MaxMakespan = %v, want 40ms (the receiver's own run)", m.MaxMakespan)
+	}
+	if got := m.MeanMakespan(); got != 25*time.Millisecond {
+		t.Errorf("MeanMakespan = %v, want 25ms", got)
+	}
+}
+
 func TestMetricsStringRunsSuffix(t *testing.T) {
 	single := &Metrics{Makespan: 10 * time.Millisecond}
 	if s := single.String(); strings.Contains(s, "runs=") {

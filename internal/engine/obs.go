@@ -27,6 +27,12 @@ type engCounters struct {
 	// codec.IntervalClass.
 	classBytes [codec.NumIntervalClasses]*obs.Counter
 
+	// Pool gauges: refreshed at every barrier from the shared buffer pools
+	// so traces and /debug/vars show hot-path reuse as the run progresses.
+	poolHits    *obs.Gauge
+	poolMisses  *obs.Gauge
+	bytesReused *obs.Gauge
+
 	hCompute   *obs.Histogram
 	hMessaging *obs.Histogram
 	hBarrier   *obs.Histogram
@@ -54,10 +60,22 @@ func (e *Engine) bindRegistry(reg *obs.Registry) {
 			codec.ClassUnbounded: reg.Counter(obs.CIntervalBytesUnbounded),
 			codec.ClassGeneral:   reg.Counter(obs.CIntervalBytesGeneral),
 		},
-		hCompute:   reg.Histogram(obs.HSuperstepComputeNS),
-		hMessaging: reg.Histogram(obs.HSuperstepMessagingNS),
-		hBarrier:   reg.Histogram(obs.HSuperstepBarrierNS),
+		poolHits:    reg.Gauge(obs.GPoolHits),
+		poolMisses:  reg.Gauge(obs.GPoolMisses),
+		bytesReused: reg.Gauge(obs.GBytesReused),
+		hCompute:    reg.Histogram(obs.HSuperstepComputeNS),
+		hMessaging:  reg.Histogram(obs.HSuperstepMessagingNS),
+		hBarrier:    reg.Histogram(obs.HSuperstepBarrierNS),
 	}
+}
+
+// setPoolGauges publishes the shared pools' cumulative statistics. Called
+// at barriers and at run end — never from worker goroutines.
+func (e *Engine) setPoolGauges() {
+	hits, misses, bytes := poolStats()
+	e.ec.poolHits.Set(hits)
+	e.ec.poolMisses.Set(misses)
+	e.ec.bytesReused.Set(bytes)
 }
 
 // rawView reads the absolute registry totals. With a shared Registry these

@@ -1,0 +1,8 @@
+//go:build race
+
+package engine
+
+// raceEnabled reports whether this test binary was built with -race; the
+// allocation gates skip there because sync.Pool intentionally drops items at
+// random under the race detector, making alloc counts meaningless.
+const raceEnabled = true

@@ -19,6 +19,11 @@ import (
 // through real loopback sockets, exercising the full serialization path.
 type Transport interface {
 	// Send ships an encoded batch from worker src to worker dst (src != dst).
+	// The batch bytes belong to the caller and are pooled: Send must not
+	// retain the slice after returning — an implementation that queues
+	// frames must copy (the in-process chaos transport does; the TCP mesh
+	// writes synchronously). A retained batch would alias a recycled slab
+	// and ship a later superstep's bytes under this superstep's framing.
 	Send(src, dst int, batch []byte) error
 	// Recv returns the batches addressed to dst this superstep, one per
 	// other worker, in ascending source order.
@@ -39,31 +44,38 @@ func encodeBatch(buf []byte, msgs []Message, pc codec.Payload) []byte {
 	return buf
 }
 
-// decodeBatch parses a batch produced by encodeBatch.
+// decodeBatch parses a batch produced by encodeBatch into a fresh slice.
 func decodeBatch(buf []byte, pc codec.Payload) ([]Message, error) {
+	return decodeBatchInto(nil, buf, pc)
+}
+
+// decodeBatchInto parses a batch produced by encodeBatch, appending into
+// dst so the receive phase can reuse one grow-only buffer per worker. On
+// error the returned slice holds the messages decoded so far.
+func decodeBatchInto(dst []Message, buf []byte, pc codec.Payload) ([]Message, error) {
 	n, k := binary.Uvarint(buf)
 	if k <= 0 {
-		return nil, fmt.Errorf("engine: corrupt batch header")
+		return dst, fmt.Errorf("engine: corrupt batch header")
 	}
 	buf = buf[k:]
-	out := make([]Message, 0, n)
+	out := dst
 	for i := uint64(0); i < n; i++ {
-		dst, k := binary.Uvarint(buf)
+		d, k := binary.Uvarint(buf)
 		if k <= 0 {
-			return nil, fmt.Errorf("engine: corrupt message dst")
+			return out, fmt.Errorf("engine: corrupt message dst")
 		}
 		buf = buf[k:]
 		when, k, err := codec.Interval(buf)
 		if err != nil {
-			return nil, err
+			return out, err
 		}
 		buf = buf[k:]
 		val, k, err := pc.Decode(buf)
 		if err != nil {
-			return nil, err
+			return out, err
 		}
 		buf = buf[k:]
-		out = append(out, Message{Dst: int32(dst), When: when, Value: val})
+		out = append(out, Message{Dst: int32(d), When: when, Value: val})
 	}
 	return out, nil
 }

@@ -47,6 +47,13 @@ const (
 	CIntervalBytesGeneral   = "codec.interval_bytes.general"
 	CIntervalBytesEmpty     = "codec.interval_bytes.empty"
 
+	// Pooled hot-path buffers (engine message arena + codec batch slabs):
+	// cumulative pool hits/misses and the capacity in bytes served by hits
+	// instead of fresh allocations. Gauges, refreshed at every barrier.
+	GPoolHits    = "engine.pool_hits"
+	GPoolMisses  = "engine.pool_misses"
+	GBytesReused = "engine.bytes_reused"
+
 	// ICM runtime totals.
 	CWarpCalls       = "icm.warp_calls"
 	CWarpSuppressed  = "icm.warp_suppressed"

@@ -23,6 +23,7 @@
 package warp
 
 import (
+	"cmp"
 	"reflect"
 	"slices"
 	"sort"
@@ -81,7 +82,8 @@ type CombineFunc func(a, b Value) Value
 // The output is temporally partitioned and satisfies the four warp
 // properties. Triples with empty inner groups are not produced.
 func Warp(outer, inner []IntervalValue) []Tuple {
-	return warp(outer, inner, nil)
+	var s Scratch
+	return s.warp(nil, outer, inner, nil)
 }
 
 // WarpCombined is Warp with an inline combiner: each output triple's Msgs
@@ -89,7 +91,8 @@ func Warp(outer, inner []IntervalValue) []Tuple {
 // happens during the sweep, saving the per-group pass that a subsequent
 // compute would otherwise need.
 func WarpCombined(outer, inner []IntervalValue, combine CombineFunc) []Tuple {
-	return warp(outer, inner, combine)
+	var s Scratch
+	return s.warp(nil, outer, inner, combine)
 }
 
 // innerRef is an inner tuple with its original index, used for identity-based
@@ -100,92 +103,119 @@ type innerRef struct {
 	val Value
 }
 
-func warp(outer, inner []IntervalValue, combine CombineFunc) []Tuple {
+// Scratch is a reusable workspace for the warp sweep: the ref, active-set
+// and boundary buffers, plus the arena backing the output tuples' Msgs
+// groups. A zero Scratch is ready. Buffers are grow-only, so a scratch
+// reused across calls stops allocating once it has seen the largest input —
+// the property the per-worker ICM workspaces rely on for allocation-free
+// steady-state supersteps.
+//
+// A Scratch is not safe for concurrent use, and the tuples returned by its
+// methods share its arena: they are valid only until the next call on the
+// same Scratch.
+type Scratch struct {
+	refs       []innerRef
+	active     []innerRef
+	boundaries []ival.Time
+	vals       []Value // arena carved into the output tuples' Msgs groups
+	used       []bool  // sameGroup multiset-match scratch
+}
+
+// Warp is Warp appending into dst (usually a recycled buffer, sliced to
+// length zero) and reusing the scratch's buffers. The appended tuples' Msgs
+// point into the scratch arena; see the Scratch validity rule.
+func (s *Scratch) Warp(dst []Tuple, outer, inner []IntervalValue) []Tuple {
+	return s.warp(dst, outer, inner, nil)
+}
+
+// WarpCombined is WarpCombined appending into dst with the scratch's
+// buffers; the same validity rule applies.
+func (s *Scratch) WarpCombined(dst []Tuple, outer, inner []IntervalValue, combine CombineFunc) []Tuple {
+	return s.warp(dst, outer, inner, combine)
+}
+
+func (s *Scratch) warp(out []Tuple, outer, inner []IntervalValue, combine CombineFunc) []Tuple {
 	if len(outer) == 0 || len(inner) == 0 {
-		return nil
+		return out
 	}
-	refs := make([]innerRef, 0, len(inner))
+	s.refs = s.refs[:0]
+	s.vals = s.vals[:0]
 	for i, m := range inner {
 		if !m.Interval.IsEmpty() {
-			refs = append(refs, innerRef{idx: i, iv: m.Interval, val: m.Value})
+			s.refs = append(s.refs, innerRef{idx: i, iv: m.Interval, val: m.Value})
 		}
 	}
-	if len(refs) == 0 {
-		return nil
+	if len(s.refs) == 0 {
+		return out
 	}
-	sort.Slice(refs, func(a, b int) bool { return refs[a].iv.Start < refs[b].iv.Start })
+	slices.SortFunc(s.refs, func(a, b innerRef) int { return cmp.Compare(a.iv.Start, b.iv.Start) })
 
-	var out []Tuple
-	var boundaries []ival.Time
-	var active []innerRef
+	base := len(out) // maximality never merges into tuples the caller passed in
 	for _, st := range outer {
 		if st.Interval.IsEmpty() {
 			continue
 		}
 		// Inner tuples overlapping this outer partition: starts strictly
 		// before the partition end; ends after the partition start.
-		hi := sort.Search(len(refs), func(k int) bool { return refs[k].iv.Start >= st.Interval.End })
-		boundaries = boundaries[:0]
-		active = active[:0]
-		for _, r := range refs[:hi] {
+		hi := sort.Search(len(s.refs), func(k int) bool { return s.refs[k].iv.Start >= st.Interval.End })
+		s.boundaries = s.boundaries[:0]
+		s.active = s.active[:0]
+		for _, r := range s.refs[:hi] {
 			x := r.iv.Intersect(st.Interval)
 			if x.IsEmpty() {
 				continue
 			}
-			active = append(active, innerRef{idx: r.idx, iv: x, val: r.val})
-			boundaries = append(boundaries, x.Start, x.End)
+			s.active = append(s.active, innerRef{idx: r.idx, iv: x, val: r.val})
+			s.boundaries = append(s.boundaries, x.Start, x.End)
 		}
-		if len(active) == 0 {
+		if len(s.active) == 0 {
 			continue
 		}
 		if combine == nil {
 			// Restore inner-set order so groups preserve message order;
 			// irrelevant under a commutative combiner.
-			sort.Slice(active, func(a, b int) bool { return active[a].idx < active[b].idx })
+			slices.SortFunc(s.active, func(a, b innerRef) int { return cmp.Compare(a.idx, b.idx) })
 		}
-		slices.Sort(boundaries)
-		boundaries = dedupTimes(boundaries)
+		slices.Sort(s.boundaries)
+		s.boundaries = dedupTimes(s.boundaries)
 
-		// Sweep elementary segments between adjacent boundaries.
-		for bi := 0; bi+1 < len(boundaries); bi++ {
-			seg := ival.New(boundaries[bi], boundaries[bi+1])
-			var msgs []Value
+		// Sweep elementary segments between adjacent boundaries. Each
+		// segment's group is carved from the arena; a merged segment rewinds
+		// its carving (every earlier group ends at or before start, so the
+		// rewound region is unreferenced).
+		for bi := 0; bi+1 < len(s.boundaries); bi++ {
+			seg := ival.New(s.boundaries[bi], s.boundaries[bi+1])
+			start := len(s.vals)
 			if combine != nil {
-				folded, n := fold(active, seg, combine)
+				folded, n := fold(s.active, seg, combine)
 				if n == 0 {
 					continue
 				}
-				msgs = []Value{folded}
+				s.vals = append(s.vals, folded)
 			} else {
-				msgs = collect(active, seg)
-				if len(msgs) == 0 {
+				for _, r := range s.active {
+					if r.iv.ContainsInterval(seg) {
+						s.vals = append(s.vals, r.val)
+					}
+				}
+				if len(s.vals) == start {
 					continue
 				}
 			}
+			msgs := s.vals[start:len(s.vals):len(s.vals)]
 			// Maximality: merge with the previous triple when it meets
 			// this segment, has an equal outer value, and an identical
 			// inner group.
-			if n := len(out); n > 0 && out[n-1].Interval.Meets(seg) &&
-				sameGroup(out[n-1], st.Value, msgs) {
+			if n := len(out); n > base && out[n-1].Interval.Meets(seg) &&
+				s.sameGroup(out[n-1], st.Value, msgs) {
 				out[n-1].Interval.End = seg.End
+				s.vals = s.vals[:start]
 				continue
 			}
 			out = append(out, Tuple{Interval: seg, State: st.Value, Msgs: msgs})
 		}
 	}
 	return out
-}
-
-// collect returns the values of active refs covering seg. Segments are
-// elementary: a ref either contains seg fully or misses it.
-func collect(active []innerRef, seg ival.Interval) []Value {
-	var vals []Value
-	for _, r := range active {
-		if r.iv.ContainsInterval(seg) {
-			vals = append(vals, r.val)
-		}
-	}
-	return vals
 }
 
 // fold combines the values of active refs covering seg without building the
@@ -211,14 +241,25 @@ func fold(active []innerRef, seg ival.Interval, combine CombineFunc) (Value, int
 // of values — the formal Maximal property ranges over value sets, not
 // positions. Values are compared with reflect.DeepEqual so that slice- and
 // struct-valued messages work.
-func sameGroup(prev Tuple, state Value, msgs []Value) bool {
+func (s *Scratch) sameGroup(prev Tuple, state Value, msgs []Value) bool {
 	if len(prev.Msgs) != len(msgs) {
 		return false
 	}
 	if !valueEqual(prev.State, state) {
 		return false
 	}
-	used := make([]bool, len(msgs))
+	if len(msgs) == 1 {
+		// The combined path and single-message groups never need the
+		// multiset matcher.
+		return valueEqual(prev.Msgs[0], msgs[0])
+	}
+	if cap(s.used) < len(msgs) {
+		s.used = make([]bool, len(msgs))
+	} else {
+		s.used = s.used[:len(msgs)]
+		clear(s.used)
+	}
+	used := s.used
 outer:
 	for _, p := range prev.Msgs {
 		for j, m := range msgs {
@@ -303,35 +344,56 @@ func UnitFraction(inner []IntervalValue) float64 {
 // which a single [B, ∞) tail tuple groups the unbounded survivors, so the
 // result stays finite and exact.
 func PointGroups(outer, inner []IntervalValue) []Tuple {
-	return pointGroups(outer, inner, nil)
+	var s Scratch
+	return s.pointGroups(nil, outer, inner, nil)
 }
 
 // PointGroupsCombined is PointGroups with an inline combiner: each tuple's
 // Msgs holds the single folded value, as in WarpCombined.
 func PointGroupsCombined(outer, inner []IntervalValue, combine CombineFunc) []Tuple {
-	return pointGroups(outer, inner, combine)
+	var s Scratch
+	return s.pointGroups(nil, outer, inner, combine)
 }
 
-func pointGroups(outer, inner []IntervalValue, combine CombineFunc) []Tuple {
-	var out []Tuple
+// PointGroups is PointGroups appending into dst with the scratch's buffers;
+// the returned tuples' Msgs point into the scratch arena and follow the
+// Scratch validity rule.
+func (s *Scratch) PointGroups(dst []Tuple, outer, inner []IntervalValue) []Tuple {
+	return s.pointGroups(dst, outer, inner, nil)
+}
+
+// PointGroupsCombined is PointGroupsCombined appending into dst with the
+// scratch's buffers; the same validity rule applies.
+func (s *Scratch) PointGroupsCombined(dst []Tuple, outer, inner []IntervalValue, combine CombineFunc) []Tuple {
+	return s.pointGroups(dst, outer, inner, combine)
+}
+
+// pointGroups sweeps the clipped messages' boundaries per outer partition:
+// each elementary segment has a constant group, shared (and, under a
+// combiner, folded exactly once) by every point tuple it expands into. Total
+// work stays O(points covered + m log m) — the same as the former per-point
+// bucket map — without allocating buckets.
+func (s *Scratch) pointGroups(out []Tuple, outer, inner []IntervalValue, combine CombineFunc) []Tuple {
+	if len(outer) == 0 || len(inner) == 0 {
+		return out
+	}
+	s.vals = s.vals[:0]
 	for _, st := range outer {
 		if st.Interval.IsEmpty() {
 			continue
 		}
-		// Clip the messages and find the largest finite boundary; points at
-		// or beyond it behave identically, so unbounded tails fold into one
-		// trailing tuple.
-		var clipped []ival.Interval
-		var vals []Value
+		// Clip the messages (preserving inner-set order, so groups do too)
+		// and find the largest finite boundary; points at or beyond it behave
+		// identically, so unbounded tails fold into one trailing tuple.
+		s.active = s.active[:0]
 		maxFinite := st.Interval.Start
 		unbounded := false
-		for _, m := range inner {
+		for i, m := range inner {
 			x := m.Interval.Intersect(st.Interval)
 			if x.IsEmpty() {
 				continue
 			}
-			clipped = append(clipped, x)
-			vals = append(vals, m.Value)
+			s.active = append(s.active, innerRef{idx: i, iv: x, val: m.Value})
 			if x.Start > maxFinite {
 				maxFinite = x.Start
 			}
@@ -341,58 +403,57 @@ func pointGroups(outer, inner []IntervalValue, combine CombineFunc) []Tuple {
 				maxFinite = x.End
 			}
 		}
-		if len(clipped) == 0 {
+		if len(s.active) == 0 {
 			continue
 		}
-		// Bucket message values per covered time-point: total work is the
-		// sum of clipped lengths, i.e. the size of the point-wise output.
-		buckets := make(map[ival.Time][]Value)
-		for i, x := range clipped {
-			end := x.End
-			if end > maxFinite {
-				end = maxFinite
-			}
-			for t := x.Start; t < end; t++ {
-				buckets[t] = append(buckets[t], vals[i])
+		s.boundaries = s.boundaries[:0]
+		for _, r := range s.active {
+			s.boundaries = append(s.boundaries, r.iv.Start)
+			if e := r.iv.End; e < maxFinite {
+				s.boundaries = append(s.boundaries, e)
+			} else {
+				s.boundaries = append(s.boundaries, maxFinite)
 			}
 		}
-		pts := make([]ival.Time, 0, len(buckets))
-		for t := range buckets {
-			pts = append(pts, t)
-		}
-		slices.Sort(pts)
-		for _, t := range pts {
-			msgs := buckets[t]
+		slices.Sort(s.boundaries)
+		s.boundaries = dedupTimes(s.boundaries)
+		for bi := 0; bi+1 < len(s.boundaries); bi++ {
+			segStart, segEnd := s.boundaries[bi], s.boundaries[bi+1]
+			start := len(s.vals)
 			if combine != nil {
-				folded := msgs[0]
-				for _, v := range msgs[1:] {
-					folded = combine(folded, v)
-				}
-				msgs = []Value{folded}
-			}
-			out = append(out, Tuple{Interval: ival.Point(t), State: st.Value, Msgs: msgs})
-		}
-		if unbounded {
-			var msgs []Value
-			var folded Value
-			n := 0
-			for i, x := range clipped {
-				if x.End != ival.Infinity {
+				folded, n := fold(s.active, ival.New(segStart, segEnd), combine)
+				if n == 0 {
 					continue
 				}
-				if combine == nil {
-					msgs = append(msgs, vals[i])
-				} else if n == 0 {
-					folded = vals[i]
-				} else {
-					folded = combine(folded, vals[i])
+				s.vals = append(s.vals, folded)
+			} else {
+				for _, r := range s.active {
+					if r.iv.Contains(segStart) {
+						s.vals = append(s.vals, r.val)
+					}
 				}
-				n++
+				if len(s.vals) == start {
+					continue
+				}
 			}
-			if combine != nil {
-				msgs = []Value{folded}
+			msgs := s.vals[start:len(s.vals):len(s.vals)]
+			for t := segStart; t < segEnd; t++ {
+				out = append(out, Tuple{Interval: ival.Point(t), State: st.Value, Msgs: msgs})
 			}
-			out = append(out, Tuple{Interval: ival.From(maxFinite), State: st.Value, Msgs: msgs})
+		}
+		if unbounded {
+			start := len(s.vals)
+			for _, r := range s.active {
+				if r.iv.End != ival.Infinity {
+					continue
+				}
+				if combine == nil || len(s.vals) == start {
+					s.vals = append(s.vals, r.val)
+				} else {
+					s.vals[start] = combine(s.vals[start], r.val)
+				}
+			}
+			out = append(out, Tuple{Interval: ival.From(maxFinite), State: st.Value, Msgs: s.vals[start:len(s.vals):len(s.vals)]})
 		}
 	}
 	return out
