@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet race verify fuzz chaos bench trace-smoke serve-smoke clean
+.PHONY: all build test vet race verify fuzz chaos bench bench-skew trace-smoke serve-smoke clean
 
 all: verify
 
@@ -43,6 +43,14 @@ chaos:
 
 bench:
 	$(GO) run ./cmd/graphite-bench -scale 1 -workers 8 all
+
+# Scheduler skew ablation: static vs balanced-partition vs work-stealing
+# compute on a heavily skewed power-law temporal graph. Records the report
+# to BENCH_skew.json (and a human-readable table on stdout); the run also
+# asserts bit-identical results across scheduler modes and fails otherwise.
+SKEW_SCALE ?= 1
+bench-skew:
+	$(GO) run ./cmd/graphite-bench -scale $(SKEW_SCALE) -workers 8 -skew-json BENCH_skew.json skew
 
 # End-to-end tracing smoke test: run transit SSSP with a JSONL trace, then
 # validate the trace (schema, superstep contiguity, totals reconciliation)

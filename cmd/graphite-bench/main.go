@@ -6,7 +6,9 @@
 //	graphite-bench [flags] <experiment>...
 //
 // Experiments: table1, table2, fig4, fig5, fig6a, fig6b, fig6c, fig7,
-// msgsize, loc, chaos, alloc, all.
+// msgsize, loc, chaos, alloc, skew, all. The skew experiment is the
+// scheduler ablation (static / balanced-partition / work-stealing compute
+// on a heavily skewed power-law graph); -skew-json records its report.
 //
 // With -trace, every ICM run in the selected experiments appends its
 // per-superstep event stream to one JSONL file (render with graphite-trace);
@@ -34,12 +36,13 @@ func main() {
 		seed      = flag.Int64("seed", 42, "dataset generator seed")
 		algos     = flag.String("algos", "", "comma-separated algorithm subset for table2/fig4/fig5 (default: all 12)")
 		tracePath = flag.String("trace", "", "append every ICM run's JSONL trace to this file")
+		skewJSON  = flag.String("skew-json", "", "write the skew experiment report as JSON to this file")
 		pprofAddr = flag.String("pprof", "", "serve /debug/vars and /debug/pprof on this address")
 		verbose   = flag.Bool("v", false, "verbose (debug-level) logging")
 	)
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: graphite-bench [flags] <experiment>...\n")
-		fmt.Fprintf(os.Stderr, "experiments: table1 table2 fig4 fig5 fig6a fig6b fig6c fig7 msgsize loc chaos alloc all\n\n")
+		fmt.Fprintf(os.Stderr, "experiments: table1 table2 fig4 fig5 fig6a fig6b fig6c fig7 msgsize loc chaos alloc skew all\n\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -80,6 +83,7 @@ func main() {
 		}()
 		log.Debug("tracing ICM runs", "path", *tracePath)
 	}
+	skewJSONPath = *skewJSON
 	selected := parseAlgos(*algos)
 
 	for _, exp := range flag.Args() {
@@ -106,6 +110,9 @@ func parseAlgos(s string) []bench.Algo {
 // matrix caches the expensive full measurement across experiments that
 // share it.
 var matrix []bench.Cell
+
+// skewJSONPath, when set, receives the skew experiment's JSON report.
+var skewJSONPath string
 
 func getMatrix(cfg bench.Config, algos []bench.Algo) ([]bench.Cell, error) {
 	if matrix != nil {
@@ -199,8 +206,19 @@ func run(cfg bench.Config, exp string, algos []bench.Algo) error {
 			return err
 		}
 		bench.RenderAlloc(w, rows)
+	case "skew":
+		rep, err := bench.Skew(cfg)
+		if err != nil {
+			return err
+		}
+		bench.RenderSkew(w, rep)
+		if skewJSONPath != "" {
+			if err := bench.WriteSkewJSON(skewJSONPath, rep); err != nil {
+				return err
+			}
+		}
 	default:
-		return fmt.Errorf("unknown experiment (try: table1 table2 fig4 fig5 fig6a fig6b fig6c fig7 msgsize loc chaos alloc all)")
+		return fmt.Errorf("unknown experiment (try: table1 table2 fig4 fig5 fig6a fig6b fig6c fig7 msgsize loc chaos alloc skew all)")
 	}
 	return nil
 }

@@ -185,6 +185,20 @@ var (
 // the Options.MaxRecoveries budget.
 var ErrRecoveryExhausted = engine.ErrRecoveryExhausted
 
+// Scheduling: Options.Steal turns on the chunked work-stealing compute
+// scheduler (results stay byte-identical; see DESIGN.md §13), and
+// Options.Partitioner overrides the default index-modulo vertex placement.
+var (
+	// PartitionBalanced builds a skew-aware static partitioner: greedy
+	// bin-packing of vertices onto workers by per-vertex work weights,
+	// typically Graph.WorkWeights (Σ out-degree · lifespan length).
+	PartitionBalanced = engine.PartitionBalanced
+)
+
+// DefaultStealChunk is the stealable chunk granularity used when
+// Options.Steal is set and Options.StealChunk is zero.
+const DefaultStealChunk = engine.DefaultStealChunk
+
 // Observability: the metrics registry, the per-superstep trace stream and
 // its sinks. Set Options.Tracer and/or Options.Registry to instrument a
 // run; render or validate JSONL traces with the graphite-trace command or

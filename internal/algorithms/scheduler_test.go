@@ -1,0 +1,137 @@
+package algorithms
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"graphite/internal/core"
+	"graphite/internal/engine"
+	"graphite/internal/gen"
+)
+
+// TestSchedulerDeterminismMatrix is the ICM half of the scheduler
+// determinism acceptance: SSSP, PageRank and EAT over random temporal graphs
+// must produce bit-for-bit identical partitioned states with work stealing
+// {off, on, chunk=1, chunk=64}. PageRank matters most here — it folds float
+// rank mass in inbox order, so any reordering of message emission or
+// delivery under stealing would flip low-order mantissa bits and fail the
+// exact comparison. Run under -race in `make race` this doubles as the data-
+// race gate for chunk claiming and cross-worker execution.
+func TestSchedulerDeterminismMatrix(t *testing.T) {
+	profiles := []gen.Profile{
+		gen.Tiny("sched-mixed", 48, 4, 10, gen.MixedLife),
+		gen.Tiny("sched-long", 36, 5, 8, gen.LongLife),
+	}
+	type mode struct {
+		name  string
+		steal bool
+		chunk int
+	}
+	modes := []mode{
+		{name: "steal-default", steal: true},
+		{name: "steal-chunk1", steal: true, chunk: 1},
+		{name: "steal-chunk64", steal: true, chunk: 64},
+	}
+
+	for _, p := range profiles {
+		g, err := gen.Generate(p, 7)
+		if err != nil {
+			t.Fatalf("generate %s: %v", p.Name, err)
+		}
+		source := g.VertexAt(0).ID
+
+		runAll := func(steal bool, chunk int) [3]*core.Result {
+			t.Helper()
+			sssp := &SSSP{Source: source}
+			pr := NewPageRank(g, 6, 0.85)
+			eat := &EAT{Source: source}
+			progs := [3]core.Program{sssp, pr, eat}
+			opts := [3]core.Options{sssp.Options(), pr.Options(), eat.Options()}
+			var out [3]*core.Result
+			for i := range progs {
+				o := opts[i]
+				o.NumWorkers = 3
+				o.Steal = steal
+				o.StealChunk = chunk
+				r, err := runWith(g, progs[i], o)
+				if err != nil {
+					t.Fatalf("%s: run: %v", p.Name, err)
+				}
+				out[i] = r
+			}
+			return out
+		}
+		names := [3]string{"SSSP", "PageRank", "EAT"}
+
+		base := runAll(false, 0) // the static schedule
+		for _, m := range modes {
+			got := runAll(m.steal, m.chunk)
+			for a := range got {
+				for v := 0; v < g.NumVertices(); v++ {
+					if !reflect.DeepEqual(base[a].State(v).Parts(), got[a].State(v).Parts()) {
+						t.Fatalf("%s %s [%s]: vertex %d partitions diverge from static schedule:\nbase: %v\n got: %v",
+							p.Name, names[a], m.name, v, base[a].State(v).Parts(), got[a].State(v).Parts())
+					}
+				}
+				if bm, gm := base[a].Metrics, got[a].Metrics; bm.Messages != gm.Messages || bm.MessageBytes != gm.MessageBytes {
+					t.Fatalf("%s %s [%s]: message totals diverge: %d/%d bytes vs %d/%d",
+						p.Name, names[a], m.name, gm.Messages, gm.MessageBytes, bm.Messages, bm.MessageBytes)
+				}
+			}
+		}
+	}
+}
+
+// TestBalancedPartitionerSameResults checks the PartitionBalanced satellite
+// end to end: a skew-aware static partition must leave min-fold algorithm
+// results unchanged (message arrival order may legitimately differ across
+// partitions, so order-sensitive float folds are out of scope here), with
+// and without stealing on top.
+func TestBalancedPartitionerSameResults(t *testing.T) {
+	p := gen.Tiny("sched-balance", 40, 4, 10, gen.MixedLife)
+	g, err := gen.Generate(p, 11)
+	if err != nil {
+		t.Fatalf("generate: %v", err)
+	}
+	source := g.VertexAt(0).ID
+	weights := g.WorkWeights()
+
+	run := func(balanced, steal bool) [2]*core.Result {
+		t.Helper()
+		sssp := &SSSP{Source: source}
+		eat := &EAT{Source: source}
+		progs := [2]core.Program{sssp, eat}
+		opts := [2]core.Options{sssp.Options(), eat.Options()}
+		var out [2]*core.Result
+		for i := range progs {
+			o := opts[i]
+			o.NumWorkers = 3
+			o.Steal = steal
+			if balanced {
+				o.Partitioner = engine.PartitionBalanced(weights)
+			}
+			r, err := runWith(g, progs[i], o)
+			if err != nil {
+				t.Fatalf("run(balanced=%v steal=%v): %v", balanced, steal, err)
+			}
+			out[i] = r
+		}
+		return out
+	}
+
+	base := run(false, false)
+	names := [2]string{"SSSP", "EAT"}
+	for _, cfg := range [][2]bool{{true, false}, {true, true}, {false, true}} {
+		got := run(cfg[0], cfg[1])
+		label := fmt.Sprintf("balanced=%v steal=%v", cfg[0], cfg[1])
+		for a := range got {
+			for v := 0; v < g.NumVertices(); v++ {
+				if !reflect.DeepEqual(base[a].State(v).Parts(), got[a].State(v).Parts()) {
+					t.Fatalf("%s [%s]: vertex %d partitions diverge:\nbase: %v\n got: %v",
+						names[a], label, v, base[a].State(v).Parts(), got[a].State(v).Parts())
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,82 @@
+package chaos
+
+import (
+	"reflect"
+	"testing"
+
+	"graphite/internal/algorithms"
+	"graphite/internal/core"
+	"graphite/internal/tgraph"
+)
+
+// chaosSSSPSteal mirrors chaosSSSP with the work-stealing scheduler enabled
+// at the most adversarial granularity (one-slot chunks: maximal steal
+// traffic and lane merging).
+func chaosSSSPSteal(t *testing.T, checkpointEvery int, tr *Transport, fp *FaultyProgram) (*core.Result, error) {
+	t.Helper()
+	g := tgraph.TransitExample()
+	a := &algorithms.SSSP{Source: 0, StartTime: 0}
+	opts := a.Options()
+	opts.NumWorkers = 3
+	opts.Steal = true
+	opts.StealChunk = 1
+	opts.CheckpointEvery = checkpointEvery
+	opts.MaxRecoveries = 10
+	if tr != nil {
+		opts.Transport = tr
+	}
+	if fp != nil {
+		opts.WrapProgram = fp.Wrap
+	}
+	return core.Run(g, a, opts)
+}
+
+// TestChaosRollbackRestoresFrontiers proves rollback-and-replay restores the
+// dense frontiers exactly under the work-stealing scheduler: an SSSP run with
+// stealing, seeded transport faults and an injected panic must replay to the
+// bit-identical states and deterministic metrics of a fault-free run on the
+// *static* scheduler. If a checkpoint restore ever resurrected a stale
+// frontier — a slot missing, duplicated, or out of sync with its active flag
+// — the replayed supersteps would compute a different vertex set and the
+// message totals below would diverge.
+func TestChaosRollbackRestoresFrontiers(t *testing.T) {
+	base, err := chaosSSSP(t, 0, nil, nil) // fault-free, stealing off
+	if err != nil {
+		t.Fatalf("fault-free run: %v", err)
+	}
+
+	tr, err := NewTransport(3, TransportOptions{
+		Seed: 11, Drops: 1, Corruptions: 1, Duplicates: 1, Delays: 1, Every: 4,
+	})
+	if err != nil {
+		t.Fatalf("NewTransport: %v", err)
+	}
+	defer tr.Close()
+	fp := NewFaultyProgram(PanicPlan{Superstep: 3, Vertex: AnyVertex})
+	got, err := chaosSSSPSteal(t, 1, tr, fp)
+	if err != nil {
+		t.Fatalf("chaos steal run: %v", err)
+	}
+
+	if fp.Panics() < 1 {
+		t.Fatalf("scheduled panic never fired")
+	}
+	if got.Metrics.Recoveries < 1 {
+		t.Errorf("chaos run recovered %d times, want >= 1", got.Metrics.Recoveries)
+	}
+	for i := 0; i < base.Graph.NumVertices(); i++ {
+		if !reflect.DeepEqual(base.State(i).Parts(), got.State(i).Parts()) {
+			t.Errorf("vertex %d partitions diverged:\nstatic fault-free: %v\nsteal chaos:       %v",
+				i, base.State(i).Parts(), got.State(i).Parts())
+		}
+	}
+	bm, gm := base.Metrics, got.Metrics
+	if bm.Supersteps != gm.Supersteps || bm.ComputeCalls != gm.ComputeCalls ||
+		bm.ScatterCalls != gm.ScatterCalls || bm.Messages != gm.Messages ||
+		bm.MessageBytes != gm.MessageBytes {
+		t.Errorf("metrics diverged:\nstatic fault-free: %v\nsteal chaos:       %v", bm, gm)
+	}
+	if base.Stats != got.Stats {
+		t.Errorf("ICM stats diverged:\nstatic fault-free: %+v\nsteal chaos: %+v", base.Stats, got.Stats)
+	}
+}

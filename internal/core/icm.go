@@ -56,6 +56,17 @@ type Options struct {
 	// then also invoked on message-less vertices once per partition with an
 	// empty group.
 	ActivateAll bool
+	// Steal enables the engine's chunked work-stealing compute scheduler:
+	// idle workers execute frontier chunks for overloaded peers. Results are
+	// byte-identical with stealing on or off (engine.Config.Steal).
+	Steal bool
+	// StealChunk is the frontier slots per stealable chunk; zero means
+	// engine.DefaultStealChunk.
+	StealChunk int
+	// Partitioner overrides the engine's vertex→worker assignment; nil means
+	// index-modulo hashing. See engine.PartitionBalanced for a skew-aware
+	// static assignment built from tgraph.Graph.WorkWeights.
+	Partitioner func(vertex, numWorkers int) int
 	// Reverse scatters along in-edges instead of out-edges (Latest
 	// Departure traverses sink-to-source in space and time).
 	Reverse bool
@@ -167,6 +178,9 @@ func Run(g *tgraph.Graph, prog Program, opts Options) (*Result, error) {
 		NumWorkers:      opts.NumWorkers,
 		MaxSupersteps:   opts.MaxSupersteps,
 		ActivateAll:     opts.ActivateAll,
+		Steal:           opts.Steal,
+		StealChunk:      opts.StealChunk,
+		Partitioner:     opts.Partitioner,
 		PayloadCodec:    opts.PayloadCodec,
 		VerifyCodec:     opts.VerifyCodec,
 		Transport:       opts.Transport,

@@ -6,9 +6,11 @@ import (
 	"graphite/internal/warp"
 )
 
-// workspace is one worker's reusable compute scratch. The engine runs every
-// vertex a worker owns on that worker's goroutine (engine.Context.Worker), so
-// each workspace is touched by exactly one goroutine and needs no locking.
+// workspace is one worker's reusable compute scratch, keyed by the
+// *executing* worker (engine.Context.Worker) — under work stealing that is
+// the thief, not the vertex's owner. A worker goroutine executes one vertex
+// at a time, so each workspace is touched by exactly one goroutine and needs
+// no locking regardless of whose partition the vertex came from.
 // All buffers are grow-only: after the first few supersteps the align →
 // compute → scatter path of runtime.Run stops allocating. Everything in a
 // workspace is valid only until the worker's next vertex — nothing here may

@@ -116,6 +116,9 @@ func (e *Engine) restoreCheckpoint() {
 			}
 		}
 		copy(w.active, c.active[i])
+		// The dense frontier mirrors the active bitmap; rebuild it so the
+		// replayed compute phase schedules exactly the restored activations.
+		w.rebuildFrontier()
 		for d := range w.outbox {
 			w.outbox[d] = w.outbox[d][:0]
 		}

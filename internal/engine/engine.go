@@ -83,6 +83,17 @@ type Config struct {
 	// partitioning strategies is the paper's stated future work; the seam
 	// makes locality experiments possible.
 	Partitioner func(vertex, numWorkers int) int
+	// Steal enables chunked work stealing in the compute phase: each
+	// worker's active frontier is cut into fixed-size chunks and idle
+	// workers claim chunks from the most-loaded peers. Stolen chunks emit
+	// into per-chunk outbox lanes merged in deterministic (owner, slot)
+	// order at the barrier, so results are byte-identical with stealing on
+	// or off; only per-worker phase attribution in traces becomes
+	// timing-dependent.
+	Steal bool
+	// StealChunk is the number of frontier slots per stealable chunk; zero
+	// means DefaultStealChunk. Only meaningful with Steal.
+	StealChunk int
 	// Combiner, if set, merges payloads of messages to the same vertex
 	// with identical intervals at delivery time.
 	Combiner Combiner
@@ -166,6 +177,9 @@ type Engine struct {
 	halted   bool
 	superstp int
 
+	stealOn   bool // Config.Steal, resolved
+	chunkSize int  // Config.StealChunk, resolved
+
 	// Observability: totals live in the registry; Metrics is a per-run view
 	// over it (registry value minus the Run-start baseline).
 	reg    *obs.Registry
@@ -191,8 +205,20 @@ type worker struct {
 	eng    *Engine
 	local  []int32     // dense vertex indices owned by this worker
 	inbox  []*msgSlab  // per local slot; arena-pooled, nil when empty
-	active []bool      // per local slot
+	active []bool      // per local slot; dedup bitmap behind the frontier
 	outbox [][]Message // per destination worker, refilled every superstep
+
+	// Dense frontier: slots activated since the last compute phase, appended
+	// at delivery time (activation order), sorted at compute start. Grow-only.
+	frontier []int32
+	allSlots []int32 // lazily built 0..len(local)-1 schedule for ActivateAll
+	sched    []int32 // slot list the in-flight compute phase iterates
+
+	// Chunked work stealing (Config.Steal): this worker's stealable chunks
+	// over sched, claimed through the atomic cursor by any worker.
+	chunks  []chunk
+	nchunks int
+	cursor  atomic.Int32
 
 	// Per-worker metric partials, merged after every superstep.
 	computeCalls int64
@@ -205,12 +231,20 @@ type worker struct {
 	// records into its own fields; the coordinator reads them after the
 	// phase barrier (workers are quiescent then), so no synchronization.
 	computeNS  int64
+	stealNS    int64 // compute-phase idle-wait at the steal barrier
+	steals     int64 // chunks this worker executed for other workers
 	shipNS     int64
 	exchangeNS int64
 	delivered  int64
 
 	scratch []byte    // payload sizing buffer, reused across sends
 	decode  []Message // transport decode buffer, reused across batches
+
+	// cctx is the worker's persistent compute Context: &cctx escapes into
+	// Program.Run through the interface call, and a per-phase local would
+	// heap-allocate once per worker per superstep. Only the goroutine
+	// executing as this worker touches it.
+	cctx Context
 }
 
 // New prepares an engine for numVertices vertices.
@@ -238,6 +272,12 @@ func New(numVertices int, program Program, cfg Config) (*Engine, error) {
 			return nil, fmt.Errorf("%w: CheckpointEvery requires a Program implementing Snapshotter", ErrBadConfig)
 		}
 	}
+	if cfg.StealChunk < 0 {
+		return nil, fmt.Errorf("%w: StealChunk must be >= 0", ErrBadConfig)
+	}
+	if cfg.StealChunk == 0 {
+		cfg.StealChunk = DefaultStealChunk
+	}
 	e := &Engine{
 		cfg:     cfg,
 		program: program,
@@ -250,6 +290,8 @@ func New(numVertices int, program Program, cfg Config) (*Engine, error) {
 		traced:  cfg.Tracer != nil,
 		ctx:     cfg.Context,
 	}
+	e.stealOn = cfg.Steal
+	e.chunkSize = cfg.StealChunk
 	reg := cfg.Registry
 	if reg == nil {
 		reg = obs.NewRegistry()
@@ -319,7 +361,7 @@ func (e *Engine) Run() (*Metrics, error) {
 			}
 			ctx.vertex = v
 			ctx.slot = slot
-			w.active[slot] = true
+			w.activate(slot)
 			if !e.guardedCall(int(v), func() { e.program.Init(&ctx) }) {
 				return
 			}
@@ -357,38 +399,19 @@ func (e *Engine) Run() (*Metrics, error) {
 			e.tracer.Emit(obs.SuperstepStart{Superstep: e.superstp, Active: e.countActive()})
 		}
 
-		// Compute phase: user logic over active vertices, interleaved with
-		// message emission into outboxes ("compute+" in the paper).
+		// Compute phase: user logic over the dense active frontier,
+		// interleaved with message emission into outboxes ("compute+" in the
+		// paper). With stealing, three sub-barriers: cut every frontier into
+		// chunks, execute chunks (own first, then stolen), then merge chunk
+		// lanes into the real outboxes in deterministic (owner, slot) order.
 		t0 := time.Now()
-		e.parallel(func(w *worker) {
-			phaseStart := time.Now()
-			defer func() { w.computeNS = time.Since(phaseStart).Nanoseconds() }()
-			ctx := Context{eng: e, w: w}
-			for slot, v := range w.local {
-				if !w.active[slot] && !e.cfg.ActivateAll {
-					continue
-				}
-				if e.aborted() {
-					return
-				}
-				ctx.vertex = v
-				ctx.slot = slot
-				var msgs []Message
-				if sl := w.inbox[slot]; sl != nil {
-					msgs = sl.msgs
-				}
-				if !e.guardedCall(int(v), func() { e.program.Run(&ctx, msgs) }) {
-					// A panicking vertex keeps its slab: rollback recycles
-					// every live inbox slab before replaying.
-					return
-				}
-				if sl := w.inbox[slot]; sl != nil {
-					w.inbox[slot] = nil
-					msgArena.put(sl)
-				}
-				w.active[slot] = false
-			}
-		})
+		if e.stealOn {
+			e.parallel(func(w *worker) { w.prepareChunks() })
+			e.parallel(func(w *worker) { w.runChunks() })
+			e.parallel(func(w *worker) { w.mergeChunks() })
+		} else {
+			e.parallel(func(w *worker) { w.computeStatic() })
+		}
 		t1 := time.Now()
 		// Cancellation wins over a concurrent fault: the run is being torn
 		// down either way, and rollback must never replay a canceled phase.
@@ -446,6 +469,7 @@ func (e *Engine) Run() (*Metrics, error) {
 		e.ec.hBarrier.Observe(barrierD)
 		e.ec.supersteps.Inc()
 		e.setPoolGauges()
+		e.setSchedulerGauges()
 		if e.traced {
 			e.tracer.Emit(obs.SuperstepEnd{
 				Superstep:    e.superstp,
@@ -458,6 +482,7 @@ func (e *Engine) Run() (*Metrics, error) {
 				MessageBytes: st.sentBytes,
 				Delivered:    delivered,
 				Active:       e.countActive(),
+				Steals:       st.steals,
 				Intervals: obs.IntervalBytes{
 					Unit:      st.classBytes[codec.ClassUnit],
 					Unbounded: st.classBytes[codec.ClassUnbounded],
@@ -752,13 +777,13 @@ func (w *worker) deliver(slot int, m Message) {
 		for i := range sl.msgs {
 			if sl.msgs[i].When == m.When {
 				sl.msgs[i].Value = c.Combine(sl.msgs[i].Value, m.Value)
-				w.active[slot] = true
+				w.activate(slot)
 				return
 			}
 		}
 	}
 	sl.msgs = append(sl.msgs, m)
-	w.active[slot] = true
+	w.activate(slot)
 }
 
 // sendWithRetry ships one batch, retrying transient failures per
@@ -812,12 +837,12 @@ func (e *Engine) roundTrip(w *worker, v any) (any, error) {
 	return out, nil
 }
 
+// anyActive reports whether any vertex was activated since the last compute
+// phase; O(workers), from the frontier lengths maintained at delivery time.
 func (e *Engine) anyActive() bool {
 	for _, w := range e.workers {
-		for _, a := range w.active {
-			if a {
-				return true
-			}
+		if len(w.frontier) > 0 {
+			return true
 		}
 	}
 	return false

@@ -18,6 +18,7 @@ type engCounters struct {
 	checkpoints  *obs.Counter
 	recoveries   *obs.Counter
 	sendRetries  *obs.Counter
+	steals       *obs.Counter
 	computeNS    *obs.Counter
 	messagingNS  *obs.Counter
 	barrierNS    *obs.Counter
@@ -32,6 +33,11 @@ type engCounters struct {
 	poolHits    *obs.Gauge
 	poolMisses  *obs.Gauge
 	bytesReused *obs.Gauge
+
+	// Scheduler gauges: frontier size after the latest delivery barrier and
+	// the latest superstep's worker compute-time imbalance (max/mean ·1000).
+	activeVertices *obs.Gauge
+	imbalance      *obs.Gauge
 
 	hCompute   *obs.Histogram
 	hMessaging *obs.Histogram
@@ -50,6 +56,7 @@ func (e *Engine) bindRegistry(reg *obs.Registry) {
 		checkpoints:  reg.Counter(obs.CCheckpoints),
 		recoveries:   reg.Counter(obs.CRecoveries),
 		sendRetries:  reg.Counter(obs.CSendRetries),
+		steals:       reg.Counter(obs.CSteals),
 		computeNS:    reg.Counter(obs.CComputePlusNS),
 		messagingNS:  reg.Counter(obs.CMessagingNS),
 		barrierNS:    reg.Counter(obs.CBarrierNS),
@@ -60,12 +67,14 @@ func (e *Engine) bindRegistry(reg *obs.Registry) {
 			codec.ClassUnbounded: reg.Counter(obs.CIntervalBytesUnbounded),
 			codec.ClassGeneral:   reg.Counter(obs.CIntervalBytesGeneral),
 		},
-		poolHits:    reg.Gauge(obs.GPoolHits),
-		poolMisses:  reg.Gauge(obs.GPoolMisses),
-		bytesReused: reg.Gauge(obs.GBytesReused),
-		hCompute:    reg.Histogram(obs.HSuperstepComputeNS),
-		hMessaging:  reg.Histogram(obs.HSuperstepMessagingNS),
-		hBarrier:    reg.Histogram(obs.HSuperstepBarrierNS),
+		poolHits:       reg.Gauge(obs.GPoolHits),
+		poolMisses:     reg.Gauge(obs.GPoolMisses),
+		bytesReused:    reg.Gauge(obs.GBytesReused),
+		activeVertices: reg.Gauge(obs.GActiveVertices),
+		imbalance:      reg.Gauge(obs.GComputeImbalanceMilli),
+		hCompute:       reg.Histogram(obs.HSuperstepComputeNS),
+		hMessaging:     reg.Histogram(obs.HSuperstepMessagingNS),
+		hBarrier:       reg.Histogram(obs.HSuperstepBarrierNS),
 	}
 }
 
@@ -134,18 +143,24 @@ func (e *Engine) storeRaw(m Metrics, classBytes [codec.NumIntervalClasses]int64)
 	}
 }
 
-// countActive counts vertices whose active flag is set; only evaluated when
-// a tracer wants superstep activity, never on the untraced path.
+// countActive counts activated vertices — O(workers) off the dense frontier
+// lengths maintained at delivery time, never a slot-array rescan. The
+// frontier dedups through the active bitmap, so the count equals the number
+// of set flags.
 func (e *Engine) countActive() int {
 	n := 0
 	for _, w := range e.workers {
-		for _, a := range w.active {
-			if a {
-				n++
-			}
-		}
+		n += len(w.frontier)
 	}
 	return n
+}
+
+// setSchedulerGauges publishes the frontier size after the barrier's
+// delivery and the finished compute phase's worker imbalance. Called at
+// barriers only, never from worker goroutines.
+func (e *Engine) setSchedulerGauges() {
+	e.ec.activeVertices.Set(int64(e.countActive()))
+	e.ec.imbalance.Set(e.imbalanceMilli())
 }
 
 // stepTotals are one superstep's counter deltas, folded from the per-worker
@@ -155,6 +170,7 @@ type stepTotals struct {
 	scatterCalls int64
 	sentMsgs     int64
 	sentBytes    int64
+	steals       int64
 	classBytes   [codec.NumIntervalClasses]int64
 }
 
@@ -167,6 +183,7 @@ func (e *Engine) mergePartials() stepTotals {
 		st.scatterCalls += w.scatterCalls
 		st.sentMsgs += w.sentMsgs
 		st.sentBytes += w.sentBytes
+		st.steals += w.steals
 		for i, b := range w.classBytes {
 			st.classBytes[i] += b
 		}
@@ -176,6 +193,9 @@ func (e *Engine) mergePartials() stepTotals {
 	e.ec.scatterCalls.Add(st.scatterCalls)
 	e.ec.messages.Add(st.sentMsgs)
 	e.ec.messageBytes.Add(st.sentBytes)
+	if st.steals != 0 {
+		e.ec.steals.Add(st.steals)
+	}
 	for i, n := range st.classBytes {
 		if n != 0 {
 			e.ec.classBytes[i].Add(n)
@@ -187,6 +207,7 @@ func (e *Engine) mergePartials() stepTotals {
 // resetPartials clears a worker's per-superstep metric partials.
 func (w *worker) resetPartials() {
 	w.computeCalls, w.scatterCalls, w.sentMsgs, w.sentBytes = 0, 0, 0, 0
+	w.steals = 0
 	w.classBytes = [codec.NumIntervalClasses]int64{}
 }
 
@@ -207,6 +228,8 @@ func (e *Engine) emitWorkerPhases(phase string) {
 			ev.ScatterCalls = w.scatterCalls
 			ev.SentMsgs = w.sentMsgs
 			ev.SentBytes = w.sentBytes
+			ev.StealNS = w.stealNS
+			ev.Steals = w.steals
 		case "ship":
 			ev.NS = w.shipNS
 		case "exchange":

@@ -95,6 +95,22 @@ func LDBCLike(machines int, s Scale) Profile {
 	}
 }
 
+// SkewedLike is the scheduler-stress profile behind the skew bench: a
+// heavy-tailed power law whose hub mass is spread over many low-index
+// vertices (Zipf 1.15 ~ a degree exponent near 1.9). That makes the skew
+// *fixable* — a partitioner or scheduler can split the hubs — unlike a
+// steeper Zipf where one mega-vertex is an indivisible straggler no
+// scheduler can balance below. Mixed lifespans keep the active frontier
+// shifting over time, which is what distinguishes a dynamic scheduler from
+// a static repartition.
+func SkewedLike(s Scale) Profile {
+	return Profile{
+		Name: "skewed", Vertices: scaled(2000, s), AvgDegree: 16,
+		Snapshots: 24, Topology: Powerlaw, EdgeLife: MixedLife, LongFrac: 0.35,
+		WithTravelProps: true, PropSegments: 2, Skew: 1.15,
+	}
+}
+
 // Tiny returns a small random profile for property tests and oracles.
 func Tiny(name string, vertices, degree, snapshots int, life LifespanDist) Profile {
 	return Profile{

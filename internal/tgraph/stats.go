@@ -156,6 +156,28 @@ func (g *Graph) TransformedSize() (nv, ne int) {
 	return nv, ne
 }
 
+// WorkWeights returns a per-vertex compute-work estimate for skew-aware
+// partitioning: Σ over the vertex's out-edges of the edge lifespan length
+// (degree × lifespan), clipped to the observable window. A hub vertex whose
+// edges live for the whole horizon scatters proportionally more interval
+// messages per superstep than a leaf with short-lived edges, so these
+// weights feed engine.PartitionBalanced as the static-balance baseline the
+// work-stealing scheduler is benchmarked against.
+func (g *Graph) WorkWeights() []int64 {
+	ws := make([]int64, len(g.vertices))
+	for vi := range g.vertices {
+		var w int64
+		for _, ei := range g.out[vi] {
+			iv := g.clip(g.edges[ei].Lifespan)
+			if !iv.IsEmpty() {
+				w += int64(iv.Length())
+			}
+		}
+		ws[vi] = w
+	}
+	return ws
+}
+
 // MemoryFootprint returns an estimate, in bytes, of the in-memory size of
 // the interval graph representation: used for the Fig. 6(a) comparison.
 // The accounting is representation-intrinsic (ids, interval endpoints,
