@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet race verify fuzz chaos bench bench-skew trace-smoke serve-smoke clean
+.PHONY: all build test vet race verify fuzz chaos bench bench-skew trace-smoke serve-smoke cluster-smoke clean
 
 all: verify
 
@@ -18,7 +18,7 @@ test:
 # query-service concurrency tests, and the pool-aliasing test), plus the
 # warp/algorithm layers whose per-worker scratch reuse must stay race-free.
 race:
-	$(GO) test -race ./internal/engine/... ./internal/chaos/... ./internal/obs/... ./internal/serve/... ./internal/warp/... ./internal/algorithms/...
+	$(GO) test -race ./internal/engine/... ./internal/chaos/... ./internal/cluster/... ./internal/obs/... ./internal/serve/... ./internal/warp/... ./internal/algorithms/...
 
 # Fuzz smoke: every fuzz target in the codec, state and warp layers for
 # FUZZTIME each (Go allows one -fuzz target per invocation).
@@ -66,6 +66,14 @@ trace-smoke:
 # every request succeeds and /debug/vars shows live result-cache hits.
 serve-smoke:
 	$(GO) run ./cmd/graphite-loadgen -boot
+
+# End-to-end cluster recovery smoke test: run the multi-process cluster
+# runtime (coordinator + 3 worker processes), SIGKILL a worker
+# mid-superstep, and fail unless the recovered result is bit-identical to
+# the fault-free run. Records MTTR, replayed supersteps and restored bytes
+# to BENCH_recovery.json (and a summary on stdout).
+cluster-smoke:
+	$(GO) run ./cmd/graphite-bench -recovery-json BENCH_recovery.json recovery
 
 clean:
 	$(GO) clean ./...

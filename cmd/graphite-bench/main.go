@@ -6,9 +6,13 @@
 //	graphite-bench [flags] <experiment>...
 //
 // Experiments: table1, table2, fig4, fig5, fig6a, fig6b, fig6c, fig7,
-// msgsize, loc, chaos, alloc, skew, all. The skew experiment is the
-// scheduler ablation (static / balanced-partition / work-stealing compute
-// on a heavily skewed power-law graph); -skew-json records its report.
+// msgsize, loc, chaos, alloc, skew, recovery, all. The skew experiment is
+// the scheduler ablation (static / balanced-partition / work-stealing
+// compute on a heavily skewed power-law graph); -skew-json records its
+// report. The recovery experiment runs the multi-process cluster runtime,
+// SIGKILLs a worker mid-superstep, and measures detection latency, MTTR,
+// and replayed supersteps against a fault-free run; -recovery-json records
+// its report. Worker processes are re-executions of this binary.
 //
 // With -trace, every ICM run in the selected experiments appends its
 // per-superstep event stream to one JSONL file (render with graphite-trace);
@@ -23,11 +27,15 @@ import (
 	"strings"
 
 	"graphite/internal/bench"
+	"graphite/internal/chaos"
 	"graphite/internal/gen"
 	"graphite/internal/obs"
 )
 
 func main() {
+	// Re-executions of this binary spawned by the recovery experiment become
+	// cluster workers here and never reach the flag parsing below.
+	chaos.RunChildWorker()
 	var (
 		scale     = flag.Float64("scale", 1.0, "dataset scale factor (1.0 ~ quick laptop runs)")
 		workers   = flag.Int("workers", 8, "BSP workers (the paper's cluster uses 8 nodes)")
@@ -37,12 +45,13 @@ func main() {
 		algos     = flag.String("algos", "", "comma-separated algorithm subset for table2/fig4/fig5 (default: all 12)")
 		tracePath = flag.String("trace", "", "append every ICM run's JSONL trace to this file")
 		skewJSON  = flag.String("skew-json", "", "write the skew experiment report as JSON to this file")
+		recJSON   = flag.String("recovery-json", "", "write the recovery experiment report as JSON to this file")
 		pprofAddr = flag.String("pprof", "", "serve /debug/vars and /debug/pprof on this address")
 		verbose   = flag.Bool("v", false, "verbose (debug-level) logging")
 	)
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: graphite-bench [flags] <experiment>...\n")
-		fmt.Fprintf(os.Stderr, "experiments: table1 table2 fig4 fig5 fig6a fig6b fig6c fig7 msgsize loc chaos alloc skew all\n\n")
+		fmt.Fprintf(os.Stderr, "experiments: table1 table2 fig4 fig5 fig6a fig6b fig6c fig7 msgsize loc chaos alloc skew recovery all\n\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -84,6 +93,7 @@ func main() {
 		log.Debug("tracing ICM runs", "path", *tracePath)
 	}
 	skewJSONPath = *skewJSON
+	recoveryJSONPath = *recJSON
 	selected := parseAlgos(*algos)
 
 	for _, exp := range flag.Args() {
@@ -111,8 +121,9 @@ func parseAlgos(s string) []bench.Algo {
 // share it.
 var matrix []bench.Cell
 
-// skewJSONPath, when set, receives the skew experiment's JSON report.
-var skewJSONPath string
+// skewJSONPath and recoveryJSONPath, when set, receive the corresponding
+// experiments' JSON reports.
+var skewJSONPath, recoveryJSONPath string
 
 func getMatrix(cfg bench.Config, algos []bench.Algo) ([]bench.Cell, error) {
 	if matrix != nil {
@@ -217,8 +228,19 @@ func run(cfg bench.Config, exp string, algos []bench.Algo) error {
 				return err
 			}
 		}
+	case "recovery":
+		rep, err := bench.Recovery(cfg)
+		if err != nil {
+			return err
+		}
+		bench.RenderRecovery(w, rep)
+		if recoveryJSONPath != "" {
+			if err := bench.WriteRecoveryJSON(recoveryJSONPath, rep); err != nil {
+				return err
+			}
+		}
 	default:
-		return fmt.Errorf("unknown experiment (try: table1 table2 fig4 fig5 fig6a fig6b fig6c fig7 msgsize loc chaos alloc skew all)")
+		return fmt.Errorf("unknown experiment (try: table1 table2 fig4 fig5 fig6a fig6b fig6c fig7 msgsize loc chaos alloc skew recovery all)")
 	}
 	return nil
 }

@@ -1,0 +1,74 @@
+// Command graphite-worker runs one cluster worker: it dials the
+// coordinator, receives a shard assignment, executes its slice of every
+// superstep, and persists durable checkpoints under -dir so that a
+// replacement process started on the same directory can take over after a
+// crash (kill -9 included).
+//
+// Usage:
+//
+//	graphite-worker -coordinator HOST:PORT -dir PATH [-dial-attempts N]
+//	                [-dial-backoff D] [-v]
+//
+// The worker exits 0 when the cluster run completes. If this process
+// replaces a dead worker, -dir MUST be the dead worker's checkpoint
+// directory (shared storage or the same machine): the directory is bound
+// to a shard on first assignment and the worker refuses to restore
+// another shard's state.
+//
+// For fault-injection experiments the environment variable GRAPHITE_CRASH
+// may hold a plan "PHASE:SUPERSTEP" (phase: compute, checkpoint, barrier);
+// the worker then SIGKILLs itself at that point, exactly like the chaos
+// harness does in the repo's kill-9 recovery tests.
+package main
+
+import (
+	"context"
+	"flag"
+	"log/slog"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"graphite/internal/cluster"
+	"graphite/internal/obs"
+)
+
+func main() {
+	var (
+		coord    = flag.String("coordinator", "", "coordinator address (host:port)")
+		dir      = flag.String("dir", "", "durable checkpoint directory (reuse a dead worker's to replace it)")
+		attempts = flag.Int("dial-attempts", cluster.DefaultDialAttempts, "coordinator dial attempts before giving up")
+		backoff  = flag.Duration("dial-backoff", cluster.DefaultDialBackoff, "base dial retry backoff (jittered, capped exponential)")
+		verbose  = flag.Bool("v", false, "verbose (debug-level) logging")
+	)
+	flag.Parse()
+	log := obs.CLILogger("graphite-worker", *verbose)
+	if *coord == "" || *dir == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	plan, err := cluster.ParseCrashPlan(os.Getenv(cluster.CrashEnv))
+	if err != nil {
+		fatal(log, "crash plan", err)
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	err = cluster.RunWorker(ctx, cluster.WorkerConfig{
+		Addr:         *coord,
+		Dir:          *dir,
+		DialAttempts: *attempts,
+		DialBackoff:  *backoff,
+		Crash:        plan,
+		Logger:       log,
+	})
+	if err != nil {
+		fatal(log, "worker run", err)
+	}
+	log.Info("worker done")
+}
+
+func fatal(log *slog.Logger, msg string, err error) {
+	log.Error(msg, "err", err)
+	os.Exit(1)
+}

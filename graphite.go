@@ -24,7 +24,13 @@
 //     per-superstep trace events, and the JSONL/expvar/pprof sinks;
 //   - internal/serve — the resident query service: a multi-graph JSON HTTP
 //     server with admission control, result caching, singleflight dedup and
-//     cancellable runs (cmd/graphite-serve is its daemon).
+//     cancellable runs (cmd/graphite-serve is its daemon);
+//   - internal/cluster — the crash-tolerant multi-process runtime: a
+//     coordinator driving shard workers over framed TCP with heartbeats,
+//     durable checkpoints and kill-9 rollback-and-replay recovery
+//     (cmd/graphite-coordinator and cmd/graphite-worker are its daemons);
+//   - internal/chaos — fault injection, from transport faults and scheduled
+//     panics up to a process fleet that SIGKILLs and respawns real workers.
 //
 // A minimal program:
 //
@@ -36,6 +42,7 @@ package graphite
 import (
 	"graphite/internal/algorithms"
 	"graphite/internal/chaos"
+	"graphite/internal/cluster"
 	"graphite/internal/codec"
 	"graphite/internal/core"
 	"graphite/internal/engine"
@@ -376,4 +383,60 @@ var (
 	ErrServerBusy = serve.ErrBusy
 	// ErrServerDraining rejects new work during graceful shutdown (503).
 	ErrServerDraining = serve.ErrDraining
+)
+
+// The cluster runtime: a coordinator process drives worker processes over
+// framed TCP — shard assignment, distributed superstep barriers, heartbeat
+// leases, durable checkpoints, and rollback-and-replay recovery that
+// survives kill -9 with bit-identical results (DESIGN.md §14).
+type (
+	// ClusterCoordinator registers workers, drives supersteps and recovers
+	// from worker deaths. Create with NewClusterCoordinator, run with Serve.
+	ClusterCoordinator = cluster.Coordinator
+	// ClusterConfig parameterizes a cluster run (graph spec, algorithm,
+	// checkpoint cadence, lease, recovery budgets).
+	ClusterConfig = cluster.Config
+	// ClusterReport summarizes a finished cluster run, recoveries included.
+	ClusterReport = cluster.Report
+	// ClusterRecoveryInfo describes one rollback-and-replay cycle: detection
+	// latency, MTTR, replayed supersteps, restored checkpoint bytes.
+	ClusterRecoveryInfo = cluster.RecoveryInfo
+	// ClusterStats is the coordinator's point-in-time readiness view.
+	ClusterStats = cluster.Stats
+	// ClusterWorkerConfig parameterizes one worker process.
+	ClusterWorkerConfig = cluster.WorkerConfig
+	// CrashPlan plants a self-SIGKILL at a phase:superstep point (the
+	// fault-injection contract of the kill-9 tests and GRAPHITE_CRASH).
+	CrashPlan = cluster.CrashPlan
+	// CheckpointStore is the durable, CRC-verified, generation-versioned
+	// on-disk checkpoint store workers persist their shard state into.
+	CheckpointStore = engine.CheckpointStore
+	// CheckpointMeta describes one stored checkpoint generation.
+	CheckpointMeta = engine.CheckpointMeta
+	// WorkerFleet supervises real worker child processes and respawns the
+	// ones that die uncleanly — the process-level chaos harness.
+	WorkerFleet = chaos.Fleet
+	// WorkerFleetConfig parameterizes a WorkerFleet.
+	WorkerFleetConfig = chaos.FleetConfig
+)
+
+var (
+	// NewClusterCoordinator validates a ClusterConfig and builds the
+	// coordinator; Serve on a listener runs the cluster to completion.
+	NewClusterCoordinator = cluster.New
+	// RunClusterWorker dials a coordinator and works until the run ends.
+	RunClusterWorker = cluster.RunWorker
+	// ParseCrashPlan parses "phase:superstep" (compute, checkpoint, barrier).
+	ParseCrashPlan = cluster.ParseCrashPlan
+	// OpenCheckpointStore opens (or creates) a checkpoint directory.
+	OpenCheckpointStore = engine.OpenCheckpointStore
+	// RetryDelay is the jittered capped-exponential backoff schedule shared
+	// by transport dialing and the cluster worker's coordinator dial.
+	RetryDelay = engine.RetryDelay
+	// StartWorkerFleet spawns supervised worker child processes;
+	// RunChildWorker must be called first thing in the binary's main.
+	StartWorkerFleet = chaos.StartFleet
+	// RunChildWorker turns a re-executed binary into a cluster worker when
+	// the fleet's environment marker is present, and returns otherwise.
+	RunChildWorker = chaos.RunChildWorker
 )

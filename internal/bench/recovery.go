@@ -1,0 +1,238 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"os"
+	"path/filepath"
+	"reflect"
+	"time"
+
+	"graphite/internal/algorithms"
+	"graphite/internal/chaos"
+	"graphite/internal/cluster"
+	"graphite/internal/core"
+	"graphite/internal/gen"
+	"graphite/internal/tgraph"
+)
+
+// --- recovery: cluster kill-9 MTTR on a generated graph ---
+//
+// The experiment measures what a worker death actually costs the cluster
+// runtime: a coordinator and real worker processes run PageRank over a
+// generated power-law graph, one worker is SIGKILLed mid-superstep by a
+// planted crash, the fleet respawns it on the same checkpoint directory,
+// and the run completes from the last committed checkpoint generation. The
+// report records detection latency, MTTR (detection to resumed superstep
+// broadcast), replayed supersteps and restored checkpoint bytes — and
+// proves the recovered result bit-identical to a fault-free cluster run.
+//
+// PageRank is the deliberate choice: its superstep count is fixed by the
+// iteration budget (so the planted kill superstep always exists) and its
+// float fold is arrival-order-sensitive (so any divergence in replay
+// ordering shows up in the identity check, not just in timings).
+
+// recoveryWorkers is the worker process count; three is the smallest fleet
+// where a death leaves a surviving majority to roll back.
+const recoveryWorkers = 3
+
+// recoveryKillStep is the superstep whose compute phase the victim dies in.
+// With the checkpoint cadence k=2, an even kill superstep s never closes,
+// so the last committed generation is (s-2)/2 and at least one superstep is
+// always replayed.
+const recoveryKillStep = 6
+
+// RecoveryKill names the planted failure.
+type RecoveryKill struct {
+	Worker    int    `json:"worker"`
+	Phase     string `json:"phase"`
+	Superstep int    `json:"superstep"`
+}
+
+// RecoveryReport is the BENCH_recovery.json artifact.
+type RecoveryReport struct {
+	Algo            string       `json:"algo"`
+	Graph           string       `json:"graph"`
+	Vertices        int          `json:"vertices"`
+	Edges           int          `json:"edges"`
+	Workers         int          `json:"workers"`
+	CheckpointEvery int          `json:"checkpoint_every"`
+	Kill            RecoveryKill `json:"kill"`
+	// FaultFreeMS and FaultedMS are the two runs' makespans; their gap is
+	// the end-to-end price of the kill, of which MTTRMS is the coordinator's
+	// share (detection to resumed superstep broadcast) and DetectMS the
+	// silence observed before declaring the worker dead.
+	FaultFreeMS float64 `json:"fault_free_ms"`
+	FaultedMS   float64 `json:"faulted_ms"`
+	DetectMS    float64 `json:"detect_ms"`
+	MTTRMS      float64 `json:"mttr_ms"`
+	// Supersteps counts executed supersteps of the faulted run, replays
+	// included; ReplayedSupersteps is how many of them were re-execution.
+	Supersteps         int   `json:"supersteps"`
+	ReplayedSupersteps int   `json:"replayed_supersteps"`
+	RecoveryBytes      int64 `json:"recovery_bytes"`
+	Recoveries         int   `json:"recoveries"`
+	Respawns           int   `json:"respawns"`
+	// Identical confirms the recovered result matched the fault-free run
+	// vertex for vertex (the experiment fails before reporting otherwise).
+	Identical bool `json:"identical"`
+}
+
+// Recovery runs the kill-9 MTTR experiment. The caller's binary MUST call
+// chaos.RunChildWorker first thing in main: worker processes are
+// re-executions of it.
+func Recovery(cfg Config) (*RecoveryReport, error) {
+	p := gen.SkewedLike(cfg.Scale)
+	g, err := gen.Generate(p, cfg.Seed)
+	if err != nil {
+		return nil, fmt.Errorf("bench: generate %s: %w", p.Name, err)
+	}
+	scratch, err := os.MkdirTemp("", "graphite-recovery-*")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(scratch)
+	gpath := filepath.Join(scratch, "graph.tg")
+	if err := tgraph.WriteFile(gpath, g); err != nil {
+		return nil, err
+	}
+
+	iters := cfg.PRIterations
+	if iters <= recoveryKillStep {
+		iters = recoveryKillStep + 2 // the kill superstep must exist
+	}
+	ccfg := cluster.Config{
+		Workers:         recoveryWorkers,
+		Graph:           "file:" + gpath,
+		Algo:            "pr",
+		Params:          algorithms.Params{Iterations: iters},
+		CheckpointEvery: cluster.DefaultCheckpointEvery,
+		Lease:           500 * time.Millisecond,
+		RejoinTimeout:   60 * time.Second,
+		Registry:        cfg.Registry,
+		Tracer:          cfg.Tracer,
+	}
+	kill := RecoveryKill{Worker: 1, Phase: "compute", Superstep: recoveryKillStep}
+
+	want, cleanRep, _, err := recoveryRun(ccfg, filepath.Join(scratch, "clean"), nil)
+	if err != nil {
+		return nil, fmt.Errorf("bench: recovery fault-free run: %w", err)
+	}
+	if len(cleanRep.Recoveries) != 0 {
+		return nil, fmt.Errorf("bench: recovery fault-free run recovered %d times", len(cleanRep.Recoveries))
+	}
+	crash := map[int]string{kill.Worker: fmt.Sprintf("%s:%d", kill.Phase, kill.Superstep)}
+	got, rep, respawns, err := recoveryRun(ccfg, filepath.Join(scratch, "faulted"), crash)
+	if err != nil {
+		return nil, fmt.Errorf("bench: recovery faulted run: %w", err)
+	}
+	if len(rep.Recoveries) == 0 {
+		return nil, fmt.Errorf("bench: planted kill produced no recovery (respawns=%d)", respawns)
+	}
+	for v := 0; v < g.NumVertices(); v++ {
+		if !reflect.DeepEqual(got.State(v).Parts(), want.State(v).Parts()) {
+			return nil, fmt.Errorf("bench: recovery diverged at vertex %d: recovered %v, fault-free %v",
+				v, got.State(v).Parts(), want.State(v).Parts())
+		}
+	}
+
+	r := rep.Recoveries[0]
+	return &RecoveryReport{
+		Algo:               "pr",
+		Graph:              p.Name,
+		Vertices:           g.NumVertices(),
+		Edges:              g.NumEdges(),
+		Workers:            recoveryWorkers,
+		CheckpointEvery:    ccfg.CheckpointEvery,
+		Kill:               kill,
+		FaultFreeMS:        ms(cleanRep.Makespan),
+		FaultedMS:          ms(rep.Makespan),
+		DetectMS:           ms(r.Detect),
+		MTTRMS:             ms(r.MTTR),
+		Supersteps:         rep.Supersteps,
+		ReplayedSupersteps: r.Replayed,
+		RecoveryBytes:      r.RestoredBytes,
+		Recoveries:         len(rep.Recoveries),
+		Respawns:           respawns,
+		Identical:          true,
+	}, nil
+}
+
+func ms(d time.Duration) float64 { return float64(d.Microseconds()) / 1e3 }
+
+// recoveryRun executes one full cluster run with real worker processes,
+// optionally planting crashes, and returns the result with the
+// coordinator's report and the fleet's respawn count.
+func recoveryRun(ccfg cluster.Config, base string, crash map[int]string) (*core.Result, cluster.Report, int, error) {
+	coord, err := cluster.New(ccfg)
+	if err != nil {
+		return nil, cluster.Report{}, 0, err
+	}
+	defer coord.Close()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, cluster.Report{}, 0, err
+	}
+	type outcome struct {
+		res *core.Result
+		err error
+	}
+	out := make(chan outcome, 1)
+	go func() {
+		res, err := coord.Serve(ln)
+		out <- outcome{res, err}
+	}()
+	dirs := make([]string, ccfg.Workers)
+	for i := range dirs {
+		dirs[i] = filepath.Join(base, fmt.Sprintf("w%d", i))
+	}
+	fleet, err := chaos.StartFleet(chaos.FleetConfig{
+		Addr:  ln.Addr().String(),
+		Dirs:  dirs,
+		Crash: crash,
+	})
+	if err != nil {
+		return nil, cluster.Report{}, 0, err
+	}
+	var o outcome
+	select {
+	case o = <-out:
+	case <-time.After(3 * time.Minute):
+		fleet.Stop()
+		return nil, cluster.Report{}, 0, fmt.Errorf("cluster run timed out")
+	}
+	if o.err != nil {
+		fleet.Stop()
+		return nil, cluster.Report{}, 0, o.err
+	}
+	if err := fleet.Wait(); err != nil {
+		return nil, cluster.Report{}, 0, fmt.Errorf("fleet: %w", err)
+	}
+	return o.res, coord.Report(), fleet.Respawns(), nil
+}
+
+// RenderRecovery prints the recovery experiment summary.
+func RenderRecovery(w io.Writer, rep *RecoveryReport) {
+	fmt.Fprintf(w, "Recovery: SIGKILL worker %d at %s of superstep %d (%s on %q, %d vertices, %d workers, checkpoint every %d)\n",
+		rep.Kill.Worker, rep.Kill.Phase, rep.Kill.Superstep,
+		rep.Algo, rep.Graph, rep.Vertices, rep.Workers, rep.CheckpointEvery)
+	fmt.Fprintf(w, "  fault-free makespan  %10.2f ms\n", rep.FaultFreeMS)
+	fmt.Fprintf(w, "  faulted makespan     %10.2f ms\n", rep.FaultedMS)
+	fmt.Fprintf(w, "  detection            %10.2f ms\n", rep.DetectMS)
+	fmt.Fprintf(w, "  MTTR                 %10.2f ms\n", rep.MTTRMS)
+	fmt.Fprintf(w, "  supersteps replayed  %10d (of %d executed)\n", rep.ReplayedSupersteps, rep.Supersteps)
+	fmt.Fprintf(w, "  checkpoint restored  %10d B\n", rep.RecoveryBytes)
+	fmt.Fprintf(w, "  result bit-identical %10v\n", rep.Identical)
+}
+
+// WriteRecoveryJSON writes the report as indented JSON (the
+// BENCH_recovery.json artifact the cluster-smoke target records).
+func WriteRecoveryJSON(path string, rep *RecoveryReport) error {
+	b, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(b, '\n'), 0o644)
+}

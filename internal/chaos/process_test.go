@@ -1,0 +1,161 @@
+package chaos
+
+// The kill-9 recovery proof: real worker processes are SIGKILLed at planted
+// points — mid-superstep, mid-checkpoint-write (between temp file and
+// rename), and mid-barrier (after the report is sent) — and the respawned
+// replacement must restore from disk such that the final result is
+// bit-identical to a fault-free cluster run of the same computation.
+
+import (
+	"fmt"
+	"net"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+	"time"
+
+	"graphite/internal/algorithms"
+	"graphite/internal/cluster"
+	"graphite/internal/core"
+	"graphite/internal/tgraph"
+)
+
+// TestMain routes re-executions of this binary into worker mode before any
+// test runs; parent runs proceed normally.
+func TestMain(m *testing.M) {
+	RunChildWorker()
+	os.Exit(m.Run())
+}
+
+const procWorkers = 3
+
+// clusterProcessRun executes one full cluster run with real worker
+// processes, optionally planting a crash in one of them.
+func clusterProcessRun(t *testing.T, algo string, p algorithms.Params, crash map[int]string) (*core.Result, cluster.Report, int) {
+	t.Helper()
+	coord, err := cluster.New(cluster.Config{
+		Workers:       procWorkers,
+		Graph:         "transit",
+		Algo:          algo,
+		Params:        p,
+		Lease:         500 * time.Millisecond,
+		RejoinTimeout: 30 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	type outcome struct {
+		res *core.Result
+		err error
+	}
+	out := make(chan outcome, 1)
+	go func() {
+		res, err := coord.Serve(ln)
+		out <- outcome{res, err}
+	}()
+	base := t.TempDir()
+	dirs := make([]string, procWorkers)
+	for i := range dirs {
+		dirs[i] = filepath.Join(base, fmt.Sprintf("w%d", i))
+	}
+	fleet, err := StartFleet(FleetConfig{
+		Addr:   ln.Addr().String(),
+		Dirs:   dirs,
+		Crash:  crash,
+		Stderr: testing.Verbose(),
+	})
+	if err != nil {
+		coord.Close()
+		t.Fatal(err)
+	}
+	var o outcome
+	select {
+	case o = <-out:
+	case <-time.After(90 * time.Second):
+		coord.Close()
+		fleet.Stop()
+		t.Fatal("cluster run timed out")
+	}
+	if o.err != nil {
+		fleet.Stop()
+		t.Fatalf("cluster run failed: %v", o.err)
+	}
+	if err := fleet.Wait(); err != nil {
+		t.Fatalf("fleet: %v", err)
+	}
+	return o.res, coord.Report(), fleet.Respawns()
+}
+
+func assertIdentical(t *testing.T, g *tgraph.Graph, got, want *core.Result) {
+	t.Helper()
+	for i := 0; i < g.NumVertices(); i++ {
+		gs, ws := got.State(i), want.State(i)
+		if (gs == nil) != (ws == nil) {
+			t.Fatalf("vertex %d: state presence mismatch", i)
+		}
+		if gs == nil {
+			continue
+		}
+		if !reflect.DeepEqual(gs.Parts(), ws.Parts()) {
+			t.Errorf("vertex %d (%v):\n  recovered:  %v\n  fault-free: %v",
+				i, g.VertexAt(i).ID, gs.Parts(), ws.Parts())
+		}
+	}
+}
+
+// TestProcessKillRecovery is the acceptance matrix: every kill phase on
+// SSSP, plus a mid-superstep kill on PageRank (float-order-sensitive: any
+// divergence in replay order shows) and on EAT.
+func TestProcessKillRecovery(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns real worker processes; skipped in -short")
+	}
+	g := tgraph.TransitExample()
+	src := algorithms.Params{Source: 0}
+	for _, tc := range []struct {
+		name  string
+		algo  string
+		p     algorithms.Params
+		crash string
+	}{
+		// compute:3 — killed after shipping superstep-3 batches, before
+		// delivering; peers hold a half-finished superstep.
+		{name: "sssp-kill-compute", algo: "sssp", p: src, crash: "compute:3"},
+		// checkpoint:2 — killed between the generation-1 temp-file write
+		// and its atomic rename; the torn write must never be loaded and
+		// the cluster must fall back to generation 0 and replay.
+		{name: "sssp-kill-checkpoint", algo: "sssp", p: src, crash: "checkpoint:2"},
+		// barrier:3 — killed after the superstep-3 barrier report; the
+		// coordinator may have closed the superstep already.
+		{name: "sssp-kill-barrier", algo: "sssp", p: src, crash: "barrier:3"},
+		{name: "pr-kill-compute", algo: "pr", crash: "compute:3"},
+		{name: "eat-kill-compute", algo: "eat", p: src, crash: "compute:3"},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			want, cleanRep, cleanRespawns := clusterProcessRun(t, tc.algo, tc.p, nil)
+			if cleanRespawns != 0 || len(cleanRep.Recoveries) != 0 {
+				t.Fatalf("fault-free run was not fault-free: respawns=%d recoveries=%+v",
+					cleanRespawns, cleanRep.Recoveries)
+			}
+			got, rep, respawns := clusterProcessRun(t, tc.algo, tc.p, map[int]string{1: tc.crash})
+			if respawns < 1 {
+				t.Fatalf("planted crash did not kill the worker (respawns=%d)", respawns)
+			}
+			if len(rep.Recoveries) < 1 {
+				t.Fatalf("no recovery recorded: %+v", rep)
+			}
+			r := rep.Recoveries[0]
+			if r.MTTR <= 0 || r.RestoredBytes <= 0 {
+				t.Errorf("recovery accounting incomplete: %+v", r)
+			}
+			t.Logf("recovery: failed=%d resume=%d gen=%d replayed=%d mttr=%v restored=%dB",
+				r.Failed, r.ResumeAt, r.Gen, r.Replayed, r.MTTR.Round(time.Millisecond), r.RestoredBytes)
+			assertIdentical(t, g, got, want)
+		})
+	}
+}

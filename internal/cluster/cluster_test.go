@@ -1,0 +1,251 @@
+package cluster_test
+
+// In-process cluster tests: coordinator and workers as goroutines over real
+// loopback TCP. The process-kill matrix lives in internal/chaos; here the
+// protocol itself is proven — full-run bit-identity against a transported
+// single-process run, and the lease-expiry recovery path driven by a worker
+// that goes silent on purpose.
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"path/filepath"
+	"reflect"
+	"testing"
+	"time"
+
+	"graphite/internal/algorithms"
+	"graphite/internal/cluster"
+	"graphite/internal/core"
+	"graphite/internal/engine"
+	"graphite/internal/obs"
+	"graphite/internal/tgraph"
+)
+
+const testWorkers = 3
+
+// startCluster launches a coordinator on a loopback listener and returns
+// it with its address and a channel carrying Serve's outcome.
+func startCluster(t *testing.T, cfg cluster.Config) (*cluster.Coordinator, string, chan serveOutcome) {
+	t.Helper()
+	cfg.Workers = testWorkers
+	if cfg.Graph == "" {
+		cfg.Graph = "transit"
+	}
+	coord, err := cluster.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := make(chan serveOutcome, 1)
+	go func() {
+		res, err := coord.Serve(ln)
+		out <- serveOutcome{res: res, err: err}
+	}()
+	t.Cleanup(coord.Close)
+	return coord, ln.Addr().String(), out
+}
+
+type serveOutcome struct {
+	res *core.Result
+	err error
+}
+
+func runWorkers(ctx context.Context, t *testing.T, addr string, dirs []string) {
+	t.Helper()
+	for _, dir := range dirs {
+		go func(dir string) {
+			if err := cluster.RunWorker(ctx, cluster.WorkerConfig{Addr: addr, Dir: dir}); err != nil && ctx.Err() == nil {
+				t.Errorf("worker %s: %v", filepath.Base(dir), err)
+			}
+		}(dir)
+	}
+}
+
+func workerDirs(t *testing.T, n int) []string {
+	t.Helper()
+	base := t.TempDir()
+	dirs := make([]string, n)
+	for i := range dirs {
+		dirs[i] = filepath.Join(base, fmt.Sprintf("w%d", i))
+	}
+	return dirs
+}
+
+func waitResult(t *testing.T, out chan serveOutcome, timeout time.Duration) *core.Result {
+	t.Helper()
+	select {
+	case o := <-out:
+		if o.err != nil {
+			t.Fatalf("cluster run failed: %v", o.err)
+		}
+		return o.res
+	case <-time.After(timeout):
+		t.Fatal("cluster run timed out")
+		return nil
+	}
+}
+
+// directRun executes the same computation in one process over a loopback
+// TCP transport with the same worker count — the configuration whose
+// delivery order the cluster mirrors bit for bit.
+func directRun(t *testing.T, g *tgraph.Graph, algo string, p algorithms.Params) *core.Result {
+	t.Helper()
+	prog, opts, err := algorithms.New(g, algo, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts.NumWorkers = testWorkers
+	tp, err := engine.NewTCPTransport(testWorkers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tp.Close()
+	opts.Transport = tp
+	res, err := core.Run(g, prog, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func compareResults(t *testing.T, g *tgraph.Graph, got, want *core.Result) {
+	t.Helper()
+	for i := 0; i < g.NumVertices(); i++ {
+		gs, ws := got.State(i), want.State(i)
+		if (gs == nil) != (ws == nil) {
+			t.Fatalf("vertex %d: state presence mismatch", i)
+		}
+		if gs == nil {
+			continue
+		}
+		if !reflect.DeepEqual(gs.Parts(), ws.Parts()) {
+			t.Errorf("vertex %d (%v):\n  cluster: %v\n  direct:  %v",
+				i, g.VertexAt(i).ID, gs.Parts(), ws.Parts())
+		}
+	}
+}
+
+func TestClusterMatchesTransportedRun(t *testing.T) {
+	g := tgraph.TransitExample()
+	for _, tc := range []struct {
+		algo string
+		p    algorithms.Params
+	}{
+		{algo: "sssp", p: algorithms.Params{Source: 0}},
+		{algo: "eat", p: algorithms.Params{Source: 0}},
+		{algo: "pr"},
+	} {
+		t.Run(tc.algo, func(t *testing.T) {
+			ctx, cancel := context.WithCancel(context.Background())
+			defer cancel()
+			coord, addr, out := startCluster(t, cluster.Config{Algo: tc.algo, Params: tc.p})
+			runWorkers(ctx, t, addr, workerDirs(t, testWorkers))
+			got := waitResult(t, out, 30*time.Second)
+			compareResults(t, g, got, directRun(t, g, tc.algo, tc.p))
+			rep := coord.Report()
+			if rep.Supersteps == 0 || rep.Checkpoints == 0 {
+				t.Errorf("report missing progress: %+v", rep)
+			}
+			if len(rep.Recoveries) != 0 {
+				t.Errorf("fault-free run recorded recoveries: %+v", rep.Recoveries)
+			}
+			if got.Metrics == nil || got.Metrics.Supersteps != rep.Supersteps {
+				t.Errorf("result metrics not aggregated: %+v", got.Metrics)
+			}
+		})
+	}
+}
+
+// TestClusterLeaseRecovery wedges one worker mid-run (it stops heartbeating
+// and processing), which must trip the coordinator's lease, roll survivors
+// back to the committed generation, admit a replacement worker on the same
+// checkpoint directory, and still produce the fault-free answer.
+func TestClusterLeaseRecovery(t *testing.T) {
+	g := tgraph.TransitExample()
+	p := algorithms.Params{Source: 0}
+	rec := &obs.Recorder{}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	coord, addr, out := startCluster(t, cluster.Config{
+		Algo: "sssp", Params: p,
+		Lease:         300 * time.Millisecond,
+		RejoinTimeout: 20 * time.Second,
+		Tracer:        rec,
+	})
+	dirs := workerDirs(t, testWorkers)
+	runWorkers(ctx, t, addr, dirs[:2])
+	// The third worker wedges when told to execute superstep 3.
+	go func() {
+		err := cluster.RunWorker(ctx, cluster.WorkerConfig{
+			Addr: addr, Dir: dirs[2], HangAtSuperstep: 3,
+		})
+		if err == nil {
+			t.Error("hung worker finished cleanly; hang hook did not fire")
+		}
+	}()
+	// Start the replacement on the SAME directory once recovery begins.
+	go func() {
+		for ctx.Err() == nil {
+			if coord.Stats().State == "recovering" {
+				if err := cluster.RunWorker(ctx, cluster.WorkerConfig{Addr: addr, Dir: dirs[2]}); err != nil && ctx.Err() == nil {
+					t.Errorf("replacement worker: %v", err)
+				}
+				return
+			}
+			time.Sleep(20 * time.Millisecond)
+		}
+	}()
+	got := waitResult(t, out, 60*time.Second)
+	compareResults(t, g, got, directRun(t, g, "sssp", p))
+	rep := coord.Report()
+	if len(rep.Recoveries) != 1 {
+		t.Fatalf("want exactly one recovery, got %+v", rep.Recoveries)
+	}
+	r := rep.Recoveries[0]
+	if r.Failed != 3 || r.Gen != 1 || r.ResumeAt != 3 {
+		t.Errorf("recovery shape: %+v (want failed=3 gen=1 resume_at=3)", r)
+	}
+	if r.MTTR <= 0 || r.Detect <= 0 || r.RestoredBytes <= 0 {
+		t.Errorf("recovery timings not recorded: %+v", r)
+	}
+	if rec.Count("worker_lost") != 1 || rec.Count("cluster_recovery") != 1 {
+		t.Errorf("trace events: lost=%d recovery=%d", rec.Count("worker_lost"), rec.Count("cluster_recovery"))
+	}
+	// The replacement joined with rejoin=true.
+	joins := 0
+	for _, e := range rec.Events() {
+		if j, ok := e.(obs.WorkerJoin); ok && j.Rejoin {
+			joins++
+		}
+	}
+	if joins != 1 {
+		t.Errorf("want one rejoin join event, got %d", joins)
+	}
+	if err := coord.Ready(); err != nil {
+		t.Errorf("finished cluster not ready: %v", err)
+	}
+}
+
+// TestClusterConfigGating pins coordinator-side validation.
+func TestClusterConfigGating(t *testing.T) {
+	if _, err := cluster.New(cluster.Config{Workers: 0, Graph: "transit", Algo: "sssp"}); err == nil {
+		t.Error("zero workers accepted")
+	}
+	if _, err := cluster.New(cluster.Config{Workers: 2, Graph: "nope", Algo: "sssp"}); err == nil {
+		t.Error("unknown graph spec accepted")
+	}
+	if _, err := cluster.New(cluster.Config{Workers: 2, Graph: "transit", Algo: "scc"}); err == nil {
+		t.Error("aggregator algorithm accepted for cluster execution")
+	}
+	if _, err := cluster.ParseCrashPlan("explode:1"); err == nil {
+		t.Error("bad crash phase accepted")
+	}
+	if pl, err := cluster.ParseCrashPlan("compute:3"); err != nil || pl.Phase != "compute" || pl.Superstep != 3 {
+		t.Errorf("crash plan parse: %+v %v", pl, err)
+	}
+}

@@ -1,0 +1,826 @@
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"log/slog"
+	"net"
+	"sync"
+	"time"
+
+	"graphite/internal/algorithms"
+	"graphite/internal/core"
+	"graphite/internal/engine"
+	"graphite/internal/obs"
+	"graphite/internal/tgraph"
+)
+
+// Defaults for Config zero values.
+const (
+	DefaultCheckpointEvery = 2
+	DefaultLease           = 2 * time.Second
+	DefaultRejoinTimeout   = 30 * time.Second
+	DefaultMaxRecoveries   = 3
+)
+
+// Config parameterizes a coordinator.
+type Config struct {
+	// Workers is the cluster width: the number of worker processes, which
+	// is also the shard count and the engine's NumWorkers in every process.
+	Workers int
+	// Graph is the shared graph spec (see LoadGraph).
+	Graph string
+	// Algo and Params pick the computation from the algorithm catalog.
+	Algo   string
+	Params algorithms.Params
+	// CheckpointEvery is the durable checkpoint cadence k: generation g is
+	// captured at the barrier closing superstep g*k, i.e. the cluster can
+	// always roll back to "about to execute superstep g*k+1". Zero means
+	// DefaultCheckpointEvery.
+	CheckpointEvery int
+	// Lease is how long a worker may go silent before it is declared dead.
+	// Workers heartbeat at Lease/4. Zero means DefaultLease.
+	Lease time.Duration
+	// RejoinTimeout bounds how long a recovery waits for a replacement
+	// worker before the run is abandoned. Zero means DefaultRejoinTimeout.
+	RejoinTimeout time.Duration
+	// MaxRecoveries bounds rollback-and-replay cycles. Zero means
+	// DefaultMaxRecoveries; negative means unlimited.
+	MaxRecoveries int
+	// Registry receives cluster gauges and counters; nil creates a private
+	// one. Tracer, when set, receives WorkerJoin/WorkerLost/ClusterRecovery
+	// events. Logger nil means slog.Default.
+	Registry *obs.Registry
+	Tracer   obs.Tracer
+	Logger   *slog.Logger
+}
+
+// RecoveryInfo describes one completed rollback-and-replay cycle.
+type RecoveryInfo struct {
+	Epoch         int           `json:"epoch"`     // epoch recovered into
+	Failed        int           `json:"failed"`    // superstep in flight at detection
+	ResumeAt      int           `json:"resume_at"` // superstep execution resumed from
+	Gen           int           `json:"gen"`       // committed generation restored
+	Detect        time.Duration `json:"detect_ns"` // silence observed before declaring death
+	MTTR          time.Duration `json:"mttr_ns"`   // detection → superstep broadcast resumed
+	Replayed      int           `json:"replayed_supersteps"`
+	RestoredBytes int64         `json:"restored_bytes"` // checkpoint bytes reloaded, all shards
+}
+
+// Report summarizes a finished (or aborted) cluster run.
+type Report struct {
+	Supersteps  int             `json:"supersteps"` // executed, including replays
+	Checkpoints int             `json:"checkpoints"`
+	Recoveries  []RecoveryInfo  `json:"recoveries,omitempty"`
+	Makespan    time.Duration   `json:"makespan_ns"`
+	Metrics     *engine.Metrics `json:"-"`
+}
+
+// Stats is a point-in-time view of the cluster for readiness probes.
+type Stats struct {
+	State      string `json:"state"` // waiting | running | recovering | collecting | done
+	Live       int    `json:"live"`
+	Workers    int    `json:"workers"`
+	Epoch      int    `json:"epoch"`
+	Superstep  int    `json:"superstep"`
+	Recoveries int    `json:"recoveries"`
+}
+
+// driver states.
+const (
+	stWaiting = "waiting"
+	stRunning = "running"
+	stRecover = "recovering"
+	stCollect = "collecting"
+	stDone    = "done"
+)
+
+// Coordinator drives one cluster run. Create with New, run with Serve.
+type Coordinator struct {
+	cfg  Config
+	g    *tgraph.Graph
+	opts core.Options // reference options: halt bounds, payload codec
+
+	events chan event
+	quit   chan struct{}
+	qonce  sync.Once
+
+	mu     sync.Mutex
+	stats  Stats
+	report Report
+}
+
+// event kinds flowing into the driver goroutine, which owns all protocol
+// state and performs every write — per-connection write order is therefore
+// the driver's processing order, so a worker always sees fStep for a
+// superstep before any relayed data of that superstep.
+type event struct {
+	kind    int // evConn | evFrame | evDead
+	conn    net.Conn
+	wc      *wconn
+	ftype   byte
+	payload []byte
+	err     error
+}
+
+const (
+	evConn = iota
+	evFrame
+	evDead
+)
+
+// wconn is the driver's view of one worker connection.
+type wconn struct {
+	id       int
+	conn     net.Conn
+	shard    int // -1 until assigned
+	ready    bool
+	lastSeen time.Time
+}
+
+// New validates the configuration and prepares a coordinator. The graph is
+// loaded and the algorithm instantiated once here, as the reference for
+// halt bounds and result assembly; workers repeat both locally.
+func New(cfg Config) (*Coordinator, error) {
+	if cfg.Workers <= 0 {
+		return nil, errors.New("cluster: Workers must be positive")
+	}
+	if cfg.CheckpointEvery == 0 {
+		cfg.CheckpointEvery = DefaultCheckpointEvery
+	}
+	if cfg.CheckpointEvery < 0 {
+		return nil, errors.New("cluster: CheckpointEvery must be positive")
+	}
+	if cfg.Lease <= 0 {
+		cfg.Lease = DefaultLease
+	}
+	if cfg.RejoinTimeout <= 0 {
+		cfg.RejoinTimeout = DefaultRejoinTimeout
+	}
+	if cfg.MaxRecoveries == 0 {
+		cfg.MaxRecoveries = DefaultMaxRecoveries
+	}
+	if cfg.Registry == nil {
+		cfg.Registry = obs.NewRegistry()
+	}
+	if cfg.Logger == nil {
+		cfg.Logger = slog.Default()
+	}
+	g, err := LoadGraph(cfg.Graph)
+	if err != nil {
+		return nil, err
+	}
+	prog, opts, err := algorithms.New(g, cfg.Algo, cfg.Params)
+	if err != nil {
+		return nil, err
+	}
+	opts.NumWorkers = cfg.Workers
+	// Build (and discard) shard 0 once: surfaces unsupported options —
+	// aggregators, master compute — at coordinator startup instead of as a
+	// worker-side error frame after the cluster assembled.
+	if _, err := core.NewShard(g, prog, opts, 0); err != nil {
+		return nil, err
+	}
+	return &Coordinator{
+		cfg:    cfg,
+		g:      g,
+		opts:   opts,
+		events: make(chan event, 64),
+		quit:   make(chan struct{}),
+		stats:  Stats{State: stWaiting, Workers: cfg.Workers},
+	}, nil
+}
+
+// Ready implements the readiness contract: nil once the cluster is at full
+// quorum and progressing (or finished successfully), an error while
+// assembling, recovering, or below quorum.
+func (c *Coordinator) Ready() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	s := c.stats
+	switch {
+	case s.State == stDone:
+		return nil
+	case s.Live < s.Workers:
+		return fmt.Errorf("cluster: %d/%d workers live", s.Live, s.Workers)
+	case s.State == stRecover:
+		return fmt.Errorf("cluster: recovering (epoch %d)", s.Epoch)
+	case s.State == stWaiting:
+		return errors.New("cluster: awaiting worker registration")
+	}
+	return nil
+}
+
+// Stats returns a snapshot of the cluster state.
+func (c *Coordinator) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stats
+}
+
+// Report returns the run summary; complete once Serve has returned.
+func (c *Coordinator) Report() Report {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	r := c.report
+	r.Recoveries = append([]RecoveryInfo(nil), c.report.Recoveries...)
+	return r
+}
+
+// Close aborts the run; Serve returns promptly with an error.
+func (c *Coordinator) Close() { c.qonce.Do(func() { close(c.quit) }) }
+
+// Serve accepts workers on ln and drives the run to completion, returning
+// the assembled result. It blocks; ln is closed on return.
+func (c *Coordinator) Serve(ln net.Listener) (*core.Result, error) {
+	defer ln.Close()
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return // listener closed by driver exit or Close
+			}
+			select {
+			case c.events <- event{kind: evConn, conn: conn}:
+			case <-c.quit:
+				conn.Close()
+				return
+			}
+		}
+	}()
+	d := &driver{c: c, byShard: make([]*wconn, c.cfg.Workers), conns: map[int]*wconn{}}
+	res, err := d.run()
+	// Unblock the accept loop if the run ended on its own.
+	c.Close()
+	return res, err
+}
+
+// deadWorker queues one detected worker loss for the drain loop; its
+// connection is already closed and unregistered when queued.
+type deadWorker struct {
+	shard  int
+	reason string
+	silent time.Duration
+}
+
+// driver is the single goroutine owning all cluster protocol state.
+type driver struct {
+	c *Coordinator
+
+	conns   map[int]*wconn
+	byShard []*wconn
+	nextID  int
+
+	epoch        int
+	committedGen int // -1 until generation 0 is on disk everywhere
+	superstep    int // superstep currently in flight (0 = none yet)
+	started      time.Time
+
+	// Per-superstep barrier tally.
+	doneFrom     []bool
+	doneCount    int
+	sumDelivered int64
+	sumActive    int
+	ckptAcks     int
+
+	// Worker losses detected mid-handling. Sends never recover inline:
+	// failures queue here and drain between events, so a rollback broadcast
+	// is never re-entered with a stale epoch.
+	pendingDead []deadWorker
+
+	// Recovery in progress.
+	recovering    bool
+	detectedAt    time.Time
+	detectLag     time.Duration
+	failedStep    int
+	rejoinBy      time.Time
+	restoredBytes int64
+	recoveries    int
+
+	// Result collection.
+	blobs     [][]byte
+	blobCount int
+
+	totals engine.Metrics
+	state  string
+	result *core.Result
+}
+
+func (d *driver) run() (*core.Result, error) {
+	c := d.c
+	d.committedGen = -1
+	d.state = stWaiting
+	d.doneFrom = make([]bool, c.cfg.Workers)
+	d.blobs = make([][]byte, c.cfg.Workers)
+	ticker := time.NewTicker(c.cfg.Lease / 2)
+	defer ticker.Stop()
+	defer func() {
+		for _, wc := range d.conns {
+			wc.conn.Close()
+		}
+	}()
+	for {
+		var err error
+		select {
+		case <-c.quit:
+			return nil, errors.New("cluster: coordinator closed")
+		case now := <-ticker.C:
+			err = d.tick(now)
+		case ev := <-c.events:
+			err = d.handle(ev)
+		}
+		if err == nil {
+			err = d.drainDead()
+		}
+		if err != nil {
+			return nil, err
+		}
+		if d.result != nil {
+			return d.result, nil
+		}
+	}
+}
+
+// tick enforces leases and the rejoin deadline.
+func (d *driver) tick(now time.Time) error {
+	lease := d.c.cfg.Lease
+	for _, wc := range d.conns {
+		if wc.shard >= 0 && now.Sub(wc.lastSeen) > lease {
+			d.markDead(wc, fmt.Sprintf("lease expired (silent %v)", now.Sub(wc.lastSeen).Round(time.Millisecond)))
+		}
+	}
+	if d.recovering && !d.rejoinBy.IsZero() && now.After(d.rejoinBy) {
+		return fmt.Errorf("cluster: no replacement worker within %v; abandoning run", d.c.cfg.RejoinTimeout)
+	}
+	return nil
+}
+
+func (d *driver) handle(ev event) error {
+	switch ev.kind {
+	case evConn:
+		wc := &wconn{id: d.nextID, conn: ev.conn, shard: -1, lastSeen: time.Now()}
+		d.nextID++
+		d.conns[wc.id] = wc
+		go d.readLoop(wc)
+		return nil
+	case evDead:
+		d.markDead(ev.wc, fmt.Sprintf("connection lost: %v", ev.err))
+		return nil
+	case evFrame:
+		wc := ev.wc
+		if d.conns[wc.id] != wc {
+			return nil // frame from a connection already declared dead
+		}
+		wc.lastSeen = time.Now()
+		return d.frame(wc, ev.ftype, ev.payload)
+	}
+	return nil
+}
+
+// readLoop turns one connection into events; it owns no protocol state.
+func (d *driver) readLoop(wc *wconn) {
+	for {
+		ftype, payload, err := readConnFrame(wc.conn)
+		var ev event
+		if err != nil {
+			ev = event{kind: evDead, wc: wc, err: err}
+		} else {
+			ev = event{kind: evFrame, wc: wc, ftype: ftype, payload: payload}
+		}
+		select {
+		case d.c.events <- ev:
+		case <-d.c.quit:
+			return
+		}
+		if err != nil {
+			return
+		}
+	}
+}
+
+func (d *driver) frame(wc *wconn, ftype byte, payload []byte) error {
+	switch ftype {
+	case fHello:
+		var h helloMsg
+		if err := parseJSON(payload, &h); err != nil {
+			d.markDead(wc, err.Error())
+			return nil
+		}
+		d.hello(wc, h)
+		return nil
+	case fHeartbeat:
+		return nil // lastSeen already refreshed
+	case fReady:
+		var r readyMsg
+		if err := parseJSON(payload, &r); err != nil {
+			d.markDead(wc, err.Error())
+			return nil
+		}
+		d.readyFrame(wc, r)
+		return nil
+	case fStepDone:
+		var sd stepDoneMsg
+		if err := parseJSON(payload, &sd); err != nil {
+			d.markDead(wc, err.Error())
+			return nil
+		}
+		d.stepDone(wc, sd)
+		return nil
+	case fData:
+		d.relay(payload)
+		return nil
+	case fResult:
+		return d.resultFrame(wc, payload)
+	case fError:
+		var em errorMsg
+		_ = parseJSON(payload, &em)
+		return fmt.Errorf("cluster: worker (shard %d) failed: %s", em.Shard, em.Msg)
+	}
+	d.markDead(wc, fmt.Sprintf("unexpected frame type %d", ftype))
+	return nil
+}
+
+// markDead closes and unregisters a connection; if it held a shard, the
+// loss is queued for drainDead. Safe to call twice for the same conn.
+func (d *driver) markDead(wc *wconn, reason string) {
+	if d.conns[wc.id] != wc {
+		return
+	}
+	silent := time.Since(wc.lastSeen)
+	shard := wc.shard
+	d.forget(wc)
+	if shard >= 0 {
+		d.pendingDead = append(d.pendingDead, deadWorker{shard: shard, reason: reason, silent: silent})
+	}
+}
+
+// forget closes and unregisters a connection without recovery side effects.
+func (d *driver) forget(wc *wconn) {
+	wc.conn.Close()
+	delete(d.conns, wc.id)
+	if wc.shard >= 0 && d.byShard[wc.shard] == wc {
+		d.byShard[wc.shard] = nil
+	}
+	d.publish()
+}
+
+// drainDead processes queued worker losses. Rollback broadcasts may queue
+// further losses; the loop runs until the cluster is quiescent.
+func (d *driver) drainDead() error {
+	for len(d.pendingDead) > 0 {
+		dw := d.pendingDead[0]
+		d.pendingDead = d.pendingDead[1:]
+		if err := d.workerLost(dw); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// hello assigns a shard. A rejoining worker that previously held a shard
+// gets it back when free, so its checkpoint directory stays authoritative.
+func (d *driver) hello(wc *wconn, h helloMsg) {
+	if wc.shard >= 0 {
+		d.markDead(wc, "duplicate hello")
+		return
+	}
+	shard := -1
+	if h.PrevShard >= 0 && h.PrevShard < len(d.byShard) && d.byShard[h.PrevShard] == nil {
+		shard = h.PrevShard
+	} else {
+		for s, owner := range d.byShard {
+			if owner == nil {
+				shard = s
+				break
+			}
+		}
+	}
+	if shard < 0 {
+		// Cluster is full; a spare worker is not an error, just unused.
+		d.c.cfg.Logger.Info("cluster: rejecting spare worker, all shards assigned")
+		d.forget(wc)
+		return
+	}
+	wc.shard = shard
+	wc.ready = false
+	d.byShard[shard] = wc
+	as := assignMsg{
+		Shard:           shard,
+		Shards:          d.c.cfg.Workers,
+		Epoch:           d.epoch,
+		RestoreGen:      d.committedGen,
+		Graph:           d.c.cfg.Graph,
+		Algo:            d.c.cfg.Algo,
+		Params:          d.c.cfg.Params,
+		CheckpointEvery: d.c.cfg.CheckpointEvery,
+		HeartbeatNS:     int64(d.c.cfg.Lease / 4),
+	}
+	d.emit(obs.WorkerJoin{Shard: shard, Addr: wc.conn.RemoteAddr().String(), Epoch: d.epoch, Rejoin: d.committedGen >= 0})
+	d.c.cfg.Logger.Info("cluster: worker joined", "shard", shard, "epoch", d.epoch, "rejoin", d.committedGen >= 0)
+	d.publish()
+	d.send(wc, fAssign, as)
+}
+
+// readyFrame collects barrier-standing acknowledgements; when every shard
+// is ready the run starts or resumes.
+func (d *driver) readyFrame(wc *wconn, r readyMsg) {
+	if r.Epoch != d.epoch || wc.shard < 0 {
+		return // stale
+	}
+	wc.ready = true
+	d.restoredBytes += r.RestoredBytes
+	for _, owner := range d.byShard {
+		if owner == nil || !owner.ready {
+			return
+		}
+	}
+	// Full quorum at the current epoch.
+	if d.state == stWaiting {
+		d.started = time.Now()
+		d.committedGen = 0 // every worker has generation 0 on disk
+		d.superstep = 1
+		d.setState(stRunning)
+		d.broadcastStep()
+		return
+	}
+	if d.recovering {
+		d.resume()
+	}
+}
+
+// workerLost handles one queued worker death: epoch bump, rollback
+// broadcast to survivors, and a recovery window for a replacement to claim
+// the shard. The connection is already gone.
+func (d *driver) workerLost(dw deadWorker) error {
+	d.emit(obs.WorkerLost{Shard: dw.shard, Superstep: d.superstep, Reason: dw.reason})
+	d.c.cfg.Logger.Warn("cluster: worker lost", "shard", dw.shard, "superstep", d.superstep, "reason", dw.reason)
+	if d.state == stDone || d.state == stWaiting {
+		return nil // nothing committed yet (or all done); await a fresh hello
+	}
+	max := d.c.cfg.MaxRecoveries
+	if max > 0 && d.recoveries >= max {
+		return fmt.Errorf("cluster: shard %d lost (%s) after %d recoveries; giving up",
+			dw.shard, dw.reason, d.recoveries)
+	}
+	d.recoveries++
+	if !d.recovering {
+		d.detectedAt = time.Now()
+		d.detectLag = dw.silent
+		d.failedStep = d.superstep
+		d.restoredBytes = 0
+	}
+	d.recovering = true
+	d.rejoinBy = time.Now().Add(d.c.cfg.RejoinTimeout)
+	d.epoch++
+	d.resetBarrierTally()
+	d.blobCount = 0
+	clear(d.blobs)
+	d.setState(stRecover)
+	d.c.cfg.Registry.Gauge(obs.GClusterEpoch).Set(int64(d.epoch))
+	// Survivors roll back to the committed generation and report ready.
+	rb := rollbackMsg{Epoch: d.epoch, Gen: d.committedGen}
+	for _, owner := range d.byShard {
+		if owner == nil {
+			continue
+		}
+		owner.ready = false
+		d.send(owner, fRollback, rb)
+	}
+	return nil
+}
+
+// resume closes a recovery: every shard is back at the committed
+// generation's boundary, so execution restarts from its superstep.
+func (d *driver) resume() {
+	resumeAt := d.committedGen*d.c.cfg.CheckpointEvery + 1
+	replayed := d.failedStep - resumeAt
+	if replayed < 0 {
+		replayed = 0
+	}
+	mttr := time.Since(d.detectedAt)
+	info := RecoveryInfo{
+		Epoch:         d.epoch,
+		Failed:        d.failedStep,
+		ResumeAt:      resumeAt,
+		Gen:           d.committedGen,
+		Detect:        d.detectLag,
+		MTTR:          mttr,
+		Replayed:      replayed,
+		RestoredBytes: d.restoredBytes,
+	}
+	d.c.mu.Lock()
+	d.c.report.Recoveries = append(d.c.report.Recoveries, info)
+	d.c.mu.Unlock()
+	d.recovering = false
+	d.rejoinBy = time.Time{}
+	d.superstep = resumeAt
+	d.totals.Recoveries++
+	reg := d.c.cfg.Registry
+	reg.Counter(obs.CClusterRecoveries).Inc()
+	reg.Counter(obs.CClusterReplayedSupersteps).Add(int64(replayed))
+	d.emit(obs.ClusterRecovery{
+		Epoch: d.epoch, Failed: d.failedStep, ResumeAt: resumeAt,
+		Gen: d.committedGen, DetectNS: int64(d.detectLag), MTTRNS: int64(mttr),
+		RestoredBytes: d.restoredBytes,
+	})
+	d.c.cfg.Logger.Info("cluster: recovered", "epoch", d.epoch, "resume_at", resumeAt,
+		"gen", d.committedGen, "mttr", mttr.Round(time.Millisecond), "replayed", replayed)
+	d.setState(stRunning)
+	d.broadcastStep()
+}
+
+// broadcastStep starts the current superstep on every shard.
+func (d *driver) broadcastStep() {
+	d.resetBarrierTally()
+	k := d.c.cfg.CheckpointEvery
+	st := stepMsg{Epoch: d.epoch, Superstep: d.superstep}
+	if d.superstep%k == 0 {
+		st.Checkpoint = true
+		st.Gen = d.superstep / k
+	}
+	for _, owner := range d.byShard {
+		d.send(owner, fStep, st)
+	}
+	d.publish()
+}
+
+func (d *driver) resetBarrierTally() {
+	clear(d.doneFrom)
+	d.doneCount = 0
+	d.sumDelivered = 0
+	d.sumActive = 0
+	d.ckptAcks = 0
+}
+
+// stepDone tallies one barrier report; the last one closes the superstep.
+func (d *driver) stepDone(wc *wconn, sd stepDoneMsg) {
+	if sd.Epoch != d.epoch || d.state != stRunning || sd.Superstep != d.superstep {
+		return // stale
+	}
+	if sd.Shard != wc.shard || d.doneFrom[sd.Shard] {
+		d.markDead(wc, fmt.Sprintf("bad barrier report for shard %d", sd.Shard))
+		return
+	}
+	d.doneFrom[sd.Shard] = true
+	d.doneCount++
+	d.sumDelivered += sd.Delivered
+	d.sumActive += sd.Active
+	d.totals.ComputeCalls += sd.ComputeCalls
+	d.totals.ScatterCalls += sd.ScatterCalls
+	d.totals.Messages += sd.SentMsgs
+	d.totals.MessageBytes += sd.SentBytes
+	if sd.CkptGen >= 0 {
+		d.ckptAcks++
+	}
+	if d.doneCount < d.c.cfg.Workers {
+		return
+	}
+	// Superstep closed.
+	d.totals.Supersteps++
+	k := d.c.cfg.CheckpointEvery
+	if d.superstep%k == 0 && d.ckptAcks == d.c.cfg.Workers {
+		d.committedGen = d.superstep / k
+		d.totals.Checkpoints++
+		d.c.mu.Lock()
+		d.c.report.Checkpoints++
+		d.c.mu.Unlock()
+	}
+	halted := d.sumDelivered == 0 && d.sumActive == 0 && !d.c.opts.ActivateAll
+	bounded := d.c.opts.MaxSupersteps > 0 && d.superstep+1 > d.c.opts.MaxSupersteps
+	if halted || bounded {
+		d.startCollect()
+		return
+	}
+	d.superstep++
+	d.broadcastStep()
+}
+
+// relay forwards one data frame to its destination shard. Stale-epoch
+// frames (in flight across a recovery) are dropped; a missing destination
+// means that worker just died and a rollback is imminent, so the frame is
+// moot either way.
+func (d *driver) relay(payload []byte) {
+	h, _, err := parseDataHeader(payload)
+	if err != nil {
+		return // corrupt header: originator will be caught elsewhere
+	}
+	if h.epoch != d.epoch || d.state != stRunning || h.superstep != d.superstep {
+		return
+	}
+	if h.dst < 0 || h.dst >= len(d.byShard) {
+		return
+	}
+	d.sendRaw(d.byShard[h.dst], fData, payload)
+}
+
+// startCollect asks every shard for its final states.
+func (d *driver) startCollect() {
+	d.setState(stCollect)
+	d.blobCount = 0
+	clear(d.blobs)
+	for _, owner := range d.byShard {
+		d.send(owner, fCollect, collectMsg{Epoch: d.epoch})
+	}
+}
+
+// resultFrame collects one shard's state blob; the last one assembles the
+// Result and ends the run.
+func (d *driver) resultFrame(wc *wconn, payload []byte) error {
+	epoch, shard, blob, err := parseResultHeader(payload)
+	if err != nil {
+		d.markDead(wc, err.Error())
+		return nil
+	}
+	if epoch != d.epoch || d.state != stCollect || shard != wc.shard {
+		return nil // stale
+	}
+	if d.blobs[shard] != nil {
+		d.markDead(wc, fmt.Sprintf("duplicate result for shard %d", shard))
+		return nil
+	}
+	d.blobs[shard] = blob
+	d.blobCount++
+	if d.blobCount < d.c.cfg.Workers {
+		return nil
+	}
+	d.totals.Runs = 1
+	d.totals.Makespan = time.Since(d.started)
+	d.totals.MaxMakespan = d.totals.Makespan
+	m := d.totals
+	res, err := core.AssembleResult(d.c.g, d.c.opts.PayloadCodec, d.blobs, &m)
+	if err != nil {
+		return err
+	}
+	for _, owner := range d.byShard {
+		d.sendRaw(owner, fBye, nil)
+	}
+	d.setState(stDone)
+	d.c.mu.Lock()
+	d.c.report.Supersteps = d.totals.Supersteps
+	d.c.report.Makespan = d.totals.Makespan
+	d.c.report.Metrics = &m
+	d.c.mu.Unlock()
+	d.result = res
+	return nil
+}
+
+// send writes one JSON frame to a worker; a write failure queues a worker
+// loss. nil owner (shard momentarily unassigned mid-recovery) is a no-op.
+func (d *driver) send(wc *wconn, ftype byte, v any) {
+	if wc == nil {
+		return
+	}
+	d.writeDeadline(wc)
+	if err := sendJSON(wc.conn, ftype, v); err != nil {
+		d.markDead(wc, fmt.Sprintf("write failed: %v", err))
+	}
+}
+
+func (d *driver) sendRaw(wc *wconn, ftype byte, payload []byte) {
+	if wc == nil {
+		return
+	}
+	d.writeDeadline(wc)
+	if err := writeConnFrame(wc.conn, ftype, payload); err != nil {
+		d.markDead(wc, fmt.Sprintf("write failed: %v", err))
+	}
+}
+
+// writeDeadline bounds how long a hung worker can stall the driver: a
+// worker that stops reading hits the lease-sized deadline and is declared
+// dead instead of wedging the whole cluster.
+func (d *driver) writeDeadline(wc *wconn) {
+	_ = wc.conn.SetWriteDeadline(time.Now().Add(d.c.cfg.Lease))
+}
+
+// publish refreshes the shared Stats snapshot and worker gauge.
+func (d *driver) publish() {
+	live := 0
+	for _, owner := range d.byShard {
+		if owner != nil {
+			live++
+		}
+	}
+	d.c.cfg.Registry.Gauge(obs.GClusterWorkers).Set(int64(live))
+	d.c.mu.Lock()
+	d.c.stats = Stats{
+		State:      d.state,
+		Live:       live,
+		Workers:    d.c.cfg.Workers,
+		Epoch:      d.epoch,
+		Superstep:  d.superstep,
+		Recoveries: len(d.c.report.Recoveries),
+	}
+	d.c.mu.Unlock()
+}
+
+func (d *driver) setState(s string) {
+	d.state = s
+	d.publish()
+}
+
+func (d *driver) emit(e obs.Event) {
+	if d.c.cfg.Tracer != nil {
+		d.c.cfg.Tracer.Emit(e)
+	}
+}

@@ -1,0 +1,283 @@
+// Package cluster is the multi-process runtime: one coordinator process
+// drives N worker processes through the distributed BSP loop over framed
+// TCP, supervises them with heartbeat leases, and recovers from worker
+// death by rolling every survivor back to the last globally-committed
+// durable checkpoint and replaying.
+//
+// The execution model piggybacks on core.Shard: every worker builds the
+// full engine over the whole graph from an identical configuration, so the
+// deterministic partitioner gives each process the same vertex→shard map,
+// and only the owned slice is ever computed locally. The coordinator owns
+// all control flow — superstep broadcast, data relay, barrier aggregation,
+// halt detection, checkpoint commit — which keeps the worker a single
+// straight-line state machine and makes recovery a coordinator-local
+// decision.
+//
+// Delivery order (own outbox first, then peer batches ascending by source
+// shard) matches the in-process transported exchange, so a cluster run is
+// bit-identical to a single-process run — the invariant the kill-recovery
+// chaos tests assert.
+package cluster
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+
+	"graphite/internal/algorithms"
+	"graphite/internal/codec"
+	"graphite/internal/tgraph"
+)
+
+// Frame types of the coordinator↔worker protocol. Control frames carry
+// JSON; fData and fResult carry binary payloads with uvarint headers.
+const (
+	fHello     byte = iota + 1 // worker→coord: registration
+	fAssign                    // coord→worker: shard assignment + run spec
+	fReady                     // worker→coord: shard built/restored, at a barrier
+	fStep                      // coord→worker: execute one superstep
+	fStepDone                  // worker→coord: barrier report
+	fData                      // both ways: one encoded message batch (relayed)
+	fRollback                  // coord→worker: restore committed gen, new epoch
+	fCollect                   // coord→worker: send final states
+	fResult                    // worker→coord: encoded owned states
+	fHeartbeat                 // worker→coord: lease renewal
+	fError                     // worker→coord: fatal worker-side error
+	fBye                       // coord→worker: run complete, exit cleanly
+)
+
+// helloMsg registers a worker. PrevShard is the shard recorded in the
+// worker's checkpoint directory by a previous incarnation (-1 if none); the
+// coordinator prefers to re-assign it so the on-disk checkpoints match.
+type helloMsg struct {
+	PrevShard int `json:"prev_shard"`
+}
+
+// assignMsg hands a worker its shard and everything needed to build it
+// identically to every peer. RestoreGen >= 0 instructs the worker to load
+// that generation from its local store after Init (the replacement-worker
+// path); -1 means a fresh start (save generation 0 instead).
+type assignMsg struct {
+	Shard           int               `json:"shard"`
+	Shards          int               `json:"shards"`
+	Epoch           int               `json:"epoch"`
+	RestoreGen      int               `json:"restore_gen"`
+	Graph           string            `json:"graph"`
+	Algo            string            `json:"algo"`
+	Params          algorithms.Params `json:"params"`
+	CheckpointEvery int               `json:"checkpoint_every"`
+	HeartbeatNS     int64             `json:"heartbeat_ns"`
+}
+
+// readyMsg reports a worker standing at a superstep boundary, ready for
+// fStep: after initial assignment, after a rollback restore, or after a
+// replacement-worker restore.
+type readyMsg struct {
+	Epoch         int   `json:"epoch"`
+	Shard         int   `json:"shard"`
+	Superstep     int   `json:"superstep"`
+	Gen           int   `json:"gen"`
+	RestoredBytes int64 `json:"restored_bytes"`
+}
+
+// stepMsg starts one superstep. Checkpoint tells the worker to capture a
+// durable checkpoint as generation Gen at the closing barrier.
+type stepMsg struct {
+	Epoch      int  `json:"epoch"`
+	Superstep  int  `json:"superstep"`
+	Checkpoint bool `json:"checkpoint,omitempty"`
+	Gen        int  `json:"gen,omitempty"`
+}
+
+// stepDoneMsg is one shard's barrier report. CkptGen is -1 unless this
+// superstep captured a checkpoint; the coordinator commits a generation
+// globally only after every shard acknowledges it.
+type stepDoneMsg struct {
+	Epoch        int   `json:"epoch"`
+	Superstep    int   `json:"superstep"`
+	Shard        int   `json:"shard"`
+	Delivered    int64 `json:"delivered"`
+	Active       int   `json:"active"`
+	ComputeCalls int64 `json:"compute_calls"`
+	ScatterCalls int64 `json:"scatter_calls"`
+	SentMsgs     int64 `json:"sent_msgs"`
+	SentBytes    int64 `json:"sent_bytes"`
+	CkptGen      int   `json:"ckpt_gen"`
+	CkptBytes    int64 `json:"ckpt_bytes"`
+}
+
+// rollbackMsg orders survivors back to the last globally-committed
+// generation and moves the cluster to a new epoch; frames from older
+// epochs are discarded on both sides.
+type rollbackMsg struct {
+	Epoch int `json:"epoch"`
+	Gen   int `json:"gen"`
+}
+
+// collectMsg asks for final states once the run has halted.
+type collectMsg struct {
+	Epoch int `json:"epoch"`
+}
+
+// errorMsg reports a fatal worker-side failure (a deterministic program
+// panic, an unreadable checkpoint). The coordinator aborts the run: a
+// deterministic failure would recur on every replay.
+type errorMsg struct {
+	Shard int    `json:"shard"`
+	Msg   string `json:"msg"`
+}
+
+// readConnFrame / writeConnFrame are the wire primitives, named for intent
+// at call sites.
+func readConnFrame(r io.Reader) (byte, []byte, error) { return codec.ReadFrame(r) }
+
+func writeConnFrame(w io.Writer, ftype byte, payload []byte) error {
+	return codec.WriteFrame(w, ftype, payload)
+}
+
+// sendJSON writes one JSON control frame.
+func sendJSON(w io.Writer, ftype byte, v any) error {
+	p, err := json.Marshal(v)
+	if err != nil {
+		return fmt.Errorf("cluster: encode frame %d: %w", ftype, err)
+	}
+	return codec.WriteFrame(w, ftype, p)
+}
+
+// parseJSON decodes one JSON control frame payload.
+func parseJSON(payload []byte, v any) error {
+	if err := json.Unmarshal(payload, v); err != nil {
+		return fmt.Errorf("cluster: malformed control frame: %w", err)
+	}
+	return nil
+}
+
+// dataHeader addresses one relayed message batch.
+type dataHeader struct {
+	epoch     int
+	superstep int
+	src       int
+	dst       int
+}
+
+// appendDataHeader prepends the routing header to a data frame payload.
+func appendDataHeader(buf []byte, h dataHeader) []byte {
+	buf = binary.AppendUvarint(buf, uint64(h.epoch))
+	buf = binary.AppendUvarint(buf, uint64(h.superstep))
+	buf = binary.AppendUvarint(buf, uint64(h.src))
+	buf = binary.AppendUvarint(buf, uint64(h.dst))
+	return buf
+}
+
+// parseDataHeader splits a data frame payload into its header and the
+// encoded batch bytes.
+func parseDataHeader(p []byte) (dataHeader, []byte, error) {
+	var h dataHeader
+	for _, dst := range []*int{&h.epoch, &h.superstep, &h.src, &h.dst} {
+		v, n := binary.Uvarint(p)
+		if n <= 0 {
+			return h, nil, fmt.Errorf("%w: data frame header", codec.ErrCorrupt)
+		}
+		*dst = int(v)
+		p = p[n:]
+	}
+	return h, p, nil
+}
+
+// appendResultHeader / parseResultHeader frame a shard's state blob.
+func appendResultHeader(buf []byte, epoch, shard int) []byte {
+	buf = binary.AppendUvarint(buf, uint64(epoch))
+	buf = binary.AppendUvarint(buf, uint64(shard))
+	return buf
+}
+
+func parseResultHeader(p []byte) (epoch, shard int, blob []byte, err error) {
+	for _, dst := range []*int{&epoch, &shard} {
+		v, n := binary.Uvarint(p)
+		if n <= 0 {
+			return 0, 0, nil, fmt.Errorf("%w: result frame header", codec.ErrCorrupt)
+		}
+		*dst = int(v)
+		p = p[n:]
+	}
+	return epoch, shard, p, nil
+}
+
+// LoadGraph resolves a graph spec shared between coordinator and workers:
+// "transit" is the built-in fixture, "file:<path>" loads a graph written by
+// tgraph.WriteFile. Every process must resolve the spec to the identical
+// graph or the deterministic partition maps diverge.
+func LoadGraph(spec string) (*tgraph.Graph, error) {
+	switch {
+	case spec == "transit":
+		return tgraph.TransitExample(), nil
+	case strings.HasPrefix(spec, "file:"):
+		return tgraph.ReadFile(strings.TrimPrefix(spec, "file:"))
+	}
+	return nil, fmt.Errorf("cluster: unknown graph spec %q (want \"transit\" or \"file:<path>\")", spec)
+}
+
+// shardMarkerName binds a checkpoint directory to the shard whose
+// generations it holds, so a respawned worker can ask for its old shard
+// back and its on-disk checkpoints stay meaningful.
+const shardMarkerName = "SHARD"
+
+func readShardMarker(dir string) int {
+	b, err := os.ReadFile(filepath.Join(dir, shardMarkerName))
+	if err != nil {
+		return -1
+	}
+	n, err := strconv.Atoi(strings.TrimSpace(string(b)))
+	if err != nil || n < 0 {
+		return -1
+	}
+	return n
+}
+
+func writeShardMarker(dir string, shard int) error {
+	return os.WriteFile(filepath.Join(dir, shardMarkerName), []byte(strconv.Itoa(shard)+"\n"), 0o644)
+}
+
+// CrashEnv names the environment variable the chaos driver sets to plant a
+// kill point in a worker process: "<phase>:<superstep>" with phase one of
+// "compute" (after the compute phase has shipped its batches, before
+// delivery), "checkpoint" (between the checkpoint temp-file write and its
+// atomic rename), or "barrier" (after the barrier report is sent).
+const CrashEnv = "GRAPHITE_CRASH"
+
+// CrashPlan is a parsed kill point. The zero value never fires.
+type CrashPlan struct {
+	Phase     string
+	Superstep int
+}
+
+// ParseCrashPlan parses a CrashEnv value; empty means no crash.
+func ParseCrashPlan(s string) (CrashPlan, error) {
+	if s == "" {
+		return CrashPlan{}, nil
+	}
+	phase, stepStr, ok := strings.Cut(s, ":")
+	if !ok {
+		return CrashPlan{}, fmt.Errorf("cluster: bad crash plan %q (want phase:superstep)", s)
+	}
+	switch phase {
+	case "compute", "checkpoint", "barrier":
+	default:
+		return CrashPlan{}, fmt.Errorf("cluster: bad crash phase %q", phase)
+	}
+	step, err := strconv.Atoi(stepStr)
+	if err != nil || step <= 0 {
+		return CrashPlan{}, fmt.Errorf("cluster: bad crash superstep in %q", s)
+	}
+	return CrashPlan{Phase: phase, Superstep: step}, nil
+}
+
+// at reports whether the plan fires at this phase of this superstep.
+func (p CrashPlan) at(phase string, superstep int) bool {
+	return p.Phase == phase && p.Superstep == superstep
+}

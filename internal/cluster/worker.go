@@ -1,0 +1,487 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"log/slog"
+	"net"
+	"os"
+	"sync"
+	"syscall"
+	"time"
+
+	"graphite/internal/algorithms"
+	"graphite/internal/core"
+	"graphite/internal/engine"
+)
+
+// Worker dial defaults: a replacement worker may start before the
+// coordinator notices the loss, so the dial loop is patient.
+const (
+	DefaultDialAttempts = 40
+	DefaultDialBackoff  = 25 * time.Millisecond
+)
+
+// WorkerConfig parameterizes one worker process.
+type WorkerConfig struct {
+	// Addr is the coordinator's TCP address.
+	Addr string
+	// Dir is the durable checkpoint directory. A respawned worker pointed
+	// at its old directory offers its previous shard back to the
+	// coordinator and can restore that shard's committed generations; a
+	// replacement for a lost worker MUST reuse the lost worker's directory
+	// (shared or persistent storage), since checkpoints live with the shard.
+	Dir string
+	// DialAttempts / DialBackoff shape the jittered connect-retry loop.
+	// Zero means the defaults above.
+	DialAttempts int
+	DialBackoff  time.Duration
+	// Crash plants a kill point for the chaos driver (see CrashEnv); the
+	// zero value never fires.
+	Crash CrashPlan
+	// HangAtSuperstep, when > 0, makes the worker go silent (no heartbeats,
+	// no progress) upon receiving that superstep — the in-process stand-in
+	// for a wedged process, driving the coordinator's lease-expiry path.
+	HangAtSuperstep int
+	// KeepCheckpoints bounds on-disk generations; zero means
+	// engine.DefaultKeepGenerations.
+	KeepCheckpoints int
+	// Logger nil means slog.Default.
+	Logger *slog.Logger
+}
+
+// stepRun is the in-flight superstep: batches arrive interleaved with
+// nothing else on the wire, but counting them explicitly keeps the worker a
+// pure frame-at-a-time state machine.
+type stepRun struct {
+	step    int
+	ckpt    bool
+	gen     int
+	batches [][]byte
+	got     int
+	need    int
+}
+
+// wrk is one worker process's run state.
+type wrk struct {
+	cfg   WorkerConfig
+	ctx   context.Context
+	conn  net.Conn
+	wmu   sync.Mutex // serializes frame writes (main loop vs heartbeat)
+	log   *slog.Logger
+	sh    *core.Shard
+	store *engine.CheckpointStore
+
+	self   int
+	shards int
+	epoch  int
+	cur    *stepRun
+
+	hbStop chan struct{}
+	hbOnce sync.Once
+}
+
+// RunWorker connects to the coordinator and executes the assigned shard
+// until the run completes (nil), the context is canceled, or the
+// connection fails. A worker process is stateless beyond its checkpoint
+// directory: every decision is the coordinator's.
+func RunWorker(ctx context.Context, cfg WorkerConfig) error {
+	if cfg.Addr == "" || cfg.Dir == "" {
+		return errors.New("cluster: worker requires Addr and Dir")
+	}
+	if cfg.DialAttempts <= 0 {
+		cfg.DialAttempts = DefaultDialAttempts
+	}
+	if cfg.DialBackoff <= 0 {
+		cfg.DialBackoff = DefaultDialBackoff
+	}
+	if cfg.KeepCheckpoints <= 0 {
+		cfg.KeepCheckpoints = engine.DefaultKeepGenerations
+	}
+	if cfg.Logger == nil {
+		cfg.Logger = slog.Default()
+	}
+	conn, err := dialCoordinator(ctx, cfg)
+	if err != nil {
+		return err
+	}
+	defer conn.Close()
+	w := &wrk{cfg: cfg, ctx: ctx, conn: conn, log: cfg.Logger, hbStop: make(chan struct{})}
+	defer w.stopHeartbeat()
+	// A canceled context unblocks the frame read by closing the conn.
+	watchDone := make(chan struct{})
+	defer close(watchDone)
+	go func() {
+		select {
+		case <-ctx.Done():
+			conn.Close()
+		case <-watchDone:
+		}
+	}()
+	if err := w.sendJSON(fHello, helloMsg{PrevShard: readShardMarker(cfg.Dir)}); err != nil {
+		return err
+	}
+	return w.loop()
+}
+
+// dialCoordinator retries with capped, jittered exponential backoff — the
+// same discipline as the engine transport's dial path.
+func dialCoordinator(ctx context.Context, cfg WorkerConfig) (net.Conn, error) {
+	var d net.Dialer
+	var lastErr error
+	for i := 1; i <= cfg.DialAttempts; i++ {
+		conn, err := d.DialContext(ctx, "tcp", cfg.Addr)
+		if err == nil {
+			return conn, nil
+		}
+		lastErr = err
+		if ctx.Err() != nil {
+			return nil, ctx.Err()
+		}
+		select {
+		case <-time.After(engine.RetryDelay(cfg.DialBackoff, i, 32*cfg.DialBackoff)):
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+	return nil, fmt.Errorf("cluster: dial coordinator %s: %w", cfg.Addr, lastErr)
+}
+
+// loop is the worker's single-threaded frame dispatcher.
+func (w *wrk) loop() error {
+	for {
+		ftype, payload, err := readConnFrame(w.conn)
+		if err != nil {
+			if w.ctx.Err() != nil {
+				return w.ctx.Err()
+			}
+			if errors.Is(err, io.EOF) {
+				return errors.New("cluster: coordinator closed the connection")
+			}
+			return fmt.Errorf("cluster: read frame: %w", err)
+		}
+		switch ftype {
+		case fAssign:
+			err = w.handleAssign(payload)
+		case fStep:
+			err = w.handleStep(payload)
+		case fData:
+			err = w.handleData(payload)
+		case fRollback:
+			err = w.handleRollback(payload)
+		case fCollect:
+			err = w.handleCollect(payload)
+		case fBye:
+			return nil
+		default:
+			err = fmt.Errorf("cluster: unexpected frame type %d from coordinator", ftype)
+		}
+		if err != nil {
+			return err
+		}
+	}
+}
+
+// fail reports a fatal worker-side error to the coordinator (best effort)
+// and returns it. Deterministic failures must abort the run, not trigger
+// recovery: a replay would hit them again.
+func (w *wrk) fail(err error) error {
+	_ = w.sendJSON(fError, errorMsg{Shard: w.self, Msg: err.Error()})
+	return err
+}
+
+func (w *wrk) handleAssign(payload []byte) error {
+	var as assignMsg
+	if err := parseJSON(payload, &as); err != nil {
+		return err
+	}
+	if w.sh != nil {
+		return w.fail(errors.New("cluster: duplicate assignment"))
+	}
+	// Heartbeat from the moment the assignment is understood: graph load,
+	// engine build and the generation-0 checkpoint below can take longer
+	// than the lease on large graphs, and a silent worker mid-setup would be
+	// declared dead before it ever got to ready.
+	w.startHeartbeat(time.Duration(as.HeartbeatNS))
+	g, err := LoadGraph(as.Graph)
+	if err != nil {
+		return w.fail(err)
+	}
+	prog, opts, err := algorithms.New(g, as.Algo, as.Params)
+	if err != nil {
+		return w.fail(err)
+	}
+	opts.NumWorkers = as.Shards
+	sh, err := core.NewShard(g, prog, opts, as.Shard)
+	if err != nil {
+		return w.fail(err)
+	}
+	store, err := engine.OpenCheckpointStore(w.cfg.Dir)
+	if err != nil {
+		return w.fail(err)
+	}
+	if prev := readShardMarker(w.cfg.Dir); as.RestoreGen >= 0 && prev != as.Shard {
+		return w.fail(fmt.Errorf(
+			"cluster: directory %s holds checkpoints for shard %d, cannot restore shard %d",
+			w.cfg.Dir, prev, as.Shard))
+	}
+	if err := writeShardMarker(w.cfg.Dir, as.Shard); err != nil {
+		return w.fail(err)
+	}
+	if err := sh.Init(); err != nil {
+		return w.fail(err)
+	}
+	w.sh, w.store = sh, store
+	w.self, w.shards, w.epoch = as.Shard, as.Shards, as.Epoch
+	var restored int64
+	gen := 0
+	if as.RestoreGen >= 0 {
+		// Replacement path: reload the committed generation from disk.
+		data, meta, err := store.Load(as.RestoreGen)
+		if err != nil {
+			return w.fail(fmt.Errorf("cluster: restore gen %d: %w", as.RestoreGen, err))
+		}
+		if err := sh.RestoreDurable(data); err != nil {
+			return w.fail(err)
+		}
+		gen, restored = meta.Gen, meta.Bytes
+		w.log.Info("cluster: shard restored from disk", "shard", w.self, "gen", gen,
+			"superstep", sh.Superstep(), "bytes", restored)
+	} else {
+		// Fresh start: generation 0 (post-Init, superstep 1) goes to disk
+		// before ready, so a rollback target always exists.
+		data, err := sh.CaptureDurable()
+		if err != nil {
+			return w.fail(err)
+		}
+		if _, err := store.Save(0, sh.Superstep(), data); err != nil {
+			return w.fail(err)
+		}
+	}
+	return w.sendJSON(fReady, readyMsg{
+		Epoch: w.epoch, Shard: w.self, Superstep: sh.Superstep(),
+		Gen: gen, RestoredBytes: restored,
+	})
+}
+
+func (w *wrk) handleStep(payload []byte) error {
+	var st stepMsg
+	if err := parseJSON(payload, &st); err != nil {
+		return err
+	}
+	if w.sh == nil {
+		return w.fail(errors.New("cluster: step before assignment"))
+	}
+	if st.Epoch != w.epoch {
+		return nil // stale
+	}
+	if w.cfg.HangAtSuperstep > 0 && st.Superstep == w.cfg.HangAtSuperstep {
+		// Simulate a wedged process: stop heartbeating and go silent until
+		// the context tears the test down. The coordinator must recover via
+		// lease expiry.
+		w.stopHeartbeat()
+		w.log.Warn("cluster: hanging on purpose", "superstep", st.Superstep)
+		<-w.ctx.Done()
+		return w.ctx.Err()
+	}
+	if got := w.sh.Superstep(); got != st.Superstep {
+		return w.fail(fmt.Errorf("cluster: shard %d at superstep %d, coordinator wants %d",
+			w.self, got, st.Superstep))
+	}
+	if err := w.sh.Compute(); err != nil {
+		return w.fail(err)
+	}
+	outs, err := w.sh.Outbound()
+	if err != nil {
+		return w.fail(err)
+	}
+	for dst := 0; dst < w.shards; dst++ {
+		if dst == w.self {
+			continue
+		}
+		p := appendDataHeader(nil, dataHeader{epoch: w.epoch, superstep: st.Superstep, src: w.self, dst: dst})
+		p = append(p, outs[dst]...)
+		if err := w.sendFrame(fData, p); err != nil {
+			return err
+		}
+	}
+	// Kill point "compute": batches are on the wire, delivery has not
+	// happened — peers hold partial superstep state when the process dies.
+	w.maybeCrash("compute", st.Superstep)
+	w.cur = &stepRun{
+		step: st.Superstep, ckpt: st.Checkpoint, gen: st.Gen,
+		batches: make([][]byte, w.shards), need: w.shards - 1,
+	}
+	return w.finishStepIfReady()
+}
+
+func (w *wrk) handleData(payload []byte) error {
+	h, batch, err := parseDataHeader(payload)
+	if err != nil {
+		return err
+	}
+	if h.epoch != w.epoch || w.cur == nil || h.superstep != w.cur.step || h.dst != w.self {
+		return nil // stale (in flight across a recovery)
+	}
+	if h.src < 0 || h.src >= w.shards || h.src == w.self || w.cur.batches[h.src] != nil {
+		return w.fail(fmt.Errorf("cluster: shard %d: bad data frame source %d", w.self, h.src))
+	}
+	w.cur.batches[h.src] = batch
+	w.cur.got++
+	return w.finishStepIfReady()
+}
+
+// finishStepIfReady completes the superstep once every peer batch is in:
+// deliver (own outbox first, peers ascending — the bit-identity order),
+// barrier, optional durable checkpoint, report.
+func (w *wrk) finishStepIfReady() error {
+	cur := w.cur
+	if cur == nil || cur.got < cur.need {
+		return nil
+	}
+	w.cur = nil
+	ordered := make([][]byte, 0, cur.need)
+	for src := 0; src < w.shards; src++ {
+		if src != w.self {
+			ordered = append(ordered, cur.batches[src])
+		}
+	}
+	if _, err := w.sh.Deliver(ordered); err != nil {
+		return w.fail(err)
+	}
+	rep := w.sh.Barrier()
+	ckptGen, ckptBytes := -1, int64(0)
+	if cur.ckpt {
+		if w.cfg.Crash.at("checkpoint", cur.step) {
+			// Kill point "checkpoint": die between the temp-file write and
+			// the atomic rename — a torn write the manifest never admits.
+			w.store.CommitHook = func(stage string) {
+				if stage == "written" {
+					w.crashNow("checkpoint", cur.step)
+				}
+			}
+		}
+		data, err := w.sh.CaptureDurable()
+		if err != nil {
+			return w.fail(err)
+		}
+		meta, err := w.store.Save(cur.gen, w.sh.Superstep(), data)
+		if err != nil {
+			return w.fail(err)
+		}
+		if err := w.store.Prune(w.cfg.KeepCheckpoints); err != nil {
+			return w.fail(err)
+		}
+		ckptGen, ckptBytes = meta.Gen, meta.Bytes
+	}
+	err := w.sendJSON(fStepDone, stepDoneMsg{
+		Epoch: w.epoch, Superstep: rep.Superstep, Shard: w.self,
+		Delivered: rep.Delivered, Active: rep.Active,
+		ComputeCalls: rep.ComputeCalls, ScatterCalls: rep.ScatterCalls,
+		SentMsgs: rep.SentMsgs, SentBytes: rep.SentBytes,
+		CkptGen: ckptGen, CkptBytes: ckptBytes,
+	})
+	if err != nil {
+		return err
+	}
+	// Kill point "barrier": the barrier report is sent — the coordinator
+	// may close the superstep and even commit the checkpoint generation —
+	// but this process dies before seeing the next step.
+	w.maybeCrash("barrier", cur.step)
+	return nil
+}
+
+func (w *wrk) handleRollback(payload []byte) error {
+	var rb rollbackMsg
+	if err := parseJSON(payload, &rb); err != nil {
+		return err
+	}
+	if w.sh == nil {
+		return w.fail(errors.New("cluster: rollback before assignment"))
+	}
+	w.epoch = rb.Epoch
+	w.cur = nil
+	data, meta, err := w.store.Load(rb.Gen)
+	if err != nil {
+		return w.fail(fmt.Errorf("cluster: rollback to gen %d: %w", rb.Gen, err))
+	}
+	if err := w.sh.RestoreDurable(data); err != nil {
+		return w.fail(err)
+	}
+	w.log.Info("cluster: rolled back", "shard", w.self, "gen", rb.Gen,
+		"superstep", w.sh.Superstep(), "epoch", w.epoch)
+	return w.sendJSON(fReady, readyMsg{
+		Epoch: w.epoch, Shard: w.self, Superstep: w.sh.Superstep(),
+		Gen: meta.Gen, RestoredBytes: meta.Bytes,
+	})
+}
+
+func (w *wrk) handleCollect(payload []byte) error {
+	var cl collectMsg
+	if err := parseJSON(payload, &cl); err != nil {
+		return err
+	}
+	if cl.Epoch != w.epoch {
+		return nil // stale
+	}
+	blob, err := w.sh.EncodeOwnedStates()
+	if err != nil {
+		return w.fail(err)
+	}
+	p := appendResultHeader(nil, w.epoch, w.self)
+	return w.sendFrame(fResult, append(p, blob...))
+}
+
+// sendFrame / sendJSON serialize writes across the main loop and the
+// heartbeat goroutine.
+func (w *wrk) sendFrame(ftype byte, payload []byte) error {
+	w.wmu.Lock()
+	defer w.wmu.Unlock()
+	return writeConnFrame(w.conn, ftype, payload)
+}
+
+func (w *wrk) sendJSON(ftype byte, v any) error {
+	w.wmu.Lock()
+	defer w.wmu.Unlock()
+	return sendJSON(w.conn, ftype, v)
+}
+
+func (w *wrk) startHeartbeat(every time.Duration) {
+	if every <= 0 {
+		every = DefaultLease / 4
+	}
+	go func() {
+		t := time.NewTicker(every)
+		defer t.Stop()
+		for {
+			select {
+			case <-w.hbStop:
+				return
+			case <-w.ctx.Done():
+				return
+			case <-t.C:
+				if err := w.sendFrame(fHeartbeat, nil); err != nil {
+					return
+				}
+			}
+		}
+	}()
+}
+
+func (w *wrk) stopHeartbeat() { w.hbOnce.Do(func() { close(w.hbStop) }) }
+
+// maybeCrash fires a planted kill point: SIGKILL to self, the closest
+// honest stand-in for machine loss — no deferred functions, no flushes.
+func (w *wrk) maybeCrash(phase string, superstep int) {
+	if w.cfg.Crash.at(phase, superstep) {
+		w.crashNow(phase, superstep)
+	}
+}
+
+func (w *wrk) crashNow(phase string, superstep int) {
+	w.log.Warn("cluster: planted crash firing", "phase", phase, "superstep", superstep)
+	_ = syscall.Kill(os.Getpid(), syscall.SIGKILL)
+	select {} // unreachable: the kill is not catchable
+}

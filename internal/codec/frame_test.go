@@ -1,0 +1,68 @@
+package codec
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+)
+
+func TestFrameRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	payloads := [][]byte{nil, {}, []byte("x"), bytes.Repeat([]byte("abc"), 1000)}
+	for i, p := range payloads {
+		if err := WriteFrame(&buf, byte(i+1), p); err != nil {
+			t.Fatalf("write %d: %v", i, err)
+		}
+	}
+	for i, p := range payloads {
+		ft, got, err := ReadFrame(&buf)
+		if err != nil {
+			t.Fatalf("read %d: %v", i, err)
+		}
+		if ft != byte(i+1) || !bytes.Equal(got, p) {
+			t.Fatalf("frame %d: type %d payload %d bytes", i, ft, len(got))
+		}
+	}
+	if _, _, err := ReadFrame(&buf); err != io.EOF {
+		t.Fatalf("drained reader err = %v, want io.EOF", err)
+	}
+}
+
+func TestFrameCorruptCRC(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteFrame(&buf, 7, []byte("control message")); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	raw[8] ^= 0x01 // flip a payload bit; the trailing CRC no longer matches
+	_, _, err := ReadFrame(bytes.NewReader(raw))
+	if !errors.Is(err, ErrFrameCorrupt) || !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("err = %v, want ErrFrameCorrupt wrapping ErrCorrupt", err)
+	}
+}
+
+func TestFrameTruncated(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteFrame(&buf, 3, []byte("about to be cut")); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	_, _, err := ReadFrame(bytes.NewReader(raw[:len(raw)-3]))
+	if err != io.ErrUnexpectedEOF {
+		t.Fatalf("mid-frame truncation err = %v, want io.ErrUnexpectedEOF", err)
+	}
+}
+
+func TestFrameBadLength(t *testing.T) {
+	// A zero length cannot hold even the type byte.
+	raw := []byte{0, 0, 0, 0, 0, 0, 0, 0}
+	if _, _, err := ReadFrame(bytes.NewReader(raw)); !errors.Is(err, ErrFrameCorrupt) {
+		t.Fatalf("zero-length err = %v, want ErrFrameCorrupt", err)
+	}
+	// A length past MaxFrameSize must be rejected before any allocation.
+	raw = []byte{0xff, 0xff, 0xff, 0xff, 0, 0, 0, 0}
+	if _, _, err := ReadFrame(bytes.NewReader(raw)); !errors.Is(err, ErrFrameCorrupt) {
+		t.Fatalf("oversized-length err = %v, want ErrFrameCorrupt", err)
+	}
+}

@@ -1,0 +1,68 @@
+package engine
+
+import (
+	"testing"
+	"time"
+)
+
+// TestRetryDelayBounds pins the jitter window: for every attempt the delay
+// must lie in [d/2, d) where d is the capped deterministic backoff.
+func TestRetryDelayBounds(t *testing.T) {
+	base := 2 * time.Millisecond
+	max := 16 * base
+	for attempt := 1; attempt <= 12; attempt++ {
+		d := base << (attempt - 1)
+		if d > max {
+			d = max
+		}
+		lo, hi := d/2, d
+		if got := retryDelayAt(base, attempt, max, 0); got != lo {
+			t.Errorf("attempt %d, r=0: got %v, want lower bound %v", attempt, got, lo)
+		}
+		if got := retryDelayAt(base, attempt, max, 0.999999); got < lo || got >= hi {
+			t.Errorf("attempt %d, r→1: got %v, want in [%v, %v)", attempt, got, lo, hi)
+		}
+		for i := 0; i < 50; i++ {
+			if got := RetryDelay(base, attempt, max); got < lo || got >= hi {
+				t.Fatalf("attempt %d: RetryDelay = %v outside [%v, %v)", attempt, got, lo, hi)
+			}
+		}
+	}
+}
+
+// TestRetryDelayCap verifies growth stops at max: far past the doubling
+// horizon the window must still be [max/2, max).
+func TestRetryDelayCap(t *testing.T) {
+	base := 5 * time.Millisecond
+	max := 16 * base
+	got := retryDelayAt(base, 40, max, 0.5)
+	if got < max/2 || got >= max {
+		t.Fatalf("capped delay %v outside [%v, %v)", got, max/2, max)
+	}
+	// Uncapped: attempt 4 of base b is 8b, jitter window [4b, 8b).
+	if got := retryDelayAt(base, 4, 0, 0); got != 4*base {
+		t.Fatalf("uncapped attempt 4 lower bound = %v, want %v", got, 4*base)
+	}
+}
+
+// TestRetryDelayDegenerate covers the no-wait cases.
+func TestRetryDelayDegenerate(t *testing.T) {
+	if got := retryDelayAt(0, 3, 0, 0.5); got != 0 {
+		t.Errorf("zero base: got %v", got)
+	}
+	if got := retryDelayAt(time.Millisecond, 0, 0, 0.5); got != 0 {
+		t.Errorf("attempt 0: got %v", got)
+	}
+}
+
+// TestRetryDelayJitters is a sanity check that the randomized delays are
+// not constant: 64 draws of a wide window should produce >1 distinct value.
+func TestRetryDelayJitters(t *testing.T) {
+	seen := map[time.Duration]bool{}
+	for i := 0; i < 64; i++ {
+		seen[RetryDelay(time.Second, 5, time.Minute)] = true
+	}
+	if len(seen) < 2 {
+		t.Fatalf("64 jittered delays collapsed to %d distinct value(s)", len(seen))
+	}
+}

@@ -153,7 +153,7 @@ const (
 	// Config.SendRetries is zero.
 	DefaultSendRetries = 2
 	// sendRetryBackoff is the initial delay between Send retries; it doubles
-	// per attempt, capped at 16x.
+	// per attempt, capped at 16x, with equal jitter (see RetryDelay).
 	sendRetryBackoff = 2 * time.Millisecond
 )
 
@@ -796,14 +796,12 @@ func (e *Engine) sendWithRetry(src, dst int, batch []byte) error {
 	case retries < 0:
 		retries = 0
 	}
-	backoff := sendRetryBackoff
 	var err error
 	for attempt := 0; attempt <= retries; attempt++ {
 		if attempt > 0 {
-			time.Sleep(backoff)
-			if backoff < 16*sendRetryBackoff {
-				backoff *= 2
-			}
+			// Capped exponential backoff with equal jitter: concurrent workers
+			// retrying a congested peer must not re-collide in lockstep.
+			time.Sleep(RetryDelay(sendRetryBackoff, attempt, 16*sendRetryBackoff))
 		}
 		if err = e.cfg.Transport.Send(src, dst, batch); err == nil {
 			return nil

@@ -233,20 +233,20 @@ func NewTCPTransportOpts(n int, opts TCPOptions) (*TCPTransport, error) {
 	return t, nil
 }
 
-// dialRetry dials addr up to attempts times with capped exponential backoff,
-// never past deadline.
+// dialRetry dials addr up to attempts times with capped exponential backoff
+// and equal jitter (RetryDelay), never past deadline. The jitter keeps
+// simultaneously-restarting workers from re-dialing a recovering peer in
+// lockstep.
 func dialRetry(addr string, attempts int, backoff time.Duration, deadline time.Time) (net.Conn, error) {
 	capped := 16 * backoff
 	var err error
 	for i := 0; i < attempts; i++ {
 		if i > 0 {
-			if time.Now().Add(backoff).After(deadline) {
+			pause := RetryDelay(backoff, i, capped)
+			if time.Now().Add(pause).After(deadline) {
 				break
 			}
-			time.Sleep(backoff)
-			if backoff < capped {
-				backoff *= 2
-			}
+			time.Sleep(pause)
 		}
 		d := net.Dialer{Deadline: deadline}
 		var conn net.Conn

@@ -68,6 +68,14 @@ const (
 	CStateUpdates    = "icm.state_updates"
 	CActiveIntervals = "icm.active_intervals"
 	GMaxPartitions   = "icm.max_partitions"
+
+	// Cluster runtime (coordinator-side): live worker count, current epoch
+	// (bumped on every recovery), distributed recoveries completed, and the
+	// supersteps re-executed because of rollbacks.
+	GClusterWorkers            = "cluster.workers"
+	GClusterEpoch              = "cluster.epoch"
+	CClusterRecoveries         = "cluster.recoveries"
+	CClusterReplayedSupersteps = "cluster.replayed_supersteps"
 )
 
 // Counter is a monotonic (except Store, used by checkpoint rollback) int64

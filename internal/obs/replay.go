@@ -32,6 +32,12 @@ func newEventOf(kind string) Event {
 		return &SendRetry{}
 	case "run_end":
 		return &RunEnd{}
+	case "worker_join":
+		return &WorkerJoin{}
+	case "worker_lost":
+		return &WorkerLost{}
+	case "cluster_recovery":
+		return &ClusterRecovery{}
 	}
 	return nil
 }
@@ -57,6 +63,12 @@ func deref(e Event) Event {
 	case *SendRetry:
 		return *v
 	case *RunEnd:
+		return *v
+	case *WorkerJoin:
+		return *v
+	case *WorkerLost:
+		return *v
+	case *ClusterRecovery:
 		return *v
 	}
 	return e

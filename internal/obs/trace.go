@@ -166,6 +166,49 @@ type RunEnd struct {
 // Kind implements Event.
 func (RunEnd) Kind() string { return "run_end" }
 
+// WorkerJoin records a worker process registering with the cluster
+// coordinator and receiving a shard assignment. Rejoin marks a replacement
+// for a lost worker (it restores the shard's state from disk).
+type WorkerJoin struct {
+	Shard  int    `json:"shard"`
+	Addr   string `json:"addr,omitempty"`
+	Epoch  int    `json:"epoch"`
+	Rejoin bool   `json:"rejoin,omitempty"`
+}
+
+// Kind implements Event.
+func (WorkerJoin) Kind() string { return "worker_join" }
+
+// WorkerLost records the coordinator detecting a dead worker — a missed
+// lease or a broken connection — at the given superstep.
+type WorkerLost struct {
+	Shard     int    `json:"shard"`
+	Superstep int    `json:"superstep"`
+	Reason    string `json:"reason"`
+}
+
+// Kind implements Event.
+func (WorkerLost) Kind() string { return "worker_lost" }
+
+// ClusterRecovery closes one distributed recovery: after losing a worker at
+// superstep Failed, the cluster rolled every shard back to checkpoint
+// generation Gen, waited for a replacement, and resumed at ResumeAt.
+// DetectNS is failure→detection; MTTRNS is detection→resumed (the headline
+// recovery metric); RestoredBytes is the checkpoint volume reloaded from
+// disk across shards.
+type ClusterRecovery struct {
+	Epoch         int   `json:"epoch"` // epoch the cluster recovered INTO
+	Failed        int   `json:"failed"`
+	ResumeAt      int   `json:"resume_at"`
+	Gen           int   `json:"gen"`
+	DetectNS      int64 `json:"detect_ns"`
+	MTTRNS        int64 `json:"mttr_ns"`
+	RestoredBytes int64 `json:"restored_bytes"`
+}
+
+// Kind implements Event.
+func (ClusterRecovery) Kind() string { return "cluster_recovery" }
+
 // Recorder is a Tracer that keeps every event in memory, for tests and for
 // building summaries without a file round-trip.
 type Recorder struct {

@@ -14,7 +14,9 @@ import (
 
 // Handler returns the server's HTTP API:
 //
-//	GET    /healthz        liveness/readiness (503 while draining)
+//	GET    /healthz        liveness: 200 while the process serves at all
+//	GET    /readyz         readiness: 503 while draining or while the
+//	                       Config.Ready hook reports not-ready
 //	GET    /v1/graphs      the loaded graphs
 //	POST   /v1/run         run an algorithm (sync, or async with a job id)
 //	GET    /v1/jobs        list async jobs
@@ -28,6 +30,7 @@ import (
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", s.instrument("healthz", s.handleHealthz))
+	mux.HandleFunc("GET /readyz", s.instrument("readyz", s.handleReadyz))
 	mux.HandleFunc("GET /v1/graphs", s.instrument("graphs", s.handleGraphs))
 	mux.HandleFunc("POST /v1/run", s.instrument("run", s.handleRun))
 	mux.HandleFunc("GET /v1/jobs", s.instrument("jobs", s.handleJobs))
@@ -104,15 +107,34 @@ func writeError(w http.ResponseWriter, err error) {
 
 func msToDuration(ms int64) time.Duration { return time.Duration(ms) * time.Millisecond }
 
+// handleHealthz is pure liveness: as long as the process can answer, it is
+// alive — even mid-drain, so orchestrators don't kill a server that is
+// finishing in-flight work. Readiness (take traffic or not) is /readyz.
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	status, code := "ok", http.StatusOK
-	if s.Draining() {
-		status, code = "draining", http.StatusServiceUnavailable
-	}
-	writeJSON(w, code, map[string]any{
-		"status": status,
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status": "ok",
 		"graphs": len(s.names),
 	})
+}
+
+// handleReadyz is readiness: 503 once draining (stop routing new work
+// here) and 503 while the configured Ready hook objects — the seam a
+// cluster coordinator uses to gate traffic on worker quorum.
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	status, code, reason := "ready", http.StatusOK, ""
+	switch {
+	case s.Draining():
+		status, code, reason = "draining", http.StatusServiceUnavailable, "server draining"
+	case s.cfg.Ready != nil:
+		if err := s.cfg.Ready(); err != nil {
+			status, code, reason = "not_ready", http.StatusServiceUnavailable, err.Error()
+		}
+	}
+	body := map[string]any{"status": status}
+	if reason != "" {
+		body["reason"] = reason
+	}
+	writeJSON(w, code, body)
 }
 
 func (s *Server) handleGraphs(w http.ResponseWriter, r *http.Request) {

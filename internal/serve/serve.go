@@ -115,6 +115,11 @@ type Config struct {
 	// non-deduped) run and may return a tracer to attach to it — the seam for
 	// per-run JSONL traces or sampling. Returning nil leaves the run untraced.
 	RunTracer func(graph, algo, fingerprint string) obs.Tracer
+	// Ready, when set, gates readiness beyond draining: a non-nil error
+	// marks the server not ready (503 on /readyz, with the error as the
+	// reason) without affecting liveness — the seam for fronting a cluster
+	// coordinator that is below worker quorum or mid-recovery.
+	Ready func() error
 }
 
 // Server is a resident temporal graph query service. Create with New, expose

@@ -9,6 +9,7 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -190,9 +191,21 @@ func TestQueueFullRejects(t *testing.T) {
 // withSync strips the Async flag for reuse in sync posts.
 func (r RunRequest) withSync() RunRequest { r.Async = false; return r }
 
+// getCode issues a GET and returns only the HTTP status.
+func getCode(t *testing.T, url string) int {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	resp.Body.Close()
+	return resp.StatusCode
+}
+
 // TestGracefulDrain pins shutdown semantics: Drain lets the in-flight run
 // finish (the job completes with a result), while new work is rejected with
-// 503 and health flips to draining.
+// 503, readiness flips to draining, and liveness stays green so the process
+// isn't killed out from under its in-flight work.
 func TestGracefulDrain(t *testing.T) {
 	s, ts := newTestServer(t, Config{MaxConcurrent: 2})
 	jv, err := s.Submit(&RunRequest{Graph: "transit", Algorithm: "pr",
@@ -217,13 +230,11 @@ func TestGracefulDrain(t *testing.T) {
 		Params: map[string]int64{"source": 1}}, nil); code != http.StatusServiceUnavailable {
 		t.Fatalf("request during drain: HTTP %d, want 503", code)
 	}
-	resp, err := http.Get(ts.URL + "/healthz")
-	if err != nil {
-		t.Fatalf("healthz: %v", err)
+	if code := getCode(t, ts.URL+"/healthz"); code != http.StatusOK {
+		t.Fatalf("healthz during drain: HTTP %d, want 200 (liveness must survive a drain)", code)
 	}
-	resp.Body.Close()
-	if resp.StatusCode != http.StatusServiceUnavailable {
-		t.Fatalf("healthz during drain: HTTP %d, want 503", resp.StatusCode)
+	if code := getCode(t, ts.URL+"/readyz"); code != http.StatusServiceUnavailable {
+		t.Fatalf("readyz during drain: HTTP %d, want 503", code)
 	}
 
 	select {
@@ -241,6 +252,51 @@ func TestGracefulDrain(t *testing.T) {
 	}
 	if got := s.Registry().Counter(CRunsCanceled).Load(); got != 0 {
 		t.Fatalf("runs canceled during graceful drain: %d, want 0", got)
+	}
+}
+
+// TestReadinessHook pins the Ready seam: while the hook reports an error the
+// server is alive (/healthz 200) but not ready (/readyz 503 with the hook's
+// reason); when the hook clears, readiness flips to 200 without a restart —
+// the behaviour a coordinator below worker quorum relies on.
+func TestReadinessHook(t *testing.T) {
+	var notReady atomic.Pointer[string]
+	reason := "cluster: 1/3 workers connected"
+	notReady.Store(&reason)
+	_, ts := newTestServer(t, Config{
+		Ready: func() error {
+			if p := notReady.Load(); p != nil {
+				return errors.New(*p)
+			}
+			return nil
+		},
+	})
+
+	if code := getCode(t, ts.URL+"/healthz"); code != http.StatusOK {
+		t.Fatalf("healthz while below quorum: HTTP %d, want 200", code)
+	}
+	resp, err := http.Get(ts.URL + "/readyz")
+	if err != nil {
+		t.Fatalf("readyz: %v", err)
+	}
+	var body map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		t.Fatalf("readyz body: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("readyz while below quorum: HTTP %d, want 503", resp.StatusCode)
+	}
+	if body["status"] != "not_ready" || body["reason"] != reason {
+		t.Fatalf("readyz body: %+v, want status=not_ready reason=%q", body, reason)
+	}
+
+	notReady.Store(nil)
+	if code := getCode(t, ts.URL+"/readyz"); code != http.StatusOK {
+		t.Fatalf("readyz after quorum restored: HTTP %d, want 200", code)
+	}
+	if code := getCode(t, ts.URL+"/healthz"); code != http.StatusOK {
+		t.Fatalf("healthz after quorum restored: HTTP %d, want 200", code)
 	}
 }
 
