@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet race verify fuzz chaos bench bench-skew trace-smoke serve-smoke cluster-smoke clean
+.PHONY: all build test vet race verify fuzz chaos bench bench-skew bench-obs trace-smoke serve-smoke cluster-smoke metrics-smoke clean
 
 all: verify
 
@@ -52,6 +52,14 @@ SKEW_SCALE ?= 1
 bench-skew:
 	$(GO) run ./cmd/graphite-bench -scale $(SKEW_SCALE) -workers 8 -skew-json BENCH_skew.json skew
 
+# Observability overhead guard: instrumented (registry + JSONL tracer) vs
+# bare superstep cost, medians of interleaved runs. Records the report to
+# BENCH_obs.json and FAILS if the overhead ratio exceeds the pinned bound
+# (bench.ObsOverheadBound).
+OBS_SCALE ?= 1
+bench-obs:
+	$(GO) run ./cmd/graphite-bench -scale $(OBS_SCALE) -workers 8 -obs-json BENCH_obs.json obs
+
 # End-to-end tracing smoke test: run transit SSSP with a JSONL trace, then
 # validate the trace (schema, superstep contiguity, totals reconciliation)
 # and render the per-superstep breakdown.
@@ -74,6 +82,14 @@ serve-smoke:
 # to BENCH_recovery.json (and a summary on stdout).
 cluster-smoke:
 	$(GO) run ./cmd/graphite-bench -recovery-json BENCH_recovery.json recovery
+
+# Cluster observability smoke test: a coordinator plus a crash-and-respawn
+# worker fleet with per-worker /metrics endpoints and appended JSONL traces;
+# fails unless every endpoint serves the expected Prometheus families and
+# the N+1 traces merge into one reconciled cluster timeline whose straggler
+# attribution matches /debug/cluster.
+metrics-smoke:
+	$(GO) test -race -run 'TestClusterObservability' -v ./internal/chaos/
 
 clean:
 	$(GO) clean ./...

@@ -6,7 +6,7 @@
 //	graphite-bench [flags] <experiment>...
 //
 // Experiments: table1, table2, fig4, fig5, fig6a, fig6b, fig6c, fig7,
-// msgsize, loc, chaos, alloc, skew, recovery, all. The skew experiment is
+// msgsize, loc, chaos, alloc, skew, obs, recovery, all. The skew experiment is
 // the scheduler ablation (static / balanced-partition / work-stealing
 // compute on a heavily skewed power-law graph); -skew-json records its
 // report. The recovery experiment runs the multi-process cluster runtime,
@@ -45,13 +45,14 @@ func main() {
 		algos     = flag.String("algos", "", "comma-separated algorithm subset for table2/fig4/fig5 (default: all 12)")
 		tracePath = flag.String("trace", "", "append every ICM run's JSONL trace to this file")
 		skewJSON  = flag.String("skew-json", "", "write the skew experiment report as JSON to this file")
+		obsJSON   = flag.String("obs-json", "", "write the obs overhead-guard report as JSON to this file")
 		recJSON   = flag.String("recovery-json", "", "write the recovery experiment report as JSON to this file")
 		pprofAddr = flag.String("pprof", "", "serve /debug/vars and /debug/pprof on this address")
 		verbose   = flag.Bool("v", false, "verbose (debug-level) logging")
 	)
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: graphite-bench [flags] <experiment>...\n")
-		fmt.Fprintf(os.Stderr, "experiments: table1 table2 fig4 fig5 fig6a fig6b fig6c fig7 msgsize loc chaos alloc skew recovery all\n\n")
+		fmt.Fprintf(os.Stderr, "experiments: table1 table2 fig4 fig5 fig6a fig6b fig6c fig7 msgsize loc chaos alloc skew obs recovery all\n\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -93,6 +94,7 @@ func main() {
 		log.Debug("tracing ICM runs", "path", *tracePath)
 	}
 	skewJSONPath = *skewJSON
+	obsJSONPath = *obsJSON
 	recoveryJSONPath = *recJSON
 	selected := parseAlgos(*algos)
 
@@ -121,9 +123,9 @@ func parseAlgos(s string) []bench.Algo {
 // share it.
 var matrix []bench.Cell
 
-// skewJSONPath and recoveryJSONPath, when set, receive the corresponding
-// experiments' JSON reports.
-var skewJSONPath, recoveryJSONPath string
+// skewJSONPath, obsJSONPath and recoveryJSONPath, when set, receive the
+// corresponding experiments' JSON reports.
+var skewJSONPath, obsJSONPath, recoveryJSONPath string
 
 func getMatrix(cfg bench.Config, algos []bench.Algo) ([]bench.Cell, error) {
 	if matrix != nil {
@@ -228,6 +230,19 @@ func run(cfg bench.Config, exp string, algos []bench.Algo) error {
 				return err
 			}
 		}
+	case "obs":
+		rep, err := bench.Obs(cfg)
+		if rep != nil {
+			bench.RenderObs(w, rep)
+			if obsJSONPath != "" {
+				if werr := bench.WriteObsJSON(obsJSONPath, rep); werr != nil && err == nil {
+					err = werr
+				}
+			}
+		}
+		if err != nil {
+			return err
+		}
 	case "recovery":
 		rep, err := bench.Recovery(cfg)
 		if err != nil {
@@ -240,7 +255,7 @@ func run(cfg bench.Config, exp string, algos []bench.Algo) error {
 			}
 		}
 	default:
-		return fmt.Errorf("unknown experiment (try: table1 table2 fig4 fig5 fig6a fig6b fig6c fig7 msgsize loc chaos alloc skew recovery all)")
+		return fmt.Errorf("unknown experiment (try: table1 table2 fig4 fig5 fig6a fig6b fig6c fig7 msgsize loc chaos alloc skew obs recovery all)")
 	}
 	return nil
 }

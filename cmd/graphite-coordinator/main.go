@@ -9,14 +9,23 @@
 //	graphite-coordinator -workers N -algo NAME [-graph SPEC] [-addr :8100]
 //	                     [-source V] [-target V] [-iterations N]
 //	                     [-checkpoint-every K] [-lease D] [-rejoin-timeout D]
-//	                     [-max-recoveries N] [-http ADDR] [-top N] [-v]
+//	                     [-max-recoveries N] [-http ADDR] [-trace PATH]
+//	                     [-span ID] [-top N] [-v]
 //
 // The graph SPEC is "transit" (the paper's built-in example) or
 // "file:PATH"; every worker must be able to resolve the same spec. With
 // -http, a liveness (/healthz), readiness (/readyz — 503 below worker
-// quorum or mid-recovery), and /debug/vars + /debug/pprof surface is
-// served while the run progresses. The process exits 0 with the rendered
-// result once the computation completes.
+// quorum or mid-recovery), Prometheus text /metrics, per-superstep
+// straggler attribution (/debug/cluster), and /debug/vars + /debug/pprof
+// surface is served while the run progresses. The process exits 0 with
+// the rendered result once the computation completes.
+//
+// -trace writes the coordinator's JSONL cluster trace (cluster_step rows,
+// per-shard phase spans, recoveries) to PATH; merge it with per-worker
+// traces via "graphite-trace -cluster PATH worker0/trace.jsonl ...".
+// -span pins the run's span ID (minted randomly when empty); every worker
+// stamps the same ID on its trace so the merge can prove all files
+// describe one run.
 package main
 
 import (
@@ -52,7 +61,9 @@ func main() {
 		lease      = flag.Duration("lease", cluster.DefaultLease, "worker silence tolerated before declaring it dead")
 		rejoin     = flag.Duration("rejoin-timeout", cluster.DefaultRejoinTimeout, "how long a recovery waits for a replacement worker")
 		maxRec     = flag.Int("max-recoveries", cluster.DefaultMaxRecoveries, "rollback-and-replay cycles before giving up (negative: unlimited)")
-		httpAddr   = flag.String("http", "", "serve /healthz, /readyz and /debug on this address")
+		httpAddr   = flag.String("http", "", "serve /healthz, /readyz, /metrics and /debug on this address")
+		tracePath  = flag.String("trace", "", "write the JSONL cluster trace to this file")
+		span       = flag.String("span", "", "run span ID stamped on every trace (empty: minted randomly)")
 		top        = flag.Int("top", 10, "result lines to print")
 		verbose    = flag.Bool("v", false, "verbose (debug-level) logging")
 	)
@@ -63,6 +74,15 @@ func main() {
 		os.Exit(2)
 	}
 
+	var tracer obs.Tracer
+	if *tracePath != "" {
+		jt, err := obs.CreateJSONLTrace(*tracePath)
+		if err != nil {
+			fatal(log, "open trace", err)
+		}
+		defer jt.Close()
+		tracer = jt
+	}
 	reg := obs.NewRegistry()
 	coord, err := cluster.New(cluster.Config{
 		Workers: *workers,
@@ -78,6 +98,8 @@ func main() {
 		RejoinTimeout:   *rejoin,
 		MaxRecoveries:   *maxRec,
 		Registry:        reg,
+		Tracer:          tracer,
+		Span:            *span,
 		Logger:          log,
 	})
 	if err != nil {
@@ -88,7 +110,7 @@ func main() {
 		fatal(log, "listen", err)
 	}
 	log.Info("coordinator up", "addr", ln.Addr().String(), "workers", *workers,
-		"graph", *graph, "algo", *algo)
+		"graph", *graph, "algo", *algo, "span", coord.Span())
 
 	if *httpAddr != "" {
 		mux := http.NewServeMux()
@@ -103,6 +125,8 @@ func main() {
 			}
 			writeJSON(w, code, body)
 		})
+		mux.Handle("/metrics", obs.MetricsHandler(reg))
+		mux.Handle("/debug/cluster", coord.DebugHandler())
 		mux.Handle("/debug/", obs.DebugMux(reg))
 		go func() {
 			if err := http.ListenAndServe(*httpAddr, mux); err != nil {

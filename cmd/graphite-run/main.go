@@ -40,6 +40,7 @@ func main() {
 		workers   = flag.Int("workers", 0, "BSP workers (0: GOMAXPROCS)")
 		top       = flag.Int("top", 10, "print at most this many vertices")
 		tracePath = flag.String("trace", "", "write the per-superstep JSONL trace to this file")
+		span      = flag.String("span", "", "run span ID stamped on the trace (empty: minted randomly)")
 		pprofAddr = flag.String("pprof", "", "serve /debug/vars and /debug/pprof on this address")
 		verbose   = flag.Bool("v", false, "verbose (debug-level) logging")
 	)
@@ -89,6 +90,11 @@ func main() {
 	}
 	opts.NumWorkers = *workers
 	opts.Registry = reg
+	if *span == "" {
+		*span = obs.NewSpanID()
+	}
+	opts.Span = *span
+	log.Debug("run span", "span", *span)
 	if *tracePath != "" {
 		jt, err := obs.CreateJSONLTrace(*tracePath)
 		if err != nil {

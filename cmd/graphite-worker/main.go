@@ -7,13 +7,21 @@
 // Usage:
 //
 //	graphite-worker -coordinator HOST:PORT -dir PATH [-dial-attempts N]
-//	                [-dial-backoff D] [-v]
+//	                [-dial-backoff D] [-http ADDR] [-trace] [-v]
 //
 // The worker exits 0 when the cluster run completes. If this process
 // replaces a dead worker, -dir MUST be the dead worker's checkpoint
 // directory (shared storage or the same machine): the directory is bound
 // to a shard on first assignment and the worker refuses to restore
 // another shard's state.
+//
+// With -http the worker serves a Prometheus text /metrics endpoint (plus
+// /debug/vars and /debug/pprof) on ADDR and writes the bound address to
+// DIR/http.addr, so a scraper — or the repo's metrics-smoke test — can
+// discover it even when ADDR ends in ":0". With -trace the worker appends
+// its JSONL run trace to DIR/trace.jsonl; append-mode means a replacement
+// process extends the same file, producing one trace per slot that
+// graphite-trace -cluster can merge with the coordinator's.
 //
 // For fault-injection experiments the environment variable GRAPHITE_CRASH
 // may hold a plan "PHASE:SUPERSTEP" (phase: compute, checkpoint, barrier);
@@ -25,8 +33,11 @@ import (
 	"context"
 	"flag"
 	"log/slog"
+	"net"
+	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"syscall"
 
 	"graphite/internal/cluster"
@@ -39,6 +50,8 @@ func main() {
 		dir      = flag.String("dir", "", "durable checkpoint directory (reuse a dead worker's to replace it)")
 		attempts = flag.Int("dial-attempts", cluster.DefaultDialAttempts, "coordinator dial attempts before giving up")
 		backoff  = flag.Duration("dial-backoff", cluster.DefaultDialBackoff, "base dial retry backoff (jittered, capped exponential)")
+		httpAddr = flag.String("http", "", "serve /metrics and /debug on this address; bound address is written to DIR/http.addr")
+		doTrace  = flag.Bool("trace", false, "append the JSONL run trace to DIR/trace.jsonl")
 		verbose  = flag.Bool("v", false, "verbose (debug-level) logging")
 	)
 	flag.Parse()
@@ -51,17 +64,48 @@ func main() {
 	if err != nil {
 		fatal(log, "crash plan", err)
 	}
-
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
-	defer stop()
-	err = cluster.RunWorker(ctx, cluster.WorkerConfig{
+	cfg := cluster.WorkerConfig{
 		Addr:         *coord,
 		Dir:          *dir,
 		DialAttempts: *attempts,
 		DialBackoff:  *backoff,
 		Crash:        plan,
 		Logger:       log,
-	})
+	}
+	if *httpAddr != "" || *doTrace {
+		if err := os.MkdirAll(*dir, 0o755); err != nil {
+			fatal(log, "worker dir", err)
+		}
+	}
+	if *doTrace {
+		trace, err := obs.AppendJSONLTrace(filepath.Join(*dir, "trace.jsonl"))
+		if err != nil {
+			fatal(log, "open trace", err)
+		}
+		defer trace.Close()
+		cfg.Tracer = trace
+	}
+	if *httpAddr != "" {
+		reg := obs.NewRegistry()
+		cfg.Registry = reg
+		ln, err := net.Listen("tcp", *httpAddr)
+		if err != nil {
+			fatal(log, "metrics listener", err)
+		}
+		if err := os.WriteFile(filepath.Join(*dir, "http.addr"),
+			[]byte(ln.Addr().String()+"\n"), 0o644); err != nil {
+			fatal(log, "write http.addr", err)
+		}
+		mux := http.NewServeMux()
+		mux.Handle("/metrics", obs.MetricsHandler(reg))
+		mux.Handle("/debug/", obs.DebugMux(reg))
+		go func() { _ = http.Serve(ln, mux) }()
+		log.Info("http endpoint up", "addr", ln.Addr().String())
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	err = cluster.RunWorker(ctx, cfg)
 	if err != nil {
 		fatal(log, "worker run", err)
 	}

@@ -1,0 +1,207 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	"graphite/internal/algorithms"
+	"graphite/internal/core"
+	"graphite/internal/gen"
+	"graphite/internal/obs"
+	"graphite/internal/stats"
+)
+
+// --- obs: observability overhead guard ---
+//
+// The experiment pins the cost of full instrumentation: every run is
+// executed twice, bare (Tracer and Registry both nil — the engine's
+// fast path compiles the emission sites down to nil checks) and
+// instrumented (a live registry plus a JSONL tracer serializing every
+// event, written to io.Discard so the measurement excludes disk but keeps
+// the full marshal cost). The per-algorithm overhead ratio
+// (instrumented/bare − 1, medians of obsRuns interleaved runs) must stay
+// under ObsOverheadBound, or the experiment — and `make bench-obs` — fails.
+// The guard exists so instrumentation added later (new events, labeled
+// series, histogram observations on the superstep path) cannot silently
+// turn the observability plane into the straggler it is meant to find.
+
+// obsRuns is how many measured runs back each (algo, mode) cell; cells
+// report the median. Bare and instrumented runs are interleaved so slow
+// drift (thermal, scheduler) hits both modes alike.
+const obsRuns = 5
+
+// ObsOverheadBound is the pinned ceiling on the per-algorithm overhead
+// ratio. Typical measured overhead is under 5%; the bound leaves headroom
+// for noisy CI machines while still catching an accidentally quadratic or
+// allocation-heavy emission path, which shows up as integer multiples.
+const ObsOverheadBound = 0.50
+
+// ObsAlgos are the algorithms of the overhead guard: PageRank is the
+// dense all-active load (most events per superstep), SSSP the sparse
+// frontier load (emission cost relative to tiny supersteps).
+var ObsAlgos = []Algo{PR, SSSP}
+
+// ObsRow is one (algorithm, mode) cell of the overhead report.
+type ObsRow struct {
+	Algo Algo `json:"algo"`
+	// Mode is "bare" (Tracer and Registry nil) or "instrumented" (registry
+	// plus JSONL tracer to io.Discard).
+	Mode       string  `json:"mode"`
+	Supersteps int     `json:"supersteps"`
+	MakespanMS float64 `json:"makespan_ms"`
+	// Events is the number of trace events emitted per run (zero when bare).
+	Events int64 `json:"events,omitempty"`
+}
+
+// ObsOverhead is the per-algorithm verdict.
+type ObsOverhead struct {
+	Algo Algo `json:"algo"`
+	// Ratio is instrumented/bare − 1 on the median makespans.
+	Ratio float64 `json:"ratio"`
+	Bound float64 `json:"bound"`
+	Pass  bool    `json:"pass"`
+}
+
+// ObsReport is the full overhead experiment.
+type ObsReport struct {
+	Graph    string        `json:"graph"`
+	Vertices int           `json:"vertices"`
+	Edges    int           `json:"edges"`
+	Workers  int           `json:"workers"`
+	Runs     int           `json:"runs_per_cell"`
+	Rows     []ObsRow      `json:"rows"`
+	Verdicts []ObsOverhead `json:"verdicts"`
+}
+
+// countTracer counts events on their way into a wrapped tracer.
+type countTracer struct {
+	inner obs.Tracer
+	n     int64
+}
+
+func (t *countTracer) Emit(e obs.Event) {
+	t.n++
+	t.inner.Emit(e)
+}
+
+// Obs runs the observability overhead guard. It returns an error — failing
+// the bench invocation — when any algorithm's overhead ratio exceeds
+// ObsOverheadBound.
+func Obs(cfg Config) (*ObsReport, error) {
+	p := gen.SkewedLike(cfg.Scale)
+	g, err := gen.Generate(p, cfg.Seed)
+	if err != nil {
+		return nil, fmt.Errorf("bench: generate %s: %w", p.Name, err)
+	}
+	rep := &ObsReport{
+		Graph:    p.Name,
+		Vertices: g.NumVertices(),
+		Edges:    g.NumEdges(),
+		Workers:  cfg.Workers,
+		Runs:     obsRuns,
+	}
+
+	for _, al := range ObsAlgos {
+		run := func(tr obs.Tracer, reg *obs.Registry) (*core.Result, error) {
+			prog, opts, err := algorithms.New(g, strings.ToLower(string(al)), algorithms.Params{
+				Source:     g.VertexAt(0).ID,
+				Target:     g.VertexAt(g.NumVertices() - 1).ID,
+				Iterations: cfg.PRIterations,
+			})
+			if err != nil {
+				return nil, err
+			}
+			opts.NumWorkers = cfg.Workers
+			opts.Tracer = tr
+			opts.Registry = reg
+			opts.Span = "bench-obs"
+			return core.Run(g, prog, opts)
+		}
+		if _, err := run(nil, nil); err != nil { // warm-up
+			return nil, fmt.Errorf("bench: obs %s: %w", al, err)
+		}
+
+		var bare, instr []time.Duration
+		var supersteps int
+		var events int64
+		for i := 0; i < obsRuns; i++ {
+			r, err := run(nil, nil)
+			if err != nil {
+				return nil, fmt.Errorf("bench: obs %s bare: %w", al, err)
+			}
+			bare = append(bare, r.Metrics.Makespan)
+			supersteps = r.Metrics.Supersteps
+
+			ct := &countTracer{inner: obs.NewJSONLTracer(io.Discard)}
+			r, err = run(ct, obs.NewRegistry())
+			if err != nil {
+				return nil, fmt.Errorf("bench: obs %s instrumented: %w", al, err)
+			}
+			instr = append(instr, r.Metrics.Makespan)
+			events = ct.n
+		}
+		sort.Slice(bare, func(a, b int) bool { return bare[a] < bare[b] })
+		sort.Slice(instr, func(a, b int) bool { return instr[a] < instr[b] })
+		mb, mi := bare[len(bare)/2], instr[len(instr)/2]
+
+		rep.Rows = append(rep.Rows,
+			ObsRow{Algo: al, Mode: "bare", Supersteps: supersteps,
+				MakespanMS: float64(mb.Microseconds()) / 1e3},
+			ObsRow{Algo: al, Mode: "instrumented", Supersteps: supersteps,
+				MakespanMS: float64(mi.Microseconds()) / 1e3, Events: events})
+		ratio := 0.0
+		if mb > 0 {
+			ratio = float64(mi)/float64(mb) - 1
+		}
+		rep.Verdicts = append(rep.Verdicts, ObsOverhead{
+			Algo: al, Ratio: ratio, Bound: ObsOverheadBound,
+			Pass: ratio <= ObsOverheadBound,
+		})
+	}
+
+	for _, v := range rep.Verdicts {
+		if !v.Pass {
+			return rep, fmt.Errorf("bench: obs overhead guard failed: %s instrumentation costs %.1f%% (bound %.0f%%)",
+				v.Algo, v.Ratio*100, v.Bound*100)
+		}
+	}
+	return rep, nil
+}
+
+// RenderObs prints the overhead report.
+func RenderObs(w io.Writer, rep *ObsReport) {
+	fmt.Fprintf(w, "Obs: instrumentation overhead on %q (%d vertices, %d edges, %d workers, median of %d interleaved runs)\n",
+		rep.Graph, rep.Vertices, rep.Edges, rep.Workers, rep.Runs)
+	t := stats.Table{Header: []string{"Algo", "Mode", "Supersteps", "Makespan ms", "Events"}}
+	for _, r := range rep.Rows {
+		ev := "-"
+		if r.Mode == "instrumented" {
+			ev = fmt.Sprint(r.Events)
+		}
+		t.Add(string(r.Algo), r.Mode, r.Supersteps, fmt.Sprintf("%.2f", r.MakespanMS), ev)
+	}
+	t.Render(w)
+	for _, v := range rep.Verdicts {
+		verdict := "PASS"
+		if !v.Pass {
+			verdict = "FAIL"
+		}
+		fmt.Fprintf(w, "  %-5s overhead %+.1f%% (bound %.0f%%) %s\n",
+			v.Algo, v.Ratio*100, v.Bound*100, verdict)
+	}
+}
+
+// WriteObsJSON writes the report as indented JSON (the BENCH_obs.json
+// artifact the Makefile bench-obs target records).
+func WriteObsJSON(path string, rep *ObsReport) error {
+	b, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(b, '\n'), 0o644)
+}

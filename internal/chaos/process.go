@@ -15,11 +15,15 @@ import (
 	"errors"
 	"fmt"
 	"log/slog"
+	"net"
+	"net/http"
 	"os"
 	"os/exec"
+	"path/filepath"
 	"sync"
 
 	"graphite/internal/cluster"
+	"graphite/internal/obs"
 )
 
 // ChildEnv marks a process as a cluster worker child: its value is a JSON
@@ -28,11 +32,24 @@ import (
 // the parent's code path.
 const ChildEnv = "GRAPHITE_CLUSTER_CHILD"
 
-// ChildSpec is the worker bootstrap carried in ChildEnv.
+// ChildSpec is the worker bootstrap carried in ChildEnv. HTTP makes the
+// child serve its metric registry at a loopback /metrics (+ /debug/)
+// endpoint, writing the bound address to Dir/WorkerHTTPAddrFile so the
+// parent can scrape it. Trace makes the child append its JSONL run trace to
+// Dir/WorkerTraceFile — append, so a respawned incarnation extends the same
+// file and the directory accumulates one trace for the whole slot.
 type ChildSpec struct {
-	Addr string `json:"addr"`
-	Dir  string `json:"dir"`
+	Addr  string `json:"addr"`
+	Dir   string `json:"dir"`
+	HTTP  bool   `json:"http,omitempty"`
+	Trace bool   `json:"trace,omitempty"`
 }
+
+// Per-slot observability artifacts, relative to the worker directory.
+const (
+	WorkerHTTPAddrFile = "http.addr"
+	WorkerTraceFile    = "trace.jsonl"
+)
 
 // RunChildWorker checks ChildEnv and, when set, runs this process as a
 // cluster worker until completion, then exits — it never returns in that
@@ -54,12 +71,49 @@ func RunChildWorker() {
 		os.Exit(2)
 	}
 	log := slog.New(slog.NewTextHandler(os.Stderr, nil))
-	err = cluster.RunWorker(context.Background(), cluster.WorkerConfig{
+	cfg := cluster.WorkerConfig{
 		Addr:   spec.Addr,
 		Dir:    spec.Dir,
 		Crash:  plan,
 		Logger: log,
-	})
+	}
+	if spec.HTTP || spec.Trace {
+		if err := os.MkdirAll(spec.Dir, 0o755); err != nil {
+			fmt.Fprintf(os.Stderr, "chaos child: %v\n", err)
+			os.Exit(2)
+		}
+	}
+	var trace *obs.LineTracer
+	if spec.Trace {
+		trace, err = obs.AppendJSONLTrace(filepath.Join(spec.Dir, WorkerTraceFile))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "chaos child: %v\n", err)
+			os.Exit(2)
+		}
+		cfg.Tracer = trace
+	}
+	if spec.HTTP {
+		reg := obs.NewRegistry()
+		cfg.Registry = reg
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "chaos child: metrics listener: %v\n", err)
+			os.Exit(2)
+		}
+		if err := os.WriteFile(filepath.Join(spec.Dir, WorkerHTTPAddrFile),
+			[]byte(ln.Addr().String()+"\n"), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "chaos child: %v\n", err)
+			os.Exit(2)
+		}
+		mux := http.NewServeMux()
+		mux.Handle("/metrics", obs.MetricsHandler(reg))
+		mux.Handle("/debug/", obs.DebugMux(reg))
+		go func() { _ = http.Serve(ln, mux) }()
+	}
+	err = cluster.RunWorker(context.Background(), cfg)
+	if trace != nil {
+		_ = trace.Close()
+	}
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "chaos child (%s): %v\n", spec.Dir, err)
 		os.Exit(1)
@@ -83,6 +137,10 @@ type FleetConfig struct {
 	MaxRespawns int
 	// Stderr, when true, wires the children's stderr to the parent's.
 	Stderr bool
+	// HTTP and Trace enable the per-worker observability artifacts for every
+	// slot (see ChildSpec).
+	HTTP  bool
+	Trace bool
 }
 
 // Fleet supervises a set of worker child processes: it respawns any worker
@@ -123,7 +181,10 @@ func StartFleet(cfg FleetConfig) (*Fleet, error) {
 // spawn launches one incarnation of slot's worker. Only the first
 // incarnation carries a planted crash.
 func (f *Fleet) spawn(slot int, withCrash bool) (*exec.Cmd, error) {
-	spec, err := json.Marshal(ChildSpec{Addr: f.cfg.Addr, Dir: f.cfg.Dirs[slot]})
+	spec, err := json.Marshal(ChildSpec{
+		Addr: f.cfg.Addr, Dir: f.cfg.Dirs[slot],
+		HTTP: f.cfg.HTTP, Trace: f.cfg.Trace,
+	})
 	if err != nil {
 		return nil, err
 	}

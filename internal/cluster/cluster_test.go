@@ -169,6 +169,7 @@ func TestClusterLeaseRecovery(t *testing.T) {
 	g := tgraph.TransitExample()
 	p := algorithms.Params{Source: 0}
 	rec := &obs.Recorder{}
+	reg := obs.NewRegistry()
 	ctx, cancel := context.WithCancel(context.Background())
 	defer cancel()
 	coord, addr, out := startCluster(t, cluster.Config{
@@ -176,6 +177,8 @@ func TestClusterLeaseRecovery(t *testing.T) {
 		Lease:         300 * time.Millisecond,
 		RejoinTimeout: 20 * time.Second,
 		Tracer:        rec,
+		Registry:      reg,
+		Span:          "lease-test-span",
 	})
 	dirs := workerDirs(t, testWorkers)
 	runWorkers(ctx, t, addr, dirs[:2])
@@ -226,6 +229,48 @@ func TestClusterLeaseRecovery(t *testing.T) {
 	if joins != 1 {
 		t.Errorf("want one rejoin join event, got %d", joins)
 	}
+	// Span propagation: the configured span survives into the coordinator
+	// and onto every span-carrying trace event.
+	if coord.Span() != "lease-test-span" {
+		t.Errorf("coordinator span = %q, want the configured one", coord.Span())
+	}
+	for _, e := range rec.Events() {
+		switch ev := e.(type) {
+		case obs.RunStart:
+			if ev.Span != "lease-test-span" {
+				t.Errorf("run_start span = %q", ev.Span)
+			}
+		case obs.ClusterStep:
+			if ev.Span != "lease-test-span" {
+				t.Errorf("cluster_step %d span = %q", ev.Superstep, ev.Span)
+			}
+		}
+	}
+	// Straggler attribution: one row per executed superstep (replays
+	// included), each with a timing per shard.
+	attr := coord.Attribution()
+	if len(attr) != rep.Supersteps {
+		t.Errorf("attribution rows = %d, executed supersteps = %d", len(attr), rep.Supersteps)
+	}
+	for _, a := range attr {
+		if len(a.Shards) != testWorkers {
+			t.Errorf("superstep %d attribution has %d shard timings, want %d", a.Superstep, len(a.Shards), testWorkers)
+		}
+		if a.WallNS <= 0 || a.SkewMilli < 1000 {
+			t.Errorf("superstep %d attribution not measured: %+v", a.Superstep, a)
+		}
+	}
+	// Fleet health gauges settle healthy after the recovery: every worker
+	// reported at the final barrier, so no heartbeats are missed and the
+	// quietest lease is strictly positive.
+	lease := 300 * time.Millisecond
+	remaining := reg.Gauge(obs.GClusterLeaseRemainingMS).Load()
+	if remaining <= 0 || remaining > lease.Milliseconds() {
+		t.Errorf("lease_remaining_ms = %d, want (0, %d]", remaining, lease.Milliseconds())
+	}
+	if missed := reg.Gauge(obs.GClusterMissedHeartbeats).Load(); missed != 0 {
+		t.Errorf("missed_heartbeats = %d after a healthy finish, want 0", missed)
+	}
 	if err := coord.Ready(); err != nil {
 		t.Errorf("finished cluster not ready: %v", err)
 	}
@@ -247,5 +292,33 @@ func TestClusterConfigGating(t *testing.T) {
 	}
 	if pl, err := cluster.ParseCrashPlan("compute:3"); err != nil || pl.Phase != "compute" || pl.Superstep != 3 {
 		t.Errorf("crash plan parse: %+v %v", pl, err)
+	}
+}
+
+// TestLeaseHealthTransitions pins the fleet-health gauge function across
+// the states a fleet moves through: everyone on schedule, one worker a
+// heartbeat behind, a worker about to lose its lease, and one past it.
+// Heartbeats renew every lease/4, so with a 400ms lease a beat is 100ms.
+func TestLeaseHealthTransitions(t *testing.T) {
+	lease := 400 * time.Millisecond
+	for _, tc := range []struct {
+		name     string
+		silences []time.Duration
+		wantRem  int64 // milliseconds
+		wantMiss int64
+	}{
+		{"empty fleet", nil, 400, 0},
+		{"all on schedule", []time.Duration{10 * time.Millisecond, 40 * time.Millisecond}, 360, 0},
+		{"one beat behind", []time.Duration{120 * time.Millisecond, 10 * time.Millisecond}, 280, 1},
+		{"nearly expired", []time.Duration{390 * time.Millisecond, 5 * time.Millisecond}, 10, 3},
+		{"expired", []time.Duration{450 * time.Millisecond}, 0, 4},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			rem, miss := cluster.LeaseHealth(tc.silences, lease)
+			if rem != tc.wantRem || miss != tc.wantMiss {
+				t.Errorf("LeaseHealth(%v) = (%d, %d), want (%d, %d)",
+					tc.silences, rem, miss, tc.wantRem, tc.wantMiss)
+			}
+		})
 	}
 }

@@ -1,10 +1,13 @@
 package cluster
 
 import (
+	"encoding/json"
 	"errors"
 	"fmt"
 	"log/slog"
 	"net"
+	"net/http"
+	"strconv"
 	"sync"
 	"time"
 
@@ -47,13 +50,50 @@ type Config struct {
 	// MaxRecoveries bounds rollback-and-replay cycles. Zero means
 	// DefaultMaxRecoveries; negative means unlimited.
 	MaxRecoveries int
-	// Registry receives cluster gauges and counters; nil creates a private
-	// one. Tracer, when set, receives WorkerJoin/WorkerLost/ClusterRecovery
-	// events. Logger nil means slog.Default.
+	// Span is the run-scoped span ID stamped on the coordinator's trace and
+	// handed to every worker with its assignment, so all N+1 traces of the
+	// run carry the same ID. Empty mints one in New (obs.NewSpanID).
+	Span string
+	// Registry receives the fleet gauges, counters and histograms; nil
+	// creates a private one. Tracer, when set, receives the coordinator's
+	// full run trace: the standard run/superstep lifecycle events plus the
+	// cluster-specific ones (worker_join/worker_lost/cluster_recovery, and
+	// per-superstep span/cluster_step attribution). Logger nil means
+	// slog.Default.
 	Registry *obs.Registry
 	Tracer   obs.Tracer
 	Logger   *slog.Logger
 }
+
+// ShardTiming is one shard's share of one distributed superstep, as the
+// coordinator attributes it: the worker-reported compute / barrier-wait /
+// deliver split plus the coordinator's own time relaying batches toward
+// this shard.
+type ShardTiming struct {
+	Shard     int   `json:"shard"`
+	ComputeNS int64 `json:"compute_ns"`
+	WaitNS    int64 `json:"wait_ns"`
+	DeliverNS int64 `json:"deliver_ns"`
+	RelayNS   int64 `json:"relay_ns"`
+}
+
+// StepAttribution is the coordinator's straggler verdict for one superstep:
+// the wall time from broadcast to last barrier report, the slowest shard by
+// compute time, the compute skew (max/mean in thousandths; 1000 = perfectly
+// balanced), and the per-shard split. Served as JSON by DebugHandler and
+// mirrored into the trace as a cluster_step event.
+type StepAttribution struct {
+	Superstep    int           `json:"superstep"`
+	Epoch        int           `json:"epoch"`
+	WallNS       int64         `json:"wall_ns"`
+	SlowestShard int           `json:"slowest_shard"`
+	SkewMilli    int64         `json:"skew_milli"`
+	Shards       []ShardTiming `json:"shards"`
+}
+
+// attrRingCap bounds the in-memory attribution history served by
+// /debug/cluster; older supersteps fall off the front.
+const attrRingCap = 512
 
 // RecoveryInfo describes one completed rollback-and-replay cycle.
 type RecoveryInfo struct {
@@ -108,6 +148,7 @@ type Coordinator struct {
 	mu     sync.Mutex
 	stats  Stats
 	report Report
+	attr   []StepAttribution
 }
 
 // event kinds flowing into the driver goroutine, which owns all protocol
@@ -159,6 +200,9 @@ func New(cfg Config) (*Coordinator, error) {
 	}
 	if cfg.MaxRecoveries == 0 {
 		cfg.MaxRecoveries = DefaultMaxRecoveries
+	}
+	if cfg.Span == "" {
+		cfg.Span = obs.NewSpanID()
 	}
 	if cfg.Registry == nil {
 		cfg.Registry = obs.NewRegistry()
@@ -227,6 +271,54 @@ func (c *Coordinator) Report() Report {
 	return r
 }
 
+// Span returns the run-scoped span ID (minted in New if the config left it
+// empty) — the string that links the coordinator's trace, every worker's
+// trace, and the attribution rows.
+func (c *Coordinator) Span() string { return c.cfg.Span }
+
+// Attribution returns the per-superstep straggler attribution collected so
+// far, oldest first, bounded to the last attrRingCap supersteps.
+func (c *Coordinator) Attribution() []StepAttribution {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]StepAttribution(nil), c.attr...)
+}
+
+// pushAttribution appends one closed superstep to the bounded history.
+func (c *Coordinator) pushAttribution(a StepAttribution) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.attr = append(c.attr, a)
+	if len(c.attr) > attrRingCap {
+		c.attr = c.attr[len(c.attr)-attrRingCap:]
+	}
+}
+
+// DebugHandler serves the cluster's observability state as JSON — the
+// payload cmd/graphite-coordinator mounts at /debug/cluster and
+// cmd/graphite-trace reconciles a merged cluster trace against.
+func (c *Coordinator) DebugHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		c.mu.Lock()
+		body := struct {
+			Span        string            `json:"span"`
+			Stats       Stats             `json:"stats"`
+			Report      Report            `json:"report"`
+			Attribution []StepAttribution `json:"attribution"`
+		}{
+			Span:        c.cfg.Span,
+			Stats:       c.stats,
+			Report:      c.report,
+			Attribution: append([]StepAttribution(nil), c.attr...),
+		}
+		c.mu.Unlock()
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(body)
+	})
+}
+
 // Close aborts the run; Serve returns promptly with an error.
 func (c *Coordinator) Close() { c.qonce.Do(func() { close(c.quit) }) }
 
@@ -263,6 +355,25 @@ type deadWorker struct {
 	silent time.Duration
 }
 
+// runTotals is the rewindable slice of the run's aggregate metrics: the
+// counters a rollback must rewind to the committed checkpoint, so replayed
+// supersteps are not double-counted. Snapshotted per committed generation
+// and restored on recovery; the never-rewound counters (checkpoints,
+// recoveries, supersteps-executed) live outside it.
+type runTotals struct {
+	supersteps   int
+	computeCalls int64
+	scatterCalls int64
+	messages     int64
+	messageBytes int64
+	computeNS    int64
+	messagingNS  int64
+	barrierNS    int64
+	// active is the frontier size at this boundary — what the next
+	// superstep_start reports as its entering frontier.
+	active int
+}
+
 // driver is the single goroutine owning all cluster protocol state.
 type driver struct {
 	c *Coordinator
@@ -276,12 +387,20 @@ type driver struct {
 	superstep    int // superstep currently in flight (0 = none yet)
 	started      time.Time
 
-	// Per-superstep barrier tally.
+	// Per-superstep barrier tally. Worker reports are held per shard and
+	// folded into the run totals only when the superstep closes, so a
+	// mid-superstep worker loss leaves the totals untouched. The relay
+	// clocks accumulate the coordinator's own forwarding time and bytes per
+	// destination shard.
 	doneFrom     []bool
 	doneCount    int
 	sumDelivered int64
 	sumActive    int
 	ckptAcks     int
+	reports      []stepDoneMsg
+	relayNS      []int64
+	relayBytes   []int64
+	stepStarted  time.Time
 
 	// Worker losses detected mid-handling. Sends never recover inline:
 	// failures queue here and drain between events, so a rollback broadcast
@@ -301,6 +420,14 @@ type driver struct {
 	blobs     [][]byte
 	blobCount int
 
+	// rt accumulates the rewindable totals; genTotals holds its snapshot at
+	// each committed generation (the rollback targets). executed counts
+	// every superstep driven, including replays — the Report's view.
+	rt        runTotals
+	genTotals map[int]runTotals
+	executed  int
+	halted    bool
+
 	totals engine.Metrics
 	state  string
 	result *core.Result
@@ -311,6 +438,10 @@ func (d *driver) run() (*core.Result, error) {
 	d.committedGen = -1
 	d.state = stWaiting
 	d.doneFrom = make([]bool, c.cfg.Workers)
+	d.reports = make([]stepDoneMsg, c.cfg.Workers)
+	d.relayNS = make([]int64, c.cfg.Workers)
+	d.relayBytes = make([]int64, c.cfg.Workers)
+	d.genTotals = map[int]runTotals{}
 	d.blobs = make([][]byte, c.cfg.Workers)
 	ticker := time.NewTicker(c.cfg.Lease / 2)
 	defer ticker.Stop()
@@ -341,18 +472,66 @@ func (d *driver) run() (*core.Result, error) {
 	}
 }
 
-// tick enforces leases and the rejoin deadline.
+// tick enforces leases and the rejoin deadline, and refreshes the fleet
+// health gauges from the current silence profile.
 func (d *driver) tick(now time.Time) error {
 	lease := d.c.cfg.Lease
 	for _, wc := range d.conns {
-		if wc.shard >= 0 && now.Sub(wc.lastSeen) > lease {
+		if wc.shard < 0 {
+			continue
+		}
+		if now.Sub(wc.lastSeen) > lease {
 			d.markDead(wc, fmt.Sprintf("lease expired (silent %v)", now.Sub(wc.lastSeen).Round(time.Millisecond)))
 		}
 	}
+	d.refreshLeaseGauges(now)
 	if d.recovering && !d.rejoinBy.IsZero() && now.After(d.rejoinBy) {
 		return fmt.Errorf("cluster: no replacement worker within %v; abandoning run", d.c.cfg.RejoinTimeout)
 	}
 	return nil
+}
+
+// refreshLeaseGauges re-evaluates the fleet health gauges from the current
+// silence profile. Called on every lease tick and at every superstep close,
+// so a scrape sees fresh values even on runs shorter than a tick interval.
+func (d *driver) refreshLeaseGauges(now time.Time) {
+	var silences []time.Duration
+	for _, wc := range d.conns {
+		if wc.shard < 0 {
+			continue
+		}
+		silences = append(silences, now.Sub(wc.lastSeen))
+	}
+	remMS, missed := LeaseHealth(silences, d.c.cfg.Lease)
+	reg := d.c.cfg.Registry
+	reg.Gauge(obs.GClusterLeaseRemainingMS).Set(remMS)
+	reg.Gauge(obs.GClusterMissedHeartbeats).Set(missed)
+}
+
+// LeaseHealth distills a fleet silence profile into the two health gauges:
+// the tightest remaining lease across workers in milliseconds (how close
+// the quietest worker is to being declared dead; clamped at zero) and the
+// worst missed-heartbeat count (whole heartbeat intervals — lease/4 — the
+// quietest worker has gone without renewing; 0 while everyone is on
+// schedule). An empty profile (no assigned workers) reports a full lease
+// and zero missed beats.
+func LeaseHealth(silences []time.Duration, lease time.Duration) (remainingMS, missed int64) {
+	minRem := lease
+	hb := lease / 4
+	for _, s := range silences {
+		if rem := lease - s; rem < minRem {
+			minRem = rem
+		}
+		if hb > 0 {
+			if m := int64(s / hb); m > missed {
+				missed = m
+			}
+		}
+	}
+	if minRem < 0 {
+		minRem = 0
+	}
+	return minRem.Milliseconds(), missed
 }
 
 func (d *driver) handle(ev event) error {
@@ -514,6 +693,7 @@ func (d *driver) hello(wc *wconn, h helloMsg) {
 		Params:          d.c.cfg.Params,
 		CheckpointEvery: d.c.cfg.CheckpointEvery,
 		HeartbeatNS:     int64(d.c.cfg.Lease / 4),
+		Span:            d.c.cfg.Span,
 	}
 	d.emit(obs.WorkerJoin{Shard: shard, Addr: wc.conn.RemoteAddr().String(), Epoch: d.epoch, Rejoin: d.committedGen >= 0})
 	d.c.cfg.Logger.Info("cluster: worker joined", "shard", shard, "epoch", d.epoch, "rejoin", d.committedGen >= 0)
@@ -538,7 +718,12 @@ func (d *driver) readyFrame(wc *wconn, r readyMsg) {
 	if d.state == stWaiting {
 		d.started = time.Now()
 		d.committedGen = 0 // every worker has generation 0 on disk
+		d.genTotals[0] = runTotals{}
 		d.superstep = 1
+		d.emit(obs.RunStart{
+			Vertices: d.c.g.NumVertices(), Workers: d.c.cfg.Workers,
+			Checkpoints: true, Span: d.c.cfg.Span,
+		})
 		d.setState(stRunning)
 		d.broadcastStep()
 		return
@@ -615,9 +800,18 @@ func (d *driver) resume() {
 	d.rejoinBy = time.Time{}
 	d.superstep = resumeAt
 	d.totals.Recoveries++
+	// Rewind the rewindable totals to the restored generation's snapshot, so
+	// the replayed supersteps fold in exactly once — the trace reconciles
+	// and the final metrics reflect the surviving executions, matching
+	// single-process rollback semantics.
+	d.rt = d.genTotals[d.committedGen]
 	reg := d.c.cfg.Registry
 	reg.Counter(obs.CClusterRecoveries).Inc()
 	reg.Counter(obs.CClusterReplayedSupersteps).Add(int64(replayed))
+	d.emit(obs.Recovery{
+		Failed: d.failedStep, ResumeAt: resumeAt,
+		Attempt: d.recoveries, Reason: "worker_lost",
+	})
 	d.emit(obs.ClusterRecovery{
 		Epoch: d.epoch, Failed: d.failedStep, ResumeAt: resumeAt,
 		Gen: d.committedGen, DetectNS: int64(d.detectLag), MTTRNS: int64(mttr),
@@ -632,6 +826,11 @@ func (d *driver) resume() {
 // broadcastStep starts the current superstep on every shard.
 func (d *driver) broadcastStep() {
 	d.resetBarrierTally()
+	d.stepStarted = time.Now()
+	// The entering frontier is the previous barrier's active count; for the
+	// very first superstep the coordinator has no worker reports yet, so it
+	// opens with zero (workers know their post-Init frontiers, not us).
+	d.emit(obs.SuperstepStart{Superstep: d.superstep, Active: d.rt.active})
 	k := d.c.cfg.CheckpointEvery
 	st := stepMsg{Epoch: d.epoch, Superstep: d.superstep}
 	if d.superstep%k == 0 {
@@ -646,6 +845,9 @@ func (d *driver) broadcastStep() {
 
 func (d *driver) resetBarrierTally() {
 	clear(d.doneFrom)
+	clear(d.reports)
+	clear(d.relayNS)
+	clear(d.relayBytes)
 	d.doneCount = 0
 	d.sumDelivered = 0
 	d.sumActive = 0
@@ -665,18 +867,17 @@ func (d *driver) stepDone(wc *wconn, sd stepDoneMsg) {
 	d.doneCount++
 	d.sumDelivered += sd.Delivered
 	d.sumActive += sd.Active
-	d.totals.ComputeCalls += sd.ComputeCalls
-	d.totals.ScatterCalls += sd.ScatterCalls
-	d.totals.Messages += sd.SentMsgs
-	d.totals.MessageBytes += sd.SentBytes
+	d.reports[sd.Shard] = sd
 	if sd.CkptGen >= 0 {
 		d.ckptAcks++
 	}
 	if d.doneCount < d.c.cfg.Workers {
 		return
 	}
-	// Superstep closed.
-	d.totals.Supersteps++
+	// Superstep closed: fold the held per-shard reports into the rewindable
+	// totals (deferring the fold to here is what keeps a rolled-back
+	// superstep out of them), attribute the step, and emit its trace.
+	d.closeSuperstep()
 	k := d.c.cfg.CheckpointEvery
 	if d.superstep%k == 0 && d.ckptAcks == d.c.cfg.Workers {
 		d.committedGen = d.superstep / k
@@ -684,15 +885,99 @@ func (d *driver) stepDone(wc *wconn, sd stepDoneMsg) {
 		d.c.mu.Lock()
 		d.c.report.Checkpoints++
 		d.c.mu.Unlock()
+		// The snapshot taken here is exactly what a rollback to this
+		// generation must restore.
+		d.genTotals[d.committedGen] = d.rt
+		d.emit(obs.Checkpoint{Superstep: d.superstep + 1, Index: d.totals.Checkpoints})
 	}
 	halted := d.sumDelivered == 0 && d.sumActive == 0 && !d.c.opts.ActivateAll
 	bounded := d.c.opts.MaxSupersteps > 0 && d.superstep+1 > d.c.opts.MaxSupersteps
 	if halted || bounded {
+		d.halted = halted
 		d.startCollect()
 		return
 	}
 	d.superstep++
 	d.broadcastStep()
+}
+
+// closeSuperstep folds the completed barrier tally into the run totals and
+// produces the superstep's observability output: per-shard phase spans, the
+// superstep_end metric deltas, the cluster_step straggler verdict, the
+// /debug/cluster attribution row, and the fleet registry updates.
+func (d *driver) closeSuperstep() {
+	d.refreshLeaseGauges(time.Now())
+	wallNS := time.Since(d.stepStarted).Nanoseconds()
+	var sumCompute, sumWait, sumDeliver, sumRelayNS, sumRelayBytes int64
+	var sumCalls, sumScatter, sumMsgs, sumBytes int64
+	maxCompute, slowest := int64(-1), 0
+	shards := make([]ShardTiming, d.c.cfg.Workers)
+	for s := range d.reports {
+		rep := &d.reports[s]
+		shards[s] = ShardTiming{
+			Shard: s, ComputeNS: rep.ComputeNS, WaitNS: rep.WaitNS,
+			DeliverNS: rep.DeliverNS, RelayNS: d.relayNS[s],
+		}
+		sumCompute += rep.ComputeNS
+		sumWait += rep.WaitNS
+		sumDeliver += rep.DeliverNS
+		sumRelayNS += d.relayNS[s]
+		sumRelayBytes += d.relayBytes[s]
+		sumCalls += rep.ComputeCalls
+		sumScatter += rep.ScatterCalls
+		sumMsgs += rep.SentMsgs
+		sumBytes += rep.SentBytes
+		if rep.ComputeNS > maxCompute {
+			maxCompute, slowest = rep.ComputeNS, s
+		}
+	}
+	skewMilli := int64(1000)
+	if mean := sumCompute / int64(len(shards)); mean > 0 {
+		skewMilli = maxCompute * 1000 / mean
+	}
+	d.executed++
+	d.rt.supersteps++
+	d.rt.computeCalls += sumCalls
+	d.rt.scatterCalls += sumScatter
+	d.rt.messages += sumMsgs
+	d.rt.messageBytes += sumBytes
+	d.rt.computeNS += sumCompute
+	d.rt.messagingNS += sumWait + sumRelayNS
+	d.rt.barrierNS += sumDeliver
+	d.rt.active = d.sumActive
+
+	span := d.c.cfg.Span
+	for _, st := range shards {
+		d.emit(obs.PhaseSpan{Span: span, Superstep: d.superstep, Shard: st.Shard, Phase: "compute", NS: st.ComputeNS})
+		d.emit(obs.PhaseSpan{Span: span, Superstep: d.superstep, Shard: st.Shard, Phase: "barrier_wait", NS: st.WaitNS})
+		d.emit(obs.PhaseSpan{Span: span, Superstep: d.superstep, Shard: st.Shard, Phase: "relay", NS: st.RelayNS})
+	}
+	d.emit(obs.SuperstepEnd{
+		Superstep: d.superstep,
+		ComputeNS: sumCompute, MessagingNS: sumWait + sumRelayNS, BarrierNS: sumDeliver,
+		ComputeCalls: sumCalls, ScatterCalls: sumScatter,
+		Messages: sumMsgs, MessageBytes: sumBytes,
+		Delivered: d.sumDelivered, Active: d.sumActive,
+	})
+	d.emit(obs.ClusterStep{
+		Span: span, Superstep: d.superstep, Epoch: d.epoch, WallNS: wallNS,
+		SlowestShard: slowest, SkewMilli: skewMilli,
+		ComputeNS: sumCompute, WaitNS: sumWait, RelayNS: sumRelayNS,
+	})
+	d.c.pushAttribution(StepAttribution{
+		Superstep: d.superstep, Epoch: d.epoch, WallNS: wallNS,
+		SlowestShard: slowest, SkewMilli: skewMilli, Shards: shards,
+	})
+	reg := d.c.cfg.Registry
+	reg.Histogram(obs.HClusterComputeNS).Observe(time.Duration(maxCompute))
+	reg.Histogram(obs.HClusterWaitNS).Observe(time.Duration(sumWait / int64(len(shards))))
+	reg.Gauge(obs.GClusterSkewMilli).Set(skewMilli)
+	reg.Gauge(obs.GClusterSlowest).Set(int64(slowest))
+	reg.Counter(obs.CClusterRelayBytes).Add(sumRelayBytes)
+	reg.Counter(obs.CClusterRelayNS).Add(sumRelayNS)
+	for _, st := range shards {
+		reg.Gauge(obs.WithLabels(obs.GClusterShardComputeNS, "shard", strconv.Itoa(st.Shard))).Set(st.ComputeNS)
+	}
 }
 
 // relay forwards one data frame to its destination shard. Stale-epoch
@@ -710,7 +995,13 @@ func (d *driver) relay(payload []byte) {
 	if h.dst < 0 || h.dst >= len(d.byShard) {
 		return
 	}
+	// The relay clock charges the forwarding time (and volume) to the
+	// destination shard: it is the receiver whose barrier wait this relay
+	// hop sits inside.
+	t0 := time.Now()
 	d.sendRaw(d.byShard[h.dst], fData, payload)
+	d.relayNS[h.dst] += time.Since(t0).Nanoseconds()
+	d.relayBytes[h.dst] += int64(len(payload))
 }
 
 // startCollect asks every shard for its final states.
@@ -743,6 +1034,17 @@ func (d *driver) resultFrame(wc *wconn, payload []byte) error {
 	if d.blobCount < d.c.cfg.Workers {
 		return nil
 	}
+	// Fill the engine-metrics view from the rewindable totals: the surviving
+	// executions only, matching single-process rollback semantics. The
+	// Report separately counts every superstep driven, replays included.
+	d.totals.Supersteps = d.rt.supersteps
+	d.totals.ComputeCalls = d.rt.computeCalls
+	d.totals.ScatterCalls = d.rt.scatterCalls
+	d.totals.Messages = d.rt.messages
+	d.totals.MessageBytes = d.rt.messageBytes
+	d.totals.ComputePlusTime = time.Duration(d.rt.computeNS)
+	d.totals.MessagingTime = time.Duration(d.rt.messagingNS)
+	d.totals.BarrierTime = time.Duration(d.rt.barrierNS)
 	d.totals.Runs = 1
 	d.totals.Makespan = time.Since(d.started)
 	d.totals.MaxMakespan = d.totals.Makespan
@@ -754,9 +1056,17 @@ func (d *driver) resultFrame(wc *wconn, payload []byte) error {
 	for _, owner := range d.byShard {
 		d.sendRaw(owner, fBye, nil)
 	}
+	d.emit(obs.RunEnd{
+		Supersteps:   d.rt.supersteps,
+		ComputeCalls: d.rt.computeCalls, ScatterCalls: d.rt.scatterCalls,
+		Messages: d.rt.messages, MessageBytes: d.rt.messageBytes,
+		Checkpoints: d.totals.Checkpoints, Recoveries: d.totals.Recoveries,
+		ComputeNS: d.rt.computeNS, MessagingNS: d.rt.messagingNS, BarrierNS: d.rt.barrierNS,
+		MakespanNS: int64(d.totals.Makespan), Halted: d.halted,
+	})
 	d.setState(stDone)
 	d.c.mu.Lock()
-	d.c.report.Supersteps = d.totals.Supersteps
+	d.c.report.Supersteps = d.executed
 	d.c.report.Makespan = d.totals.Makespan
 	d.c.report.Metrics = &m
 	d.c.mu.Unlock()

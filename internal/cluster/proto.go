@@ -61,7 +61,9 @@ type helloMsg struct {
 // assignMsg hands a worker its shard and everything needed to build it
 // identically to every peer. RestoreGen >= 0 instructs the worker to load
 // that generation from its local store after Init (the replacement-worker
-// path); -1 means a fresh start (save generation 0 instead).
+// path); -1 means a fresh start (save generation 0 instead). Span is the
+// run-scoped span ID every process stamps on its trace, so the coordinator
+// trace and all N worker traces name the same distributed run.
 type assignMsg struct {
 	Shard           int               `json:"shard"`
 	Shards          int               `json:"shards"`
@@ -72,6 +74,7 @@ type assignMsg struct {
 	Params          algorithms.Params `json:"params"`
 	CheckpointEvery int               `json:"checkpoint_every"`
 	HeartbeatNS     int64             `json:"heartbeat_ns"`
+	Span            string            `json:"span,omitempty"`
 }
 
 // readyMsg reports a worker standing at a superstep boundary, ready for
@@ -96,7 +99,12 @@ type stepMsg struct {
 
 // stepDoneMsg is one shard's barrier report. CkptGen is -1 unless this
 // superstep captured a checkpoint; the coordinator commits a generation
-// globally only after every shard acknowledges it.
+// globally only after every shard acknowledges it. The three NS fields
+// piggyback the worker's own phase clock onto the barrier message —
+// compute (compute + outbound + ship), wait (idle until the last peer
+// batch arrived), deliver (delivery + barrier + checkpoint I/O) — which is
+// what the coordinator folds into fleet metrics and straggler attribution
+// without any extra round trip.
 type stepDoneMsg struct {
 	Epoch        int   `json:"epoch"`
 	Superstep    int   `json:"superstep"`
@@ -109,6 +117,9 @@ type stepDoneMsg struct {
 	SentBytes    int64 `json:"sent_bytes"`
 	CkptGen      int   `json:"ckpt_gen"`
 	CkptBytes    int64 `json:"ckpt_bytes"`
+	ComputeNS    int64 `json:"compute_ns,omitempty"`
+	WaitNS       int64 `json:"wait_ns,omitempty"`
+	DeliverNS    int64 `json:"deliver_ns,omitempty"`
 }
 
 // rollbackMsg orders survivors back to the last globally-committed

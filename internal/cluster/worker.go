@@ -15,6 +15,7 @@ import (
 	"graphite/internal/algorithms"
 	"graphite/internal/core"
 	"graphite/internal/engine"
+	"graphite/internal/obs"
 )
 
 // Worker dial defaults: a replacement worker may start before the
@@ -48,6 +49,14 @@ type WorkerConfig struct {
 	// KeepCheckpoints bounds on-disk generations; zero means
 	// engine.DefaultKeepGenerations.
 	KeepCheckpoints int
+	// Registry, when set, receives the worker's engine.* metric families
+	// (the shard is built with it) — the series a worker-side /metrics
+	// endpoint exposes. Nil disables worker-local metrics.
+	Registry *obs.Registry
+	// Tracer, when set, receives the worker's run trace: a run_start carrying
+	// the coordinator-minted span and one shard_step per completed superstep,
+	// timed by the worker's own clock. Nil disables tracing.
+	Tracer obs.Tracer
 	// Logger nil means slog.Default.
 	Logger *slog.Logger
 }
@@ -62,6 +71,12 @@ type stepRun struct {
 	batches [][]byte
 	got     int
 	need    int
+
+	// Phase clock: computeNS covers compute + outbound + shipping the
+	// batches; shipped marks the start of the barrier wait (idle until the
+	// last peer batch lands).
+	computeNS int64
+	shipped   time.Time
 }
 
 // wrk is one worker process's run state.
@@ -77,6 +92,7 @@ type wrk struct {
 	self   int
 	shards int
 	epoch  int
+	span   string
 	cur    *stepRun
 
 	hbStop chan struct{}
@@ -214,6 +230,11 @@ func (w *wrk) handleAssign(payload []byte) error {
 		return w.fail(err)
 	}
 	opts.NumWorkers = as.Shards
+	// The shard publishes its engine.* families into the worker's registry
+	// and stamps the coordinator-minted span on everything it traces, so a
+	// worker's /metrics and trace are first-class citizens of the fleet.
+	opts.Registry = w.cfg.Registry
+	opts.Span = as.Span
 	sh, err := core.NewShard(g, prog, opts, as.Shard)
 	if err != nil {
 		return w.fail(err)
@@ -235,6 +256,8 @@ func (w *wrk) handleAssign(payload []byte) error {
 	}
 	w.sh, w.store = sh, store
 	w.self, w.shards, w.epoch = as.Shard, as.Shards, as.Epoch
+	w.span = as.Span
+	w.emit(obs.RunStart{Vertices: g.NumVertices(), Workers: as.Shards, Checkpoints: true, Span: as.Span})
 	var restored int64
 	gen := 0
 	if as.RestoreGen >= 0 {
@@ -290,6 +313,7 @@ func (w *wrk) handleStep(payload []byte) error {
 		return w.fail(fmt.Errorf("cluster: shard %d at superstep %d, coordinator wants %d",
 			w.self, got, st.Superstep))
 	}
+	computeStart := time.Now()
 	if err := w.sh.Compute(); err != nil {
 		return w.fail(err)
 	}
@@ -307,12 +331,14 @@ func (w *wrk) handleStep(payload []byte) error {
 			return err
 		}
 	}
+	shipped := time.Now()
 	// Kill point "compute": batches are on the wire, delivery has not
 	// happened — peers hold partial superstep state when the process dies.
 	w.maybeCrash("compute", st.Superstep)
 	w.cur = &stepRun{
 		step: st.Superstep, ckpt: st.Checkpoint, gen: st.Gen,
 		batches: make([][]byte, w.shards), need: w.shards - 1,
+		computeNS: shipped.Sub(computeStart).Nanoseconds(), shipped: shipped,
 	}
 	return w.finishStepIfReady()
 }
@@ -342,6 +368,10 @@ func (w *wrk) finishStepIfReady() error {
 		return nil
 	}
 	w.cur = nil
+	// The barrier wait ends when the last peer batch has landed; everything
+	// from here to the report is delivery + barrier + checkpoint I/O.
+	deliverStart := time.Now()
+	waitNS := deliverStart.Sub(cur.shipped).Nanoseconds()
 	ordered := make([][]byte, 0, cur.need)
 	for src := 0; src < w.shards; src++ {
 		if src != w.self {
@@ -376,12 +406,21 @@ func (w *wrk) finishStepIfReady() error {
 		}
 		ckptGen, ckptBytes = meta.Gen, meta.Bytes
 	}
+	deliverNS := time.Since(deliverStart).Nanoseconds()
+	w.emit(obs.ShardStep{
+		Span: w.span, Superstep: rep.Superstep, Shard: w.self, Epoch: w.epoch,
+		ComputeNS: cur.computeNS, WaitNS: waitNS, DeliverNS: deliverNS,
+		ComputeCalls: rep.ComputeCalls, ScatterCalls: rep.ScatterCalls,
+		SentMsgs: rep.SentMsgs, SentBytes: rep.SentBytes,
+		Delivered: rep.Delivered, Active: int64(rep.Active),
+	})
 	err := w.sendJSON(fStepDone, stepDoneMsg{
 		Epoch: w.epoch, Superstep: rep.Superstep, Shard: w.self,
 		Delivered: rep.Delivered, Active: rep.Active,
 		ComputeCalls: rep.ComputeCalls, ScatterCalls: rep.ScatterCalls,
 		SentMsgs: rep.SentMsgs, SentBytes: rep.SentBytes,
 		CkptGen: ckptGen, CkptBytes: ckptBytes,
+		ComputeNS: cur.computeNS, WaitNS: waitNS, DeliverNS: deliverNS,
 	})
 	if err != nil {
 		return err
@@ -471,6 +510,12 @@ func (w *wrk) startHeartbeat(every time.Duration) {
 }
 
 func (w *wrk) stopHeartbeat() { w.hbOnce.Do(func() { close(w.hbStop) }) }
+
+func (w *wrk) emit(e obs.Event) {
+	if w.cfg.Tracer != nil {
+		w.cfg.Tracer.Emit(e)
+	}
+}
 
 // maybeCrash fires a planted kill point: SIGKILL to self, the closest
 // honest stand-in for machine loss — no deferred functions, no flushes.

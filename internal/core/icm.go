@@ -137,6 +137,10 @@ type Options struct {
 	// Registry, when set, is handed to the engine for its counters and also
 	// receives the run's ICM stats (warp calls, suppression, state updates).
 	Registry *obs.Registry
+	// Span, when set, is the run-scoped span ID stamped on the trace's
+	// run_start (engine.Config.Span): the serve layer and the cluster
+	// protocol propagate it so one query correlates across processes.
+	Span string
 }
 
 // Stats counts ICM-specific runtime events.
@@ -190,6 +194,7 @@ func Run(g *tgraph.Graph, prog Program, opts Options) (*Result, error) {
 		SendRetries:     opts.SendRetries,
 		Registry:        opts.Registry,
 		Context:         opts.Context,
+		Span:            opts.Span,
 	}
 	if opts.Tracer != nil {
 		rt.traced = true

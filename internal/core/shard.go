@@ -65,6 +65,7 @@ func NewShard(g *tgraph.Graph, prog Program, opts Options, shard int) (*Shard, e
 		PayloadCodec: opts.PayloadCodec,
 		SendRetries:  opts.SendRetries,
 		Registry:     opts.Registry,
+		Span:         opts.Span,
 	}
 	if opts.ReceiverCombine && rt.combine != nil {
 		cfg.Combiner = engine.CombinerFunc(rt.combine)

@@ -142,6 +142,11 @@ type Config struct {
 	// is an external abort, never a recoverable fault — it bypasses
 	// checkpoint rollback-and-replay. Nil means the run cannot be canceled.
 	Context context.Context
+	// Span, when set, is the run-scoped span ID (obs.NewSpanID) minted by
+	// whoever admitted this query — graphite-serve, a CLI, or the cluster
+	// coordinator. It is stamped on the trace's run_start so the run can be
+	// correlated across process boundaries; empty leaves the trace unscoped.
+	Span string
 }
 
 // Fault-tolerance defaults.
@@ -348,6 +353,7 @@ func (e *Engine) Run() (*Metrics, error) {
 			Vertices:    e.numV,
 			Workers:     len(e.workers),
 			Checkpoints: e.cfg.CheckpointEvery > 0,
+			Span:        e.cfg.Span,
 		})
 	}
 

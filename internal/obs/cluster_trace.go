@@ -1,0 +1,207 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"time"
+
+	"graphite/internal/stats"
+)
+
+// Merging cluster traces. A cluster run writes N+1 JSONL traces: the
+// coordinator's (run lifecycle, per-shard PhaseSpans, per-superstep
+// ClusterStep attribution, recoveries) and one per worker process
+// (RunStart + per-superstep ShardStep reports, as measured by the worker
+// itself). MergeClusterTrace folds them into one causally-ordered timeline
+// and cross-checks the two sides: every surviving superstep execution in
+// the coordinator trace must be backed by a worker-measured ShardStep with
+// the same span ID, epoch and phase timings. That catches mixed-up trace
+// files, truncated worker traces and span-propagation bugs — the
+// distributed analogue of ValidateTrace's totals reconciliation.
+
+// ClusterStepRow is one superstep of a merged cluster timeline: the
+// coordinator's attribution, its per-shard spans, and the worker-side
+// reports that back them. Replayed supersteps carry their surviving
+// (last) execution.
+type ClusterStepRow struct {
+	Step   ClusterStep
+	Spans  []PhaseSpan // coordinator-synthesized, surviving execution
+	Shards []ShardStep // worker-measured, matched by (superstep, shard, epoch)
+}
+
+// ClusterTrace is the merged, reconciled view of one cluster run.
+type ClusterTrace struct {
+	Span    string
+	Workers int
+	// Events is the coordinator timeline with each matched worker ShardStep
+	// spliced in immediately before the ClusterStep it reconciles with.
+	Events []Event
+	Steps  []ClusterStepRow
+	// Recoveries counts coordinator-side recovery events in the timeline.
+	Recoveries int
+}
+
+type shardStepKey struct {
+	superstep, shard, epoch int
+}
+
+// MergeClusterTrace merges a coordinator trace with N worker traces into
+// one cluster timeline, reconciling worker-measured superstep reports
+// against the coordinator's synthesized spans. Worker traces may contain
+// extra ShardSteps (executions aborted by a rollback, reports from a worker
+// that died before the coordinator closed the superstep); those are
+// tolerated. A missing or mismatched report for a surviving execution is an
+// error.
+func MergeClusterTrace(coord []Event, workers [][]Event) (*ClusterTrace, error) {
+	ct := &ClusterTrace{}
+	for _, e := range coord {
+		if rs, ok := e.(RunStart); ok {
+			ct.Span, ct.Workers = rs.Span, rs.Workers
+			break
+		}
+	}
+	if ct.Span == "" {
+		return nil, fmt.Errorf("obs: coordinator trace has no run_start with a span id")
+	}
+
+	// Index worker-side reports. Reports arrive at most once per
+	// (superstep, shard, epoch) per worker process, but a replacement worker
+	// replays with the same epoch as the survivors, so keep a list and match
+	// greedily.
+	byKey := map[shardStepKey][]ShardStep{}
+	for i, w := range workers {
+		for _, e := range w {
+			switch ev := e.(type) {
+			case RunStart:
+				if ev.Span != ct.Span {
+					return nil, fmt.Errorf("obs: worker trace %d opens span %q, coordinator run is span %q",
+						i, ev.Span, ct.Span)
+				}
+			case ShardStep:
+				if ev.Span != ct.Span {
+					return nil, fmt.Errorf("obs: worker trace %d: shard_step superstep %d shard %d carries span %q, want %q",
+						i, ev.Superstep, ev.Shard, ev.Span, ct.Span)
+				}
+				k := shardStepKey{ev.Superstep, ev.Shard, ev.Epoch}
+				byKey[k] = append(byKey[k], ev)
+			}
+		}
+	}
+
+	// Walk the coordinator timeline: buffer spans per superstep, close rows
+	// at each ClusterStep (replays overwrite, so rows hold the surviving
+	// execution), and splice each execution's matched worker reports into
+	// the merged event stream just before its attribution record.
+	rows := map[int]*ClusterStepRow{}
+	pending := map[int][]PhaseSpan{}
+	for _, e := range coord {
+		switch ev := e.(type) {
+		case PhaseSpan:
+			pending[ev.Superstep] = append(pending[ev.Superstep], ev)
+			ct.Events = append(ct.Events, e)
+		case ClusterStep:
+			row := &ClusterStepRow{Step: ev, Spans: pending[ev.Superstep]}
+			delete(pending, ev.Superstep)
+			for _, sp := range row.Spans {
+				if sp.Phase != "compute" {
+					continue
+				}
+				k := shardStepKey{ev.Superstep, sp.Shard, ev.Epoch}
+				if got := byKey[k]; len(got) > 0 {
+					row.Shards = append(row.Shards, got[0])
+				}
+			}
+			sort.Slice(row.Shards, func(a, b int) bool { return row.Shards[a].Shard < row.Shards[b].Shard })
+			for _, ss := range row.Shards {
+				ct.Events = append(ct.Events, ss)
+			}
+			ct.Events = append(ct.Events, e)
+			rows[ev.Superstep] = row
+		case Recovery:
+			ct.Recoveries++
+			ct.Events = append(ct.Events, e)
+		default:
+			ct.Events = append(ct.Events, e)
+		}
+	}
+	if len(rows) == 0 {
+		return nil, fmt.Errorf("obs: coordinator trace has no cluster_step attribution records")
+	}
+
+	// Reconcile surviving executions: every compute span needs a
+	// worker-measured twin with identical timings.
+	for step := 1; len(ct.Steps) < len(rows); step++ {
+		row, ok := rows[step]
+		if !ok {
+			return nil, fmt.Errorf("obs: cluster trace superstep %d missing (non-contiguous attribution)", step)
+		}
+		byShard := map[int]ShardStep{}
+		for _, ss := range row.Shards {
+			byShard[ss.Shard] = ss
+		}
+		for _, sp := range row.Spans {
+			switch sp.Phase {
+			case "compute":
+				ss, ok := byShard[sp.Shard]
+				if !ok {
+					return nil, fmt.Errorf("obs: superstep %d shard %d (epoch %d): no worker trace carries its report",
+						step, sp.Shard, row.Step.Epoch)
+				}
+				if ss.ComputeNS != sp.NS {
+					return nil, fmt.Errorf("obs: superstep %d shard %d: worker measured compute %dns, coordinator span says %dns",
+						step, sp.Shard, ss.ComputeNS, sp.NS)
+				}
+			case "barrier_wait":
+				if ss, ok := byShard[sp.Shard]; ok && ss.WaitNS != sp.NS {
+					return nil, fmt.Errorf("obs: superstep %d shard %d: worker measured barrier wait %dns, coordinator span says %dns",
+						step, sp.Shard, ss.WaitNS, sp.NS)
+				}
+			}
+		}
+		ct.Steps = append(ct.Steps, *row)
+	}
+	return ct, nil
+}
+
+// Slowest returns the shard attribution row's worker-side report for the
+// slowest shard, when present.
+func (r *ClusterStepRow) Slowest() (ShardStep, bool) {
+	for _, ss := range r.Shards {
+		if ss.Shard == r.Step.SlowestShard {
+			return ss, true
+		}
+	}
+	return ShardStep{}, false
+}
+
+// Render prints the merged cluster timeline as a per-superstep straggler
+// attribution table.
+func (ct *ClusterTrace) Render(w io.Writer) {
+	fmt.Fprintf(w, "cluster run: span=%s workers=%d recoveries=%d\n",
+		ct.Span, ct.Workers, ct.Recoveries)
+	t := stats.Table{Header: []string{
+		"Step", "Wall", "Compute", "Wait", "Relay", "Slowest", "Skew",
+	}}
+	var wall, compute, wait, relay int64
+	for _, row := range ct.Steps {
+		s := row.Step
+		wall += s.WallNS
+		compute += s.ComputeNS
+		wait += s.WaitNS
+		relay += s.RelayNS
+		t.Add(s.Superstep,
+			time.Duration(s.WallNS).Round(time.Microsecond),
+			time.Duration(s.ComputeNS).Round(time.Microsecond),
+			time.Duration(s.WaitNS).Round(time.Microsecond),
+			time.Duration(s.RelayNS).Round(time.Microsecond),
+			fmt.Sprintf("shard %d", s.SlowestShard),
+			fmt.Sprintf("%.2f×", float64(s.SkewMilli)/1000))
+	}
+	t.Add("total",
+		time.Duration(wall).Round(time.Microsecond),
+		time.Duration(compute).Round(time.Microsecond),
+		time.Duration(wait).Round(time.Microsecond),
+		time.Duration(relay).Round(time.Microsecond), "-", "-")
+	t.Render(w)
+}

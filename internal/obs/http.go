@@ -40,14 +40,17 @@ type DebugServer struct {
 }
 
 // DebugMux returns the debug surface as an embeddable mux: /debug/vars
-// (expvar JSON, registry published under "graphite") and /debug/pprof/...
-// (profiles, heap, goroutines). The serving layer mounts it next to its API;
-// ServeDebug serves it standalone for the CLIs.
+// (expvar JSON, registry published under "graphite"), /debug/pprof/...
+// (profiles, heap, goroutines), and /metrics (Prometheus text exposition of
+// the registry). The serving layer mounts it next to its API; ServeDebug
+// serves it standalone for the CLIs. Callers that mount it under a "/debug/"
+// prefix route /metrics separately via MetricsHandler.
 func DebugMux(reg *Registry) *http.ServeMux {
 	if reg != nil {
 		publish(reg)
 	}
 	mux := http.NewServeMux()
+	mux.Handle("/metrics", MetricsHandler(reg))
 	mux.Handle("/debug/vars", expvar.Handler())
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)

@@ -74,6 +74,53 @@ func (t *JSONLTracer) Close() error {
 	return t.err
 }
 
+// LineTracer writes each event as one complete line in a single unbuffered
+// write to an O_APPEND file. That makes it crash-safe: a process SIGKILLed
+// between events (the cluster chaos harness's specialty) never leaves a
+// torn line, and a respawned incarnation appending to the same file yields
+// one parseable trace covering every incarnation. Prefer JSONLTracer for
+// processes with an orderly shutdown; prefer this for cluster workers.
+type LineTracer struct {
+	mu  sync.Mutex
+	f   *os.File
+	err error
+}
+
+// AppendJSONLTrace opens (creating if needed) path for append and returns a
+// crash-safe line-at-a-time tracer over it.
+func AppendJSONLTrace(path string) (*LineTracer, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("obs: open trace for append: %w", err)
+	}
+	return &LineTracer{f: f}, nil
+}
+
+// Emit implements Tracer: one write call per event, line and newline
+// together.
+func (t *LineTracer) Emit(e Event) {
+	line, err := MarshalEvent(e)
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.err != nil {
+		return
+	}
+	if err == nil {
+		_, err = t.f.Write(append(line, '\n'))
+	}
+	t.err = err
+}
+
+// Close closes the file and returns the first error seen on the stream.
+func (t *LineTracer) Close() error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if err := t.f.Close(); err != nil && t.err == nil {
+		t.err = err
+	}
+	return t.err
+}
+
 // MarshalEvent renders one event as its flat JSONL line (no trailing
 // newline): the event's own fields with "type" spliced in front.
 func MarshalEvent(e Event) ([]byte, error) {

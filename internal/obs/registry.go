@@ -13,6 +13,7 @@
 package obs
 
 import (
+	"math"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -76,6 +77,29 @@ const (
 	GClusterEpoch              = "cluster.epoch"
 	CClusterRecoveries         = "cluster.recoveries"
 	CClusterReplayedSupersteps = "cluster.replayed_supersteps"
+
+	// Heartbeat-lease health (coordinator-side): the tightest remaining
+	// lease across live workers in milliseconds (impending worker-loss shows
+	// up here before the WorkerLost event fires) and how many heartbeat
+	// intervals of silence the quietest worker has accumulated.
+	GClusterLeaseRemainingMS = "cluster.lease_remaining_ms"
+	GClusterMissedHeartbeats = "cluster.missed_heartbeats"
+
+	// Per-superstep straggler attribution (coordinator-side): the slowest
+	// shard's compute and barrier-wait time distributions, the latest
+	// superstep's compute skew (max/mean across shards in thousandths), the
+	// shard that was slowest last superstep, and the cumulative bytes and
+	// time the coordinator spent relaying data batches between workers.
+	HClusterComputeNS  = "cluster.superstep.compute_ns"
+	HClusterWaitNS     = "cluster.superstep.wait_ns"
+	GClusterSkewMilli  = "cluster.step_skew_milli"
+	GClusterSlowest    = "cluster.slowest_shard"
+	CClusterRelayBytes = "cluster.relay_bytes"
+	CClusterRelayNS    = "cluster.relay_ns"
+	// GClusterShardComputeNS is a labeled family (one series per shard via
+	// WithLabels(..., "shard", n)): the last superstep's compute time per
+	// shard, the straggler profile a dashboard plots directly.
+	GClusterShardComputeNS = "cluster.shard_compute_ns"
 )
 
 // Counter is a monotonic (except Store, used by checkpoint rollback) int64
@@ -182,6 +206,57 @@ type HistogramSnapshot struct {
 	SumNS    int64             `json:"sum_ns"`
 	Buckets  []HistogramBucket `json:"buckets,omitempty"`
 	Overflow int64             `json:"overflow,omitempty"`
+}
+
+// BucketInf marks the implicit +Inf bucket in cumulative snapshots.
+const BucketInf = time.Duration(math.MaxInt64)
+
+// Cumulative exports the histogram with Prometheus-style cumulative bucket
+// counts: each bucket's Count is the number of observations <= UpperBound,
+// and the final bucket is the implicit +Inf bucket (UpperBound == BucketInf)
+// whose count equals Count(). Reading concurrently with Observe is safe; the
+// result is monotone but may lag in-flight observations.
+func (h *Histogram) Cumulative() []HistogramBucket {
+	out := make([]HistogramBucket, 0, len(h.bounds)+1)
+	var cum int64
+	for i, b := range h.bounds {
+		cum += h.counts[i].Load()
+		out = append(out, HistogramBucket{UpperBound: time.Duration(b), Count: cum})
+	}
+	out = append(out, HistogramBucket{UpperBound: BucketInf, Count: cum + h.over.Load()})
+	return out
+}
+
+// Quantile estimates the q-quantile (0 <= q <= 1) by linear interpolation
+// within the bucket that holds the target rank. Observations past the last
+// bound report that bound (the histogram cannot resolve the overflow tail).
+// An empty histogram reports 0.
+func (h *Histogram) Quantile(q float64) time.Duration {
+	total := h.count.Load()
+	if total <= 0 || len(h.bounds) == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(total)
+	var cum int64
+	for i, b := range h.bounds {
+		n := h.counts[i].Load()
+		if float64(cum)+float64(n) >= rank && n > 0 {
+			lo := int64(0)
+			if i > 0 {
+				lo = h.bounds[i-1]
+			}
+			frac := (rank - float64(cum)) / float64(n)
+			return time.Duration(float64(lo) + frac*float64(b-lo))
+		}
+		cum += n
+	}
+	return time.Duration(h.bounds[len(h.bounds)-1])
 }
 
 // Snapshot exports the histogram.
@@ -298,6 +373,38 @@ func (r *Registry) Snapshot() map[string]any {
 		out[n] = h.Snapshot()
 	}
 	return out
+}
+
+// Export is a kind-typed snapshot of a registry, for sinks (the Prometheus
+// exposition) that must know whether a value is a counter, a gauge or a
+// histogram — Snapshot's map[string]any erases that.
+type Export struct {
+	Counters   map[string]int64
+	Gauges     map[string]int64
+	Histograms map[string]*Histogram
+}
+
+// Export snapshots counter and gauge values and captures histogram handles
+// by kind. The histogram pointers are live (their buckets keep moving);
+// exposition reads them via Cumulative.
+func (r *Registry) Export() Export {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	ex := Export{
+		Counters:   make(map[string]int64, len(r.counters)),
+		Gauges:     make(map[string]int64, len(r.gauges)),
+		Histograms: make(map[string]*Histogram, len(r.hists)),
+	}
+	for n, c := range r.counters {
+		ex.Counters[n] = c.Load()
+	}
+	for n, g := range r.gauges {
+		ex.Gauges[n] = g.Load()
+	}
+	for n, h := range r.hists {
+		ex.Histograms[n] = h
+	}
+	return ex
 }
 
 // Names returns every registered metric name, sorted.

@@ -38,6 +38,12 @@ func newEventOf(kind string) Event {
 		return &WorkerLost{}
 	case "cluster_recovery":
 		return &ClusterRecovery{}
+	case "span":
+		return &PhaseSpan{}
+	case "shard_step":
+		return &ShardStep{}
+	case "cluster_step":
+		return &ClusterStep{}
 	}
 	return nil
 }
@@ -69,6 +75,12 @@ func deref(e Event) Event {
 	case *WorkerLost:
 		return *v
 	case *ClusterRecovery:
+		return *v
+	case *PhaseSpan:
+		return *v
+	case *ShardStep:
+		return *v
+	case *ClusterStep:
 		return *v
 	}
 	return e

@@ -1,0 +1,29 @@
+package obs
+
+import (
+	"crypto/rand"
+	"encoding/hex"
+	"fmt"
+	"sync/atomic"
+	"time"
+)
+
+// A span ID is a run-scoped correlation token: 16 lowercase hex characters
+// minted once per query — by graphite-serve at admission, by the CLIs at
+// startup — and carried unchanged through engine.Config, the cluster
+// protocol and every trace event a run emits, so one query can be followed
+// serve → engine → shard → worker across process boundaries by grepping N
+// trace files for one string.
+
+// spanSeq de-duplicates span IDs minted when crypto/rand is unavailable
+// (it never is in practice, but observability must not fail a run).
+var spanSeq atomic.Int64
+
+// NewSpanID mints a fresh 16-hex-character run-scoped span ID.
+func NewSpanID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		return fmt.Sprintf("%016x", uint64(time.Now().UnixNano())^uint64(spanSeq.Add(1)))
+	}
+	return hex.EncodeToString(b[:])
+}

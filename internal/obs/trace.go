@@ -17,11 +17,14 @@ type Tracer interface {
 	Emit(e Event)
 }
 
-// RunStart opens a run: the shape of the computation.
+// RunStart opens a run: the shape of the computation. Span, when set, is
+// the run-scoped span ID (NewSpanID) minted by whoever admitted the query;
+// every distributed trace of the same run opens with the same span.
 type RunStart struct {
-	Vertices    int  `json:"vertices"`
-	Workers     int  `json:"workers"`
-	Checkpoints bool `json:"checkpoints,omitempty"` // checkpointing enabled
+	Vertices    int    `json:"vertices"`
+	Workers     int    `json:"workers"`
+	Checkpoints bool   `json:"checkpoints,omitempty"` // checkpointing enabled
+	Span        string `json:"span,omitempty"`
 }
 
 // Kind implements Event.
@@ -208,6 +211,67 @@ type ClusterRecovery struct {
 
 // Kind implements Event.
 func (ClusterRecovery) Kind() string { return "cluster_recovery" }
+
+// PhaseSpan is one shard's share of one phase of a distributed superstep,
+// synthesized by the cluster coordinator from worker barrier reports and its
+// own relay clock: "compute" (the worker's compute + outbound + ship time),
+// "barrier_wait" (the worker idled waiting for peer batches and the step
+// commit), or "relay" (coordinator time spent forwarding data batches toward
+// this shard). All spans of a run carry the run's span ID, so a cluster
+// timeline is a filter over one string.
+type PhaseSpan struct {
+	Span      string `json:"span,omitempty"`
+	Superstep int    `json:"superstep"`
+	Shard     int    `json:"shard"`
+	Phase     string `json:"phase"`
+	NS        int64  `json:"ns"`
+}
+
+// Kind implements Event.
+func (PhaseSpan) Kind() string { return "span" }
+
+// ShardStep is one worker's completed superstep as measured by the worker
+// itself: the record it piggybacks onto its barrier report and writes to its
+// local trace. The coordinator reconciles these against its own synthesized
+// PhaseSpans when N worker traces are merged into a cluster timeline.
+type ShardStep struct {
+	Span         string `json:"span,omitempty"`
+	Superstep    int    `json:"superstep"`
+	Shard        int    `json:"shard"`
+	Epoch        int    `json:"epoch"`
+	ComputeNS    int64  `json:"compute_ns"`
+	WaitNS       int64  `json:"wait_ns"`
+	DeliverNS    int64  `json:"deliver_ns"`
+	ComputeCalls int64  `json:"compute_calls,omitempty"`
+	ScatterCalls int64  `json:"scatter_calls,omitempty"`
+	SentMsgs     int64  `json:"sent_msgs,omitempty"`
+	SentBytes    int64  `json:"sent_bytes,omitempty"`
+	Delivered    int64  `json:"delivered,omitempty"`
+	Active       int64  `json:"active,omitempty"`
+}
+
+// Kind implements Event.
+func (ShardStep) Kind() string { return "shard_step" }
+
+// ClusterStep is the coordinator's straggler attribution for one distributed
+// superstep: which shard was slowest, how compute skewed across shards
+// (max/mean compute time in thousandths; 1000 = perfectly balanced), and the
+// fleet-wide compute / barrier-wait / relay split. WallNS is the coordinator
+// wall time from step broadcast to the last barrier report.
+type ClusterStep struct {
+	Span         string `json:"span,omitempty"`
+	Superstep    int    `json:"superstep"`
+	Epoch        int    `json:"epoch"`
+	WallNS       int64  `json:"wall_ns"`
+	SlowestShard int    `json:"slowest_shard"`
+	SkewMilli    int64  `json:"skew_milli"`
+	ComputeNS    int64  `json:"compute_ns"` // sum across shards
+	WaitNS       int64  `json:"wait_ns"`    // sum across shards
+	RelayNS      int64  `json:"relay_ns"`   // coordinator relay time
+}
+
+// Kind implements Event.
+func (ClusterStep) Kind() string { return "cluster_step" }
 
 // Recorder is a Tracer that keeps every event in memory, for tests and for
 // building summaries without a file round-trip.

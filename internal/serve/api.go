@@ -38,6 +38,11 @@ type RunRequest struct {
 	// NoCache bypasses the result cache and singleflight dedup for this
 	// request (the fresh result still does not overwrite the cache).
 	NoCache bool `json:"no_cache,omitempty"`
+	// Span, when set, is the client-minted run-scoped span ID to thread
+	// through the run's traces (16 hex chars, obs.NewSpanID form); empty
+	// makes the server mint one at admission. Spans are observability
+	// identity only — they never affect caching or results.
+	Span string `json:"span,omitempty"`
 }
 
 // StatePart is one partition of a vertex's final interval state, rendered
@@ -72,13 +77,17 @@ type RunMetrics struct {
 // true when the result was served from the cache or deduplicated onto
 // another request's run rather than executed for this caller.
 type RunResult struct {
-	Graph       string         `json:"graph"`
-	Algorithm   string         `json:"algorithm"`
-	Fingerprint string         `json:"fingerprint"`
-	Window      string         `json:"window"`
-	Cached      bool           `json:"cached"`
-	Metrics     RunMetrics     `json:"metrics"`
-	Vertices    []VertexResult `json:"vertices"`
+	Graph       string `json:"graph"`
+	Algorithm   string `json:"algorithm"`
+	Fingerprint string `json:"fingerprint"`
+	Window      string `json:"window"`
+	// Span is the run-scoped span ID of the run that produced this result;
+	// for cached or deduplicated responses it names the producing run, not
+	// this request.
+	Span     string         `json:"span,omitempty"`
+	Cached   bool           `json:"cached"`
+	Metrics  RunMetrics     `json:"metrics"`
+	Vertices []VertexResult `json:"vertices"`
 }
 
 // GraphInfo describes one loaded graph for /v1/graphs.

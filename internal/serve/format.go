@@ -53,6 +53,7 @@ func buildResult(p *prepared, r *core.Result) *RunResult {
 		Algorithm:   p.algo,
 		Fingerprint: p.fp,
 		Window:      windowLabel(p.window),
+		Span:        p.span,
 		Metrics: RunMetrics{
 			Supersteps:      r.Metrics.Supersteps,
 			ComputeCalls:    r.Metrics.ComputeCalls,

@@ -22,11 +22,14 @@ import (
 //	GET    /v1/jobs        list async jobs
 //	GET    /v1/jobs/{id}   poll an async job
 //	DELETE /v1/jobs/{id}   cancel an async job
+//	GET    /metrics        Prometheus text exposition of the server registry
 //	/debug/vars, /debug/pprof/...  the obs debug surface over the server's
 //	                               registry
 //
-// Every endpoint is instrumented with a request counter, an error counter
-// and a latency histogram under "serve.http.<name>.*".
+// Every API endpoint is instrumented with a request counter, an error
+// counter and a latency histogram under "serve.http.<name>.*"; /metrics
+// itself is left uninstrumented so scrapes do not pollute the series they
+// collect.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", s.instrument("healthz", s.handleHealthz))
@@ -36,6 +39,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/jobs", s.instrument("jobs", s.handleJobs))
 	mux.HandleFunc("GET /v1/jobs/{id}", s.instrument("job_get", s.handleJobGet))
 	mux.HandleFunc("DELETE /v1/jobs/{id}", s.instrument("job_cancel", s.handleJobCancel))
+	mux.Handle("GET /metrics", obs.MetricsHandler(s.reg))
 	mux.Handle("/debug/", obs.DebugMux(s.reg))
 	return mux
 }

@@ -1,0 +1,86 @@
+package serve
+
+import (
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"graphite/internal/obs"
+)
+
+// TestMetricsServiceableMidRun pins that /metrics answers while the executor
+// is busy: a scrape must never block behind a long run (the handler reads a
+// registry snapshot, it does not take the executor's locks). We park a long
+// async PR run on the only executor slot, scrape mid-flight, then cancel the
+// run and confirm the inflight gauge drains.
+func TestMetricsServiceableMidRun(t *testing.T) {
+	_, ts := newTestServer(t, Config{MaxConcurrent: 1})
+
+	var jv JobView
+	if code := postRun(t, ts, RunRequest{
+		Graph:     "transit",
+		Algorithm: "pr",
+		Params:    map[string]int64{"iterations": 2_000_000},
+		Async:     true,
+		NoCache:   true,
+	}, &jv); code != http.StatusAccepted {
+		t.Fatalf("submit long run: HTTP %d", code)
+	}
+	waitJob(t, ts, jv.ID, 10*time.Second, func(j JobView) bool { return j.Status == JobRunning })
+
+	scrape := func() (int, string, string) {
+		t.Helper()
+		resp, err := http.Get(ts.URL + "/metrics")
+		if err != nil {
+			t.Fatalf("GET /metrics: %v", err)
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatalf("read /metrics: %v", err)
+		}
+		return resp.StatusCode, resp.Header.Get("Content-Type"), string(body)
+	}
+
+	code, ct, body := scrape()
+	if code != http.StatusOK {
+		t.Fatalf("mid-run scrape: HTTP %d", code)
+	}
+	if ct != obs.ContentTypeMetrics {
+		t.Errorf("mid-run scrape Content-Type = %q, want %q", ct, obs.ContentTypeMetrics)
+	}
+	for _, line := range []string{
+		"graphite_serve_runs_inflight 1",
+		"# TYPE graphite_serve_runs_inflight gauge",
+	} {
+		if !strings.Contains(body, line+"\n") {
+			t.Errorf("mid-run scrape missing %q:\n%s", line, body)
+		}
+	}
+
+	// Tear the run down and confirm the gauge drains: the scrape surface must
+	// reflect the executor emptying out, not a stale snapshot.
+	req, err := http.NewRequest(http.MethodDelete, ts.URL+"/v1/jobs/"+jv.ID, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatalf("DELETE job: %v", err)
+	}
+	resp.Body.Close()
+	waitJob(t, ts, jv.ID, 10*time.Second, func(j JobView) bool { return terminal(j.Status) })
+
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if _, _, body := scrape(); strings.Contains(body, "graphite_serve_runs_inflight 0\n") {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("inflight gauge never drained to 0 after cancel")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}

@@ -113,8 +113,10 @@ type Config struct {
 	Registry *obs.Registry
 	// RunTracer, when set, is invoked once per executed (non-cached,
 	// non-deduped) run and may return a tracer to attach to it — the seam for
-	// per-run JSONL traces or sampling. Returning nil leaves the run untraced.
-	RunTracer func(graph, algo, fingerprint string) obs.Tracer
+	// per-run JSONL traces or sampling. span is the run-scoped span ID the
+	// run will carry (minted at admission unless the client sent one), so
+	// trace sinks can be named by it. Returning nil leaves the run untraced.
+	RunTracer func(graph, algo, fingerprint, span string) obs.Tracer
 	// Ready, when set, gates readiness beyond draining: a non-nil error
 	// marks the server not ready (503 on /readyz, with the error as the
 	// reason) without affecting liveness — the seam for fronting a cluster
@@ -258,6 +260,7 @@ type prepared struct {
 	window    ival.Interval
 	workers   int
 	fp        string
+	span      string
 }
 
 // prepare canonicalizes a request and computes its fingerprint. It performs
@@ -287,6 +290,15 @@ func (s *Server) prepare(req *RunRequest) (*prepared, error) {
 	if workers <= 0 {
 		workers = s.cfg.Workers
 	}
+	// Every admitted request carries a run-scoped span ID: the client's, or
+	// one minted here. The span is observability identity, not semantic
+	// identity — it is deliberately NOT part of the fingerprint, and a
+	// cached or deduplicated response reports the span of the run that
+	// actually produced the result.
+	span := req.Span
+	if span == "" {
+		span = obs.NewSpanID()
+	}
 	return &prepared{
 		graphName: req.Graph,
 		algo:      algo,
@@ -296,6 +308,7 @@ func (s *Server) prepare(req *RunRequest) (*prepared, error) {
 		window:    window,
 		workers:   workers,
 		fp:        Fingerprint(req.Graph, algo, params, window),
+		span:      span,
 	}, nil
 }
 
@@ -518,8 +531,9 @@ func (s *Server) runBSP(ctx context.Context, p *prepared) (*RunResult, error) {
 	// serving layer's own aggregates live in s.reg.
 	opts.Registry = obs.NewRegistry()
 	opts.Context = runCtx
+	opts.Span = p.span
 	if s.cfg.RunTracer != nil {
-		if tr := s.cfg.RunTracer(p.graphName, p.algo, p.fp); tr != nil {
+		if tr := s.cfg.RunTracer(p.graphName, p.algo, p.fp, p.span); tr != nil {
 			opts.Tracer = tr
 		}
 	}
