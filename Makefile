@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet race verify fuzz chaos bench bench-skew bench-obs trace-smoke serve-smoke cluster-smoke metrics-smoke clean
+.PHONY: all build test vet race verify fuzz chaos bench bench-skew bench-obs trace-smoke serve-smoke cluster-smoke metrics-smoke stream-smoke clean
 
 all: verify
 
@@ -90,6 +90,18 @@ cluster-smoke:
 # attribution matches /debug/cluster.
 metrics-smoke:
 	$(GO) test -race -run 'TestClusterObservability' -v ./internal/chaos/
+
+# Live-graph smoke test: the WAL kill-9 durability proof (a child process is
+# SIGKILLed mid-ingest and the replayed graph must match acked batches
+# byte-for-byte), the concurrent ingest-vs-query race check, then the stream
+# experiment — durable ingest throughput, replay cost, and incremental
+# (seeded) vs cold recomputation with bit-identity enforced. Records the
+# report to BENCH_stream.json (and a human-readable table on stdout).
+STREAM_SCALE ?= 1
+stream-smoke:
+	$(GO) test -race -run 'TestWALSurvivesSIGKILL' -v ./internal/chaos/
+	$(GO) test -race -run 'TestConcurrentIngestAndQueries|TestLiveMutation' -v ./internal/serve/
+	$(GO) run ./cmd/graphite-bench -scale $(STREAM_SCALE) -workers 8 -stream-json BENCH_stream.json stream
 
 clean:
 	$(GO) clean ./...

@@ -6,13 +6,16 @@
 //	graphite-bench [flags] <experiment>...
 //
 // Experiments: table1, table2, fig4, fig5, fig6a, fig6b, fig6c, fig7,
-// msgsize, loc, chaos, alloc, skew, obs, recovery, all. The skew experiment is
-// the scheduler ablation (static / balanced-partition / work-stealing
-// compute on a heavily skewed power-law graph); -skew-json records its
-// report. The recovery experiment runs the multi-process cluster runtime,
-// SIGKILLs a worker mid-superstep, and measures detection latency, MTTR,
-// and replayed supersteps against a fault-free run; -recovery-json records
-// its report. Worker processes are re-executions of this binary.
+// msgsize, loc, chaos, alloc, skew, obs, recovery, stream, all. The skew
+// experiment is the scheduler ablation (static / balanced-partition /
+// work-stealing compute on a heavily skewed power-law graph); -skew-json
+// records its report. The recovery experiment runs the multi-process cluster
+// runtime, SIGKILLs a worker mid-superstep, and measures detection latency,
+// MTTR, and replayed supersteps against a fault-free run; -recovery-json
+// records its report. Worker processes are re-executions of this binary. The
+// stream experiment measures the live-graph subsystem: durable WAL ingest
+// throughput, replay cost, and incremental (seeded) vs cold recomputation
+// with bit-identity enforced; -stream-json records its report.
 //
 // With -trace, every ICM run in the selected experiments appends its
 // per-superstep event stream to one JSONL file (render with graphite-trace);
@@ -47,12 +50,13 @@ func main() {
 		skewJSON  = flag.String("skew-json", "", "write the skew experiment report as JSON to this file")
 		obsJSON   = flag.String("obs-json", "", "write the obs overhead-guard report as JSON to this file")
 		recJSON   = flag.String("recovery-json", "", "write the recovery experiment report as JSON to this file")
+		strJSON   = flag.String("stream-json", "", "write the stream experiment report as JSON to this file")
 		pprofAddr = flag.String("pprof", "", "serve /debug/vars and /debug/pprof on this address")
 		verbose   = flag.Bool("v", false, "verbose (debug-level) logging")
 	)
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: graphite-bench [flags] <experiment>...\n")
-		fmt.Fprintf(os.Stderr, "experiments: table1 table2 fig4 fig5 fig6a fig6b fig6c fig7 msgsize loc chaos alloc skew obs recovery all\n\n")
+		fmt.Fprintf(os.Stderr, "experiments: table1 table2 fig4 fig5 fig6a fig6b fig6c fig7 msgsize loc chaos alloc skew obs recovery stream all\n\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -96,6 +100,7 @@ func main() {
 	skewJSONPath = *skewJSON
 	obsJSONPath = *obsJSON
 	recoveryJSONPath = *recJSON
+	streamJSONPath = *strJSON
 	selected := parseAlgos(*algos)
 
 	for _, exp := range flag.Args() {
@@ -123,9 +128,9 @@ func parseAlgos(s string) []bench.Algo {
 // share it.
 var matrix []bench.Cell
 
-// skewJSONPath, obsJSONPath and recoveryJSONPath, when set, receive the
-// corresponding experiments' JSON reports.
-var skewJSONPath, obsJSONPath, recoveryJSONPath string
+// skewJSONPath, obsJSONPath, recoveryJSONPath and streamJSONPath, when set,
+// receive the corresponding experiments' JSON reports.
+var skewJSONPath, obsJSONPath, recoveryJSONPath, streamJSONPath string
 
 func getMatrix(cfg bench.Config, algos []bench.Algo) ([]bench.Cell, error) {
 	if matrix != nil {
@@ -254,8 +259,19 @@ func run(cfg bench.Config, exp string, algos []bench.Algo) error {
 				return err
 			}
 		}
+	case "stream":
+		rep, err := bench.Stream(cfg)
+		if err != nil {
+			return err
+		}
+		bench.RenderStream(w, rep)
+		if streamJSONPath != "" {
+			if err := bench.WriteStreamJSON(streamJSONPath, rep); err != nil {
+				return err
+			}
+		}
 	default:
-		return fmt.Errorf("unknown experiment (try: table1 table2 fig4 fig5 fig6a fig6b fig6c fig7 msgsize loc chaos alloc skew obs recovery all)")
+		return fmt.Errorf("unknown experiment (try: table1 table2 fig4 fig5 fig6a fig6b fig6c fig7 msgsize loc chaos alloc skew obs recovery stream all)")
 	}
 	return nil
 }

@@ -1,0 +1,158 @@
+// Command graphite-feed replays a text event log against a running
+// graphite-serve live graph: it parses the log (the graphite-ingest format),
+// groups events into batches, and POSTs each batch to
+// /v1/graphs/{name}/events, where it is durably appended to the server's WAL
+// and published as a new epoch.
+//
+// Usage:
+//
+//	graphite-feed -graph NAME [-server http://localhost:8090] [-input FILE]
+//	              [-batch N] [-max-batches N] [-v]
+//
+// Events within one batch are atomic on the server: either the whole batch
+// lands (one new epoch) or it is rejected and the graph is unchanged. The
+// tool stops at the first rejected batch and reports the server's error.
+// With -input - (the default) the log is read from stdin, so a feed can be
+// driven from a pipe:
+//
+//	graphite-gen events ... | graphite-feed -graph g
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log/slog"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+
+	"graphite/internal/obs"
+	"graphite/internal/serve"
+	"graphite/internal/stream"
+)
+
+func main() {
+	var (
+		server     = flag.String("server", "http://localhost:8090", "graphite-serve base URL")
+		graph      = flag.String("graph", "", "live graph name (required)")
+		input      = flag.String("input", "-", `event log file ("-": stdin)`)
+		batchSize  = flag.Int("batch", 256, "events per POSTed batch")
+		maxBatches = flag.Int("max-batches", 0, "stop after this many batches (0: whole log)")
+		verbose    = flag.Bool("v", false, "verbose (debug-level) logging")
+	)
+	flag.Parse()
+	log := obs.CLILogger("graphite-feed", *verbose)
+	if *graph == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	if *batchSize <= 0 {
+		log.Error("batch size must be positive", "batch", *batchSize)
+		os.Exit(2)
+	}
+
+	var in io.Reader = os.Stdin
+	if *input != "-" {
+		f, err := os.Open(*input)
+		if err != nil {
+			fatal(log, "open input", err)
+		}
+		defer f.Close()
+		in = f
+	}
+
+	url := strings.TrimSuffix(*server, "/") + "/v1/graphs/" + *graph + "/events"
+	var (
+		batch   []stream.Event
+		batches int
+		events  int
+		lastAck serve.EventsResult
+		start   = time.Now()
+	)
+	flush := func() error {
+		if len(batch) == 0 {
+			return nil
+		}
+		ack, err := postBatch(url, batch)
+		if err != nil {
+			return err
+		}
+		batches++
+		events += len(batch)
+		lastAck = ack
+		log.Debug("batch accepted", "batch", batches, "events", len(batch),
+			"epoch", ack.Epoch, "vertices", ack.Vertices, "edges", ack.Edges)
+		batch = batch[:0]
+		return nil
+	}
+
+	sc := bufio.NewScanner(in)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		ev, err := stream.ParseEvent(line)
+		if err != nil {
+			fatal(log, fmt.Sprintf("line %d", lineNo), err)
+		}
+		batch = append(batch, ev)
+		if len(batch) >= *batchSize {
+			if err := flush(); err != nil {
+				fatal(log, "post batch", err)
+			}
+			if *maxBatches > 0 && batches >= *maxBatches {
+				break
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fatal(log, "read input", err)
+	}
+	if *maxBatches == 0 || batches < *maxBatches {
+		if err := flush(); err != nil {
+			fatal(log, "post batch", err)
+		}
+	}
+
+	elapsed := time.Since(start)
+	rate := float64(events) / max(elapsed.Seconds(), 1e-9)
+	log.Info("log replayed", "graph", *graph, "batches", batches, "events", events,
+		"elapsed", elapsed.Round(time.Millisecond), "events_per_sec", int64(rate),
+		"epoch", lastAck.Epoch, "vertices", lastAck.Vertices, "edges", lastAck.Edges)
+}
+
+// postBatch ships one batch and decodes the ack; a non-200 response surfaces
+// the server's error body.
+func postBatch(url string, batch []stream.Event) (serve.EventsResult, error) {
+	body, err := json.Marshal(serve.EventsRequest{Events: serve.EncodeEvents(batch)})
+	if err != nil {
+		return serve.EventsResult{}, err
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(body))
+	if err != nil {
+		return serve.EventsResult{}, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		return serve.EventsResult{}, fmt.Errorf("HTTP %d: %s", resp.StatusCode, strings.TrimSpace(string(msg)))
+	}
+	var ack serve.EventsResult
+	if err := json.NewDecoder(resp.Body).Decode(&ack); err != nil {
+		return serve.EventsResult{}, err
+	}
+	return ack, nil
+}
+
+func fatal(log *slog.Logger, msg string, err error) {
+	log.Error(msg, "err", err)
+	os.Exit(1)
+}

@@ -14,6 +14,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"graphite/internal/obs"
 	"graphite/internal/stream"
@@ -34,6 +35,17 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
+	// Validate the format before consuming the log: a typo here must not
+	// cost a full read of a multi-gigabyte event stream.
+	write := tgraph.WriteFile
+	switch *format {
+	case "text":
+	case "binary":
+		write = tgraph.WriteBinaryFile
+	default:
+		log.Error("unknown -format (want text or binary)", "format", *format)
+		os.Exit(2)
+	}
 
 	in := os.Stdin
 	if *logPath != "" {
@@ -46,19 +58,19 @@ func main() {
 		in = f
 	}
 	acc := stream.NewAccumulator()
+	start := time.Now()
 	if err := stream.ReadLog(in, acc); err != nil {
 		log.Error("read log", "err", err)
 		os.Exit(1)
 	}
-	log.Debug("log consumed", "events", acc.Events())
+	elapsed := time.Since(start)
+	rate := float64(acc.Events()) / max(elapsed.Seconds(), 1e-9)
+	log.Info("log consumed", "events", acc.Events(),
+		"elapsed", elapsed.Round(time.Millisecond), "events_per_sec", fmt.Sprintf("%.0f", rate))
 	g, err := acc.Graph(*horizon)
 	if err != nil {
 		log.Error("materialize graph", "err", err)
 		os.Exit(1)
-	}
-	write := tgraph.WriteFile
-	if *format == "binary" {
-		write = tgraph.WriteBinaryFile
 	}
 	if err := write(*out, g); err != nil {
 		log.Error("write graph", "path", *out, "err", err)

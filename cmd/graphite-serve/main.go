@@ -4,12 +4,20 @@
 //
 // Usage:
 //
-//	graphite-serve -graph name=FILE [-graph name=FILE ...] [-addr :8090]
+//	graphite-serve -graph name=FILE [-graph name=FILE ...]
+//	               [-live name=FILE.wal ...] [-addr :8090]
 //	               [-workers N] [-max-concurrent N] [-queue N] [-cache N]
 //	               [-timeout D] [-drain D] [-v]
 //
 // The special spec "transit" (or "name=transit") loads the paper's built-in
 // transit example. Graph files may be text or binary (see graphite-ingest).
+//
+// -live opens (creating if absent) a WAL-backed mutable graph: its event log
+// is replayed on startup and POST /v1/graphs/{name}/events appends mutation
+// batches, each durably logged before the new epoch becomes visible. A
+// SIGKILL loses at most the unacknowledged tail batch; restarting on the
+// same WAL restores the exact acknowledged graph. cmd/graphite-feed replays
+// text event logs against this endpoint.
 //
 // Endpoints: GET /v1/graphs, POST /v1/run, GET/DELETE /v1/jobs/{id},
 // GET /healthz, plus /debug/vars and /debug/pprof. On SIGINT/SIGTERM the
@@ -30,6 +38,8 @@ import (
 	"syscall"
 	"time"
 
+	ival "graphite/internal/interval"
+	"graphite/internal/live"
 	"graphite/internal/obs"
 	"graphite/internal/serve"
 	"graphite/internal/tgraph"
@@ -37,9 +47,13 @@ import (
 
 func main() {
 	graphs := map[string]*tgraph.Graph{}
-	var graphSpecs []string
+	var graphSpecs, liveSpecs []string
 	flag.Func("graph", `graph to load, as name=FILE, name=transit, or just "transit" (repeatable)`, func(spec string) error {
 		graphSpecs = append(graphSpecs, spec)
+		return nil
+	})
+	flag.Func("live", "WAL-backed mutable graph, as name=FILE.wal (created if absent; repeatable)", func(spec string) error {
+		liveSpecs = append(liveSpecs, spec)
 		return nil
 	})
 	var (
@@ -50,11 +64,12 @@ func main() {
 		cacheSize     = flag.Int("cache", serve.DefaultCacheSize, "result cache entries (negative disables)")
 		timeout       = flag.Duration("timeout", serve.DefaultTimeout, "default per-request run deadline")
 		drain         = flag.Duration("drain", 30*time.Second, "graceful drain budget on SIGTERM")
+		horizon       = flag.Int64("live-horizon", 0, "close still-open live entities at this time in snapshots (0: unbounded)")
 		verbose       = flag.Bool("v", false, "verbose (debug-level) logging")
 	)
 	flag.Parse()
 	log := obs.CLILogger("graphite-serve", *verbose)
-	if len(graphSpecs) == 0 {
+	if len(graphSpecs) == 0 && len(liveSpecs) == 0 {
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -77,13 +92,39 @@ func main() {
 		log.Info("graph loaded", "name", name, "graph", fmt.Sprint(g), "horizon", int64(g.Horizon()))
 	}
 
+	// Live graphs share the server's registry so their ingest counters and
+	// epoch gauges show up on /metrics and /debug/vars.
+	reg := obs.NewRegistry()
+	liveGraphs := map[string]*live.Graph{}
+	for _, spec := range liveSpecs {
+		name, path, ok := strings.Cut(spec, "=")
+		if !ok {
+			fatal(log, "parse -live", fmt.Errorf("spec %q is not name=FILE.wal", spec))
+		}
+		lg, err := live.Open(path, live.Options{
+			Name:     name,
+			Horizon:  ival.Time(*horizon),
+			Registry: reg,
+		})
+		if err != nil {
+			fatal(log, "open live graph", err)
+		}
+		defer lg.Close()
+		liveGraphs[name] = lg
+		info := lg.Info()
+		log.Info("live graph opened", "name", name, "wal", path,
+			"epoch", info.Epoch, "events", info.Events, "vertices", info.Vertices, "edges", info.Edges)
+	}
+
 	s, err := serve.New(serve.Config{
 		Graphs:         graphs,
+		Live:           liveGraphs,
 		MaxConcurrent:  *maxConcurrent,
 		QueueDepth:     *queue,
 		CacheSize:      *cacheSize,
 		RequestTimeout: *timeout,
 		Workers:        *workers,
+		Registry:       reg,
 	})
 	if err != nil {
 		fatal(log, "configure server", err)

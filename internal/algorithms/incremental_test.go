@@ -1,0 +1,139 @@
+package algorithms
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"graphite/internal/core"
+	ival "graphite/internal/interval"
+	"graphite/internal/tgraph"
+)
+
+// incrementalTestGraph builds a deterministic random temporal graph over
+// [0, 100): staggered vertex births (so window extensions add vertices),
+// edge lifespans inside both endpoints' lifespans, and segmented
+// travel-time properties (so scatter sees property boundaries).
+func incrementalTestGraph(t *testing.T, seed int64) *tgraph.Graph {
+	t.Helper()
+	r := rand.New(rand.NewSource(seed))
+	const V = 48
+	b := tgraph.NewBuilder(V, 4*V)
+	births := make([]ival.Time, V)
+	for i := 0; i < V; i++ {
+		if i != 0 && i%5 == 0 {
+			births[i] = ival.Time(r.Intn(85))
+		}
+		b.AddVertex(tgraph.VertexID(i), ival.New(births[i], 100))
+	}
+	eid := tgraph.EdgeID(0)
+	for i := 0; i < V; i++ {
+		deg := 2 + r.Intn(3)
+		for d := 0; d < deg; d++ {
+			j := r.Intn(V)
+			if j == i {
+				continue
+			}
+			lo := max(births[i], births[j])
+			start := lo + ival.Time(r.Intn(20))
+			end := start + ival.Time(5+r.Intn(40))
+			if end > 100 {
+				end = 100
+			}
+			if start >= end {
+				continue
+			}
+			b.AddEdge(eid, tgraph.VertexID(i), tgraph.VertexID(j), ival.New(start, end))
+			if mid := (start + end) / 2; r.Intn(3) == 0 && mid > start && mid < end {
+				b.SetEdgeProp(eid, tgraph.PropTravelTime, ival.New(start, mid), int64(1+r.Intn(4)))
+				b.SetEdgeProp(eid, tgraph.PropTravelTime, ival.New(mid, end), int64(1+r.Intn(4)))
+			} else {
+				b.SetEdgeProp(eid, tgraph.PropTravelTime, ival.New(start, end), int64(1+r.Intn(4)))
+			}
+			eid++
+		}
+	}
+	g, err := b.Build()
+	if err != nil {
+		t.Fatalf("build graph: %v", err)
+	}
+	return g
+}
+
+// requireSameStates asserts two results hold bit-identical partitioned
+// states for every vertex: same partition boundaries, same values.
+func requireSameStates(t *testing.T, label string, want, got *core.Result) {
+	t.Helper()
+	if want.Graph.NumVertices() != got.Graph.NumVertices() {
+		t.Fatalf("%s: vertex counts differ", label)
+	}
+	for i := 0; i < want.Graph.NumVertices(); i++ {
+		wp, gp := want.State(i).Parts(), got.State(i).Parts()
+		if len(wp) != len(gp) {
+			t.Fatalf("%s: vertex %d: %d parts vs %d\nfull: %v\nincr: %v",
+				label, want.Graph.VertexAt(i).ID, len(wp), len(gp), wp, gp)
+		}
+		for k := range wp {
+			if wp[k].Interval != gp[k].Interval || wp[k].Value != gp[k].Value {
+				t.Fatalf("%s: vertex %d part %d: full %v=%v, incremental %v=%v",
+					label, want.Graph.VertexAt(i).ID, k,
+					wp[k].Interval, wp[k].Value, gp[k].Interval, gp[k].Value)
+			}
+		}
+	}
+}
+
+// TestIncrementalMatchesFullRecompute is the differential acceptance test:
+// for every seedable algorithm, running the extended window from the prior
+// window's terminal state must be bit-identical to a cold recompute of the
+// extended window.
+func TestIncrementalMatchesFullRecompute(t *testing.T) {
+	for _, seed := range []int64{1, 7, 42} {
+		g := incrementalTestGraph(t, seed)
+		for _, cut := range []ival.Time{30, 60, 85} {
+			g1, err := tgraph.Slice(g, ival.New(0, cut))
+			if err != nil {
+				t.Fatalf("slice [0,%d): %v", cut, err)
+			}
+			g2, err := tgraph.Slice(g, ival.New(0, 100))
+			if err != nil {
+				t.Fatalf("slice [0,100): %v", err)
+			}
+			for _, name := range []string{"eat", "fast", "rh"} {
+				if !SupportsIncremental(name) {
+					t.Fatalf("%s lost its incremental support", name)
+				}
+				for _, workers := range []int{1, 4} {
+					label := fmt.Sprintf("seed=%d cut=%d algo=%s workers=%d", seed, cut, name, workers)
+					run := func(g *tgraph.Graph, seeds []*core.PartitionedState) *core.Result {
+						prog, opts, err := New(g, name, Params{Source: 0})
+						if err != nil {
+							t.Fatalf("%s: New: %v", label, err)
+						}
+						opts.NumWorkers = workers
+						opts.SeedStates = seeds
+						r, err := core.Run(g, prog, opts)
+						if err != nil {
+							t.Fatalf("%s: run: %v", label, err)
+						}
+						return r
+					}
+					prior := run(g1, nil)
+					full := run(g2, nil)
+					incr := run(g2, core.SeedFromResult(g2, prior))
+					requireSameStates(t, label, full, incr)
+				}
+			}
+		}
+	}
+}
+
+// TestUnsupportedAlgorithmsStayCold pins the catalog's seedable set.
+func TestUnsupportedAlgorithmsStayCold(t *testing.T) {
+	for _, name := range Names() {
+		want := name == "eat" || name == "fast" || name == "rh"
+		if got := SupportsIncremental(name); got != want {
+			t.Errorf("SupportsIncremental(%q) = %v, want %v", name, got, want)
+		}
+	}
+}

@@ -1,0 +1,37 @@
+package bench
+
+import "testing"
+
+// TestStreamSmoke runs the live-graph experiment at toy scale: ingest
+// through a real fsync'd WAL, replay, and the incremental-vs-cold cells
+// with their bit-identity check.
+func TestStreamSmoke(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Scale = 0.1
+	cfg.Workers = 4
+	rep, err := Stream(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Events == 0 || rep.Vertices == 0 || rep.IngestEventsPerSec <= 0 || rep.WALBytes == 0 {
+		t.Fatalf("degenerate ingest measurements: %+v", rep)
+	}
+	if rep.ReplayMS < 0 || rep.ReplayEventsPerSec <= 0 {
+		t.Fatalf("degenerate replay measurements: %+v", rep)
+	}
+	if len(rep.Rows) != len(StreamAlgos) {
+		t.Fatalf("got %d rows, want %d", len(rep.Rows), len(StreamAlgos))
+	}
+	for _, r := range rep.Rows {
+		if !r.Identical {
+			t.Fatalf("%s: incremental diverged from cold", r.Algo)
+		}
+		if r.FullSupersteps <= r.IncrementalSupersteps {
+			t.Errorf("%s: seeded run took %d supersteps, cold %d — seeding saved nothing",
+				r.Algo, r.IncrementalSupersteps, r.FullSupersteps)
+		}
+		if r.FullMS <= 0 || r.IncrementalMS <= 0 {
+			t.Errorf("%s: unmeasured cell: %+v", r.Algo, r)
+		}
+	}
+}

@@ -21,10 +21,11 @@ import (
 	"graphite/internal/tgraph"
 )
 
-// TestMain routes re-executions of this binary into worker mode before any
-// test runs; parent runs proceed normally.
+// TestMain routes re-executions of this binary into worker or WAL-writer
+// mode before any test runs; parent runs proceed normally.
 func TestMain(m *testing.M) {
 	RunChildWorker()
+	runWALChild()
 	os.Exit(m.Run())
 }
 

@@ -141,6 +141,21 @@ type Options struct {
 	// run_start (engine.Config.Span): the serve layer and the cluster
 	// protocol propagate it so one query correlates across processes.
 	Span string
+	// SeedStates starts the run from captured terminal state instead of a
+	// cold start — the incremental-recomputation hook. Entry i aligns with
+	// dense vertex index i of the run's graph; a non-nil entry is overlaid
+	// onto that vertex's state after Init (clipped to the vertex lifespan,
+	// with the final partition's value extended over any lifespan growth),
+	// and at superstep 1 the vertex skips Compute and re-scatters its
+	// entire seeded state, regenerating the messages a full run would have
+	// produced from those partitions. Nil entries (and nil slices) run the
+	// normal cold path.
+	//
+	// Only programs whose state is a confluent monotone fold of
+	// forward-in-time messages — each update covering [t, lifespan end) so
+	// terminal partition starts coincide with update starts — replay
+	// bit-identically from a seed; see algorithms.SupportsIncremental.
+	SeedStates []*PartitionedState
 }
 
 // Stats counts ICM-specific runtime events.
@@ -170,6 +185,20 @@ func (r *Result) StateByID(id tgraph.VertexID) *PartitionedState {
 		return nil
 	}
 	return r.states[i]
+}
+
+// SeedFromResult builds the Options.SeedStates slice for running over g by
+// carrying each vertex's terminal state out of a prior run, matched by
+// vertex ID; vertices g has that the prior run lacked stay unseeded (nil).
+// The prior run's graph must agree with g below its own time cut — the
+// serve layer guarantees this by only seeding window extensions of the
+// same epoch-stable graph.
+func SeedFromResult(g *tgraph.Graph, prior *Result) []*PartitionedState {
+	seeds := make([]*PartitionedState, g.NumVertices())
+	for i := 0; i < g.NumVertices(); i++ {
+		seeds[i] = prior.StateByID(g.VertexAt(i).ID)
+	}
+	return seeds
 }
 
 // Run executes an ICM program over a temporal graph.

@@ -208,13 +208,54 @@ func (rt *runtime) statsSnapshot() Stats {
 	return s
 }
 
-// Init implements engine.Program: allocate the state and run the user init.
+// Init implements engine.Program: allocate the state and run the user init,
+// then overlay the incremental seed when one exists for this vertex.
 func (rt *runtime) Init(ctx *engine.Context) {
 	i := ctx.Vertex()
 	v := rt.g.VertexAt(i)
 	rt.states[i] = NewPartitionedState(v.Lifespan, nil)
 	vc := VertexCtx{rt: rt, eng: ctx, idx: i, v: v, inInit: true}
 	rt.prog.Init(&vc)
+	if seed := rt.seedFor(i); seed != nil {
+		if err := overlaySeed(rt.states[i], seed); err != nil {
+			rt.fail(err)
+		}
+	}
+}
+
+func (rt *runtime) seedFor(i int) *PartitionedState {
+	if i < len(rt.opts.SeedStates) {
+		return rt.opts.SeedStates[i]
+	}
+	return nil
+}
+
+// overlaySeed writes a captured terminal state over a freshly initialized
+// one. Partitions are clipped to the (possibly different) lifespan, and the
+// final partition's value is extended across any lifespan growth: seedable
+// programs fold messages of the form [t, lifespan end), so the value in
+// force at the old cut is exactly what a full run over the longer lifespan
+// would have carried forward until a later message improved it.
+func overlaySeed(st *PartitionedState, seed *PartitionedState) error {
+	life := st.Lifespan()
+	var last warp.IntervalValue
+	have := false
+	for _, p := range seed.Parts() {
+		x := p.Interval.Intersect(life)
+		if x.IsEmpty() {
+			continue
+		}
+		if err := st.Set(x, p.Value); err != nil {
+			return err
+		}
+		last, have = warp.IntervalValue{Interval: x, Value: p.Value}, true
+	}
+	if have && last.Interval.End < life.End {
+		if err := st.Set(ival.New(last.Interval.End, life.End), last.Value); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // Run implements engine.Program: one superstep for one active vertex. The
@@ -226,6 +267,24 @@ func (rt *runtime) Run(ctx *engine.Context, msgs []engine.Message) {
 	ws := rt.workspace(ctx)
 	vc := &ws.vc
 	*vc = VertexCtx{rt: rt, eng: ctx, idx: i, v: rt.g.VertexAt(i), updated: vc.updated[:0]}
+
+	if ctx.Superstep() == 1 && rt.seedFor(i) != nil {
+		// Seeded vertices replace the cold superstep-1 compute with a full
+		// re-scatter of their captured state: every terminal partition of a
+		// seedable program started life as a state update, so scattering
+		// each partition over its own interval regenerates exactly the
+		// frontier messages the prior run sent — messages into already-
+		// converged regions fold to no-ops, messages past the old cut
+		// propagate the extension.
+		if len(rt.targets[i]) == 0 {
+			return
+		}
+		rt.activeIntervals.Add(int64(st.NumParts()))
+		for _, p := range st.Parts() {
+			rt.scatterPart(vc, ctx, rt.targets[i], p.Interval, p.Value)
+		}
+		return
+	}
 
 	tuples := rt.align(ws, st, msgs, ctx.Superstep())
 	if len(tuples) == 0 {

@@ -1,0 +1,312 @@
+package live
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+
+	ival "graphite/internal/interval"
+	"graphite/internal/stream"
+	"graphite/internal/tgraph"
+)
+
+// The write-ahead log is an append-only file:
+//
+//	"GWAL" 0x01 | record | record | ...
+//	record = u32 length | payload | u32 crc32(payload)
+//
+// (lengths and CRCs little-endian, matching engine.CheckpointStore's frame
+// discipline). One record holds one ingest batch — uvarint event count
+// followed by op-tagged varint-encoded events — so batch atomicity falls
+// out of the framing: a crash mid-append leaves a torn tail that replay
+// truncates, never a half-applied batch. Each append is a single write
+// followed by fsync, so an acknowledged batch is on disk before the epoch
+// that contains it becomes visible.
+
+// walMagic identifies a live-graph WAL, version 1.
+var walMagic = [5]byte{'G', 'W', 'A', 'L', 1}
+
+// maxWALRecord bounds a record's declared length so a corrupted length
+// prefix cannot make replay allocate unbounded memory.
+const maxWALRecord = 1 << 30
+
+// Errors surfaced by the WAL.
+var (
+	// ErrWALCorrupt reports structural damage before the final record — a
+	// bad magic, length or CRC that fsync ordering cannot explain. Unlike a
+	// torn tail this is not silently recoverable: acknowledged batches may
+	// be missing.
+	ErrWALCorrupt = errors.New("live: WAL corrupt")
+)
+
+// wal is the durable append half; replay is a package function so recovery
+// never needs a live handle.
+type wal struct {
+	f      *os.File
+	path   string
+	size   int64
+	noSync bool
+}
+
+// openWAL opens (creating if absent) the log at path, replays every intact
+// batch, truncates a torn tail, and leaves the file positioned for
+// appending. The returned batches are in log order.
+func openWAL(path string, noSync bool) (w *wal, batches [][]stream.Event, truncated bool, err error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, nil, false, fmt.Errorf("live: open WAL: %w", err)
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, nil, false, fmt.Errorf("live: stat WAL: %w", err)
+	}
+	w = &wal{f: f, path: path, noSync: noSync}
+	if st.Size() == 0 {
+		if _, err := f.Write(walMagic[:]); err != nil {
+			f.Close()
+			return nil, nil, false, fmt.Errorf("live: init WAL: %w", err)
+		}
+		if err := w.sync(); err != nil {
+			f.Close()
+			return nil, nil, false, err
+		}
+		w.size = int64(len(walMagic))
+		return w, nil, false, nil
+	}
+	batches, good, truncated, err := replayWAL(f, st.Size())
+	if err != nil {
+		f.Close()
+		return nil, nil, false, err
+	}
+	if truncated {
+		if err := f.Truncate(good); err != nil {
+			f.Close()
+			return nil, nil, false, fmt.Errorf("live: truncate torn WAL tail: %w", err)
+		}
+		if err := w.sync(); err != nil {
+			f.Close()
+			return nil, nil, false, err
+		}
+	}
+	if _, err := f.Seek(good, io.SeekStart); err != nil {
+		f.Close()
+		return nil, nil, false, fmt.Errorf("live: seek WAL: %w", err)
+	}
+	w.size = good
+	return w, batches, truncated, nil
+}
+
+// replayWAL scans the log, returning every intact batch and the offset of
+// the first byte past the last intact record. A partial record at EOF is a
+// torn tail (crash mid-append) and reports truncated; damage anywhere else
+// is ErrWALCorrupt.
+func replayWAL(f *os.File, size int64) (batches [][]stream.Event, good int64, truncated bool, err error) {
+	var magic [len(walMagic)]byte
+	if size < int64(len(magic)) {
+		// Shorter than the magic: a crash during file creation. Nothing was
+		// ever acknowledged, so treat the whole file as a torn tail.
+		return nil, 0, true, nil
+	}
+	if _, err := f.ReadAt(magic[:], 0); err != nil {
+		return nil, 0, false, fmt.Errorf("live: read WAL magic: %w", err)
+	}
+	if magic != walMagic {
+		return nil, 0, false, fmt.Errorf("%w: bad magic %q", ErrWALCorrupt, magic[:])
+	}
+	off := int64(len(magic))
+	for off < size {
+		var hdr [4]byte
+		if size-off < 4 {
+			return batches, off, true, nil
+		}
+		if _, err := f.ReadAt(hdr[:], off); err != nil {
+			return nil, 0, false, fmt.Errorf("live: read WAL record: %w", err)
+		}
+		n := int64(binary.LittleEndian.Uint32(hdr[:]))
+		if size-off < 4+n+4 {
+			// The declared record runs past EOF — whether the length bytes
+			// are a truncated frame or scribble, this is indistinguishable
+			// from an append cut short, so treat it as the torn tail.
+			return batches, off, true, nil
+		}
+		if n > maxWALRecord {
+			return nil, 0, false, fmt.Errorf("%w: record length %d at offset %d", ErrWALCorrupt, n, off)
+		}
+		body := make([]byte, n+4)
+		if _, err := f.ReadAt(body, off+4); err != nil {
+			return nil, 0, false, fmt.Errorf("live: read WAL record: %w", err)
+		}
+		want := binary.LittleEndian.Uint32(body[n:])
+		if got := crc32.ChecksumIEEE(body[:n]); got != want {
+			return nil, 0, false, fmt.Errorf("%w: CRC mismatch at offset %d", ErrWALCorrupt, off)
+		}
+		batch, err := decodeBatch(body[:n])
+		if err != nil {
+			return nil, 0, false, fmt.Errorf("%w: offset %d: %v", ErrWALCorrupt, off, err)
+		}
+		batches = append(batches, batch)
+		off += 4 + n + 4
+	}
+	return batches, off, false, nil
+}
+
+// append frames, writes and (by default) fsyncs one batch. The frame goes
+// out in a single Write so a crash leaves at worst a torn prefix of it.
+func (w *wal) append(batch []stream.Event) error {
+	payload := encodeBatch(batch)
+	buf := make([]byte, 0, 4+len(payload)+4)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(payload)))
+	buf = append(buf, payload...)
+	buf = binary.LittleEndian.AppendUint32(buf, crc32.ChecksumIEEE(payload))
+	if _, err := w.f.Write(buf); err != nil {
+		return fmt.Errorf("live: append WAL: %w", err)
+	}
+	if err := w.sync(); err != nil {
+		return err
+	}
+	w.size += int64(len(buf))
+	return nil
+}
+
+func (w *wal) sync() error {
+	if w.noSync {
+		return nil
+	}
+	if err := w.f.Sync(); err != nil {
+		return fmt.Errorf("live: fsync WAL: %w", err)
+	}
+	return nil
+}
+
+func (w *wal) close() error {
+	if err := w.f.Close(); err != nil {
+		return fmt.Errorf("live: close WAL: %w", err)
+	}
+	return nil
+}
+
+// encodeBatch renders a batch as the record payload: uvarint count, then
+// per event an op byte and the op's varint fields (labels length-prefixed).
+func encodeBatch(batch []stream.Event) []byte {
+	buf := binary.AppendUvarint(nil, uint64(len(batch)))
+	for _, ev := range batch {
+		buf = append(buf, byte(ev.Op))
+		buf = binary.AppendVarint(buf, int64(ev.T))
+		switch ev.Op {
+		case stream.AddVertex, stream.RemoveVertex:
+			buf = binary.AppendVarint(buf, int64(ev.V))
+		case stream.AddEdge:
+			buf = binary.AppendVarint(buf, int64(ev.E))
+			buf = binary.AppendVarint(buf, int64(ev.Src))
+			buf = binary.AppendVarint(buf, int64(ev.Dst))
+		case stream.RemoveEdge:
+			buf = binary.AppendVarint(buf, int64(ev.E))
+		case stream.SetVertexProp:
+			buf = binary.AppendVarint(buf, int64(ev.V))
+			buf = appendString(buf, ev.Label)
+			buf = binary.AppendVarint(buf, ev.Value)
+		case stream.SetEdgeProp:
+			buf = binary.AppendVarint(buf, int64(ev.E))
+			buf = appendString(buf, ev.Label)
+			buf = binary.AppendVarint(buf, ev.Value)
+		}
+	}
+	return buf
+}
+
+func appendString(buf []byte, s string) []byte {
+	buf = binary.AppendUvarint(buf, uint64(len(s)))
+	return append(buf, s...)
+}
+
+// decodeBatch is the inverse of encodeBatch.
+func decodeBatch(payload []byte) ([]stream.Event, error) {
+	d := walDecoder{buf: payload}
+	n := d.uvarint()
+	if n > uint64(len(payload)) {
+		return nil, fmt.Errorf("implausible batch count %d", n)
+	}
+	batch := make([]stream.Event, 0, n)
+	for i := uint64(0); i < n; i++ {
+		if len(d.buf) == 0 {
+			return nil, fmt.Errorf("batch truncated at event %d", i)
+		}
+		op := stream.Op(d.buf[0])
+		d.buf = d.buf[1:]
+		ev := stream.Event{Op: op, T: ival.Time(d.varint())}
+		switch op {
+		case stream.AddVertex, stream.RemoveVertex:
+			ev.V = tgraph.VertexID(d.varint())
+		case stream.AddEdge:
+			ev.E = tgraph.EdgeID(d.varint())
+			ev.Src = tgraph.VertexID(d.varint())
+			ev.Dst = tgraph.VertexID(d.varint())
+		case stream.RemoveEdge:
+			ev.E = tgraph.EdgeID(d.varint())
+		case stream.SetVertexProp:
+			ev.V = tgraph.VertexID(d.varint())
+			ev.Label = d.string()
+			ev.Value = d.varint()
+		case stream.SetEdgeProp:
+			ev.E = tgraph.EdgeID(d.varint())
+			ev.Label = d.string()
+			ev.Value = d.varint()
+		default:
+			return nil, fmt.Errorf("unknown op %d", op)
+		}
+		if d.err != nil {
+			return nil, d.err
+		}
+		batch = append(batch, ev)
+	}
+	if len(d.buf) != 0 {
+		return nil, fmt.Errorf("%d trailing bytes after batch", len(d.buf))
+	}
+	return batch, nil
+}
+
+type walDecoder struct {
+	buf []byte
+	err error
+}
+
+func (d *walDecoder) uvarint() uint64 {
+	v, n := binary.Uvarint(d.buf)
+	if n <= 0 {
+		d.fail()
+		return 0
+	}
+	d.buf = d.buf[n:]
+	return v
+}
+
+func (d *walDecoder) varint() int64 {
+	v, n := binary.Varint(d.buf)
+	if n <= 0 {
+		d.fail()
+		return 0
+	}
+	d.buf = d.buf[n:]
+	return v
+}
+
+func (d *walDecoder) string() string {
+	n := d.uvarint()
+	if d.err != nil || n > uint64(len(d.buf)) {
+		d.fail()
+		return ""
+	}
+	s := string(d.buf[:n])
+	d.buf = d.buf[n:]
+	return s
+}
+
+func (d *walDecoder) fail() {
+	if d.err == nil {
+		d.err = errors.New("truncated varint field")
+	}
+}

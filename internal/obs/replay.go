@@ -44,6 +44,10 @@ func newEventOf(kind string) Event {
 		return &ShardStep{}
 	case "cluster_step":
 		return &ClusterStep{}
+	case "epoch_publish":
+		return &EpochPublish{}
+	case "wal_replay":
+		return &WALReplay{}
 	}
 	return nil
 }
@@ -81,6 +85,10 @@ func deref(e Event) Event {
 	case *ShardStep:
 		return *v
 	case *ClusterStep:
+		return *v
+	case *EpochPublish:
+		return *v
+	case *WALReplay:
 		return *v
 	}
 	return e

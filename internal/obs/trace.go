@@ -273,6 +273,39 @@ type ClusterStep struct {
 // Kind implements Event.
 func (ClusterStep) Kind() string { return "cluster_step" }
 
+// EpochPublish records one live-graph ingest batch becoming visible: the
+// epoch it published, the batch size, the cumulative event count, and the
+// shape of the materialized snapshot. WallNS covers WAL append (including
+// fsync) through snapshot publication.
+type EpochPublish struct {
+	Graph    string `json:"graph,omitempty"`
+	Epoch    uint64 `json:"epoch"`
+	Batch    int    `json:"batch_events"`
+	Events   int    `json:"events"` // cumulative since the log began
+	LastTime int64  `json:"last_time"`
+	Vertices int    `json:"vertices"`
+	Edges    int    `json:"edges"`
+	WallNS   int64  `json:"wall_ns"`
+}
+
+// Kind implements Event.
+func (EpochPublish) Kind() string { return "epoch_publish" }
+
+// WALReplay records a live graph recovering its state from the write-ahead
+// log at open: how many batches and events replayed, the bytes consumed,
+// and whether a torn tail (an append cut short by a crash) was truncated.
+type WALReplay struct {
+	Graph     string `json:"graph,omitempty"`
+	Batches   int    `json:"batches"`
+	Events    int    `json:"events"`
+	Bytes     int64  `json:"bytes"`
+	Truncated bool   `json:"truncated,omitempty"`
+	WallNS    int64  `json:"wall_ns"`
+}
+
+// Kind implements Event.
+func (WALReplay) Kind() string { return "wal_replay" }
+
 // Recorder is a Tracer that keeps every event in memory, for tests and for
 // building summaries without a file round-trip.
 type Recorder struct {

@@ -84,19 +84,68 @@ type RunResult struct {
 	// Span is the run-scoped span ID of the run that produced this result;
 	// for cached or deduplicated responses it names the producing run, not
 	// this request.
-	Span     string         `json:"span,omitempty"`
-	Cached   bool           `json:"cached"`
+	Span   string `json:"span,omitempty"`
+	Cached bool   `json:"cached"`
+	// Epoch, for runs over a live graph, is the effective epoch the result
+	// was computed under: the oldest epoch whose graph equals the snapshot's
+	// within the window. Static graphs omit it.
+	Epoch uint64 `json:"epoch,omitempty"`
+	// Seeded marks a run that started from a prior window's retained
+	// terminal states instead of superstep zero (incremental recomputation);
+	// the result is bit-identical to a cold run either way.
+	Seeded   bool           `json:"seeded,omitempty"`
 	Metrics  RunMetrics     `json:"metrics"`
 	Vertices []VertexResult `json:"vertices"`
 }
 
-// GraphInfo describes one loaded graph for /v1/graphs.
+// GraphInfo describes one loaded graph for /v1/graphs. Live graphs carry
+// their current epoch and cumulative event count; a still-empty live graph
+// reports zero vertices and an empty lifespan.
 type GraphInfo struct {
 	Name     string `json:"name"`
 	Vertices int    `json:"vertices"`
 	Edges    int    `json:"edges"`
-	Lifespan string `json:"lifespan"`
+	Lifespan string `json:"lifespan,omitempty"`
 	Horizon  int64  `json:"horizon"`
+	Live     bool   `json:"live,omitempty"`
+	Epoch    uint64 `json:"epoch,omitempty"`
+	Events   int    `json:"events,omitempty"`
+}
+
+// EventWire is one mutation in a POST /v1/graphs/{id}/events batch. Op uses
+// the event-log mnemonics of stream.ReadLog — av/rv (add/remove vertex),
+// ae/re (add/remove edge), vp/ep (set vertex/edge property) — and the
+// remaining fields apply per op exactly as in stream.Event: v for vertex
+// events and vertex properties, e for edge events and edge properties,
+// src/dst for ae, label/value for properties.
+type EventWire struct {
+	Op    string `json:"op"`
+	T     int64  `json:"t"`
+	V     int64  `json:"v,omitempty"`
+	E     int64  `json:"e,omitempty"`
+	Src   int64  `json:"src,omitempty"`
+	Dst   int64  `json:"dst,omitempty"`
+	Label string `json:"label,omitempty"`
+	Value int64  `json:"value,omitempty"`
+}
+
+// EventsRequest is the body of POST /v1/graphs/{id}/events: one atomic batch
+// of time-ordered mutations. Either every event is accepted — durably logged
+// before the new epoch becomes visible — or the whole batch is rejected and
+// the graph is unchanged.
+type EventsRequest struct {
+	Events []EventWire `json:"events"`
+}
+
+// EventsResult acknowledges an ingested batch with the newly published
+// epoch's summary.
+type EventsResult struct {
+	Graph    string `json:"graph"`
+	Epoch    uint64 `json:"epoch"`
+	Events   int    `json:"events"` // cumulative since the log began
+	LastTime int64  `json:"last_time"`
+	Vertices int    `json:"vertices"`
+	Edges    int    `json:"edges"`
 }
 
 // JobView is the external state of an async job.

@@ -109,25 +109,35 @@ func windowLabel(w ival.Interval) string {
 	return fmt.Sprintf("[%d,%d)", w.Start, w.End)
 }
 
-// Fingerprint returns the canonical cache key for a run over the named graph:
-// algorithm aliases resolved, parameters at their effective values in sorted
-// order, window normalized. The inputs must already be canonical (the server
-// fingerprints only prepared requests); the digest is hex SHA-256.
-func Fingerprint(graph, algo string, params map[string]int64, window ival.Interval) string {
+// paramsKey renders canonical parameters as "k=v,..." in sorted key order —
+// the parameter component of both the fingerprint preimage and the
+// incremental seed-cache key.
+func paramsKey(params map[string]int64) string {
 	keys := make([]string, 0, len(params))
 	for k := range params {
 		keys = append(keys, k)
 	}
 	sort.Strings(keys)
 	var b strings.Builder
-	fmt.Fprintf(&b, "g=%s|a=%s|", graph, algo)
 	for i, k := range keys {
 		if i > 0 {
 			b.WriteByte(',')
 		}
 		fmt.Fprintf(&b, "%s=%d", k, params[k])
 	}
-	fmt.Fprintf(&b, "|w=%s", windowLabel(window))
+	return b.String()
+}
+
+// Fingerprint returns the canonical cache key for a run over the named graph:
+// algorithm aliases resolved, parameters at their effective values in sorted
+// order, window normalized. The inputs must already be canonical (the server
+// fingerprints only prepared requests); for live graphs the graph identity
+// carries the window's effective epoch ("name@7"), which is what invalidates
+// cached results for windows a mutation batch touched while leaving untouched
+// windows cached. The digest is hex SHA-256.
+func Fingerprint(graph, algo string, params map[string]int64, window ival.Interval) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "g=%s|a=%s|%s|w=%s", graph, algo, paramsKey(params), windowLabel(window))
 	sum := sha256.Sum256([]byte(b.String()))
 	return hex.EncodeToString(sum[:])
 }

@@ -54,6 +54,7 @@ func buildResult(p *prepared, r *core.Result) *RunResult {
 		Fingerprint: p.fp,
 		Window:      windowLabel(p.window),
 		Span:        p.span,
+		Epoch:       p.eff,
 		Metrics: RunMetrics{
 			Supersteps:      r.Metrics.Supersteps,
 			ComputeCalls:    r.Metrics.ComputeCalls,

@@ -35,6 +35,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /healthz", s.instrument("healthz", s.handleHealthz))
 	mux.HandleFunc("GET /readyz", s.instrument("readyz", s.handleReadyz))
 	mux.HandleFunc("GET /v1/graphs", s.instrument("graphs", s.handleGraphs))
+	mux.HandleFunc("POST /v1/graphs/{id}/events", s.instrument("events", s.handleEvents))
 	mux.HandleFunc("POST /v1/run", s.instrument("run", s.handleRun))
 	mux.HandleFunc("GET /v1/jobs", s.instrument("jobs", s.handleJobs))
 	mux.HandleFunc("GET /v1/jobs/{id}", s.instrument("job_get", s.handleJobGet))
@@ -144,6 +145,25 @@ func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleGraphs(w http.ResponseWriter, r *http.Request) {
 	infos := make([]GraphInfo, 0, len(s.names))
 	for _, name := range s.names {
+		if lg := s.liveGraphs[name]; lg != nil {
+			ep := lg.Acquire()
+			g := ep.Graph()
+			info := GraphInfo{
+				Name:     name,
+				Vertices: g.NumVertices(),
+				Edges:    g.NumEdges(),
+				Horizon:  int64(g.Horizon()),
+				Live:     true,
+				Epoch:    ep.ID(),
+				Events:   ep.Events(),
+			}
+			if g.NumVertices() > 0 {
+				info.Lifespan = windowLabel(g.Lifespan())
+			}
+			ep.Release()
+			infos = append(infos, info)
+			continue
+		}
 		g := s.graphs[name]
 		infos = append(infos, GraphInfo{
 			Name:     name,
@@ -154,6 +174,24 @@ func (s *Server) handleGraphs(w http.ResponseWriter, r *http.Request) {
 		})
 	}
 	writeJSON(w, http.StatusOK, map[string]any{"graphs": infos})
+}
+
+// handleEvents is the mutation endpoint: one atomic, durably logged batch of
+// stream events per call, publishing one new epoch.
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	var req EventsRequest
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, fmt.Errorf("%w: %v", ErrBadRequest, err))
+		return
+	}
+	res, err := s.ApplyEvents(r.PathValue("id"), req.Events)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, res)
 }
 
 func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {

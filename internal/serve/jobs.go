@@ -179,6 +179,7 @@ func (s *Server) Submit(req *RunRequest) (JobView, error) {
 	}
 	adm, err := s.begin(p, req.NoCache)
 	if err != nil {
+		p.close()
 		return JobView{}, err
 	}
 	timeout := s.cfg.RequestTimeout
@@ -189,9 +190,11 @@ func (s *Server) Submit(req *RunRequest) (JobView, error) {
 	j := s.jobs.add(p, cancel)
 	switch {
 	case adm.cached != nil:
+		p.close()
 		s.jobs.finishJob(j, cachedCopy(adm.cached), nil)
 		cancel()
 	case adm.joined != nil:
+		p.close() // joiners wait on the leader's run; ours is not needed
 		go func() {
 			defer cancel()
 			s.jobs.setRunning(j)
@@ -209,6 +212,7 @@ func (s *Server) Submit(req *RunRequest) (JobView, error) {
 	default:
 		go func() {
 			defer cancel()
+			defer p.close()
 			s.jobs.setRunning(j)
 			res, err := s.runBSP(jobCtx, p)
 			s.finish(p, adm.lead, res, err)

@@ -37,6 +37,7 @@ import (
 	"graphite/internal/core"
 	"graphite/internal/engine"
 	ival "graphite/internal/interval"
+	"graphite/internal/live"
 	"graphite/internal/obs"
 	"graphite/internal/tgraph"
 	"sync"
@@ -74,6 +75,9 @@ const (
 	GJobsActive       = "serve.jobs.active"
 	CJobsSubmitted    = "serve.jobs.submitted"
 	HRunLatencyNS     = "serve.run.latency_ns"
+	CSeedHits         = "serve.seed.hits"
+	CSeedStores       = "serve.seed.stores"
+	GSeedSize         = "serve.seed.size"
 )
 
 // Defaults for zero Config fields.
@@ -87,8 +91,13 @@ const (
 // Config parameterizes a Server.
 type Config struct {
 	// Graphs are the pre-loaded temporal graphs the server answers queries
-	// against, by name. At least one is required.
+	// against, by name. At least one graph — static or live — is required.
 	Graphs map[string]*tgraph.Graph
+	// Live are WAL-backed mutable graphs, by name (disjoint from Graphs).
+	// Queries run against immutable epoch snapshots acquired per request;
+	// POST /v1/graphs/{id}/events appends mutation batches. A live graph may
+	// start empty and grow entirely through the API.
+	Live map[string]*live.Graph
 	// MaxConcurrent bounds simultaneously executing BSP runs; zero means
 	// GOMAXPROCS.
 	MaxConcurrent int
@@ -127,12 +136,14 @@ type Config struct {
 // Server is a resident temporal graph query service. Create with New, expose
 // with Handler, stop with Drain (graceful) and/or Close.
 type Server struct {
-	cfg    Config
-	reg    *obs.Registry
-	graphs map[string]*tgraph.Graph
-	names  []string // sorted graph names
+	cfg        Config
+	reg        *obs.Registry
+	graphs     map[string]*tgraph.Graph
+	liveGraphs map[string]*live.Graph
+	names      []string // sorted graph names, static and live
 
 	cache *resultCache
+	seeds *seedCache
 	jobs  *jobStore
 
 	flightMu sync.Mutex
@@ -162,8 +173,9 @@ type serveMetrics struct {
 	executed, canceled, failed     *obs.Counter
 	rejectedBusy, rejectedDraining *obs.Counter
 	jobsSubmitted                  *obs.Counter
+	seedHits, seedStores           *obs.Counter
 	cacheSize, inflight, queued    *obs.Gauge
-	jobsActive                     *obs.Gauge
+	jobsActive, seedSize           *obs.Gauge
 	runLatency                     *obs.Histogram
 }
 
@@ -178,7 +190,7 @@ type call struct {
 
 // New builds a Server over the given pre-loaded graphs.
 func New(cfg Config) (*Server, error) {
-	if len(cfg.Graphs) == 0 {
+	if len(cfg.Graphs) == 0 && len(cfg.Live) == 0 {
 		return nil, fmt.Errorf("%w: no graphs configured", ErrBadRequest)
 	}
 	if cfg.MaxConcurrent <= 0 {
@@ -208,7 +220,9 @@ func New(cfg Config) (*Server, error) {
 		cfg:         cfg,
 		reg:         reg,
 		graphs:      make(map[string]*tgraph.Graph, len(cfg.Graphs)),
+		liveGraphs:  make(map[string]*live.Graph, len(cfg.Live)),
 		cache:       newResultCache(cfg.CacheSize),
+		seeds:       newSeedCache(cfg.CacheSize),
 		flight:      map[string]*call{},
 		maxAdmitted: cfg.MaxConcurrent + cfg.QueueDepth,
 		sem:         make(chan struct{}, cfg.MaxConcurrent),
@@ -222,6 +236,19 @@ func New(cfg Config) (*Server, error) {
 		s.graphs[name] = g
 		s.names = append(s.names, name)
 	}
+	// Live graphs, unlike static ones, may legitimately be empty at startup:
+	// they grow through the events endpoint. Queries against a still-empty
+	// epoch are rejected per request instead.
+	for name, lg := range cfg.Live {
+		if lg == nil {
+			return nil, fmt.Errorf("%w: live graph %q is nil", ErrBadRequest, name)
+		}
+		if _, dup := s.graphs[name]; dup {
+			return nil, fmt.Errorf("%w: graph %q configured both static and live", ErrBadRequest, name)
+		}
+		s.liveGraphs[name] = lg
+		s.names = append(s.names, name)
+	}
 	sort.Strings(s.names)
 	s.m = serveMetrics{
 		cacheHits:        reg.Counter(CCacheHits),
@@ -233,6 +260,9 @@ func New(cfg Config) (*Server, error) {
 		rejectedBusy:     reg.Counter(CRejectedBusy),
 		rejectedDraining: reg.Counter(CRejectedDraining),
 		jobsSubmitted:    reg.Counter(CJobsSubmitted),
+		seedHits:         reg.Counter(CSeedHits),
+		seedStores:       reg.Counter(CSeedStores),
+		seedSize:         reg.Gauge(GSeedSize),
 		cacheSize:        reg.Gauge(GCacheSize),
 		inflight:         reg.Gauge(GRunsInflight),
 		queued:           reg.Gauge(GQueueDepth),
@@ -261,13 +291,36 @@ type prepared struct {
 	workers   int
 	fp        string
 	span      string
+	noCache   bool
+
+	// Live-graph resolution. gver is the graph identity the fingerprint is
+	// computed over: "name@effectiveEpoch" for a live graph, so mutation
+	// batches that can affect the window retire its cache entries while
+	// untouched windows keep hitting. epoch pins the immutable snapshot g
+	// reads from until close(); lg backs the at-use seed validity check.
+	gver  string
+	eff   uint64
+	epoch *live.Epoch
+	lg    *live.Graph
+
+	releaseOnce sync.Once
+}
+
+// close releases the prepared request's epoch reference, if any; every path
+// out of Execute/Submit must reach it exactly once (it is idempotent).
+func (p *prepared) close() {
+	if p.epoch != nil {
+		p.releaseOnce.Do(p.epoch.Release)
+	}
 }
 
 // prepare canonicalizes a request and computes its fingerprint. It performs
-// no graph work beyond name resolution, so rejects are cheap.
+// no graph work beyond name resolution (for a live graph: acquiring the
+// current epoch snapshot), so rejects are cheap.
 func (s *Server) prepare(req *RunRequest) (*prepared, error) {
 	g, ok := s.graphs[req.Graph]
-	if !ok {
+	lg := s.liveGraphs[req.Graph]
+	if !ok && lg == nil {
 		return nil, fmt.Errorf("%w: %q (have %v)", ErrUnknownGraph, req.Graph, s.names)
 	}
 	algo, err := CanonicalAlgo(req.Algorithm)
@@ -299,7 +352,7 @@ func (s *Server) prepare(req *RunRequest) (*prepared, error) {
 	if span == "" {
 		span = obs.NewSpanID()
 	}
-	return &prepared{
+	p := &prepared{
 		graphName: req.Graph,
 		algo:      algo,
 		g:         g,
@@ -307,9 +360,19 @@ func (s *Server) prepare(req *RunRequest) (*prepared, error) {
 		explicit:  explicit,
 		window:    window,
 		workers:   workers,
-		fp:        Fingerprint(req.Graph, algo, params, window),
 		span:      span,
-	}, nil
+		noCache:   req.NoCache,
+		gver:      req.Graph,
+	}
+	if lg != nil {
+		// Acquire last, after every rejectable check: no error path below
+		// this point may leak the epoch reference.
+		ep, eff := lg.AcquireEffective(window)
+		p.g, p.epoch, p.lg, p.eff = ep.Graph(), ep, lg, eff
+		p.gver = fmt.Sprintf("%s@%d", req.Graph, eff)
+	}
+	p.fp = Fingerprint(p.gver, algo, params, window)
+	return p, nil
 }
 
 // admission is begin's verdict: exactly one field is set.
@@ -449,6 +512,7 @@ func (s *Server) Execute(ctx context.Context, req *RunRequest) (*RunResult, erro
 	if err != nil {
 		return nil, err
 	}
+	defer p.close()
 	adm, err := s.begin(p, req.NoCache)
 	if err != nil {
 		return nil, err
@@ -499,6 +563,12 @@ func (s *Server) runBSP(ctx context.Context, p *prepared) (*RunResult, error) {
 	defer stop()
 
 	g := p.g
+	if g.NumVertices() == 0 {
+		// Only a live graph can be empty (New rejects empty static graphs):
+		// no events have been ingested yet.
+		return nil, fmt.Errorf("%w: graph %q is empty at epoch %d (no events ingested)",
+			ErrBadRequest, p.graphName, p.eff)
+	}
 	if p.window != ival.Universe {
 		var err error
 		g, err = tgraph.Slice(p.g, p.window)
@@ -526,6 +596,20 @@ func (s *Server) runBSP(ctx context.Context, p *prepared) (*RunResult, error) {
 		return nil, fmt.Errorf("%w: %v", ErrBadRequest, err)
 	}
 	opts.NumWorkers = p.workers
+	// Incremental recomputation: when the request strictly extends a window a
+	// prior seedable run answered — same graph, algorithm, params and window
+	// start, graph unchanged below the prior end — start from that run's
+	// terminal states instead of superstep zero. Results are bit-identical
+	// either way (the differential tests in algorithms pin this), so seeding
+	// is invisible to the cache; NoCache opts out for clean cold timings.
+	skey := seedKey{graph: p.graphName, algo: p.algo, params: paramsKey(p.params), start: p.window.Start}
+	seedable := algorithms.SupportsIncremental(p.algo)
+	if seedable && !p.noCache {
+		if e, ok := s.seeds.lookup(skey, p.window.End); ok && s.seedValid(p, e) {
+			opts.SeedStates = core.SeedFromResult(g, e.res)
+			s.m.seedHits.Inc()
+		}
+	}
 	// Each run gets a private registry: engine.Metrics is a baseline-diff
 	// view, which concurrent runs sharing a registry would corrupt. The
 	// serving layer's own aggregates live in s.reg.
@@ -555,7 +639,30 @@ func (s *Server) runBSP(ctx context.Context, p *prepared) (*RunResult, error) {
 		return nil, err
 	}
 	s.m.executed.Inc()
-	return buildResult(p, r), nil
+	// Retain the terminal states for future window extensions. Unbounded
+	// windows are never retained: nothing can extend past infinity.
+	if seedable && !p.noCache && p.window.End != ival.Infinity {
+		s.seeds.put(&seedEntry{key: skey, end: p.window.End, eff: p.eff, res: r})
+		s.m.seedStores.Inc()
+		s.m.seedSize.Set(int64(s.seeds.len()))
+	}
+	res := buildResult(p, r)
+	res.Seeded = opts.SeedStates != nil
+	return res, nil
+}
+
+// seedValid reports whether a retained run's graph still agrees with the
+// request's snapshot below the retained window's end. Static graphs never
+// change; for a live graph the retained effective epoch must still be the
+// effective epoch of the retained window — evaluated against the latest
+// marks, which can only over-reject (a batch landing after our snapshot was
+// acquired bumps the effective epoch and skips a seed that was still valid),
+// never under-reject.
+func (s *Server) seedValid(p *prepared, e *seedEntry) bool {
+	if p.lg == nil {
+		return true
+	}
+	return p.lg.EffectiveEpoch(ival.New(p.window.Start, e.end)) == e.eff
 }
 
 // cachedCopy returns a response-ready shallow copy of an immutable cached

@@ -61,6 +61,11 @@ var (
 	ErrUnknownOwner = errors.New("stream: event for unknown entity")
 	ErrReopened     = errors.New("stream: entity re-added after removal (Constraint 1)")
 	ErrStillOpen    = errors.New("stream: entity already open")
+	// ErrNegativeTime rejects events before time zero. Interval validity
+	// requires Start >= 0, so a negative event time would otherwise build a
+	// silently wrong lifespan (or an invalid graph) much later, far from the
+	// offending record.
+	ErrNegativeTime = errors.New("stream: negative event time")
 )
 
 // openSpan tracks an entity whose lifespan has begun.
@@ -114,6 +119,9 @@ func (a *Accumulator) Now() ival.Time { return a.now }
 // Apply folds one event into the accumulator. Events must arrive in
 // non-decreasing time order.
 func (a *Accumulator) Apply(ev Event) error {
+	if ev.T < 0 {
+		return fmt.Errorf("%w: %d", ErrNegativeTime, ev.T)
+	}
 	if ev.T < a.now {
 		return fmt.Errorf("%w: event at %d after %d", ErrOutOfOrder, ev.T, a.now)
 	}
@@ -180,6 +188,98 @@ func (a *Accumulator) Apply(ev Event) error {
 		return fmt.Errorf("stream: unknown op %d", ev.Op)
 	}
 	a.events++
+	return nil
+}
+
+// Preflight validates a whole batch against the accumulator's current state
+// without mutating it, so callers can make ingest batch-atomic: either every
+// event in the batch would be accepted by Apply, or the batch is rejected
+// with the index of the first offending event and nothing changes. The
+// checks mirror Apply's exactly (order, negative time, reopen/still-open,
+// referential integrity); property contents need no validation beyond an
+// alive owner.
+func (a *Accumulator) Preflight(batch []Event) error {
+	now := a.now
+	vs := map[tgraph.VertexID]openSpan{}
+	es := map[tgraph.EdgeID]openSpan{}
+	vspan := func(id tgraph.VertexID) (openSpan, bool) {
+		if s, ok := vs[id]; ok {
+			return s, true
+		}
+		if s, ok := a.vspans[id]; ok {
+			return *s, true
+		}
+		return openSpan{}, false
+	}
+	espan := func(id tgraph.EdgeID) (openSpan, bool) {
+		if s, ok := es[id]; ok {
+			return s, true
+		}
+		if s, ok := a.espans[id]; ok {
+			return *s, true
+		}
+		return openSpan{}, false
+	}
+	alive := func(id tgraph.VertexID, t ival.Time) bool {
+		s, ok := vspan(id)
+		return ok && !s.closed && s.start <= t
+	}
+	for i, ev := range batch {
+		fail := func(err error) error { return fmt.Errorf("stream: batch event %d: %w", i, err) }
+		if ev.T < 0 {
+			return fail(fmt.Errorf("%w: %d", ErrNegativeTime, ev.T))
+		}
+		if ev.T < now {
+			return fail(fmt.Errorf("%w: event at %d after %d", ErrOutOfOrder, ev.T, now))
+		}
+		now = ev.T
+		switch ev.Op {
+		case AddVertex:
+			if s, ok := vspan(ev.V); ok {
+				if s.closed {
+					return fail(fmt.Errorf("%w: vertex %d", ErrReopened, ev.V))
+				}
+				return fail(fmt.Errorf("%w: vertex %d", ErrStillOpen, ev.V))
+			}
+			vs[ev.V] = openSpan{start: ev.T}
+		case RemoveVertex:
+			s, ok := vspan(ev.V)
+			if !ok || s.closed {
+				return fail(fmt.Errorf("%w: vertex %d", ErrUnknownOwner, ev.V))
+			}
+			s.closed, s.end = true, ev.T
+			vs[ev.V] = s
+		case AddEdge:
+			if s, ok := espan(ev.E); ok {
+				if s.closed {
+					return fail(fmt.Errorf("%w: edge %d", ErrReopened, ev.E))
+				}
+				return fail(fmt.Errorf("%w: edge %d", ErrStillOpen, ev.E))
+			}
+			if !alive(ev.Src, ev.T) || !alive(ev.Dst, ev.T) {
+				return fail(fmt.Errorf("%w: edge %d endpoints at t=%d", ErrUnknownOwner, ev.E, ev.T))
+			}
+			es[ev.E] = openSpan{start: ev.T}
+		case RemoveEdge:
+			s, ok := espan(ev.E)
+			if !ok || s.closed {
+				return fail(fmt.Errorf("%w: edge %d", ErrUnknownOwner, ev.E))
+			}
+			s.closed, s.end = true, ev.T
+			es[ev.E] = s
+		case SetVertexProp:
+			if !alive(ev.V, ev.T) {
+				return fail(fmt.Errorf("%w: vertex %d", ErrUnknownOwner, ev.V))
+			}
+		case SetEdgeProp:
+			s, ok := espan(ev.E)
+			if !ok || s.closed {
+				return fail(fmt.Errorf("%w: edge %d", ErrUnknownOwner, ev.E))
+			}
+		default:
+			return fail(fmt.Errorf("stream: unknown op %d", ev.Op))
+		}
+	}
 	return nil
 }
 
@@ -333,6 +433,11 @@ func ReadLog(r io.Reader, acc *Accumulator) error {
 	return sc.Err()
 }
 
+// ParseEvent parses one text event-log line into an Event (see ReadLog for
+// the format). Comments and blank lines are ReadLog's concern; this expects
+// exactly one record.
+func ParseEvent(line string) (Event, error) { return parseEvent(line) }
+
 func parseEvent(line string) (Event, error) {
 	f := strings.Fields(line)
 	need := func(n int) error {
@@ -341,46 +446,62 @@ func parseEvent(line string) (Event, error) {
 		}
 		return nil
 	}
+	// num surfaces the first malformed number instead of silently reading
+	// zero — a mistyped id or timestamp must fail the line, not corrupt the
+	// graph.
+	var numErr error
 	num := func(s string) int64 {
-		v, _ := strconv.ParseInt(s, 10, 64)
+		v, err := strconv.ParseInt(s, 10, 64)
+		if err != nil && numErr == nil {
+			numErr = fmt.Errorf("bad number %q", s)
+		}
 		return v
 	}
 	if len(f) < 2 {
 		return Event{}, fmt.Errorf("short record")
 	}
 	t := num(f[1])
+	var ev Event
 	switch f[0] {
 	case "av":
 		if err := need(3); err != nil {
 			return Event{}, err
 		}
-		return Event{Op: AddVertex, T: t, V: tgraph.VertexID(num(f[2]))}, nil
+		ev = Event{Op: AddVertex, T: t, V: tgraph.VertexID(num(f[2]))}
 	case "rv":
 		if err := need(3); err != nil {
 			return Event{}, err
 		}
-		return Event{Op: RemoveVertex, T: t, V: tgraph.VertexID(num(f[2]))}, nil
+		ev = Event{Op: RemoveVertex, T: t, V: tgraph.VertexID(num(f[2]))}
 	case "ae":
 		if err := need(5); err != nil {
 			return Event{}, err
 		}
-		return Event{Op: AddEdge, T: t, E: tgraph.EdgeID(num(f[2])),
-			Src: tgraph.VertexID(num(f[3])), Dst: tgraph.VertexID(num(f[4]))}, nil
+		ev = Event{Op: AddEdge, T: t, E: tgraph.EdgeID(num(f[2])),
+			Src: tgraph.VertexID(num(f[3])), Dst: tgraph.VertexID(num(f[4]))}
 	case "re":
 		if err := need(3); err != nil {
 			return Event{}, err
 		}
-		return Event{Op: RemoveEdge, T: t, E: tgraph.EdgeID(num(f[2]))}, nil
+		ev = Event{Op: RemoveEdge, T: t, E: tgraph.EdgeID(num(f[2]))}
 	case "vp":
 		if err := need(5); err != nil {
 			return Event{}, err
 		}
-		return Event{Op: SetVertexProp, T: t, V: tgraph.VertexID(num(f[2])), Label: f[3], Value: num(f[4])}, nil
+		ev = Event{Op: SetVertexProp, T: t, V: tgraph.VertexID(num(f[2])), Label: f[3], Value: num(f[4])}
 	case "ep":
 		if err := need(5); err != nil {
 			return Event{}, err
 		}
-		return Event{Op: SetEdgeProp, T: t, E: tgraph.EdgeID(num(f[2])), Label: f[3], Value: num(f[4])}, nil
+		ev = Event{Op: SetEdgeProp, T: t, E: tgraph.EdgeID(num(f[2])), Label: f[3], Value: num(f[4])}
+	default:
+		return Event{}, fmt.Errorf("unknown record %q", f[0])
 	}
-	return Event{}, fmt.Errorf("unknown record %q", f[0])
+	if numErr != nil {
+		return Event{}, numErr
+	}
+	if ev.T < 0 {
+		return Event{}, fmt.Errorf("%w: %d", ErrNegativeTime, ev.T)
+	}
+	return ev, nil
 }

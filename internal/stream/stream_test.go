@@ -143,9 +143,154 @@ func TestReadLogRejectsMalformed(t *testing.T) {
 		"av 1",
 		"ae 1 5 1",
 		"av 5 1\nav 3 2",
+		"av x 1",       // non-numeric time must not silently parse as 0
+		"av 1 1x",      // non-numeric id
+		"av -3 1",      // negative event time
+		"vp 1 1 w 1.5", // non-integer property value
 	} {
 		if err := ReadLog(strings.NewReader(log), NewAccumulator()); err == nil {
 			t.Errorf("log %q should fail", log)
 		}
 	}
+}
+
+func TestReadLogErrorsCarryLineNumber(t *testing.T) {
+	log := "av 0 1\nav 1 1\n"
+	err := ReadLog(strings.NewReader(log), NewAccumulator())
+	if err == nil || !strings.Contains(err.Error(), "line 2") {
+		t.Fatalf("want error naming line 2, got %v", err)
+	}
+	if !errors.Is(err, ErrStillOpen) {
+		t.Fatalf("want wrapped ErrStillOpen, got %v", err)
+	}
+}
+
+func TestNegativeEventTimeRejected(t *testing.T) {
+	if err := NewAccumulator().Apply(Event{Op: AddVertex, T: -1, V: 1}); !errors.Is(err, ErrNegativeTime) {
+		t.Errorf("Apply: want ErrNegativeTime, got %v", err)
+	}
+	err := ReadLog(strings.NewReader("av -5 1"), NewAccumulator())
+	if !errors.Is(err, ErrNegativeTime) {
+		t.Errorf("ReadLog: want ErrNegativeTime, got %v", err)
+	}
+}
+
+func TestEdgeReAddAfterRemoveRejected(t *testing.T) {
+	a := NewAccumulator()
+	apply(t, a,
+		Event{Op: AddVertex, T: 0, V: 1},
+		Event{Op: AddVertex, T: 0, V: 2},
+		Event{Op: AddEdge, T: 1, E: 7, Src: 1, Dst: 2},
+		Event{Op: RemoveEdge, T: 3, E: 7},
+	)
+	if err := a.Apply(Event{Op: AddEdge, T: 4, E: 7, Src: 1, Dst: 2}); !errors.Is(err, ErrReopened) {
+		t.Errorf("want ErrReopened for edge re-add, got %v", err)
+	}
+}
+
+func TestDuplicateRemovesRejected(t *testing.T) {
+	a := NewAccumulator()
+	apply(t, a,
+		Event{Op: AddVertex, T: 0, V: 1},
+		Event{Op: AddVertex, T: 0, V: 2},
+		Event{Op: AddEdge, T: 1, E: 7, Src: 1, Dst: 2},
+		Event{Op: RemoveEdge, T: 3, E: 7},
+		Event{Op: RemoveVertex, T: 4, V: 2},
+	)
+	if err := a.Apply(Event{Op: RemoveEdge, T: 5, E: 7}); !errors.Is(err, ErrUnknownOwner) {
+		t.Errorf("duplicate edge remove: want ErrUnknownOwner, got %v", err)
+	}
+	if err := a.Apply(Event{Op: RemoveVertex, T: 5, V: 2}); !errors.Is(err, ErrUnknownOwner) {
+		t.Errorf("duplicate vertex remove: want ErrUnknownOwner, got %v", err)
+	}
+}
+
+func TestPropertyChurnAtSameTimestamp(t *testing.T) {
+	// Two writes at the same instant: the later one wins outright, and the
+	// zero-length run of the first must not surface as a property entry.
+	a := NewAccumulator()
+	apply(t, a,
+		Event{Op: AddVertex, T: 0, V: 1},
+		Event{Op: SetVertexProp, T: 5, V: 1, Label: "w", Value: 10},
+		Event{Op: SetVertexProp, T: 5, V: 1, Label: "w", Value: 20},
+	)
+	g, err := a.Graph(9)
+	if err != nil {
+		t.Fatalf("Graph: %v", err)
+	}
+	entries := g.Vertex(1).Props["w"]
+	if len(entries) != 1 {
+		t.Fatalf("want one surviving run, got %v", entries)
+	}
+	if entries[0].Value != 20 || entries[0].Interval != ival.New(5, 9) {
+		t.Errorf("surviving run = %+v, want value 20 over [5,9)", entries[0])
+	}
+}
+
+func TestHorizonClosesOpenEdges(t *testing.T) {
+	a := NewAccumulator()
+	apply(t, a,
+		Event{Op: AddVertex, T: 0, V: 1},
+		Event{Op: AddVertex, T: 0, V: 2},
+		Event{Op: AddEdge, T: 2, E: 7, Src: 1, Dst: 2},
+		Event{Op: SetEdgeProp, T: 3, E: 7, Label: "w", Value: 4},
+	)
+	g, err := a.Graph(6)
+	if err != nil {
+		t.Fatalf("Graph: %v", err)
+	}
+	if g.Edge(0).Lifespan != ival.New(2, 6) {
+		t.Errorf("open edge should close at horizon: %v", g.Edge(0).Lifespan)
+	}
+	if entries := g.Edge(0).Props["w"]; len(entries) != 1 || entries[0].Interval != ival.New(3, 6) {
+		t.Errorf("open property run should clip to horizon: %v", entries)
+	}
+	// The same accumulator still materializes unbounded afterwards.
+	g, err = a.Graph(0)
+	if err != nil {
+		t.Fatalf("Graph(0): %v", err)
+	}
+	if !g.Edge(0).Lifespan.IsUnbounded() {
+		t.Errorf("edge should stay open without a horizon: %v", g.Edge(0).Lifespan)
+	}
+}
+
+func TestPreflightValidatesWithoutMutating(t *testing.T) {
+	a := NewAccumulator()
+	apply(t, a, Event{Op: AddVertex, T: 0, V: 1})
+	before := a.Events()
+
+	// A batch with intra-batch dependencies (edge between vertices added in
+	// the same batch) must validate.
+	good := []Event{
+		{Op: AddVertex, T: 1, V: 2},
+		{Op: AddEdge, T: 2, E: 7, Src: 1, Dst: 2},
+		{Op: SetEdgeProp, T: 2, E: 7, Label: "w", Value: 3},
+		{Op: RemoveEdge, T: 4, E: 7},
+	}
+	if err := a.Preflight(good); err != nil {
+		t.Fatalf("good batch rejected: %v", err)
+	}
+	if a.Events() != before || a.Now() != 0 {
+		t.Fatalf("Preflight mutated the accumulator")
+	}
+
+	bad := [][]Event{
+		{{Op: AddVertex, T: 1, V: 1}},                                                           // still open
+		{{Op: AddEdge, T: 1, E: 7, Src: 1, Dst: 99}},                                            // unknown endpoint
+		{{Op: AddVertex, T: 1, V: 2}, {Op: AddVertex, T: 0, V: 3}},                              // order within batch
+		{{Op: RemoveEdge, T: 1, E: 7}},                                                          // unknown edge
+		{{Op: AddVertex, T: -1, V: 2}},                                                          // negative time
+		{{Op: RemoveVertex, T: 1, V: 1}, {Op: SetVertexProp, T: 2, V: 1, Label: "w", Value: 1}}, // prop after remove in batch
+	}
+	for i, batch := range bad {
+		if err := a.Preflight(batch); err == nil {
+			t.Errorf("bad batch %d accepted", i)
+		}
+		if a.Events() != before {
+			t.Fatalf("Preflight of bad batch %d mutated the accumulator", i)
+		}
+	}
+	// And the accumulator still accepts the good batch for real afterwards.
+	apply(t, a, good...)
 }
