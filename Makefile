@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet race verify fuzz chaos bench bench-skew bench-obs trace-smoke serve-smoke cluster-smoke metrics-smoke stream-smoke clean
+.PHONY: all build test vet race verify fuzz chaos bench bench-skew bench-obs trace-smoke serve-smoke cluster-smoke metrics-smoke stream-smoke load-smoke clean
 
 all: verify
 
@@ -20,8 +20,8 @@ test:
 race:
 	$(GO) test -race ./internal/engine/... ./internal/chaos/... ./internal/cluster/... ./internal/obs/... ./internal/serve/... ./internal/warp/... ./internal/algorithms/...
 
-# Fuzz smoke: every fuzz target in the codec, state and warp layers for
-# FUZZTIME each (Go allows one -fuzz target per invocation).
+# Fuzz smoke: every fuzz target in the codec, state, warp and graph-format
+# layers for FUZZTIME each (Go allows one -fuzz target per invocation).
 FUZZTIME ?= 30s
 fuzz:
 	$(GO) test -run '^$$' -fuzz FuzzIntervalDecode -fuzztime $(FUZZTIME) ./internal/codec
@@ -29,6 +29,8 @@ fuzz:
 	$(GO) test -run '^$$' -fuzz FuzzIntervalAppendDecode -fuzztime $(FUZZTIME) ./internal/codec
 	$(GO) test -run '^$$' -fuzz FuzzStateSet -fuzztime $(FUZZTIME) ./internal/core
 	$(GO) test -run '^$$' -fuzz FuzzWarp -fuzztime $(FUZZTIME) ./internal/warp
+	$(GO) test -run '^$$' -fuzz FuzzFormatRoundTrip -fuzztime $(FUZZTIME) ./internal/tgraph
+	$(GO) test -run '^$$' -fuzz FuzzSnapshotMutation -fuzztime $(FUZZTIME) ./internal/tgraph
 
 # The full gate: everything vetted, built, and race-tested. Long-running
 # chaos tests honour -short via `make verify SHORT=-short`.
@@ -102,6 +104,15 @@ stream-smoke:
 	$(GO) test -race -run 'TestWALSurvivesSIGKILL' -v ./internal/chaos/
 	$(GO) test -race -run 'TestConcurrentIngestAndQueries|TestLiveMutation' -v ./internal/serve/
 	$(GO) run ./cmd/graphite-bench -scale $(STREAM_SCALE) -workers 8 -stream-json BENCH_stream.json stream
+
+# Snapshot-format smoke test: the load experiment (text vs binary vs mapped
+# .gsn opens, with a hard >= 10x mmap-vs-text gate, algorithm identity on
+# the mapped graph, and compacted-vs-full WAL recovery), plus the kill-9
+# during-compaction chaos proof. Records the report to BENCH_load.json.
+LOAD_SCALE ?= 1
+load-smoke:
+	$(GO) test -race -run 'TestCompactionSurvivesSIGKILL' -v ./internal/chaos/
+	$(GO) run ./cmd/graphite-bench -scale $(LOAD_SCALE) -load-json BENCH_load.json load
 
 clean:
 	$(GO) clean ./...

@@ -51,12 +51,13 @@ func main() {
 		obsJSON   = flag.String("obs-json", "", "write the obs overhead-guard report as JSON to this file")
 		recJSON   = flag.String("recovery-json", "", "write the recovery experiment report as JSON to this file")
 		strJSON   = flag.String("stream-json", "", "write the stream experiment report as JSON to this file")
+		loadJSON  = flag.String("load-json", "", "write the load experiment report as JSON to this file")
 		pprofAddr = flag.String("pprof", "", "serve /debug/vars and /debug/pprof on this address")
 		verbose   = flag.Bool("v", false, "verbose (debug-level) logging")
 	)
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: graphite-bench [flags] <experiment>...\n")
-		fmt.Fprintf(os.Stderr, "experiments: table1 table2 fig4 fig5 fig6a fig6b fig6c fig7 msgsize loc chaos alloc skew obs recovery stream all\n\n")
+		fmt.Fprintf(os.Stderr, "experiments: table1 table2 fig4 fig5 fig6a fig6b fig6c fig7 msgsize loc chaos alloc skew obs recovery stream load all\n\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -101,6 +102,7 @@ func main() {
 	obsJSONPath = *obsJSON
 	recoveryJSONPath = *recJSON
 	streamJSONPath = *strJSON
+	loadJSONPath = *loadJSON
 	selected := parseAlgos(*algos)
 
 	for _, exp := range flag.Args() {
@@ -130,7 +132,7 @@ var matrix []bench.Cell
 
 // skewJSONPath, obsJSONPath, recoveryJSONPath and streamJSONPath, when set,
 // receive the corresponding experiments' JSON reports.
-var skewJSONPath, obsJSONPath, recoveryJSONPath, streamJSONPath string
+var skewJSONPath, obsJSONPath, recoveryJSONPath, streamJSONPath, loadJSONPath string
 
 func getMatrix(cfg bench.Config, algos []bench.Algo) ([]bench.Cell, error) {
 	if matrix != nil {
@@ -270,8 +272,19 @@ func run(cfg bench.Config, exp string, algos []bench.Algo) error {
 				return err
 			}
 		}
+	case "load":
+		rep, err := bench.Load(cfg)
+		if err != nil {
+			return err
+		}
+		bench.RenderLoad(w, rep)
+		if loadJSONPath != "" {
+			if err := bench.WriteLoadJSON(loadJSONPath, rep); err != nil {
+				return err
+			}
+		}
 	default:
-		return fmt.Errorf("unknown experiment (try: table1 table2 fig4 fig5 fig6a fig6b fig6c fig7 msgsize loc chaos alloc skew obs recovery stream all)")
+		return fmt.Errorf("unknown experiment (try: table1 table2 fig4 fig5 fig6a fig6b fig6c fig7 msgsize loc chaos alloc skew obs recovery stream load all)")
 	}
 	return nil
 }

@@ -23,7 +23,7 @@ func main() {
 		out     = flag.String("out", "", "output directory (empty: print characteristics only)")
 		scale   = flag.Float64("scale", 1.0, "dataset scale factor")
 		seed    = flag.Int64("seed", 42, "generator seed")
-		format  = flag.String("format", "text", "output format: text or binary")
+		format  = flag.String("format", "text", "output format: text, binary, or snapshot (mmap-able)")
 		verbose = flag.Bool("v", false, "verbose (debug-level) logging")
 	)
 	flag.Parse()
@@ -65,8 +65,11 @@ func main() {
 			}
 			write := tgraph.WriteFile
 			ext := ".tg"
-			if *format == "binary" {
+			switch *format {
+			case "binary":
 				write, ext = tgraph.WriteBinaryFile, ".tgb"
+			case "snapshot":
+				write, ext = tgraph.WriteSnapshotFile, ".gsn"
 			}
 			file = filepath.Join(*out, p.Name+ext)
 			if err := write(file, g); err != nil {

@@ -55,11 +55,13 @@ func main() {
 	if *graphPath == "transit" {
 		g = tgraph.TransitExample()
 	} else {
-		var err error
-		g, err = tgraph.ReadAnyFile(*graphPath)
+		// OpenAnyFile maps .gsn snapshots instead of parsing them; the
+		// mapping lives until process exit.
+		m, err := tgraph.OpenAnyFile(*graphPath)
 		if err != nil {
 			fatal(log, "load graph", err)
 		}
+		g = m.Graph
 	}
 	log.Info("graph loaded", "graph", fmt.Sprint(g), "horizon", int64(g.Horizon()))
 

@@ -65,6 +65,7 @@ func main() {
 		timeout       = flag.Duration("timeout", serve.DefaultTimeout, "default per-request run deadline")
 		drain         = flag.Duration("drain", 30*time.Second, "graceful drain budget on SIGTERM")
 		horizon       = flag.Int64("live-horizon", 0, "close still-open live entities at this time in snapshots (0: unbounded)")
+		compactEvery  = flag.Int("live-compact", 0, "auto-compact a live graph's WAL every N ingested events (0: never)")
 		verbose       = flag.Bool("v", false, "verbose (debug-level) logging")
 	)
 	flag.Parse()
@@ -82,11 +83,13 @@ func main() {
 		if path == "transit" {
 			g = tgraph.TransitExample()
 		} else {
-			var err error
-			g, err = tgraph.ReadAnyFile(path)
+			// OpenAnyFile maps .gsn snapshots instead of parsing them; the
+			// mapping lives until process exit.
+			m, err := tgraph.OpenAnyFile(path)
 			if err != nil {
 				fatal(log, "load graph", err)
 			}
+			g = m.Graph
 		}
 		graphs[name] = g
 		log.Info("graph loaded", "name", name, "graph", fmt.Sprint(g), "horizon", int64(g.Horizon()))
@@ -102,9 +105,10 @@ func main() {
 			fatal(log, "parse -live", fmt.Errorf("spec %q is not name=FILE.wal", spec))
 		}
 		lg, err := live.Open(path, live.Options{
-			Name:     name,
-			Horizon:  ival.Time(*horizon),
-			Registry: reg,
+			Name:         name,
+			Horizon:      ival.Time(*horizon),
+			CompactEvery: *compactEvery,
+			Registry:     reg,
 		})
 		if err != nil {
 			fatal(log, "open live graph", err)
@@ -112,8 +116,10 @@ func main() {
 		defer lg.Close()
 		liveGraphs[name] = lg
 		info := lg.Info()
+		rec := lg.LastRecovery()
 		log.Info("live graph opened", "name", name, "wal", path,
-			"epoch", info.Epoch, "events", info.Events, "vertices", info.Vertices, "edges", info.Edges)
+			"epoch", info.Epoch, "events", info.Events, "vertices", info.Vertices, "edges", info.Edges,
+			"from_snapshot", rec.FromSnapshot, "tail_events", rec.TailEvents)
 	}
 
 	s, err := serve.New(serve.Config{

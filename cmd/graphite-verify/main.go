@@ -37,7 +37,12 @@ func main() {
 	var err error
 	switch {
 	case *graphPath != "":
-		g, err = tgraph.ReadAnyFile(*graphPath)
+		// OpenAnyFile maps .gsn snapshots instead of parsing them; the
+		// mapping lives until process exit.
+		var m *tgraph.Mapped
+		if m, err = tgraph.OpenAnyFile(*graphPath); err == nil {
+			g = m.Graph
+		}
 	case *profile != "":
 		for _, p := range gen.AllProfiles(gen.Scale(*scale)) {
 			if p.Name == *profile {

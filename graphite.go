@@ -93,6 +93,10 @@ type (
 	Vertex = tgraph.Vertex
 	// Edge is a temporal edge.
 	Edge = tgraph.Edge
+	// MappedGraph is a Graph backed by a read-only memory mapping of a
+	// snapshot (.gsn) file; Close releases the mapping (a no-op when
+	// the graph was parsed into the heap).
+	MappedGraph = tgraph.Mapped
 )
 
 // Graph construction and serialization.
@@ -111,6 +115,16 @@ var (
 	TransitExample = tgraph.TransitExample
 	// SliceGraph materializes the sub-graph restricted to a time window.
 	SliceGraph = tgraph.Slice
+	// OpenGraphFile loads a graph file in any format (text, binary or
+	// snapshot), sniffing the magic header. Snapshots are memory-mapped;
+	// other formats parse into the heap with a no-op Close.
+	OpenGraphFile = tgraph.OpenAnyFile
+	// WriteSnapshotFile serializes a graph in the mmap-able snapshot
+	// format (DESIGN.md §17).
+	WriteSnapshotFile = tgraph.WriteSnapshotFile
+	// OpenSnapshot memory-maps a snapshot file, verifying every
+	// section CRC; the adjacency and index arrays alias the mapping.
+	OpenSnapshot = tgraph.OpenMapped
 )
 
 // Streaming ingestion: build temporal graphs from timestamped event logs.

@@ -64,7 +64,7 @@ func pieceStartTimes(g *tgraph.Graph) []map[ival.Time][]int32 {
 		e := g.Edge(i)
 		v := g.IndexOf(e.Src)
 		starts := map[ival.Time]bool{e.Lifespan.Start: true}
-		for _, entries := range e.Props {
+		for _, entries := range e.Props.All() {
 			for _, p := range entries {
 				if x := p.Interval.Intersect(e.Lifespan); !x.IsEmpty() {
 					starts[x.Start] = true

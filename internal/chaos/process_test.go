@@ -26,6 +26,7 @@ import (
 func TestMain(m *testing.M) {
 	RunChildWorker()
 	runWALChild()
+	runCompactChild()
 	os.Exit(m.Run())
 }
 

@@ -322,3 +322,47 @@ func TestLeaseHealthTransitions(t *testing.T) {
 		})
 	}
 }
+
+// TestLoadGraphAllFormats pins the graph-spec contract: every on-disk
+// format resolves to the identical graph (the partition maps depend on
+// it), a snapshot-backed cluster run matches the fixture-backed run, and
+// unknown specs fail loudly.
+func TestLoadGraphAllFormats(t *testing.T) {
+	want := tgraph.TransitExample()
+	dir := t.TempDir()
+	text := filepath.Join(dir, "g.tg")
+	if err := tgraph.WriteFile(text, want); err != nil {
+		t.Fatal(err)
+	}
+	bin := filepath.Join(dir, "g.tgb")
+	if err := tgraph.WriteBinaryFile(bin, want); err != nil {
+		t.Fatal(err)
+	}
+	snap := filepath.Join(dir, "g.gsn")
+	if err := tgraph.WriteSnapshotFile(snap, want); err != nil {
+		t.Fatal(err)
+	}
+	for _, spec := range []string{"transit", "file:" + text, "file:" + bin, "file:" + snap} {
+		m, err := cluster.LoadGraph(spec)
+		if err != nil {
+			t.Fatalf("LoadGraph(%q): %v", spec, err)
+		}
+		if err := tgraph.Equal(m.Graph, want); err != nil {
+			t.Fatalf("LoadGraph(%q) diverges: %v", spec, err)
+		}
+		m.Close()
+	}
+	if _, err := cluster.LoadGraph("nope"); err == nil {
+		t.Fatal("unknown spec accepted")
+	}
+
+	// A full cluster run over the mapped snapshot must match the
+	// fixture-backed direct run bit for bit.
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	p := algorithms.Params{Source: 0}
+	_, addr, out := startCluster(t, cluster.Config{Graph: "file:" + snap, Algo: "eat", Params: p})
+	runWorkers(ctx, t, addr, workerDirs(t, testWorkers))
+	got := waitResult(t, out, 30*time.Second)
+	compareResults(t, want, got, directRun(t, want, "eat", p))
+}

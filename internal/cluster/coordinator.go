@@ -210,10 +210,11 @@ func New(cfg Config) (*Coordinator, error) {
 	if cfg.Logger == nil {
 		cfg.Logger = slog.Default()
 	}
-	g, err := LoadGraph(cfg.Graph)
+	gm, err := LoadGraph(cfg.Graph)
 	if err != nil {
 		return nil, err
 	}
+	g := gm.Graph // the mapping stays open for the coordinator's lifetime
 	prog, opts, err := algorithms.New(g, cfg.Algo, cfg.Params)
 	if err != nil {
 		return nil, err

@@ -220,15 +220,18 @@ func parseResultHeader(p []byte) (epoch, shard int, blob []byte, err error) {
 }
 
 // LoadGraph resolves a graph spec shared between coordinator and workers:
-// "transit" is the built-in fixture, "file:<path>" loads a graph written by
-// tgraph.WriteFile. Every process must resolve the spec to the identical
-// graph or the deterministic partition maps diverge.
-func LoadGraph(spec string) (*tgraph.Graph, error) {
+// "transit" is the built-in fixture, "file:<path>" loads any tgraph format
+// — text, binary, or a .gsn snapshot, which rejoining workers open as an
+// mmap so a respawn pays page faults instead of a parse. Every process must
+// resolve the spec to the identical graph or the deterministic partition
+// maps diverge. The returned Mapped stays open for the lifetime of the
+// graph: the engine and results alias its memory.
+func LoadGraph(spec string) (*tgraph.Mapped, error) {
 	switch {
 	case spec == "transit":
-		return tgraph.TransitExample(), nil
+		return tgraph.Unmapped(tgraph.TransitExample()), nil
 	case strings.HasPrefix(spec, "file:"):
-		return tgraph.ReadFile(strings.TrimPrefix(spec, "file:"))
+		return tgraph.OpenAnyFile(strings.TrimPrefix(spec, "file:"))
 	}
 	return nil, fmt.Errorf("cluster: unknown graph spec %q (want \"transit\" or \"file:<path>\")", spec)
 }

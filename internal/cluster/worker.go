@@ -221,10 +221,11 @@ func (w *wrk) handleAssign(payload []byte) error {
 	// than the lease on large graphs, and a silent worker mid-setup would be
 	// declared dead before it ever got to ready.
 	w.startHeartbeat(time.Duration(as.HeartbeatNS))
-	g, err := LoadGraph(as.Graph)
+	gm, err := LoadGraph(as.Graph)
 	if err != nil {
 		return w.fail(err)
 	}
+	g := gm.Graph // the mapping stays open for the worker's lifetime
 	prog, opts, err := algorithms.New(g, as.Algo, as.Params)
 	if err != nil {
 		return w.fail(err)

@@ -112,7 +112,7 @@ func edgePartition(e *tgraph.Edge, labels []string) []ival.Interval {
 		}
 	}
 	if len(labels) == 0 {
-		for _, entries := range e.Props {
+		for _, entries := range e.Props.All() {
 			add(entries)
 		}
 	} else {

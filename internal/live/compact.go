@@ -1,0 +1,207 @@
+package live
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"os"
+	"time"
+
+	ival "graphite/internal/interval"
+	"graphite/internal/obs"
+	"graphite/internal/stream"
+	"graphite/internal/tgraph"
+)
+
+// WAL compaction bounds replay cost: the log otherwise grows — and replay
+// slows — without limit as history accumulates. Compact writes the
+// current epoch as a mapped tgraph snapshot whose extra section carries
+// the live-graph recovery header and the marshaled ingest accumulator,
+// then rotates the WAL to an empty version-2 file based at that snapshot.
+// Recovery becomes a millisecond mmap open plus replay of only the
+// post-snapshot tail.
+//
+// Crash safety is two atomic renames, snapshot first:
+//
+//	crash before the snapshot rename  -> old snapshot (if any) + full log
+//	crash between rename and rotation -> new snapshot + full log; Open
+//	                                     skips the already-covered prefix
+//	crash after the rotation          -> new snapshot + empty log
+//
+// Either way exactly one consistent (snapshot, log) pair survives.
+
+// liveExtraVersion versions the snapshot's extra-section payload:
+// uvarint version | uvarint epoch | varint horizon | accumulator state.
+const liveExtraVersion = 1
+
+// ErrSnapshotLost reports a compacted WAL (non-zero base: the prefix of
+// history lives only in the snapshot) whose companion snapshot is missing
+// or unusable. Recovery is impossible without restoring the snapshot file.
+var ErrSnapshotLost = errors.New("live: compacted WAL without a usable snapshot")
+
+// SnapshotPath returns the companion snapshot path for a WAL path.
+func SnapshotPath(walPath string) string { return walPath + ".gsn" }
+
+// CompactStats describes one completed compaction.
+type CompactStats struct {
+	Epoch         uint64 // epoch the snapshot captured
+	Events        int    // cumulative events the snapshot covers
+	SnapshotBytes int64
+	WALBefore     int64 // log size before rotation
+	WALAfter      int64 // log size after (just the version-2 header)
+}
+
+// Recovery describes how the last Open reconstructed the graph's state:
+// from a snapshot plus a replayed tail, or from a full log replay.
+type Recovery struct {
+	FromSnapshot   bool
+	SnapshotEpoch  uint64
+	SnapshotEvents int  // events the snapshot covered
+	TailBatches    int  // WAL batches replayed after the snapshot
+	TailEvents     int  // events replayed after the snapshot
+	Truncated      bool // a torn WAL tail was truncated
+}
+
+// LastRecovery reports how Open reconstructed this graph.
+func (g *Graph) LastRecovery() Recovery {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.recovery
+}
+
+func encodeLiveExtra(epoch uint64, horizon ival.Time, acc *stream.Accumulator) []byte {
+	buf := binary.AppendUvarint(nil, liveExtraVersion)
+	buf = binary.AppendUvarint(buf, epoch)
+	buf = binary.AppendVarint(buf, horizon)
+	state, _ := acc.MarshalBinary() // never fails
+	return append(buf, state...)
+}
+
+func decodeLiveExtra(extra []byte) (epoch uint64, horizon ival.Time, acc *stream.Accumulator, err error) {
+	fail := func(format string, args ...any) (uint64, ival.Time, *stream.Accumulator, error) {
+		return 0, 0, nil, fmt.Errorf("live: snapshot header: %s", fmt.Sprintf(format, args...))
+	}
+	v, n := binary.Uvarint(extra)
+	if n <= 0 {
+		return fail("truncated version")
+	}
+	if v != liveExtraVersion {
+		return fail("version %d, want %d", v, liveExtraVersion)
+	}
+	extra = extra[n:]
+	if epoch, n = binary.Uvarint(extra); n <= 0 {
+		return fail("truncated epoch")
+	}
+	extra = extra[n:]
+	h, n := binary.Varint(extra)
+	if n <= 0 {
+		return fail("truncated horizon")
+	}
+	acc, err = stream.UnmarshalAccumulator(extra[n:])
+	if err != nil {
+		return 0, 0, nil, err
+	}
+	return epoch, ival.Time(h), acc, nil
+}
+
+// liveSnapshot is a decoded companion snapshot: the mapped graph plus the
+// recovery header and accumulator from its extra section.
+type liveSnapshot struct {
+	m       *tgraph.Mapped
+	epoch   uint64
+	horizon ival.Time
+	acc     *stream.Accumulator
+}
+
+func openLiveSnapshot(path string) (*liveSnapshot, error) {
+	m, err := tgraph.OpenMapped(path)
+	if err != nil {
+		return nil, err
+	}
+	if m.Extra == nil {
+		m.Close()
+		return nil, fmt.Errorf("live: %s is a graph snapshot but carries no live-graph state", path)
+	}
+	epoch, horizon, acc, err := decodeLiveExtra(m.Extra)
+	if err != nil {
+		m.Close()
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &liveSnapshot{m: m, epoch: epoch, horizon: horizon, acc: acc}, nil
+}
+
+// Compact checkpoints the current epoch into the companion snapshot and
+// rotates the WAL, so the next Open replays only batches applied after
+// this call. Readers are unaffected: published epochs stay valid, and the
+// files are replaced atomically. On error the graph remains fully usable;
+// at worst the snapshot is newer than the log base, which Open handles.
+func (g *Graph) Compact() (CompactStats, error) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.closed {
+		return CompactStats{}, ErrClosed
+	}
+	return g.compactLocked()
+}
+
+func (g *Graph) compactLocked() (CompactStats, error) {
+	start := time.Now()
+	img := tgraph.EncodeSnapshot(g.cur.g, encodeLiveExtra(g.cur.id, g.opts.Horizon, g.acc))
+	tmp := g.snapPath + ".tmp"
+	if err := writeSnapFile(tmp, img, g.opts.NoSync); err != nil {
+		return CompactStats{}, err
+	}
+	if err := os.Rename(tmp, g.snapPath); err != nil {
+		return CompactStats{}, fmt.Errorf("live: commit snapshot: %w", err)
+	}
+	if !g.opts.NoSync {
+		if err := syncDir(g.snapPath); err != nil {
+			return CompactStats{}, err
+		}
+	}
+	walBefore := g.w.size
+	if err := g.w.rotate(g.cur.id, g.acc.Events()); err != nil {
+		return CompactStats{}, err
+	}
+	g.lastCompact = g.acc.Events()
+	stats := CompactStats{
+		Epoch:         g.cur.id,
+		Events:        g.acc.Events(),
+		SnapshotBytes: int64(len(img)),
+		WALBefore:     walBefore,
+		WALAfter:      g.w.size,
+	}
+	g.publishGauges()
+	if g.mCompacts != nil {
+		g.mCompacts.Inc()
+	}
+	if g.opts.Tracer != nil {
+		g.opts.Tracer.Emit(obs.WALCompact{Graph: g.name, Epoch: stats.Epoch, Events: stats.Events,
+			SnapshotBytes: stats.SnapshotBytes, WALBefore: stats.WALBefore, WALAfter: stats.WALAfter,
+			WallNS: time.Since(start).Nanoseconds()})
+	}
+	return stats, nil
+}
+
+// writeSnapFile writes data and (unless noSync) fsyncs before closing, so
+// the subsequent rename publishes fully durable bytes.
+func writeSnapFile(path string, data []byte, noSync bool) error {
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("live: write snapshot: %w", err)
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		return fmt.Errorf("live: write snapshot: %w", err)
+	}
+	if !noSync {
+		if err := f.Sync(); err != nil {
+			f.Close()
+			return fmt.Errorf("live: sync snapshot: %w", err)
+		}
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("live: close snapshot: %w", err)
+	}
+	return nil
+}

@@ -24,6 +24,7 @@ package live
 import (
 	"errors"
 	"fmt"
+	"os"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -54,6 +55,11 @@ type Options struct {
 	// NoSync skips the per-append fsync. Only for benchmarks measuring the
 	// fsync tax; a SIGKILL under NoSync can lose acknowledged batches.
 	NoSync bool
+	// CompactEvery auto-compacts after this many events have accumulated
+	// since the last compaction (or since the snapshot recovery was based
+	// on). Zero disables auto-compaction; Compact can still be called
+	// explicitly.
+	CompactEvery int
 	// Registry receives ingest counters and epoch gauges (nil: none).
 	Registry *obs.Registry
 	// Tracer receives EpochPublish and WALReplay events (nil: none).
@@ -79,6 +85,7 @@ type Epoch struct {
 	lastT  ival.Time
 	refs   atomic.Int64
 	owner  *Graph
+	drop   func() // releases backing storage (an mmap) when refs hit zero
 }
 
 // ID returns the epoch number (0 for an empty just-created log; replay and
@@ -105,6 +112,9 @@ func (e *Epoch) Info() Info {
 // current pointer and every reader have let go.
 func (e *Epoch) Release() {
 	if e.refs.Add(-1) == 0 {
+		if e.drop != nil {
+			e.drop()
+		}
 		e.owner.reclaim()
 	}
 }
@@ -124,72 +134,159 @@ type Graph struct {
 	opts Options
 	name string
 
-	mu     sync.Mutex
-	acc    *stream.Accumulator
-	w      *wal
-	cur    *Epoch
-	marks  []mark
-	closed bool
+	mu       sync.Mutex
+	acc      *stream.Accumulator
+	w        *wal
+	cur      *Epoch
+	marks    []mark
+	closed   bool
+	snapPath string
+	recovery Recovery
+	// lastCompact is the cumulative event count at the last compaction (or
+	// at the snapshot the last Open recovered from); CompactEvery measures
+	// from here.
+	lastCompact int
 
 	epochsLive atomic.Int64
 
-	mEvents, mBatches *obs.Counter
-	gEpoch, gLive     *obs.Gauge
-	gWALBytes, gLastT *obs.Gauge
-	hIngest           *obs.Histogram
+	mEvents, mBatches    *obs.Counter
+	mCompacts, mCompErrs *obs.Counter
+	gEpoch, gLive        *obs.Gauge
+	gWALBytes, gLastT    *obs.Gauge
+	hIngest              *obs.Histogram
 }
 
-// Open opens (creating if absent) the WAL at path and replays it into the
-// initial epoch. A torn tail — an append cut short by a crash — is
-// truncated silently; it was never acknowledged. Corruption before the
-// tail is ErrWALCorrupt.
+// Open opens (creating if absent) the WAL at path and rebuilds the initial
+// epoch. If a companion snapshot (path + ".gsn", written by Compact) exists
+// it is mapped and only the WAL batches past its coverage replay; otherwise
+// the whole log replays. A torn tail — an append cut short by a crash — is
+// truncated silently; it was never acknowledged. Corruption before the tail
+// is ErrWALCorrupt, and a compacted log whose snapshot is missing or
+// unreadable is ErrSnapshotLost.
 func Open(path string, opts Options) (*Graph, error) {
 	start := time.Now()
+	snapPath := SnapshotPath(path)
+	var snap *liveSnapshot
+	snapErr := error(nil)
+	if _, err := os.Stat(snapPath); err == nil {
+		snap, snapErr = openLiveSnapshot(snapPath)
+	} else if !errors.Is(err, os.ErrNotExist) {
+		snapErr = err
+	}
 	w, batches, truncated, err := openWAL(path, opts.NoSync)
 	if err != nil {
+		if snap != nil {
+			snap.m.Close()
+		}
 		return nil, err
+	}
+	abort := func() {
+		w.close()
+		if snap != nil {
+			snap.m.Close()
+		}
+	}
+	if snap == nil && (w.base.epoch != 0 || w.base.events != 0) {
+		// The log was rotated by a compaction, so its prefix lives only in
+		// the snapshot — which we cannot use.
+		w.close()
+		if snapErr != nil {
+			return nil, fmt.Errorf("%w: %v", ErrSnapshotLost, snapErr)
+		}
+		return nil, fmt.Errorf("%w: %s missing", ErrSnapshotLost, snapPath)
+	}
+	if snap != nil && snap.acc.Events() < w.base.events {
+		// Compaction renames the snapshot before rotating the log, so the
+		// snapshot may cover MORE events than the log base — never fewer.
+		abort()
+		return nil, fmt.Errorf("%w: snapshot covers %d events but the log starts after %d",
+			ErrWALCorrupt, snap.acc.Events(), w.base.events)
 	}
 	name := opts.Name
 	if name == "" {
 		name = path
 	}
-	g := &Graph{opts: opts, name: name, acc: stream.NewAccumulator(), w: w}
+	g := &Graph{opts: opts, name: name, acc: stream.NewAccumulator(), w: w, snapPath: snapPath}
 	if r := opts.Registry; r != nil {
 		g.mEvents = r.Counter("live.events_total")
 		g.mBatches = r.Counter("live.batches_total")
+		g.mCompacts = r.Counter("live.compactions_total")
+		g.mCompErrs = r.Counter("live.compaction_errors_total")
 		g.gEpoch = r.Gauge("live.epoch")
 		g.gLive = r.Gauge("live.epochs_live")
 		g.gWALBytes = r.Gauge("live.wal_bytes")
 		g.gLastT = r.Gauge("live.last_event_time")
 		g.hIngest = r.Histogram("live.ingest_latency_ns")
 	}
-	for i, batch := range batches {
+	rec := Recovery{Truncated: truncated}
+	tail := batches
+	var baseEpoch uint64
+	if snap != nil {
+		g.acc = snap.acc
+		baseEpoch = snap.epoch
+		rec.FromSnapshot = true
+		rec.SnapshotEpoch = snap.epoch
+		rec.SnapshotEvents = snap.acc.Events()
+		// Skip the log prefix the snapshot already covers. Batches are
+		// atomic, so the covered count must align on a batch boundary.
+		skip := rec.SnapshotEvents - w.base.events
+		for skip > 0 {
+			if len(tail) == 0 || len(tail[0]) > skip {
+				abort()
+				return nil, fmt.Errorf("%w: snapshot coverage (%d events past the log base) does not align with batch boundaries",
+					ErrWALCorrupt, rec.SnapshotEvents-w.base.events)
+			}
+			skip -= len(tail[0])
+			tail = tail[1:]
+		}
+	}
+	for i, batch := range tail {
 		for _, ev := range batch {
 			if err := g.acc.Apply(ev); err != nil {
-				w.close()
+				abort()
 				return nil, fmt.Errorf("%w: replayed batch %d rejected: %v", ErrWALCorrupt, i, err)
 			}
 		}
 	}
-	snap, err := g.acc.Graph(opts.Horizon)
-	if err != nil {
-		w.close()
-		return nil, fmt.Errorf("live: materialize replayed graph: %w", err)
+	rec.TailBatches = len(tail)
+	rec.TailEvents = g.acc.Events() - rec.SnapshotEvents
+	curID := baseEpoch + uint64(len(tail))
+	var cur *tgraph.Graph
+	var drop func()
+	if snap != nil && len(tail) == 0 && snap.horizon == opts.Horizon {
+		// Nothing landed since the snapshot and the horizon matches: serve
+		// queries straight off the mapping, no materialization at all. The
+		// pages unmap when the epoch's last reader lets go.
+		cur = snap.m.Graph
+		m := snap.m
+		drop = func() { m.Close() }
+	} else {
+		cur, err = g.acc.Graph(opts.Horizon)
+		if err != nil {
+			abort()
+			return nil, fmt.Errorf("live: materialize replayed graph: %w", err)
+		}
+		if snap != nil {
+			snap.m.Close()
+		}
 	}
-	g.cur = &Epoch{id: uint64(len(batches)), g: snap, events: g.acc.Events(), lastT: g.acc.Now(), owner: g}
+	g.cur = &Epoch{id: curID, g: cur, events: g.acc.Events(), lastT: g.acc.Now(), owner: g, drop: drop}
 	g.cur.refs.Store(1) // the current pointer's reference
 	g.epochsLive.Store(1)
-	// One conservative mark covers the whole replayed history: in-process
+	g.recovery = rec
+	g.lastCompact = rec.SnapshotEvents
+	// One conservative mark covers the whole recovered history: in-process
 	// caches are empty at open, so nothing older needs distinguishing.
 	g.marks = []mark{{epoch: g.cur.id, minT: 0}}
 	g.publishGauges()
 	if g.mEvents != nil {
 		g.mEvents.Store(int64(g.acc.Events()))
-		g.mBatches.Store(int64(len(batches)))
+		g.mBatches.Store(int64(len(tail)))
 	}
 	if opts.Tracer != nil {
-		opts.Tracer.Emit(obs.WALReplay{Graph: name, Batches: len(batches), Events: g.acc.Events(),
-			Bytes: w.size, Truncated: truncated, WallNS: time.Since(start).Nanoseconds()})
+		opts.Tracer.Emit(obs.WALReplay{Graph: name, Batches: len(tail), Events: rec.TailEvents,
+			Bytes: w.size, Truncated: truncated, FromSnapshot: rec.FromSnapshot,
+			SnapshotEvents: rec.SnapshotEvents, WallNS: time.Since(start).Nanoseconds()})
 	}
 	return g, nil
 }
@@ -249,6 +346,13 @@ func (g *Graph) Apply(batch []stream.Event) (Info, error) {
 		g.opts.Tracer.Emit(obs.EpochPublish{Graph: g.name, Epoch: ep.id, Batch: len(batch),
 			Events: ep.events, LastTime: int64(ep.lastT), Vertices: snap.NumVertices(),
 			Edges: snap.NumEdges(), WallNS: elapsed.Nanoseconds()})
+	}
+	if n := g.opts.CompactEvery; n > 0 && g.acc.Events()-g.lastCompact >= n {
+		// The batch is already durable; a failed compaction costs nothing
+		// but a longer replay, and the next Apply retries.
+		if _, err := g.compactLocked(); err != nil && g.mCompErrs != nil {
+			g.mCompErrs.Inc()
+		}
 	}
 	return ep.Info(), nil
 }

@@ -7,6 +7,8 @@ import (
 	"hash/crc32"
 	"io"
 	"os"
+	"path/filepath"
+	"syscall"
 
 	ival "graphite/internal/interval"
 	"graphite/internal/stream"
@@ -26,8 +28,25 @@ import (
 // followed by fsync, so an acknowledged batch is on disk before the epoch
 // that contains it becomes visible.
 
-// walMagic identifies a live-graph WAL, version 1.
+// walMagic identifies a live-graph WAL, version 1: records start right
+// after the magic and the log describes the graph's entire history.
 var walMagic = [5]byte{'G', 'W', 'A', 'L', 1}
+
+// walMagicV2 identifies a compacted WAL, version 2: the magic is followed
+// by a u64 base epoch and u64 base event count (little-endian) naming the
+// point in history the log starts from; everything earlier lives in the
+// companion snapshot. Version-2 files are only ever created whole (write
+// to a temp file, fsync, rename), so a header shorter than walV2HeaderLen
+// is corruption, not a torn creation.
+var walMagicV2 = [5]byte{'G', 'W', 'A', 'L', 2}
+
+const walV2HeaderLen = len("GWAL") + 1 + 8 + 8
+
+// walBase is the compaction point a version-2 WAL starts from.
+type walBase struct {
+	epoch  uint64
+	events int
+}
 
 // maxWALRecord bounds a record's declared length so a corrupted length
 // prefix cannot make replay allocate unbounded memory.
@@ -49,11 +68,13 @@ type wal struct {
 	path   string
 	size   int64
 	noSync bool
+	base   walBase
 }
 
 // openWAL opens (creating if absent) the log at path, replays every intact
 // batch, truncates a torn tail, and leaves the file positioned for
-// appending. The returned batches are in log order.
+// appending. The returned batches are in log order; w.base names the
+// compaction point they continue from (zero for a version-1 log).
 func openWAL(path string, noSync bool) (w *wal, batches [][]stream.Event, truncated bool, err error) {
 	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
 	if err != nil {
@@ -77,11 +98,12 @@ func openWAL(path string, noSync bool) (w *wal, batches [][]stream.Event, trunca
 		w.size = int64(len(walMagic))
 		return w, nil, false, nil
 	}
-	batches, good, truncated, err := replayWAL(f, st.Size())
+	batches, base, good, truncated, err := replayWAL(f, st.Size())
 	if err != nil {
 		f.Close()
 		return nil, nil, false, err
 	}
+	w.base = base
 	if truncated {
 		if err := f.Truncate(good); err != nil {
 			f.Close()
@@ -104,54 +126,135 @@ func openWAL(path string, noSync bool) (w *wal, batches [][]stream.Event, trunca
 // the first byte past the last intact record. A partial record at EOF is a
 // torn tail (crash mid-append) and reports truncated; damage anywhere else
 // is ErrWALCorrupt.
-func replayWAL(f *os.File, size int64) (batches [][]stream.Event, good int64, truncated bool, err error) {
+func replayWAL(f *os.File, size int64) (batches [][]stream.Event, base walBase, good int64, truncated bool, err error) {
+	fail := func(err error) ([][]stream.Event, walBase, int64, bool, error) {
+		return nil, walBase{}, 0, false, err
+	}
 	var magic [len(walMagic)]byte
 	if size < int64(len(magic)) {
 		// Shorter than the magic: a crash during file creation. Nothing was
 		// ever acknowledged, so treat the whole file as a torn tail.
-		return nil, 0, true, nil
+		return nil, walBase{}, 0, true, nil
 	}
 	if _, err := f.ReadAt(magic[:], 0); err != nil {
-		return nil, 0, false, fmt.Errorf("live: read WAL magic: %w", err)
-	}
-	if magic != walMagic {
-		return nil, 0, false, fmt.Errorf("%w: bad magic %q", ErrWALCorrupt, magic[:])
+		return fail(fmt.Errorf("live: read WAL magic: %w", err))
 	}
 	off := int64(len(magic))
+	switch magic {
+	case walMagic:
+	case walMagicV2:
+		var hdr [16]byte
+		if size < int64(walV2HeaderLen) {
+			// Rotation writes version-2 headers whole before renaming, so a
+			// short one cannot be a torn creation.
+			return fail(fmt.Errorf("%w: version-2 header truncated at %d bytes", ErrWALCorrupt, size))
+		}
+		if _, err := f.ReadAt(hdr[:], off); err != nil {
+			return fail(fmt.Errorf("live: read WAL base: %w", err))
+		}
+		base.epoch = binary.LittleEndian.Uint64(hdr[:8])
+		events := binary.LittleEndian.Uint64(hdr[8:])
+		if events > uint64(1)<<62 {
+			return fail(fmt.Errorf("%w: implausible base event count %d", ErrWALCorrupt, events))
+		}
+		base.events = int(events)
+		off = int64(walV2HeaderLen)
+	default:
+		if string(magic[:4]) == "GWAL" {
+			return fail(fmt.Errorf("%w: unsupported WAL version %d", ErrWALCorrupt, magic[4]))
+		}
+		return fail(fmt.Errorf("%w: bad magic %q", ErrWALCorrupt, magic[:]))
+	}
 	for off < size {
 		var hdr [4]byte
 		if size-off < 4 {
-			return batches, off, true, nil
+			return batches, base, off, true, nil
 		}
 		if _, err := f.ReadAt(hdr[:], off); err != nil {
-			return nil, 0, false, fmt.Errorf("live: read WAL record: %w", err)
+			return fail(fmt.Errorf("live: read WAL record: %w", err))
 		}
 		n := int64(binary.LittleEndian.Uint32(hdr[:]))
 		if size-off < 4+n+4 {
 			// The declared record runs past EOF — whether the length bytes
 			// are a truncated frame or scribble, this is indistinguishable
 			// from an append cut short, so treat it as the torn tail.
-			return batches, off, true, nil
+			return batches, base, off, true, nil
 		}
 		if n > maxWALRecord {
-			return nil, 0, false, fmt.Errorf("%w: record length %d at offset %d", ErrWALCorrupt, n, off)
+			return fail(fmt.Errorf("%w: record length %d at offset %d", ErrWALCorrupt, n, off))
 		}
 		body := make([]byte, n+4)
 		if _, err := f.ReadAt(body, off+4); err != nil {
-			return nil, 0, false, fmt.Errorf("live: read WAL record: %w", err)
+			return fail(fmt.Errorf("live: read WAL record: %w", err))
 		}
 		want := binary.LittleEndian.Uint32(body[n:])
 		if got := crc32.ChecksumIEEE(body[:n]); got != want {
-			return nil, 0, false, fmt.Errorf("%w: CRC mismatch at offset %d", ErrWALCorrupt, off)
+			return fail(fmt.Errorf("%w: CRC mismatch at offset %d", ErrWALCorrupt, off))
 		}
 		batch, err := decodeBatch(body[:n])
 		if err != nil {
-			return nil, 0, false, fmt.Errorf("%w: offset %d: %v", ErrWALCorrupt, off, err)
+			return fail(fmt.Errorf("%w: offset %d: %v", ErrWALCorrupt, off, err))
 		}
 		batches = append(batches, batch)
 		off += 4 + n + 4
 	}
-	return batches, off, false, nil
+	return batches, base, off, false, nil
+}
+
+// rotate atomically replaces the log with an empty version-2 file based
+// at (epoch, events): the new header is written whole to a temp file,
+// fsynced, and renamed over the old log. The caller must have durably
+// written the snapshot covering everything up to the base first — after
+// the rename the compacted history exists only there.
+func (w *wal) rotate(epoch uint64, events int) error {
+	hdr := make([]byte, 0, walV2HeaderLen)
+	hdr = append(hdr, walMagicV2[:]...)
+	hdr = binary.LittleEndian.AppendUint64(hdr, epoch)
+	hdr = binary.LittleEndian.AppendUint64(hdr, uint64(events))
+	tmp := w.path + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("live: rotate WAL: %w", err)
+	}
+	if _, err := f.Write(hdr); err != nil {
+		f.Close()
+		return fmt.Errorf("live: rotate WAL: %w", err)
+	}
+	if !w.noSync {
+		if err := f.Sync(); err != nil {
+			f.Close()
+			return fmt.Errorf("live: rotate WAL: %w", err)
+		}
+	}
+	if err := os.Rename(tmp, w.path); err != nil {
+		f.Close()
+		return fmt.Errorf("live: rotate WAL: %w", err)
+	}
+	if err := syncDir(w.path); err != nil {
+		f.Close()
+		return err
+	}
+	old := w.f
+	w.f = f
+	w.size = int64(walV2HeaderLen)
+	w.base = walBase{epoch: epoch, events: events}
+	old.Close()
+	return nil
+}
+
+// syncDir fsyncs the directory containing path so a rename survives a
+// crash of the whole machine, matching engine.CheckpointStore's
+// discipline. Filesystems that refuse directory fsync are tolerated.
+func syncDir(path string) error {
+	d, err := os.Open(filepath.Dir(path))
+	if err != nil {
+		return fmt.Errorf("live: sync dir: %w", err)
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil && !errors.Is(err, syscall.EINVAL) {
+		return fmt.Errorf("live: sync dir: %w", err)
+	}
+	return nil
 }
 
 // append frames, writes and (by default) fsyncs one batch. The frame goes

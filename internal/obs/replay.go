@@ -48,6 +48,8 @@ func newEventOf(kind string) Event {
 		return &EpochPublish{}
 	case "wal_replay":
 		return &WALReplay{}
+	case "wal_compact":
+		return &WALCompact{}
 	}
 	return nil
 }
@@ -89,6 +91,8 @@ func deref(e Event) Event {
 	case *EpochPublish:
 		return *v
 	case *WALReplay:
+		return *v
+	case *WALCompact:
 		return *v
 	}
 	return e

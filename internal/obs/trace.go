@@ -291,20 +291,42 @@ type EpochPublish struct {
 // Kind implements Event.
 func (EpochPublish) Kind() string { return "epoch_publish" }
 
-// WALReplay records a live graph recovering its state from the write-ahead
-// log at open: how many batches and events replayed, the bytes consumed,
-// and whether a torn tail (an append cut short by a crash) was truncated.
+// WALReplay records a live graph recovering its state at open: how many
+// batches and events were replayed from the write-ahead log, the bytes
+// consumed, and whether a torn tail (an append cut short by a crash) was
+// truncated. When recovery started from a compacted snapshot,
+// FromSnapshot is set and SnapshotEvents counts the events the snapshot
+// already covered (Batches/Events then describe only the replayed tail).
 type WALReplay struct {
-	Graph     string `json:"graph,omitempty"`
-	Batches   int    `json:"batches"`
-	Events    int    `json:"events"`
-	Bytes     int64  `json:"bytes"`
-	Truncated bool   `json:"truncated,omitempty"`
-	WallNS    int64  `json:"wall_ns"`
+	Graph          string `json:"graph,omitempty"`
+	Batches        int    `json:"batches"`
+	Events         int    `json:"events"`
+	Bytes          int64  `json:"bytes"`
+	Truncated      bool   `json:"truncated,omitempty"`
+	FromSnapshot   bool   `json:"from_snapshot,omitempty"`
+	SnapshotEvents int    `json:"snapshot_events,omitempty"`
+	WallNS         int64  `json:"wall_ns"`
 }
 
 // Kind implements Event.
 func (WALReplay) Kind() string { return "wal_replay" }
+
+// WALCompact records a live graph checkpointing its state: the current
+// epoch was written as a mapped snapshot and the write-ahead log was
+// rotated to an empty file based at that snapshot. WALBefore/WALAfter are
+// the log sizes around the rotation.
+type WALCompact struct {
+	Graph         string `json:"graph,omitempty"`
+	Epoch         uint64 `json:"epoch"`
+	Events        int    `json:"events"` // cumulative events covered by the snapshot
+	SnapshotBytes int64  `json:"snapshot_bytes"`
+	WALBefore     int64  `json:"wal_before"`
+	WALAfter      int64  `json:"wal_after"`
+	WallNS        int64  `json:"wall_ns"`
+}
+
+// Kind implements Event.
+func (WALCompact) Kind() string { return "wal_compact" }
 
 // Recorder is a Tracer that keeps every event in memory, for tests and for
 // building summaries without a file round-trip.

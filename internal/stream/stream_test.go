@@ -218,7 +218,7 @@ func TestPropertyChurnAtSameTimestamp(t *testing.T) {
 	if err != nil {
 		t.Fatalf("Graph: %v", err)
 	}
-	entries := g.Vertex(1).Props["w"]
+	entries := g.Vertex(1).Props.Entries("w")
 	if len(entries) != 1 {
 		t.Fatalf("want one surviving run, got %v", entries)
 	}
@@ -242,7 +242,7 @@ func TestHorizonClosesOpenEdges(t *testing.T) {
 	if g.Edge(0).Lifespan != ival.New(2, 6) {
 		t.Errorf("open edge should close at horizon: %v", g.Edge(0).Lifespan)
 	}
-	if entries := g.Edge(0).Props["w"]; len(entries) != 1 || entries[0].Interval != ival.New(3, 6) {
+	if entries := g.Edge(0).Props.Entries("w"); len(entries) != 1 || entries[0].Interval != ival.New(3, 6) {
 		t.Errorf("open property run should clip to horizon: %v", entries)
 	}
 	// The same accumulator still materializes unbounded afterwards.

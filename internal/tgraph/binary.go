@@ -63,8 +63,11 @@ func WriteBinary(w io.Writer, g *Graph) error {
 }
 
 func appendProps(buf []byte, p Props) []byte {
-	buf = binary.AppendUvarint(buf, uint64(len(p)))
-	for label, entries := range p {
+	buf = binary.AppendUvarint(buf, uint64(p.Len()))
+	// Props iterates labels in sorted order, which keeps the encoding
+	// deterministic (byte-identical files for equal graphs); golden tests
+	// and crash-recovery byte comparisons rely on that.
+	for label, entries := range p.All() {
 		buf = binary.AppendUvarint(buf, uint64(len(label)))
 		buf = append(buf, label...)
 		buf = binary.AppendUvarint(buf, uint64(len(entries)))
@@ -217,21 +220,29 @@ func (d *binDecoder) props(set func(label string, iv ival.Interval, val int64)) 
 	}
 }
 
-// ReadAnyFile loads a graph from either the binary or the text format,
-// sniffing the magic header.
+// ReadAnyFile loads a graph from the text, binary or snapshot format,
+// sniffing the magic header. An unrecognized header yields an
+// ErrUnknownFormat error naming the sniffed bytes and the known magics.
 func ReadAnyFile(path string) (*Graph, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, err
 	}
 	defer f.Close()
-	head := make([]byte, len(binaryMagic))
+	head := make([]byte, len(snapshotMagic))
 	n, _ := io.ReadFull(f, head)
+	head = head[:n]
 	if _, err := f.Seek(0, io.SeekStart); err != nil {
 		return nil, err
 	}
-	if n == len(binaryMagic) && string(head) == binaryMagic {
+	switch SniffFormat(head) {
+	case FormatSnapshot:
+		return ReadSnapshot(f)
+	case FormatBinary:
 		return ReadBinary(f)
+	case FormatText:
+		return Read(f)
 	}
-	return Read(f)
+	return nil, fmt.Errorf("%w: %s starts with %q, which matches neither the text format nor the binary (%q) or snapshot (%q) magic",
+		ErrUnknownFormat, path, head, binaryMagic, snapshotMagic)
 }

@@ -102,10 +102,7 @@ func (b *Builder) SetVertexProp(id VertexID, label string, interval ival.Interva
 		b.fail(fmt.Errorf("%w: vertex %d prop %q %v outside %v", ErrPropOutlives, id, label, interval, v.Lifespan))
 		return b
 	}
-	if v.Props == nil {
-		v.Props = Props{}
-	}
-	v.Props[label] = append(v.Props[label], PropEntry{Interval: interval, Value: value})
+	v.Props.Add(label, PropEntry{Interval: interval, Value: value})
 	return b
 }
 
@@ -121,10 +118,7 @@ func (b *Builder) SetEdgeProp(id EdgeID, label string, interval ival.Interval, v
 		b.fail(fmt.Errorf("%w: edge %d prop %q %v outside %v", ErrPropOutlives, id, label, interval, e.Lifespan))
 		return b
 	}
-	if e.Props == nil {
-		e.Props = Props{}
-	}
-	e.Props[label] = append(e.Props[label], PropEntry{Interval: interval, Value: value})
+	e.Props.Add(label, PropEntry{Interval: interval, Value: value})
 	return b
 }
 
@@ -182,7 +176,7 @@ func (b *Builder) MustBuild() *Graph {
 // intersecting intervals and the same value are rejected too: they indicate a
 // malformed input.
 func normalizeProps(p Props, owner string) error {
-	for label, entries := range p {
+	for label, entries := range p.All() {
 		sort.Slice(entries, func(i, j int) bool {
 			return entries[i].Interval.Start < entries[j].Interval.Start
 		})
@@ -192,7 +186,6 @@ func normalizeProps(p Props, owner string) error {
 					ErrPropConflict, owner, label, entries[i-1].Interval, entries[i].Interval)
 			}
 		}
-		p[label] = entries
 	}
 	return nil
 }

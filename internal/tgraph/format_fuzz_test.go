@@ -1,0 +1,66 @@
+package tgraph
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzFormatRoundTrip builds arbitrary valid graphs from fuzzed PRNG
+// parameters, encodes them to the snapshot format, decodes, and demands
+// full structural equality — the decoded graph must be indistinguishable
+// from the in-memory original.
+func FuzzFormatRoundTrip(f *testing.F) {
+	f.Add(uint64(1), uint8(0), uint8(0))
+	f.Add(uint64(7), uint8(40), uint8(120))
+	f.Add(uint64(13), uint8(1), uint8(255))
+	f.Add(uint64(99), uint8(200), uint8(50))
+	f.Fuzz(func(t *testing.T, seed uint64, nv, ne uint8) {
+		g := buildArbitrary(seed, int(nv), int(ne))
+		enc := EncodeSnapshot(g, nil)
+		g2, err := ReadSnapshot(bytes.NewReader(enc))
+		if err != nil {
+			t.Fatalf("decode of freshly encoded graph failed: %v", err)
+		}
+		if err := Equal(g, g2); err != nil {
+			t.Fatalf("round trip not identical: %v", err)
+		}
+		if !bytes.Equal(enc, EncodeSnapshot(g2, nil)) {
+			t.Fatal("encoding is not deterministic across a round trip")
+		}
+	})
+}
+
+// FuzzSnapshotMutation mutates a valid snapshot — XOR-flipping a byte
+// and/or truncating — and demands the decoder either returns a typed
+// error or an identical graph (padding flips are benign). Panics and
+// silently wrong graphs are the failure modes this hunts.
+func FuzzSnapshotMutation(f *testing.F) {
+	base := EncodeSnapshot(TransitExample(), []byte("extra"))
+	f.Add(uint32(0), byte(0xff), uint16(len(base)))
+	f.Add(uint32(6), byte(0x01), uint16(len(base)))
+	f.Add(uint32(20), byte(0x80), uint16(17))
+	f.Add(uint32(100), byte(0x40), uint16(0))
+	f.Fuzz(func(t *testing.T, pos uint32, xor byte, cut uint16) {
+		mut := bytes.Clone(base)
+		if n := int(cut); n < len(mut) {
+			mut = mut[:n]
+		}
+		if len(mut) > 0 {
+			mut[int(pos)%len(mut)] ^= xor
+		}
+		g, err := ReadSnapshot(bytes.NewReader(mut))
+		if err != nil {
+			if !isTypedSnapshotErr(err) {
+				t.Fatalf("untyped error for mutated snapshot: %v", err)
+			}
+			return
+		}
+		orig, err2 := ReadSnapshot(bytes.NewReader(base))
+		if err2 != nil {
+			t.Fatalf("base snapshot stopped decoding: %v", err2)
+		}
+		if err := Equal(orig, g); err != nil {
+			t.Fatalf("mutation (pos %d xor %#x cut %d) silently changed the graph: %v", pos, xor, cut, err)
+		}
+	})
+}

@@ -10,6 +10,9 @@ package tgraph
 
 import (
 	"fmt"
+	"iter"
+	"slices"
+	"sort"
 
 	ival "graphite/internal/interval"
 )
@@ -28,13 +31,36 @@ type PropEntry struct {
 	Value    int64
 }
 
-// Props maps a property label to its temporally partitioned values, sorted by
-// interval start.
-type Props map[string][]PropEntry
+// Props holds an entity's temporally scoped properties: labels sorted
+// lexicographically, each carrying its temporally partitioned values sorted
+// by interval start. The zero value is an empty property set.
+//
+// The sorted slice-pair layout (rather than a map) keeps iteration
+// deterministic and lets the snapshot decoder rebuild every property set
+// from a few per-chunk slabs: opening a mapped graph allocates a handful of
+// slices instead of one map per propertied vertex and edge.
+type Props struct {
+	labels  []string
+	entries [][]PropEntry
+}
+
+// Len returns the number of labels present.
+func (p Props) Len() int { return len(p.labels) }
+
+// find returns the position of label, or -1 if absent. Linear scan:
+// property sets carry at most a handful of labels.
+func (p Props) find(label string) int {
+	for i, l := range p.labels {
+		if l == label {
+			return i
+		}
+	}
+	return -1
+}
 
 // ValueAt returns the value of label at time-point t and whether it exists.
 func (p Props) ValueAt(label string, t ival.Time) (int64, bool) {
-	for _, e := range p[label] {
+	for _, e := range p.Entries(label) {
 		if e.Interval.Contains(t) {
 			return e.Value, true
 		}
@@ -43,7 +69,36 @@ func (p Props) ValueAt(label string, t ival.Time) (int64, bool) {
 }
 
 // Entries returns the temporal values for label; nil if absent.
-func (p Props) Entries(label string) []PropEntry { return p[label] }
+func (p Props) Entries(label string) []PropEntry {
+	if i := p.find(label); i >= 0 {
+		return p.entries[i]
+	}
+	return nil
+}
+
+// All iterates over (label, entries) pairs in ascending label order.
+func (p Props) All() iter.Seq2[string, []PropEntry] {
+	return func(yield func(string, []PropEntry) bool) {
+		for i, l := range p.labels {
+			if !yield(l, p.entries[i]) {
+				return
+			}
+		}
+	}
+}
+
+// Add appends one value to label, inserting the label at its sorted
+// position if new. Entries within a label are kept in insertion order;
+// Builder.Build sorts and validates them.
+func (p *Props) Add(label string, e PropEntry) {
+	i := sort.SearchStrings(p.labels, label)
+	if i < len(p.labels) && p.labels[i] == label {
+		p.entries[i] = append(p.entries[i], e)
+		return
+	}
+	p.labels = slices.Insert(p.labels, i, label)
+	p.entries = slices.Insert(p.entries, i, []PropEntry{e})
+}
 
 // Vertex is a temporal vertex 〈vid, τ〉 with optional temporal properties.
 type Vertex struct {
@@ -63,10 +118,16 @@ type Edge struct {
 }
 
 // Graph is an immutable temporal property graph.
+//
+// Exactly one of vindex/vsorted is populated: graphs built in memory carry
+// the hash index, graphs decoded from a mapped snapshot carry the sorted
+// permutation (no per-open map construction) and look ids up by binary
+// search.
 type Graph struct {
 	vertices []Vertex
 	edges    []Edge
 	vindex   map[VertexID]int32 // VertexID -> index into vertices
+	vsorted  []int32            // vertex indices sorted by id (mapped graphs)
 	out      [][]int32          // vertex index -> indices into edges (out-edges)
 	in       [][]int32          // vertex index -> indices into edges (in-edges)
 	srcIdx   []int32            // edge index -> dense source vertex index
@@ -92,8 +153,8 @@ func (g *Graph) Edges() []Edge { return g.edges }
 
 // Vertex returns the vertex with the given id, or nil if absent.
 func (g *Graph) Vertex(id VertexID) *Vertex {
-	i, ok := g.vindex[id]
-	if !ok {
+	i := g.IndexOf(id)
+	if i < 0 {
 		return nil
 	}
 	return &g.vertices[i]
@@ -104,11 +165,26 @@ func (g *Graph) VertexAt(i int) *Vertex { return &g.vertices[i] }
 
 // IndexOf returns the dense index of a vertex id, or -1 if absent.
 func (g *Graph) IndexOf(id VertexID) int {
-	i, ok := g.vindex[id]
-	if !ok {
-		return -1
+	if g.vindex != nil {
+		i, ok := g.vindex[id]
+		if !ok {
+			return -1
+		}
+		return int(i)
 	}
-	return int(i)
+	lo, hi := 0, len(g.vsorted)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if g.vertices[g.vsorted[mid]].ID < id {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < len(g.vsorted) && g.vertices[g.vsorted[lo]].ID == id {
+		return int(g.vsorted[lo])
+	}
+	return -1
 }
 
 // Edge returns the edge at the given dense index.

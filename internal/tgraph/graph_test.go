@@ -265,7 +265,7 @@ func TestRoundTripIO(t *testing.T) {
 		if e2 == nil || e1.Lifespan != e2.Lifespan || e1.Src != e2.Src || e1.Dst != e2.Dst {
 			t.Fatalf("edge %d mismatch", e1.ID)
 		}
-		if len(e1.Props[PropTravelCost]) != len(e2.Props[PropTravelCost]) {
+		if len(e1.Props.Entries(PropTravelCost)) != len(e2.Props.Entries(PropTravelCost)) {
 			t.Fatalf("edge %d props mismatch", e1.ID)
 		}
 	}

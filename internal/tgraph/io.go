@@ -29,7 +29,7 @@ func Write(w io.Writer, g *Graph) error {
 	for i := range g.vertices {
 		v := &g.vertices[i]
 		fmt.Fprintf(bw, "V %d %s %s\n", v.ID, ftime(v.Lifespan.Start), ftime(v.Lifespan.End))
-		for label, es := range v.Props {
+		for label, es := range v.Props.All() {
 			for _, e := range es {
 				fmt.Fprintf(bw, "VP %d %s %s %s %d\n", v.ID, label, ftime(e.Interval.Start), ftime(e.Interval.End), e.Value)
 			}
@@ -38,7 +38,7 @@ func Write(w io.Writer, g *Graph) error {
 	for i := range g.edges {
 		e := &g.edges[i]
 		fmt.Fprintf(bw, "E %d %d %d %s %s\n", e.ID, e.Src, e.Dst, ftime(e.Lifespan.Start), ftime(e.Lifespan.End))
-		for label, es := range e.Props {
+		for label, es := range e.Props.All() {
 			for _, p := range es {
 				fmt.Fprintf(bw, "EP %d %s %s %s %d\n", e.ID, label, ftime(p.Interval.Start), ftime(p.Interval.End), p.Value)
 			}

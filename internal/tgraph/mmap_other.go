@@ -1,0 +1,20 @@
+//go:build !unix
+
+package tgraph
+
+import (
+	"io"
+	"os"
+)
+
+// mmapFile on platforms without syscall.Mmap reads the file into memory;
+// callers see the same interface, just without lazy loading.
+func mmapFile(f *os.File, size int64) (data []byte, mapped bool, err error) {
+	b, err := io.ReadAll(f)
+	if err != nil {
+		return nil, false, err
+	}
+	return b, false, nil
+}
+
+func munmapFile(b []byte) error { return nil }

@@ -1,0 +1,26 @@
+//go:build unix
+
+package tgraph
+
+import (
+	"os"
+	"syscall"
+)
+
+// mmapFile maps the file read-only. Empty files map to an empty slice
+// without a mapping (mmap of length 0 is an error on Linux).
+func mmapFile(f *os.File, size int64) (data []byte, mapped bool, err error) {
+	if size <= 0 {
+		return nil, false, nil
+	}
+	if size != int64(int(size)) {
+		return nil, false, syscall.EFBIG
+	}
+	b, err := syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_PRIVATE)
+	if err != nil {
+		return nil, false, err
+	}
+	return b, true, nil
+}
+
+func munmapFile(b []byte) error { return syscall.Munmap(b) }

@@ -19,7 +19,7 @@ func Slice(g *Graph, window ival.Interval) (*Graph, error) {
 			continue
 		}
 		b.AddVertex(v.ID, life)
-		for label, entries := range v.Props {
+		for label, entries := range v.Props.All() {
 			for _, p := range entries {
 				if x := p.Interval.Intersect(window); !x.IsEmpty() {
 					b.SetVertexProp(v.ID, label, x, p.Value)
@@ -34,7 +34,7 @@ func Slice(g *Graph, window ival.Interval) (*Graph, error) {
 			continue
 		}
 		b.AddEdge(e.ID, e.Src, e.Dst, life)
-		for label, entries := range e.Props {
+		for label, entries := range e.Props.All() {
 			for _, p := range entries {
 				if x := p.Interval.Intersect(window); !x.IsEmpty() {
 					b.SetEdgeProp(e.ID, label, x, p.Value)

@@ -109,7 +109,7 @@ func (g *Graph) computeHorizon() ival.Time {
 	}
 	for i := range g.vertices {
 		bump(g.vertices[i].Lifespan)
-		for _, es := range g.vertices[i].Props {
+		for _, es := range g.vertices[i].Props.All() {
 			for _, e := range es {
 				bump(e.Interval)
 			}
@@ -117,7 +117,7 @@ func (g *Graph) computeHorizon() ival.Time {
 	}
 	for i := range g.edges {
 		bump(g.edges[i].Lifespan)
-		for _, es := range g.edges[i].Props {
+		for _, es := range g.edges[i].Props.All() {
 			for _, e := range es {
 				bump(e.Interval)
 			}

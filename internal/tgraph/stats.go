@@ -59,7 +59,7 @@ func (g *Graph) ComputeCharacteristics() Characteristics {
 		vLife += iv.Length()
 		vDiff[iv.Start-start]++
 		vDiff[iv.End-start]--
-		for _, es := range g.vertices[i].Props {
+		for _, es := range g.vertices[i].Props.All() {
 			for _, e := range es {
 				p := g.clip(e.Interval)
 				propLife += p.Length()
@@ -75,7 +75,7 @@ func (g *Graph) ComputeCharacteristics() Characteristics {
 		eLife += iv.Length()
 		eDiff[iv.Start-start]++
 		eDiff[iv.End-start]--
-		for _, es := range g.edges[i].Props {
+		for _, es := range g.edges[i].Props.All() {
 			for _, e := range es {
 				p := g.clip(e.Interval)
 				propLife += p.Length()
@@ -191,13 +191,13 @@ func (g *Graph) MemoryFootprint() int64 {
 	var b int64
 	for i := range g.vertices {
 		b += idBytes + 2*timeBytes
-		for _, es := range g.vertices[i].Props {
+		for _, es := range g.vertices[i].Props.All() {
 			b += int64(len(es)) * (2*timeBytes + 8)
 		}
 	}
 	for i := range g.edges {
 		b += idBytes + 2*idBytes + 2*timeBytes + 2*idxBytes // edge + out/in adjacency slots
-		for _, es := range g.edges[i].Props {
+		for _, es := range g.edges[i].Props.All() {
 			b += int64(len(es)) * (2*timeBytes + 8)
 		}
 	}
@@ -215,7 +215,7 @@ func (g *Graph) SnapshotFootprint(t ival.Time) int64 {
 	for i := range g.vertices {
 		if g.vertices[i].Lifespan.Contains(t) {
 			b += idBytes
-			for range g.vertices[i].Props {
+			for range g.vertices[i].Props.All() {
 				b += 8
 			}
 		}
@@ -223,7 +223,7 @@ func (g *Graph) SnapshotFootprint(t ival.Time) int64 {
 	for i := range g.edges {
 		if g.edges[i].Lifespan.Contains(t) {
 			b += idBytes + 2*idBytes + 2*idxBytes
-			for range g.edges[i].Props {
+			for range g.edges[i].Props.All() {
 				b += 8
 			}
 		}
