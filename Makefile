@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet race verify fuzz chaos bench bench-skew bench-obs trace-smoke serve-smoke cluster-smoke metrics-smoke stream-smoke load-smoke clean
+.PHONY: all build test vet race verify fuzz chaos bench bench-skew bench-obs trace-smoke serve-smoke cluster-smoke cluster-bench metrics-smoke stream-smoke load-smoke clean
 
 all: verify
 
@@ -84,6 +84,15 @@ serve-smoke:
 # to BENCH_recovery.json (and a summary on stdout).
 cluster-smoke:
 	$(GO) run ./cmd/graphite-bench -recovery-json BENCH_recovery.json recovery
+
+# Data-plane bench: the same partitioned PageRank on the coordinator-relay
+# plane and the direct worker-to-worker mesh, both checked bit-identical
+# against a single-process run. Records makespans, per-plane byte counters
+# (relay bytes must be ~0 in direct mode), per-shard resident graph sizes,
+# and a partition-width sweep to BENCH_cluster.json.
+CLUSTER_SCALE ?= 1
+cluster-bench:
+	$(GO) run ./cmd/graphite-bench -scale $(CLUSTER_SCALE) -cluster-json BENCH_cluster.json cluster
 
 # Cluster observability smoke test: a coordinator plus a crash-and-respawn
 # worker fleet with per-worker /metrics endpoints and appended JSONL traces;

@@ -6,7 +6,8 @@
 //	graphite-bench [flags] <experiment>...
 //
 // Experiments: table1, table2, fig4, fig5, fig6a, fig6b, fig6c, fig7,
-// msgsize, loc, chaos, alloc, skew, obs, recovery, stream, all. The skew
+// msgsize, loc, chaos, alloc, skew, obs, recovery, stream, cluster, all. The
+// skew
 // experiment is the scheduler ablation (static / balanced-partition /
 // work-stealing compute on a heavily skewed power-law graph); -skew-json
 // records its report. The recovery experiment runs the multi-process cluster
@@ -15,7 +16,11 @@
 // records its report. Worker processes are re-executions of this binary. The
 // stream experiment measures the live-graph subsystem: durable WAL ingest
 // throughput, replay cost, and incremental (seeded) vs cold recomputation
-// with bit-identity enforced; -stream-json records its report.
+// with bit-identity enforced; -stream-json records its report. The cluster
+// experiment runs the same partitioned computation on the relay and direct
+// data planes, checks both bit-identical against a single-process run, and
+// records makespans, plane byte counters, and per-shard resident graph
+// sizes; -cluster-json records its report.
 //
 // With -trace, every ICM run in the selected experiments appends its
 // per-superstep event stream to one JSONL file (render with graphite-trace);
@@ -52,12 +57,13 @@ func main() {
 		recJSON   = flag.String("recovery-json", "", "write the recovery experiment report as JSON to this file")
 		strJSON   = flag.String("stream-json", "", "write the stream experiment report as JSON to this file")
 		loadJSON  = flag.String("load-json", "", "write the load experiment report as JSON to this file")
+		clusJSON  = flag.String("cluster-json", "", "write the cluster data-plane experiment report as JSON to this file")
 		pprofAddr = flag.String("pprof", "", "serve /debug/vars and /debug/pprof on this address")
 		verbose   = flag.Bool("v", false, "verbose (debug-level) logging")
 	)
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: graphite-bench [flags] <experiment>...\n")
-		fmt.Fprintf(os.Stderr, "experiments: table1 table2 fig4 fig5 fig6a fig6b fig6c fig7 msgsize loc chaos alloc skew obs recovery stream load all\n\n")
+		fmt.Fprintf(os.Stderr, "experiments: table1 table2 fig4 fig5 fig6a fig6b fig6c fig7 msgsize loc chaos alloc skew obs recovery stream load cluster all\n\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -103,6 +109,7 @@ func main() {
 	recoveryJSONPath = *recJSON
 	streamJSONPath = *strJSON
 	loadJSONPath = *loadJSON
+	clusterJSONPath = *clusJSON
 	selected := parseAlgos(*algos)
 
 	for _, exp := range flag.Args() {
@@ -132,7 +139,7 @@ var matrix []bench.Cell
 
 // skewJSONPath, obsJSONPath, recoveryJSONPath and streamJSONPath, when set,
 // receive the corresponding experiments' JSON reports.
-var skewJSONPath, obsJSONPath, recoveryJSONPath, streamJSONPath, loadJSONPath string
+var skewJSONPath, obsJSONPath, recoveryJSONPath, streamJSONPath, loadJSONPath, clusterJSONPath string
 
 func getMatrix(cfg bench.Config, algos []bench.Algo) ([]bench.Cell, error) {
 	if matrix != nil {
@@ -283,8 +290,19 @@ func run(cfg bench.Config, exp string, algos []bench.Algo) error {
 				return err
 			}
 		}
+	case "cluster":
+		rep, err := bench.ClusterBench(cfg)
+		if err != nil {
+			return err
+		}
+		bench.RenderCluster(w, rep)
+		if clusterJSONPath != "" {
+			if err := bench.WriteClusterJSON(clusterJSONPath, rep); err != nil {
+				return err
+			}
+		}
 	default:
-		return fmt.Errorf("unknown experiment (try: table1 table2 fig4 fig5 fig6a fig6b fig6c fig7 msgsize loc chaos alloc skew obs recovery stream load all)")
+		return fmt.Errorf("unknown experiment (try: table1 table2 fig4 fig5 fig6a fig6b fig6c fig7 msgsize loc chaos alloc skew obs recovery stream load cluster all)")
 	}
 	return nil
 }

@@ -4,7 +4,12 @@
 //
 // Usage:
 //
-//	graphite-datagen -out DIR [-scale S] [-seed N] [-v] [profile...]
+//	graphite-datagen -out DIR [-scale S] [-seed N] [-partitions N] [-v] [profile...]
+//
+// With -partitions N each profile is additionally cut into an N-shard
+// partition directory DIR/NAME.parts (full.gsn + part-NNN.gsn, the layout
+// graphite-partition produces), resolvable by the cluster's "shard:DIR"
+// graph spec.
 package main
 
 import (
@@ -12,6 +17,7 @@ import (
 	"os"
 	"path/filepath"
 
+	"graphite/internal/cluster"
 	"graphite/internal/gen"
 	"graphite/internal/obs"
 	"graphite/internal/stats"
@@ -20,11 +26,12 @@ import (
 
 func main() {
 	var (
-		out     = flag.String("out", "", "output directory (empty: print characteristics only)")
-		scale   = flag.Float64("scale", 1.0, "dataset scale factor")
-		seed    = flag.Int64("seed", 42, "generator seed")
-		format  = flag.String("format", "text", "output format: text, binary, or snapshot (mmap-able)")
-		verbose = flag.Bool("v", false, "verbose (debug-level) logging")
+		out        = flag.String("out", "", "output directory (empty: print characteristics only)")
+		scale      = flag.Float64("scale", 1.0, "dataset scale factor")
+		seed       = flag.Int64("seed", 42, "generator seed")
+		format     = flag.String("format", "text", "output format: text, binary, or snapshot (mmap-able)")
+		partitions = flag.Int("partitions", 0, "also cut each profile into this many shard partitions under DIR/NAME.parts")
+		verbose    = flag.Bool("v", false, "verbose (debug-level) logging")
 	)
 	flag.Parse()
 	log := obs.CLILogger("graphite-datagen", *verbose)
@@ -77,6 +84,18 @@ func main() {
 				os.Exit(1)
 			}
 			log.Debug("profile written", "profile", p.Name, "path", file)
+			if *partitions > 0 {
+				dir := filepath.Join(*out, p.Name+".parts")
+				infos, err := cluster.WritePartitions(g, dir, *partitions)
+				if err != nil {
+					log.Error("partition graph", "profile", p.Name, "err", err)
+					os.Exit(1)
+				}
+				for _, pi := range infos {
+					log.Debug("partition written", "profile", p.Name, "shard", pi.Shard,
+						"owned", pi.Owned, "edges", pi.Edges, "bytes", pi.Bytes)
+				}
+			}
 		}
 		c := g.ComputeCharacteristics()
 		t.Add(p.Name, c.Snapshots, c.IntervalV, c.IntervalE, c.LargestSnapV, c.LargestSnapE,

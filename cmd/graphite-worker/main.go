@@ -7,7 +7,8 @@
 // Usage:
 //
 //	graphite-worker -coordinator HOST:PORT -dir PATH [-dial-attempts N]
-//	                [-dial-backoff D] [-http ADDR] [-trace] [-v]
+//	                [-dial-backoff D] [-data-plane direct|relay]
+//	                [-mesh-addr ADDR] [-http ADDR] [-trace] [-v]
 //
 // The worker exits 0 when the cluster run completes. If this process
 // replaces a dead worker, -dir MUST be the dead worker's checkpoint
@@ -23,10 +24,16 @@
 // process extends the same file, producing one trace per slot that
 // graphite-trace -cluster can merge with the coordinator's.
 //
+// With -data-plane direct (the default) the worker opens a mesh listener
+// on -mesh-addr and ships message batches straight to its peers, leaving
+// the coordinator pure control flow; "relay" disables the listener and
+// routes batches through the coordinator. A fleet degrades to relay — it
+// never aborts — when any worker opts out or cannot dial the mesh.
+//
 // For fault-injection experiments the environment variable GRAPHITE_CRASH
-// may hold a plan "PHASE:SUPERSTEP" (phase: compute, checkpoint, barrier);
-// the worker then SIGKILLs itself at that point, exactly like the chaos
-// harness does in the repo's kill-9 recovery tests.
+// may hold a plan "PHASE:SUPERSTEP" (phase: compute, peersend, checkpoint,
+// barrier); the worker then SIGKILLs itself at that point, exactly like
+// the chaos harness does in the repo's kill-9 recovery tests.
 package main
 
 import (
@@ -50,6 +57,8 @@ func main() {
 		dir      = flag.String("dir", "", "durable checkpoint directory (reuse a dead worker's to replace it)")
 		attempts = flag.Int("dial-attempts", cluster.DefaultDialAttempts, "coordinator dial attempts before giving up")
 		backoff  = flag.Duration("dial-backoff", cluster.DefaultDialBackoff, "base dial retry backoff (jittered, capped exponential)")
+		plane    = flag.String("data-plane", cluster.PlaneDirect, `batch transport this worker offers: "direct" (peer mesh) or "relay"`)
+		meshAddr = flag.String("mesh-addr", "", "mesh listen address (default: an ephemeral loopback port)")
 		httpAddr = flag.String("http", "", "serve /metrics and /debug on this address; bound address is written to DIR/http.addr")
 		doTrace  = flag.Bool("trace", false, "append the JSONL run trace to DIR/trace.jsonl")
 		verbose  = flag.Bool("v", false, "verbose (debug-level) logging")
@@ -65,12 +74,14 @@ func main() {
 		fatal(log, "crash plan", err)
 	}
 	cfg := cluster.WorkerConfig{
-		Addr:         *coord,
-		Dir:          *dir,
-		DialAttempts: *attempts,
-		DialBackoff:  *backoff,
-		Crash:        plan,
-		Logger:       log,
+		Addr:           *coord,
+		Dir:            *dir,
+		DialAttempts:   *attempts,
+		DialBackoff:    *backoff,
+		DataPlane:      *plane,
+		MeshListenAddr: *meshAddr,
+		Crash:          plan,
+		Logger:         log,
 	}
 	if *httpAddr != "" || *doTrace {
 		if err := os.MkdirAll(*dir, 0o755); err != nil {

@@ -1,0 +1,279 @@
+package bench
+
+// --- cluster: relay vs direct data plane over partitioned shards ---
+//
+// The experiment prices the coordinator star topology against the direct
+// worker-to-worker mesh: the same PageRank computation runs twice over the
+// same per-shard partition files — once with every message batch relayed
+// through the coordinator, once shipped peer-to-peer — and the report
+// records both makespans plus the byte counters proving which plane
+// carried the traffic (a correct direct run relays ~nothing). Both runs
+// must be bit-identical to a single-process transported run: the mesh may
+// only move bytes, never reorder arithmetic.
+//
+// PageRank is the deliberate choice for the same reason as the recovery
+// experiment: a float fold is arrival-order-sensitive, so a data plane
+// that perturbed delivery order would fail the identity check rather than
+// hide inside timings.
+//
+// The partition sweep quantifies the second claim — per-worker resident
+// graph bytes shrink as the cut widens — by cutting the same graph at
+// several widths and recording the largest per-shard file against the
+// full-graph copy.
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"os"
+	"path/filepath"
+	"reflect"
+	"time"
+
+	"graphite/internal/algorithms"
+	"graphite/internal/cluster"
+	"graphite/internal/core"
+	"graphite/internal/engine"
+	"graphite/internal/gen"
+	"graphite/internal/obs"
+	"graphite/internal/tgraph"
+)
+
+// clusterBenchWorkers is the fleet width of the two measured runs.
+const clusterBenchWorkers = 3
+
+// PlaneRun is one measured cluster run on one data plane.
+type PlaneRun struct {
+	Plane      string  `json:"plane"`
+	MakespanMS float64 `json:"makespan_ms"`
+	Supersteps int     `json:"supersteps"`
+	// RelayBytes is the batch volume the coordinator forwarded; DirectBytes
+	// the volume shipped worker-to-worker. One of the two is ~zero per run.
+	RelayBytes  int64 `json:"relay_bytes"`
+	DirectBytes int64 `json:"direct_bytes"`
+	// Identical confirms the run matched the single-process transported
+	// reference vertex for vertex (the experiment fails otherwise).
+	Identical bool `json:"identical"`
+}
+
+// PartitionCut is one width of the partition sweep.
+type PartitionCut struct {
+	Shards        int   `json:"shards"`
+	FullBytes     int64 `json:"full_bytes"`
+	MaxShardBytes int64 `json:"max_shard_bytes"`
+}
+
+// ClusterReport is the BENCH_cluster.json artifact.
+type ClusterReport struct {
+	Algo     string `json:"algo"`
+	Graph    string `json:"graph"`
+	Vertices int    `json:"vertices"`
+	Edges    int    `json:"edges"`
+	Workers  int    `json:"workers"`
+	// Runs holds the relay run then the direct run, over identical
+	// partition files and worker counts.
+	Runs []PlaneRun `json:"runs"`
+	// WorkerGraphBytes is each shard's resident mapped partition size in
+	// the measured runs — all strictly smaller than the full-graph copy.
+	WorkerGraphBytes []int64        `json:"worker_graph_bytes"`
+	Cuts             []PartitionCut `json:"partition_cuts"`
+}
+
+// ClusterBench runs the data-plane experiment with in-process workers over
+// loopback TCP (the protocol is identical to the multi-process runtime; the
+// kill matrix in internal/chaos covers real processes).
+func ClusterBench(cfg Config) (*ClusterReport, error) {
+	p := gen.SkewedLike(cfg.Scale)
+	g, err := gen.Generate(p, cfg.Seed)
+	if err != nil {
+		return nil, fmt.Errorf("bench: generate %s: %w", p.Name, err)
+	}
+	scratch, err := os.MkdirTemp("", "graphite-cluster-*")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(scratch)
+
+	// One partition directory for the measured runs, plus the sweep.
+	partDir := filepath.Join(scratch, fmt.Sprintf("parts-%d", clusterBenchWorkers))
+	infos, err := cluster.WritePartitions(g, partDir, clusterBenchWorkers)
+	if err != nil {
+		return nil, err
+	}
+	var cuts []PartitionCut
+	for _, n := range []int{2, clusterBenchWorkers, 4} {
+		dir := partDir
+		cutInfos := infos
+		if n != clusterBenchWorkers {
+			dir = filepath.Join(scratch, fmt.Sprintf("parts-%d", n))
+			if cutInfos, err = cluster.WritePartitions(g, dir, n); err != nil {
+				return nil, err
+			}
+		}
+		cut := PartitionCut{Shards: n, FullBytes: cutInfos[0].Bytes}
+		for _, pi := range cutInfos[1:] {
+			if pi.Bytes > cut.MaxShardBytes {
+				cut.MaxShardBytes = pi.Bytes
+			}
+		}
+		cuts = append(cuts, cut)
+	}
+
+	iters := cfg.PRIterations
+	if iters <= 0 {
+		iters = 10
+	}
+	params := algorithms.Params{Iterations: iters}
+
+	// The identity reference: one process, same worker count, transported
+	// exchange — the delivery order every cluster plane must reproduce. It
+	// must also adopt the assignment embedded in the partition files: vertex
+	// placement decides message fold order, and float folds see the
+	// difference.
+	gm, pmeta, err := cluster.LoadGraphShard("shard:"+partDir, -1)
+	if err != nil {
+		return nil, err
+	}
+	defer gm.Close()
+	prog, opts, err := algorithms.New(g, "pr", params)
+	if err != nil {
+		return nil, err
+	}
+	opts.NumWorkers = clusterBenchWorkers
+	opts.Partitioner = pmeta.Partitioner()
+	tp, err := engine.NewTCPTransport(clusterBenchWorkers)
+	if err != nil {
+		return nil, err
+	}
+	opts.Transport = tp
+	want, err := core.Run(g, prog, opts)
+	tp.Close()
+	if err != nil {
+		return nil, err
+	}
+
+	rep := &ClusterReport{
+		Algo:     "pr",
+		Graph:    p.Name,
+		Vertices: g.NumVertices(),
+		Edges:    g.NumEdges(),
+		Workers:  clusterBenchWorkers,
+		Cuts:     cuts,
+	}
+	for _, plane := range []string{cluster.PlaneRelay, cluster.PlaneDirect} {
+		run, graphBytes, err := clusterPlaneRun(g, "shard:"+partDir, params, plane,
+			filepath.Join(scratch, "run-"+plane), want)
+		if err != nil {
+			return nil, fmt.Errorf("bench: %s run: %w", plane, err)
+		}
+		rep.Runs = append(rep.Runs, *run)
+		rep.WorkerGraphBytes = graphBytes
+	}
+	return rep, nil
+}
+
+// clusterPlaneRun measures one cluster run on one plane and verifies it
+// against the reference result.
+func clusterPlaneRun(g *tgraph.Graph, spec string, params algorithms.Params,
+	plane, base string, want *core.Result) (*PlaneRun, []int64, error) {
+	reg := obs.NewRegistry()
+	coord, err := cluster.New(cluster.Config{
+		Workers:   clusterBenchWorkers,
+		Graph:     spec,
+		Algo:      "pr",
+		Params:    params,
+		DataPlane: plane,
+		Registry:  reg,
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	defer coord.Close()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, nil, err
+	}
+	type outcome struct {
+		res *core.Result
+		err error
+	}
+	out := make(chan outcome, 1)
+	go func() {
+		res, err := coord.Serve(ln)
+		out <- outcome{res, err}
+	}()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	for i := 0; i < clusterBenchWorkers; i++ {
+		dir := filepath.Join(base, fmt.Sprintf("w%d", i))
+		go func() {
+			err := cluster.RunWorker(ctx, cluster.WorkerConfig{
+				Addr: ln.Addr().String(), Dir: dir, DataPlane: plane,
+			})
+			if err != nil && ctx.Err() == nil {
+				select {
+				case out <- outcome{err: fmt.Errorf("worker %s: %w", filepath.Base(dir), err)}:
+				default:
+				}
+			}
+		}()
+	}
+	var o outcome
+	select {
+	case o = <-out:
+	case <-time.After(3 * time.Minute):
+		return nil, nil, fmt.Errorf("cluster run timed out")
+	}
+	if o.err != nil {
+		return nil, nil, o.err
+	}
+	for v := 0; v < g.NumVertices(); v++ {
+		if !reflect.DeepEqual(o.res.State(v).Parts(), want.State(v).Parts()) {
+			return nil, nil, fmt.Errorf("plane %s diverged at vertex %d: got %v, want %v",
+				plane, v, o.res.State(v).Parts(), want.State(v).Parts())
+		}
+	}
+	crep := coord.Report()
+	if crep.DataPlane != plane {
+		return nil, nil, fmt.Errorf("run finished on plane %q, configured %q", crep.DataPlane, plane)
+	}
+	return &PlaneRun{
+		Plane:       plane,
+		MakespanMS:  ms(crep.Makespan),
+		Supersteps:  crep.Supersteps,
+		RelayBytes:  reg.Counter(obs.CClusterRelayBytes).Load(),
+		DirectBytes: reg.Counter(obs.CClusterDirectBytes).Load(),
+		Identical:   true,
+	}, crep.WorkerGraphBytes, nil
+}
+
+// RenderCluster prints the data-plane experiment summary.
+func RenderCluster(w io.Writer, rep *ClusterReport) {
+	fmt.Fprintf(w, "Cluster data plane: %s on %q (%d vertices, %d edges, %d workers, partitioned shards)\n",
+		rep.Algo, rep.Graph, rep.Vertices, rep.Edges, rep.Workers)
+	for _, r := range rep.Runs {
+		fmt.Fprintf(w, "  %-7s makespan %10.2f ms   relayed %10d B   direct %10d B   identical %v\n",
+			r.Plane, r.MakespanMS, r.RelayBytes, r.DirectBytes, r.Identical)
+	}
+	fmt.Fprintf(w, "  resident graph per worker:")
+	for s, b := range rep.WorkerGraphBytes {
+		fmt.Fprintf(w, "  shard%d=%dB", s, b)
+	}
+	fmt.Fprintln(w)
+	for _, c := range rep.Cuts {
+		fmt.Fprintf(w, "  cut N=%d: largest shard %10d B of %10d B full (%.0f%%)\n",
+			c.Shards, c.MaxShardBytes, c.FullBytes, 100*float64(c.MaxShardBytes)/float64(c.FullBytes))
+	}
+}
+
+// WriteClusterJSON writes the report as indented JSON (the
+// BENCH_cluster.json artifact the cluster-bench target records).
+func WriteClusterJSON(path string, rep *ClusterReport) error {
+	b, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(b, '\n'), 0o644)
+}

@@ -33,12 +33,14 @@ func TestMain(m *testing.M) {
 const procWorkers = 3
 
 // clusterProcessRun executes one full cluster run with real worker
-// processes, optionally planting a crash in one of them.
-func clusterProcessRun(t *testing.T, algo string, p algorithms.Params, crash map[int]string) (*core.Result, cluster.Report, int) {
+// processes over the given graph spec, optionally planting a crash in one
+// of them. Workers run with the default (direct) data plane, so every kill
+// in the matrix also exercises mesh teardown and re-dial.
+func clusterProcessRun(t *testing.T, graph, algo string, p algorithms.Params, crash map[int]string) (*core.Result, cluster.Report, int) {
 	t.Helper()
 	coord, err := cluster.New(cluster.Config{
 		Workers:       procWorkers,
-		Graph:         "transit",
+		Graph:         graph,
 		Algo:          algo,
 		Params:        p,
 		Lease:         500 * time.Millisecond,
@@ -135,16 +137,22 @@ func TestProcessKillRecovery(t *testing.T) {
 		// barrier:3 — killed after the superstep-3 barrier report; the
 		// coordinator may have closed the superstep already.
 		{name: "sssp-kill-barrier", algo: "sssp", p: src, crash: "barrier:3"},
+		// peersend:3 — killed mid-ship on the direct data plane: the first
+		// peer batch has left over the mesh, the rest never will. Peers hold
+		// a torn exchange and half-open mesh connections; the replacement
+		// must re-dial and the replay must erase the partial delivery.
+		{name: "sssp-kill-peersend", algo: "sssp", p: src, crash: "peersend:3"},
 		{name: "pr-kill-compute", algo: "pr", crash: "compute:3"},
+		{name: "pr-kill-peersend", algo: "pr", crash: "peersend:2"},
 		{name: "eat-kill-compute", algo: "eat", p: src, crash: "compute:3"},
 	} {
 		t.Run(tc.name, func(t *testing.T) {
-			want, cleanRep, cleanRespawns := clusterProcessRun(t, tc.algo, tc.p, nil)
+			want, cleanRep, cleanRespawns := clusterProcessRun(t, "transit", tc.algo, tc.p, nil)
 			if cleanRespawns != 0 || len(cleanRep.Recoveries) != 0 {
 				t.Fatalf("fault-free run was not fault-free: respawns=%d recoveries=%+v",
 					cleanRespawns, cleanRep.Recoveries)
 			}
-			got, rep, respawns := clusterProcessRun(t, tc.algo, tc.p, map[int]string{1: tc.crash})
+			got, rep, respawns := clusterProcessRun(t, "transit", tc.algo, tc.p, map[int]string{1: tc.crash})
 			if respawns < 1 {
 				t.Fatalf("planted crash did not kill the worker (respawns=%d)", respawns)
 			}
@@ -160,4 +168,46 @@ func TestProcessKillRecovery(t *testing.T) {
 			assertIdentical(t, g, got, want)
 		})
 	}
+}
+
+// TestProcessKillRecoveryPartitioned repeats the worst kill (mid-peer-send
+// on the direct plane) with every process on per-shard partition files:
+// the replacement worker must map its own induced subgraph, adopt the
+// embedded assignment, rebuild the mesh, and still converge bit-identically
+// to the fault-free whole-graph run.
+func TestProcessKillRecoveryPartitioned(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns real worker processes; skipped in -short")
+	}
+	g := tgraph.TransitExample()
+	dir := filepath.Join(t.TempDir(), "parts")
+	if _, err := cluster.WritePartitions(g, dir, procWorkers); err != nil {
+		t.Fatal(err)
+	}
+	p := algorithms.Params{Source: 0}
+	want, cleanRep, cleanRespawns := clusterProcessRun(t, "transit", "sssp", p, nil)
+	if cleanRespawns != 0 || len(cleanRep.Recoveries) != 0 {
+		t.Fatalf("fault-free run was not fault-free: respawns=%d recoveries=%+v",
+			cleanRespawns, cleanRep.Recoveries)
+	}
+	got, rep, respawns := clusterProcessRun(t, "shard:"+dir, "sssp", p, map[int]string{1: "peersend:3"})
+	if respawns < 1 {
+		t.Fatalf("planted crash did not kill the worker (respawns=%d)", respawns)
+	}
+	if len(rep.Recoveries) < 1 {
+		t.Fatalf("no recovery recorded: %+v", rep)
+	}
+	if len(rep.WorkerGraphBytes) != procWorkers {
+		t.Fatalf("worker graph bytes: %v", rep.WorkerGraphBytes)
+	}
+	full, err := os.Stat(filepath.Join(dir, tgraph.PartitionFullName))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for s, b := range rep.WorkerGraphBytes {
+		if b <= 0 || b >= full.Size() {
+			t.Errorf("shard %d resident graph = %dB, want (0, %d)", s, b, full.Size())
+		}
+	}
+	assertIdentical(t, g, got, want)
 }

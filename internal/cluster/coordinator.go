@@ -50,6 +50,12 @@ type Config struct {
 	// MaxRecoveries bounds rollback-and-replay cycles. Zero means
 	// DefaultMaxRecoveries; negative means unlimited.
 	MaxRecoveries int
+	// DataPlane selects how message batches travel: PlaneDirect (the
+	// default) has workers ship them peer-to-peer over a full TCP mesh,
+	// leaving the coordinator pure control flow; PlaneRelay routes every
+	// batch through the coordinator. A direct run degrades to relay — and
+	// keeps going — if any worker cannot serve or dial the mesh.
+	DataPlane string
 	// Span is the run-scoped span ID stamped on the coordinator's trace and
 	// handed to every worker with its assignment, so all N+1 traces of the
 	// run carry the same ID. Empty mints one in New (obs.NewSpanID).
@@ -67,14 +73,19 @@ type Config struct {
 
 // ShardTiming is one shard's share of one distributed superstep, as the
 // coordinator attributes it: the worker-reported compute / barrier-wait /
-// deliver split plus the coordinator's own time relaying batches toward
-// this shard.
+// deliver split, the coordinator's own time relaying batches toward this
+// shard, and — under the direct data plane — the shard's peer-send and
+// peer-receive clocks plus how many payload bytes it moved over each plane.
 type ShardTiming struct {
-	Shard     int   `json:"shard"`
-	ComputeNS int64 `json:"compute_ns"`
-	WaitNS    int64 `json:"wait_ns"`
-	DeliverNS int64 `json:"deliver_ns"`
-	RelayNS   int64 `json:"relay_ns"`
+	Shard       int   `json:"shard"`
+	ComputeNS   int64 `json:"compute_ns"`
+	WaitNS      int64 `json:"wait_ns"`
+	DeliverNS   int64 `json:"deliver_ns"`
+	RelayNS     int64 `json:"relay_ns"`
+	PeerSendNS  int64 `json:"peer_send_ns,omitempty"`
+	PeerRecvNS  int64 `json:"peer_recv_ns,omitempty"`
+	DirectBytes int64 `json:"direct_bytes,omitempty"`
+	RelayBytes  int64 `json:"relay_bytes,omitempty"`
 }
 
 // StepAttribution is the coordinator's straggler verdict for one superstep:
@@ -109,11 +120,18 @@ type RecoveryInfo struct {
 
 // Report summarizes a finished (or aborted) cluster run.
 type Report struct {
-	Supersteps  int             `json:"supersteps"` // executed, including replays
-	Checkpoints int             `json:"checkpoints"`
-	Recoveries  []RecoveryInfo  `json:"recoveries,omitempty"`
-	Makespan    time.Duration   `json:"makespan_ns"`
-	Metrics     *engine.Metrics `json:"-"`
+	Supersteps  int            `json:"supersteps"` // executed, including replays
+	Checkpoints int            `json:"checkpoints"`
+	Recoveries  []RecoveryInfo `json:"recoveries,omitempty"`
+	Makespan    time.Duration  `json:"makespan_ns"`
+	// DataPlane is the plane the run actually finished on — "relay" either
+	// by configuration or because a direct run degraded.
+	DataPlane string `json:"data_plane,omitempty"`
+	// WorkerGraphBytes is each shard's reported resident graph size (mapped
+	// snapshot bytes, or in-memory footprint for built graphs) — the
+	// partitioning win: under shard: specs these shrink as shards grow.
+	WorkerGraphBytes []int64         `json:"worker_graph_bytes,omitempty"`
+	Metrics          *engine.Metrics `json:"-"`
 }
 
 // Stats is a point-in-time view of the cluster for readiness probes.
@@ -124,6 +142,7 @@ type Stats struct {
 	Epoch      int    `json:"epoch"`
 	Superstep  int    `json:"superstep"`
 	Recoveries int    `json:"recoveries"`
+	DataPlane  string `json:"data_plane,omitempty"` // effective plane right now
 }
 
 // driver states.
@@ -174,7 +193,8 @@ const (
 type wconn struct {
 	id       int
 	conn     net.Conn
-	shard    int // -1 until assigned
+	shard    int    // -1 until assigned
+	meshAddr string // peer data-plane listener, "" if the worker has none
 	ready    bool
 	lastSeen time.Time
 }
@@ -201,6 +221,14 @@ func New(cfg Config) (*Coordinator, error) {
 	if cfg.MaxRecoveries == 0 {
 		cfg.MaxRecoveries = DefaultMaxRecoveries
 	}
+	switch cfg.DataPlane {
+	case "":
+		cfg.DataPlane = PlaneDirect
+	case PlaneDirect, PlaneRelay:
+	default:
+		return nil, fmt.Errorf("cluster: unknown data plane %q (want %q or %q)",
+			cfg.DataPlane, PlaneDirect, PlaneRelay)
+	}
 	if cfg.Span == "" {
 		cfg.Span = obs.NewSpanID()
 	}
@@ -210,16 +238,27 @@ func New(cfg Config) (*Coordinator, error) {
 	if cfg.Logger == nil {
 		cfg.Logger = slog.Default()
 	}
-	gm, err := LoadGraph(cfg.Graph)
+	// The coordinator always loads the full graph (shard -1): it is the
+	// reference for halt bounds and result assembly across every shard.
+	gm, pmeta, err := LoadGraphShard(cfg.Graph, -1)
 	if err != nil {
 		return nil, err
 	}
 	g := gm.Graph // the mapping stays open for the coordinator's lifetime
+	if pmeta != nil && pmeta.Shards != cfg.Workers {
+		return nil, fmt.Errorf("cluster: graph partitioned for %d shards but Workers=%d",
+			pmeta.Shards, cfg.Workers)
+	}
 	prog, opts, err := algorithms.New(g, cfg.Algo, cfg.Params)
 	if err != nil {
 		return nil, err
 	}
 	opts.NumWorkers = cfg.Workers
+	if pmeta != nil {
+		// Adopt the embedded assignment so message addressing matches the
+		// partition files; recomputing from a partial graph would diverge.
+		opts.Partitioner = pmeta.Partitioner()
+	}
 	// Build (and discard) shard 0 once: surfaces unsupported options —
 	// aggregators, master compute — at coordinator startup instead of as a
 	// worker-side error frame after the cluster assembled.
@@ -403,6 +442,17 @@ type driver struct {
 	relayBytes   []int64
 	stepStarted  time.Time
 
+	// Data plane. plane is the effective plane: it starts as the configured
+	// one and degrades — permanently, for the rest of the run — to relay the
+	// first time the mesh cannot be established. meshing gates the start (or
+	// resume) of execution on every worker acknowledging its peer table;
+	// meshed tallies those acknowledgements. graphBytes holds each shard's
+	// reported resident graph size from its latest ready report.
+	plane      string
+	meshing    bool
+	meshed     []bool
+	graphBytes []int64
+
 	// Worker losses detected mid-handling. Sends never recover inline:
 	// failures queue here and drain between events, so a rollback broadcast
 	// is never re-entered with a stale epoch.
@@ -438,10 +488,13 @@ func (d *driver) run() (*core.Result, error) {
 	c := d.c
 	d.committedGen = -1
 	d.state = stWaiting
+	d.plane = c.cfg.DataPlane
 	d.doneFrom = make([]bool, c.cfg.Workers)
 	d.reports = make([]stepDoneMsg, c.cfg.Workers)
 	d.relayNS = make([]int64, c.cfg.Workers)
 	d.relayBytes = make([]int64, c.cfg.Workers)
+	d.meshed = make([]bool, c.cfg.Workers)
+	d.graphBytes = make([]int64, c.cfg.Workers)
 	d.genTotals = map[int]runTotals{}
 	d.blobs = make([][]byte, c.cfg.Workers)
 	ticker := time.NewTicker(c.cfg.Lease / 2)
@@ -606,6 +659,14 @@ func (d *driver) frame(wc *wconn, ftype byte, payload []byte) error {
 		}
 		d.stepDone(wc, sd)
 		return nil
+	case fMeshed:
+		var mm meshedMsg
+		if err := parseJSON(payload, &mm); err != nil {
+			d.markDead(wc, err.Error())
+			return nil
+		}
+		d.meshedFrame(wc, mm)
+		return nil
 	case fData:
 		d.relay(payload)
 		return nil
@@ -682,6 +743,7 @@ func (d *driver) hello(wc *wconn, h helloMsg) {
 		return
 	}
 	wc.shard = shard
+	wc.meshAddr = h.MeshAddr
 	wc.ready = false
 	d.byShard[shard] = wc
 	as := assignMsg{
@@ -703,19 +765,89 @@ func (d *driver) hello(wc *wconn, h helloMsg) {
 }
 
 // readyFrame collects barrier-standing acknowledgements; when every shard
-// is ready the run starts or resumes.
+// is ready, the mesh is (re)built if the direct plane is in effect, and
+// then the run starts or resumes.
 func (d *driver) readyFrame(wc *wconn, r readyMsg) {
 	if r.Epoch != d.epoch || wc.shard < 0 {
 		return // stale
 	}
 	wc.ready = true
 	d.restoredBytes += r.RestoredBytes
+	d.graphBytes[wc.shard] = r.GraphBytes
 	for _, owner := range d.byShard {
 		if owner == nil || !owner.ready {
 			return
 		}
 	}
-	// Full quorum at the current epoch.
+	// Full quorum at the current epoch. Under the direct plane the fleet
+	// first exchanges peer addresses and dials the mesh; execution starts
+	// once every worker acknowledges (or the plane degrades to relay).
+	if d.plane == PlaneDirect {
+		addrs := make([]string, len(d.byShard))
+		for s, owner := range d.byShard {
+			if owner.meshAddr == "" {
+				d.degrade(fmt.Sprintf("shard %d advertises no mesh listener", s))
+				d.startOrResume()
+				return
+			}
+			addrs[s] = owner.meshAddr
+		}
+		d.meshing = true
+		clear(d.meshed)
+		pm := peersMsg{Epoch: d.epoch, Addrs: addrs}
+		for _, owner := range d.byShard {
+			d.send(owner, fPeers, pm)
+		}
+		return
+	}
+	d.startOrResume()
+}
+
+// meshedFrame tallies one worker's mesh acknowledgement; the last OK starts
+// (or resumes) execution, and any failure degrades the plane and proceeds
+// on the relay instead of aborting.
+func (d *driver) meshedFrame(wc *wconn, mm meshedMsg) {
+	if mm.Epoch != d.epoch || wc.shard < 0 || !d.meshing {
+		return // stale
+	}
+	if mm.Shard != wc.shard {
+		d.markDead(wc, fmt.Sprintf("bad mesh report for shard %d", mm.Shard))
+		return
+	}
+	if !mm.OK {
+		d.degrade(fmt.Sprintf("shard %d: %s", mm.Shard, mm.Err))
+		d.meshing = false
+		d.startOrResume()
+		return
+	}
+	if d.meshed[mm.Shard] {
+		return
+	}
+	d.meshed[mm.Shard] = true
+	for _, ok := range d.meshed {
+		if !ok {
+			return
+		}
+	}
+	d.meshing = false
+	d.startOrResume()
+}
+
+// degrade switches the effective plane to relay for the rest of the run.
+// Mesh trouble is a performance problem, never a correctness one — the
+// relay carries the same batches through the coordinator's ordered stream.
+func (d *driver) degrade(reason string) {
+	if d.plane == PlaneRelay {
+		return
+	}
+	d.plane = PlaneRelay
+	d.c.cfg.Logger.Warn("cluster: data plane degraded to relay", "reason", reason)
+	d.publish()
+}
+
+// startOrResume begins execution at full quorum: the initial start out of
+// stWaiting, or the resumption of a recovery.
+func (d *driver) startOrResume() {
 	if d.state == stWaiting {
 		d.started = time.Now()
 		d.committedGen = 0 // every worker has generation 0 on disk
@@ -758,6 +890,7 @@ func (d *driver) workerLost(dw deadWorker) error {
 	d.recovering = true
 	d.rejoinBy = time.Now().Add(d.c.cfg.RejoinTimeout)
 	d.epoch++
+	d.meshing = false // the next full quorum re-runs the mesh exchange
 	d.resetBarrierTally()
 	d.blobCount = 0
 	clear(d.blobs)
@@ -833,7 +966,7 @@ func (d *driver) broadcastStep() {
 	// opens with zero (workers know their post-Init frontiers, not us).
 	d.emit(obs.SuperstepStart{Superstep: d.superstep, Active: d.rt.active})
 	k := d.c.cfg.CheckpointEvery
-	st := stepMsg{Epoch: d.epoch, Superstep: d.superstep}
+	st := stepMsg{Epoch: d.epoch, Superstep: d.superstep, Direct: d.plane == PlaneDirect}
 	if d.superstep%k == 0 {
 		st.Checkpoint = true
 		st.Gen = d.superstep / k
@@ -911,19 +1044,29 @@ func (d *driver) closeSuperstep() {
 	wallNS := time.Since(d.stepStarted).Nanoseconds()
 	var sumCompute, sumWait, sumDeliver, sumRelayNS, sumRelayBytes int64
 	var sumCalls, sumScatter, sumMsgs, sumBytes int64
+	var sumPeerSend, sumPeerRecv, sumDirectBytes int64
 	maxCompute, slowest := int64(-1), 0
 	shards := make([]ShardTiming, d.c.cfg.Workers)
 	for s := range d.reports {
 		rep := &d.reports[s]
+		// RelayBytes is the coordinator's own forwarding tally toward this
+		// shard — it already includes any per-batch mesh fallbacks, which
+		// arrive here as ordinary fData, so the worker-reported fallback
+		// volume is not added again.
 		shards[s] = ShardTiming{
 			Shard: s, ComputeNS: rep.ComputeNS, WaitNS: rep.WaitNS,
 			DeliverNS: rep.DeliverNS, RelayNS: d.relayNS[s],
+			PeerSendNS: rep.PeerSendNS, PeerRecvNS: rep.PeerRecvNS,
+			DirectBytes: rep.DirectBytes, RelayBytes: d.relayBytes[s],
 		}
 		sumCompute += rep.ComputeNS
 		sumWait += rep.WaitNS
 		sumDeliver += rep.DeliverNS
 		sumRelayNS += d.relayNS[s]
 		sumRelayBytes += d.relayBytes[s]
+		sumPeerSend += rep.PeerSendNS
+		sumPeerRecv += rep.PeerRecvNS
+		sumDirectBytes += rep.DirectBytes
 		sumCalls += rep.ComputeCalls
 		sumScatter += rep.ScatterCalls
 		sumMsgs += rep.SentMsgs
@@ -943,19 +1086,26 @@ func (d *driver) closeSuperstep() {
 	d.rt.messages += sumMsgs
 	d.rt.messageBytes += sumBytes
 	d.rt.computeNS += sumCompute
-	d.rt.messagingNS += sumWait + sumRelayNS
+	d.rt.messagingNS += sumWait + sumRelayNS + sumPeerSend
 	d.rt.barrierNS += sumDeliver
 	d.rt.active = d.sumActive
 
 	span := d.c.cfg.Span
+	direct := d.plane == PlaneDirect
 	for _, st := range shards {
 		d.emit(obs.PhaseSpan{Span: span, Superstep: d.superstep, Shard: st.Shard, Phase: "compute", NS: st.ComputeNS})
 		d.emit(obs.PhaseSpan{Span: span, Superstep: d.superstep, Shard: st.Shard, Phase: "barrier_wait", NS: st.WaitNS})
+		// The relay span is emitted on both planes (zero when everything
+		// went peer-to-peer): consumers key on its presence per shard.
 		d.emit(obs.PhaseSpan{Span: span, Superstep: d.superstep, Shard: st.Shard, Phase: "relay", NS: st.RelayNS})
+		if direct {
+			d.emit(obs.PhaseSpan{Span: span, Superstep: d.superstep, Shard: st.Shard, Phase: "peer_send", NS: st.PeerSendNS})
+			d.emit(obs.PhaseSpan{Span: span, Superstep: d.superstep, Shard: st.Shard, Phase: "peer_recv", NS: st.PeerRecvNS})
+		}
 	}
 	d.emit(obs.SuperstepEnd{
 		Superstep: d.superstep,
-		ComputeNS: sumCompute, MessagingNS: sumWait + sumRelayNS, BarrierNS: sumDeliver,
+		ComputeNS: sumCompute, MessagingNS: sumWait + sumRelayNS + sumPeerSend, BarrierNS: sumDeliver,
 		ComputeCalls: sumCalls, ScatterCalls: sumScatter,
 		Messages: sumMsgs, MessageBytes: sumBytes,
 		Delivered: d.sumDelivered, Active: d.sumActive,
@@ -974,8 +1124,12 @@ func (d *driver) closeSuperstep() {
 	reg.Histogram(obs.HClusterWaitNS).Observe(time.Duration(sumWait / int64(len(shards))))
 	reg.Gauge(obs.GClusterSkewMilli).Set(skewMilli)
 	reg.Gauge(obs.GClusterSlowest).Set(int64(slowest))
+	// Both planes' counters are touched every superstep — Add(0) still
+	// registers the family, so scrapes see all four regardless of plane.
 	reg.Counter(obs.CClusterRelayBytes).Add(sumRelayBytes)
 	reg.Counter(obs.CClusterRelayNS).Add(sumRelayNS)
+	reg.Counter(obs.CClusterDirectBytes).Add(sumDirectBytes)
+	reg.Counter(obs.CClusterDirectNS).Add(sumPeerSend)
 	for _, st := range shards {
 		reg.Gauge(obs.WithLabels(obs.GClusterShardComputeNS, "shard", strconv.Itoa(st.Shard))).Set(st.ComputeNS)
 	}
@@ -1069,6 +1223,8 @@ func (d *driver) resultFrame(wc *wconn, payload []byte) error {
 	d.c.mu.Lock()
 	d.c.report.Supersteps = d.executed
 	d.c.report.Makespan = d.totals.Makespan
+	d.c.report.DataPlane = d.plane
+	d.c.report.WorkerGraphBytes = append([]int64(nil), d.graphBytes...)
 	d.c.report.Metrics = &m
 	d.c.mu.Unlock()
 	d.result = res
@@ -1121,6 +1277,7 @@ func (d *driver) publish() {
 		Epoch:      d.epoch,
 		Superstep:  d.superstep,
 		Recoveries: len(d.c.report.Recoveries),
+		DataPlane:  d.plane,
 	}
 	d.c.mu.Unlock()
 }

@@ -1,0 +1,279 @@
+package cluster_test
+
+// Data-plane and partition tests: both batch transports must produce the
+// same bits as the single-process transported run, a mesh-less worker must
+// degrade the fleet to the relay instead of killing it, and the
+// "shard:<dir>" spec must resolve per-shard induced subgraphs that leave
+// results untouched while shrinking each worker's resident graph.
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"graphite/internal/algorithms"
+	"graphite/internal/cluster"
+	"graphite/internal/obs"
+	"graphite/internal/tgraph"
+)
+
+// runWorkersPlane is runWorkers with an explicit per-worker data plane.
+func runWorkersPlane(ctx context.Context, t *testing.T, addr string, dirs []string, plane string) {
+	t.Helper()
+	for _, dir := range dirs {
+		go func(dir string) {
+			err := cluster.RunWorker(ctx, cluster.WorkerConfig{Addr: addr, Dir: dir, DataPlane: plane})
+			if err != nil && ctx.Err() == nil {
+				t.Errorf("worker %s: %v", filepath.Base(dir), err)
+			}
+		}(dir)
+	}
+}
+
+// writeTransitPartitions cuts the transit fixture for testWorkers shards
+// and returns the partition directory plus the written file infos.
+func writeTransitPartitions(t *testing.T) (string, []cluster.PartitionInfo) {
+	t.Helper()
+	dir := filepath.Join(t.TempDir(), "parts")
+	infos, err := cluster.WritePartitions(tgraph.TransitExample(), dir, testWorkers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return dir, infos
+}
+
+// TestClusterDataPlanes proves the tentpole invariant: for every algorithm,
+// the direct (peer mesh) plane, the relay plane, and the direct plane over
+// per-shard partition files all produce results bit-identical to the
+// single-process transported run — and the byte counters prove which plane
+// actually carried the traffic.
+func TestClusterDataPlanes(t *testing.T) {
+	g := tgraph.TransitExample()
+	partDir, _ := writeTransitPartitions(t)
+	for _, algo := range []struct {
+		name string
+		p    algorithms.Params
+	}{
+		{name: "sssp", p: algorithms.Params{Source: 0}},
+		{name: "eat", p: algorithms.Params{Source: 0}},
+		{name: "pr"},
+	} {
+		want := directRun(t, g, algo.name, algo.p)
+		for _, tc := range []struct {
+			name  string
+			plane string
+			graph string
+		}{
+			{name: "relay", plane: cluster.PlaneRelay, graph: "transit"},
+			{name: "direct", plane: cluster.PlaneDirect, graph: "transit"},
+			{name: "direct-partitioned", plane: cluster.PlaneDirect, graph: "shard:" + partDir},
+		} {
+			t.Run(algo.name+"/"+tc.name, func(t *testing.T) {
+				ctx, cancel := context.WithCancel(context.Background())
+				defer cancel()
+				reg := obs.NewRegistry()
+				coord, addr, out := startCluster(t, cluster.Config{
+					Algo: algo.name, Params: algo.p,
+					Graph: tc.graph, DataPlane: tc.plane, Registry: reg,
+				})
+				runWorkersPlane(ctx, t, addr, workerDirs(t, testWorkers), tc.plane)
+				got := waitResult(t, out, 30*time.Second)
+				compareResults(t, g, got, want)
+				rep := coord.Report()
+				if rep.DataPlane != tc.plane {
+					t.Errorf("report plane = %q, want %q", rep.DataPlane, tc.plane)
+				}
+				relayB := reg.Counter(obs.CClusterRelayBytes).Load()
+				directB := reg.Counter(obs.CClusterDirectBytes).Load()
+				switch tc.plane {
+				case cluster.PlaneDirect:
+					if relayB != 0 {
+						t.Errorf("direct run relayed %d bytes through the coordinator", relayB)
+					}
+					if directB == 0 {
+						t.Error("direct run shipped no peer-to-peer bytes")
+					}
+				case cluster.PlaneRelay:
+					if directB != 0 {
+						t.Errorf("relay run shipped %d bytes peer-to-peer", directB)
+					}
+					if relayB == 0 {
+						t.Error("relay run relayed no bytes")
+					}
+				}
+				if tc.graph != "transit" {
+					// Partitioned workers report their mapped partition size;
+					// every shard must be resident-smaller than the full copy.
+					full, err := os.Stat(filepath.Join(partDir, tgraph.PartitionFullName))
+					if err != nil {
+						t.Fatal(err)
+					}
+					if len(rep.WorkerGraphBytes) != testWorkers {
+						t.Fatalf("worker graph bytes: %v", rep.WorkerGraphBytes)
+					}
+					for s, b := range rep.WorkerGraphBytes {
+						if b <= 0 || b >= full.Size() {
+							t.Errorf("shard %d resident graph = %d bytes, want (0, %d)", s, b, full.Size())
+						}
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestClusterDegradesWithoutMesh runs a direct-plane coordinator against a
+// fleet where one worker refuses the mesh: the run must degrade to the
+// relay — never abort — and still match the single-process answer.
+func TestClusterDegradesWithoutMesh(t *testing.T) {
+	g := tgraph.TransitExample()
+	p := algorithms.Params{Source: 0}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	reg := obs.NewRegistry()
+	coord, addr, out := startCluster(t, cluster.Config{
+		Algo: "sssp", Params: p, DataPlane: cluster.PlaneDirect, Registry: reg,
+	})
+	dirs := workerDirs(t, testWorkers)
+	runWorkersPlane(ctx, t, addr, dirs[:1], cluster.PlaneRelay)
+	runWorkersPlane(ctx, t, addr, dirs[1:], cluster.PlaneDirect)
+	got := waitResult(t, out, 30*time.Second)
+	compareResults(t, g, got, directRun(t, g, "sssp", p))
+	rep := coord.Report()
+	if rep.DataPlane != cluster.PlaneRelay {
+		t.Errorf("degraded run reports plane %q, want %q", rep.DataPlane, cluster.PlaneRelay)
+	}
+	if b := reg.Counter(obs.CClusterDirectBytes).Load(); b != 0 {
+		t.Errorf("degraded run still shipped %d direct bytes", b)
+	}
+	if b := reg.Counter(obs.CClusterRelayBytes).Load(); b == 0 {
+		t.Error("degraded run relayed no bytes")
+	}
+}
+
+// TestClusterConfigDataPlane pins the plane and partition validation in
+// cluster.New.
+func TestClusterConfigDataPlane(t *testing.T) {
+	if _, err := cluster.New(cluster.Config{Workers: 2, Graph: "transit", Algo: "sssp", DataPlane: "carrier-pigeon"}); err == nil {
+		t.Error("bogus data plane accepted")
+	}
+	dir, _ := writeTransitPartitions(t)
+	// Partition cut for testWorkers shards; any other width must be refused.
+	if _, err := cluster.New(cluster.Config{Workers: testWorkers + 1, Graph: "shard:" + dir, Algo: "sssp"}); err == nil {
+		t.Error("worker count differing from the partition cut accepted")
+	}
+	if _, err := cluster.New(cluster.Config{Workers: testWorkers, Graph: "shard:" + dir, Algo: "sssp"}); err != nil {
+		t.Errorf("matching partitioned config rejected: %v", err)
+	}
+}
+
+// TestLoadGraphShard pins the "shard:<dir>" spec contract: the full copy
+// and every per-shard file resolve with their metadata, a missing file and
+// a file claiming the wrong shard fail loudly, and the embedded assignment
+// is one total map over the full vertex set.
+func TestLoadGraphShard(t *testing.T) {
+	want := tgraph.TransitExample()
+	dir, infos := writeTransitPartitions(t)
+	if len(infos) != testWorkers+1 {
+		t.Fatalf("wrote %d files, want %d", len(infos), testWorkers+1)
+	}
+
+	m, meta, err := cluster.LoadGraphShard("shard:"+dir, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tgraph.Equal(m.Graph, want); err != nil {
+		t.Errorf("full copy diverges: %v", err)
+	}
+	if meta == nil || meta.Shard != -1 || meta.Shards != testWorkers {
+		t.Errorf("full meta: %+v", meta)
+	}
+	part := meta.Partitioner()
+	m.Close()
+
+	for s := 0; s < testWorkers; s++ {
+		m, meta, err := cluster.LoadGraphShard("shard:"+dir, s)
+		if err != nil {
+			t.Fatalf("shard %d: %v", s, err)
+		}
+		if meta.Shard != s || meta.Owned(s) == 0 {
+			t.Errorf("shard %d meta: %+v", s, meta)
+		}
+		// Full vertex set retained; edges trimmed to the incident set.
+		if m.Graph.NumVertices() != want.NumVertices() {
+			t.Errorf("shard %d dropped vertices: %d != %d", s, m.Graph.NumVertices(), want.NumVertices())
+		}
+		if m.Graph.NumEdges() >= want.NumEdges() {
+			t.Errorf("shard %d kept all %d edges", s, m.Graph.NumEdges())
+		}
+		// The embedded assignment agrees with the full copy's partitioner.
+		pp := meta.Partitioner()
+		for v := 0; v < want.NumVertices(); v++ {
+			if pp(v, testWorkers) != part(v, testWorkers) {
+				t.Fatalf("shard %d assignment diverges at vertex %d", s, v)
+			}
+		}
+		m.Close()
+	}
+
+	if _, _, err := cluster.LoadGraphShard("shard:"+dir, testWorkers+7); err == nil {
+		t.Error("missing partition file accepted")
+	}
+	// A file claiming another shard: copy part-000 over part-001.
+	b, err := os.ReadFile(filepath.Join(dir, tgraph.PartitionFileName(0)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, tgraph.PartitionFileName(1)), b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := cluster.LoadGraphShard("shard:"+dir, 1); err == nil {
+		t.Error("partition file claiming the wrong shard accepted")
+	}
+}
+
+// TestWritePartitionsInfos pins the WritePartitions summary: one full row
+// plus one per shard, owned counts partitioning the vertex set, and every
+// per-shard file smaller than the full copy.
+func TestWritePartitionsInfos(t *testing.T) {
+	g := tgraph.TransitExample()
+	dir := filepath.Join(t.TempDir(), "parts")
+	infos, err := cluster.WritePartitions(g, dir, testWorkers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if infos[0].Shard != -1 || infos[0].Name != tgraph.PartitionFullName || infos[0].Edges != g.NumEdges() {
+		t.Errorf("full row: %+v", infos[0])
+	}
+	owned := 0
+	for _, pi := range infos[1:] {
+		owned += pi.Owned
+		if pi.Vertices != g.NumVertices() {
+			t.Errorf("shard %d vertex set trimmed: %+v", pi.Shard, pi)
+		}
+		if pi.Bytes <= 0 || pi.Bytes >= infos[0].Bytes {
+			t.Errorf("shard %d file not smaller than full copy: %+v vs %d", pi.Shard, pi, infos[0].Bytes)
+		}
+		if pi.Name != tgraph.PartitionFileName(pi.Shard) {
+			t.Errorf("shard %d name: %+v", pi.Shard, pi)
+		}
+	}
+	if owned != g.NumVertices() {
+		t.Errorf("owned counts sum to %d, want %d", owned, g.NumVertices())
+	}
+	if _, err := cluster.WritePartitions(g, dir, 0); err == nil {
+		t.Error("zero shards accepted")
+	}
+	for _, pi := range infos[1:] {
+		m, meta, err := cluster.LoadGraphShard("shard:"+dir, pi.Shard)
+		if err != nil {
+			t.Fatalf("reopen shard %d: %v", pi.Shard, err)
+		}
+		if meta.Owned(pi.Shard) != pi.Owned {
+			t.Errorf("shard %d owned: file %d, info %d", pi.Shard, meta.Owned(pi.Shard), pi.Owned)
+		}
+		m.Close()
+	}
+}

@@ -1,0 +1,83 @@
+package cluster
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"graphite/internal/engine"
+	"graphite/internal/tgraph"
+)
+
+// PartitionInfo summarizes one file of a partition directory.
+type PartitionInfo struct {
+	Shard    int    `json:"shard"` // -1 for the full-graph copy
+	Name     string `json:"name"`
+	Owned    int    `json:"owned"` // vertices this shard computes
+	Vertices int    `json:"vertices"`
+	Edges    int    `json:"edges"`
+	Bytes    int64  `json:"bytes"`
+}
+
+// WritePartitions cuts g into shards induced-subgraph partition files under
+// dir, resolvable by the "shard:<dir>" graph spec: a full-graph copy
+// (full.gsn, the coordinator's view) plus one part-NNN.gsn per shard.
+// Placement is the engine's balanced LPT partitioner over the graph's work
+// weights — the same rule a whole-graph cluster run would compute — and the
+// resulting assignment is embedded in every file so all processes share the
+// exact vertex→shard map without recomputing weights from partial graphs.
+func WritePartitions(g *tgraph.Graph, dir string, shards int) ([]PartitionInfo, error) {
+	if shards <= 0 {
+		return nil, fmt.Errorf("cluster: partition count %d, want >= 1", shards)
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	part := engine.PartitionBalanced(g.WorkWeights())
+	assign := make([]int32, g.NumVertices())
+	for v := range assign {
+		assign[v] = int32(part(v, shards))
+	}
+	meta := &tgraph.PartitionMeta{
+		Shard:    -1,
+		Shards:   shards,
+		Vertices: g.NumVertices(),
+		Edges:    g.NumEdges(),
+		Assign:   assign,
+	}
+	infos := make([]PartitionInfo, 0, shards+1)
+	write := func(name string, pg *tgraph.Graph, m *tgraph.PartitionMeta) error {
+		path := filepath.Join(dir, name)
+		if err := tgraph.WritePartitionFile(path, pg, m); err != nil {
+			return fmt.Errorf("cluster: write partition %s: %w", path, err)
+		}
+		st, err := os.Stat(path)
+		if err != nil {
+			return err
+		}
+		owned := g.NumVertices()
+		if m.Shard >= 0 {
+			owned = m.Owned(m.Shard)
+		}
+		infos = append(infos, PartitionInfo{
+			Shard: m.Shard, Name: name, Owned: owned,
+			Vertices: pg.NumVertices(), Edges: pg.NumEdges(), Bytes: st.Size(),
+		})
+		return nil
+	}
+	if err := write(tgraph.PartitionFullName, g, meta); err != nil {
+		return nil, err
+	}
+	for s := 0; s < shards; s++ {
+		pg, err := tgraph.ExtractPartition(g, assign, s)
+		if err != nil {
+			return nil, fmt.Errorf("cluster: extract shard %d: %w", s, err)
+		}
+		sm := *meta
+		sm.Shard = s
+		if err := write(tgraph.PartitionFileName(s), pg, &sm); err != nil {
+			return nil, err
+		}
+	}
+	return infos, nil
+}

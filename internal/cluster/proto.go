@@ -5,18 +5,23 @@
 // durable checkpoint and replaying.
 //
 // The execution model piggybacks on core.Shard: every worker builds the
-// full engine over the whole graph from an identical configuration, so the
+// engine over the full vertex set from an identical configuration, so the
 // deterministic partitioner gives each process the same vertex→shard map,
-// and only the owned slice is ever computed locally. The coordinator owns
-// all control flow — superstep broadcast, data relay, barrier aggregation,
-// halt detection, checkpoint commit — which keeps the worker a single
-// straight-line state machine and makes recovery a coordinator-local
-// decision.
+// and only the owned slice is ever computed locally. With a "shard:<dir>"
+// graph spec each worker maps only its own induced-subgraph partition
+// (full vertex set, edges trimmed to the shard's incident set), cutting
+// resident memory to O(V + E/N). The coordinator owns all control flow —
+// superstep broadcast, barrier aggregation, halt detection, checkpoint
+// commit — which keeps the worker a single straight-line state machine and
+// makes recovery a coordinator-local decision. Message batches travel on a
+// configurable data plane: directly worker-to-worker over a full TCP mesh
+// (the default), or relayed through the coordinator (the fallback).
 //
 // Delivery order (own outbox first, then peer batches ascending by source
-// shard) matches the in-process transported exchange, so a cluster run is
-// bit-identical to a single-process run — the invariant the kill-recovery
-// chaos tests assert.
+// shard) matches the in-process transported exchange regardless of the
+// plane or the mesh's arrival order, so a cluster run is bit-identical to
+// a single-process run — the invariant the kill-recovery chaos tests
+// assert.
 package cluster
 
 import (
@@ -49,13 +54,28 @@ const (
 	fHeartbeat                 // worker→coord: lease renewal
 	fError                     // worker→coord: fatal worker-side error
 	fBye                       // coord→worker: run complete, exit cleanly
+	fPeers                     // coord→worker: mesh addresses of every shard
+	fMeshed                    // worker→coord: mesh dial outcome for an epoch
+	fMeshHello                 // worker→worker: first frame on a mesh connection
+)
+
+// Data-plane modes. PlaneDirect ships fData batches worker-to-worker over
+// the mesh; PlaneRelay routes every batch through the coordinator (the
+// original star topology, kept as an explicit fallback).
+const (
+	PlaneDirect = "direct"
+	PlaneRelay  = "relay"
 )
 
 // helloMsg registers a worker. PrevShard is the shard recorded in the
 // worker's checkpoint directory by a previous incarnation (-1 if none); the
 // coordinator prefers to re-assign it so the on-disk checkpoints match.
+// MeshAddr is the worker's listening address for direct peer data; empty
+// means the worker cannot (or was told not to) serve a mesh endpoint, which
+// degrades the whole run to the relay plane.
 type helloMsg struct {
-	PrevShard int `json:"prev_shard"`
+	PrevShard int    `json:"prev_shard"`
+	MeshAddr  string `json:"mesh_addr,omitempty"`
 }
 
 // assignMsg hands a worker its shard and everything needed to build it
@@ -86,15 +106,19 @@ type readyMsg struct {
 	Superstep     int   `json:"superstep"`
 	Gen           int   `json:"gen"`
 	RestoredBytes int64 `json:"restored_bytes"`
+	GraphBytes    int64 `json:"graph_bytes,omitempty"` // resident graph footprint (mapped partition size)
 }
 
 // stepMsg starts one superstep. Checkpoint tells the worker to capture a
-// durable checkpoint as generation Gen at the closing barrier.
+// durable checkpoint as generation Gen at the closing barrier. Direct
+// selects the data plane for this superstep's batches: peer mesh when true,
+// coordinator relay when false.
 type stepMsg struct {
 	Epoch      int  `json:"epoch"`
 	Superstep  int  `json:"superstep"`
 	Checkpoint bool `json:"checkpoint,omitempty"`
 	Gen        int  `json:"gen,omitempty"`
+	Direct     bool `json:"direct,omitempty"`
 }
 
 // stepDoneMsg is one shard's barrier report. CkptGen is -1 unless this
@@ -120,6 +144,36 @@ type stepDoneMsg struct {
 	ComputeNS    int64 `json:"compute_ns,omitempty"`
 	WaitNS       int64 `json:"wait_ns,omitempty"`
 	DeliverNS    int64 `json:"deliver_ns,omitempty"`
+	PeerSendNS   int64 `json:"peer_send_ns,omitempty"`  // time writing batches to mesh peers
+	PeerRecvNS   int64 `json:"peer_recv_ns,omitempty"`  // ship → last direct batch arrival
+	DirectBytes  int64 `json:"direct_bytes,omitempty"`  // batch bytes shipped peer-to-peer
+	RelayedBytes int64 `json:"relayed_bytes,omitempty"` // batch bytes shipped via the coordinator
+}
+
+// peersMsg hands every worker the mesh address of every shard for an epoch
+// (indexed by shard; the receiver skips its own slot). Re-broadcast after
+// every recovery so replacements advertise their fresh listeners.
+type peersMsg struct {
+	Epoch int      `json:"epoch"`
+	Addrs []string `json:"addrs"`
+}
+
+// meshedMsg acknowledges a peersMsg: the worker dialed every peer (OK) or
+// exhausted its retries (not OK, with the first error), in which case the
+// coordinator degrades the run to the relay plane instead of aborting.
+type meshedMsg struct {
+	Epoch int    `json:"epoch"`
+	Shard int    `json:"shard"`
+	OK    bool   `json:"ok"`
+	Err   string `json:"err,omitempty"`
+}
+
+// meshHelloMsg is the first frame on every mesh connection, identifying the
+// dialing shard. Epoch is advisory (dataHeader carries the authoritative
+// epoch per batch).
+type meshHelloMsg struct {
+	Shard int `json:"shard"`
+	Epoch int `json:"epoch"`
 }
 
 // rollbackMsg orders survivors back to the last globally-committed
@@ -222,18 +276,53 @@ func parseResultHeader(p []byte) (epoch, shard int, blob []byte, err error) {
 // LoadGraph resolves a graph spec shared between coordinator and workers:
 // "transit" is the built-in fixture, "file:<path>" loads any tgraph format
 // — text, binary, or a .gsn snapshot, which rejoining workers open as an
-// mmap so a respawn pays page faults instead of a parse. Every process must
-// resolve the spec to the identical graph or the deterministic partition
-// maps diverge. The returned Mapped stays open for the lifetime of the
-// graph: the engine and results alias its memory.
+// mmap so a respawn pays page faults instead of a parse — and
+// "shard:<dir>" names a partition directory written by WritePartitions,
+// from which each process maps only its own induced subgraph. Every process
+// must resolve the spec to a graph with identical vertex indexing or the
+// deterministic partition maps diverge. The returned Mapped stays open for
+// the lifetime of the graph: the engine and results alias its memory.
 func LoadGraph(spec string) (*tgraph.Mapped, error) {
+	m, _, err := LoadGraphShard(spec, -1)
+	return m, err
+}
+
+// LoadGraphShard resolves a graph spec for one shard. For "shard:<dir>"
+// specs, shard >= 0 maps that shard's partition file (vertex set intact,
+// edges trimmed to the shard's incident set) and shard == -1 maps the full
+// graph copy (the coordinator's view); the returned PartitionMeta carries
+// the cut's vertex→shard assignment, which every process must adopt as its
+// partitioner. For whole-graph specs the meta is nil and the shard argument
+// is irrelevant.
+func LoadGraphShard(spec string, shard int) (*tgraph.Mapped, *tgraph.PartitionMeta, error) {
 	switch {
 	case spec == "transit":
-		return tgraph.Unmapped(tgraph.TransitExample()), nil
+		return tgraph.Unmapped(tgraph.TransitExample()), nil, nil
 	case strings.HasPrefix(spec, "file:"):
-		return tgraph.OpenAnyFile(strings.TrimPrefix(spec, "file:"))
+		m, err := tgraph.OpenAnyFile(strings.TrimPrefix(spec, "file:"))
+		return m, nil, err
+	case strings.HasPrefix(spec, "shard:"):
+		dir := strings.TrimPrefix(spec, "shard:")
+		name := tgraph.PartitionFullName
+		if shard >= 0 {
+			name = tgraph.PartitionFileName(shard)
+		}
+		m, meta, err := tgraph.OpenPartition(filepath.Join(dir, name))
+		if err != nil {
+			return nil, nil, err
+		}
+		wantShard := shard
+		if shard < 0 {
+			wantShard = -1
+		}
+		if meta.Shard != wantShard {
+			m.Close()
+			return nil, nil, fmt.Errorf("%s: %w: file claims shard %d, requested %d",
+				filepath.Join(dir, name), tgraph.ErrPartitionMismatch, meta.Shard, wantShard)
+		}
+		return m, meta, nil
 	}
-	return nil, fmt.Errorf("cluster: unknown graph spec %q (want \"transit\" or \"file:<path>\")", spec)
+	return nil, nil, fmt.Errorf("cluster: unknown graph spec %q (want \"transit\", \"file:<path>\" or \"shard:<dir>\")", spec)
 }
 
 // shardMarkerName binds a checkpoint directory to the shard whose
@@ -260,8 +349,10 @@ func writeShardMarker(dir string, shard int) error {
 // CrashEnv names the environment variable the chaos driver sets to plant a
 // kill point in a worker process: "<phase>:<superstep>" with phase one of
 // "compute" (after the compute phase has shipped its batches, before
-// delivery), "checkpoint" (between the checkpoint temp-file write and its
-// atomic rename), or "barrier" (after the barrier report is sent).
+// delivery), "peersend" (mid-ship: after the first peer batch has left but
+// before the rest, the worst case for the direct data plane), "checkpoint"
+// (between the checkpoint temp-file write and its atomic rename), or
+// "barrier" (after the barrier report is sent).
 const CrashEnv = "GRAPHITE_CRASH"
 
 // CrashPlan is a parsed kill point. The zero value never fires.
@@ -280,7 +371,7 @@ func ParseCrashPlan(s string) (CrashPlan, error) {
 		return CrashPlan{}, fmt.Errorf("cluster: bad crash plan %q (want phase:superstep)", s)
 	}
 	switch phase {
-	case "compute", "checkpoint", "barrier":
+	case "compute", "peersend", "checkpoint", "barrier":
 	default:
 		return CrashPlan{}, fmt.Errorf("cluster: bad crash phase %q", phase)
 	}

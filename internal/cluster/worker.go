@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"bytes"
 	"context"
 	"errors"
 	"fmt"
@@ -19,10 +20,14 @@ import (
 )
 
 // Worker dial defaults: a replacement worker may start before the
-// coordinator notices the loss, so the dial loop is patient.
+// coordinator notices the loss, so the dial loop is patient. Mesh dials are
+// far less so — every peer's listener is up before the coordinator ever
+// broadcasts the address table, so a peer that won't answer after a few
+// tries is genuinely unreachable and the run should degrade to the relay.
 const (
 	DefaultDialAttempts = 40
 	DefaultDialBackoff  = 25 * time.Millisecond
+	meshDialAttempts    = 5
 )
 
 // WorkerConfig parameterizes one worker process.
@@ -49,6 +54,17 @@ type WorkerConfig struct {
 	// KeepCheckpoints bounds on-disk generations; zero means
 	// engine.DefaultKeepGenerations.
 	KeepCheckpoints int
+	// DataPlane selects how this worker ships message batches: PlaneDirect
+	// (or empty) serves a mesh endpoint and sends peer-to-peer when the
+	// coordinator runs the direct plane; PlaneRelay disables the mesh
+	// entirely — the worker advertises no address, which degrades the whole
+	// run to the coordinator relay.
+	DataPlane string
+	// MeshListenAddr is the address the mesh endpoint listens on; empty
+	// means an ephemeral loopback port. Multi-host deployments set this to
+	// an externally reachable "<host>:0" (the advertised address is the
+	// listener's).
+	MeshListenAddr string
 	// Registry, when set, receives the worker's engine.* metric families
 	// (the shard is built with it) — the series a worker-side /metrics
 	// endpoint exposes. Nil disables worker-local metrics.
@@ -77,6 +93,22 @@ type stepRun struct {
 	// last peer batch lands).
 	computeNS int64
 	shipped   time.Time
+
+	// Data-plane attribution for this superstep's outbound batches, plus
+	// the arrival clock of inbound mesh batches (peer_recv ends when the
+	// last direct batch lands).
+	peerSendNS   int64
+	directBytes  int64
+	relayedBytes int64
+	lastDirect   time.Time
+}
+
+// pendKey indexes an early mesh batch: the peer computed a superstep this
+// worker has not opened yet (its fStep is still in flight on the
+// coordinator stream, which has no ordering relative to the mesh).
+type pendKey struct {
+	step int
+	src  int
 }
 
 // wrk is one worker process's run state.
@@ -89,11 +121,15 @@ type wrk struct {
 	sh    *core.Shard
 	store *engine.CheckpointStore
 
-	self   int
-	shards int
-	epoch  int
-	span   string
-	cur    *stepRun
+	self       int
+	shards     int
+	epoch      int
+	span       string
+	graphBytes int64 // resident graph footprint, reported on every ready
+	cur        *stepRun
+
+	mesh    *mesh              // nil when the worker runs relay-only
+	pending map[pendKey][]byte // early mesh batches for unopened supersteps
 
 	hbStop chan struct{}
 	hbOnce sync.Once
@@ -119,12 +155,34 @@ func RunWorker(ctx context.Context, cfg WorkerConfig) error {
 	if cfg.Logger == nil {
 		cfg.Logger = slog.Default()
 	}
+	switch cfg.DataPlane {
+	case "", PlaneDirect, PlaneRelay:
+	default:
+		return fmt.Errorf("cluster: unknown data plane %q", cfg.DataPlane)
+	}
+	// The mesh listener comes up before the hello so the advertised address
+	// is live the moment any peer learns it.
+	var me *mesh
+	if cfg.DataPlane != PlaneRelay {
+		addr := cfg.MeshListenAddr
+		if addr == "" {
+			addr = "127.0.0.1:0"
+		}
+		var err error
+		if me, err = newMesh(addr, cfg.Logger); err != nil {
+			return err
+		}
+		defer me.close()
+	}
 	conn, err := dialCoordinator(ctx, cfg)
 	if err != nil {
 		return err
 	}
 	defer conn.Close()
-	w := &wrk{cfg: cfg, ctx: ctx, conn: conn, log: cfg.Logger, hbStop: make(chan struct{})}
+	w := &wrk{
+		cfg: cfg, ctx: ctx, conn: conn, log: cfg.Logger, mesh: me,
+		pending: map[pendKey][]byte{}, hbStop: make(chan struct{}),
+	}
 	defer w.stopHeartbeat()
 	// A canceled context unblocks the frame read by closing the conn.
 	watchDone := make(chan struct{})
@@ -136,7 +194,11 @@ func RunWorker(ctx context.Context, cfg WorkerConfig) error {
 		case <-watchDone:
 		}
 	}()
-	if err := w.sendJSON(fHello, helloMsg{PrevShard: readShardMarker(cfg.Dir)}); err != nil {
+	hello := helloMsg{PrevShard: readShardMarker(cfg.Dir)}
+	if me != nil {
+		hello.MeshAddr = me.addr()
+	}
+	if err := w.sendJSON(fHello, hello); err != nil {
 		return err
 	}
 	return w.loop()
@@ -165,39 +227,105 @@ func dialCoordinator(ctx context.Context, cfg WorkerConfig) (net.Conn, error) {
 	return nil, fmt.Errorf("cluster: dial coordinator %s: %w", cfg.Addr, lastErr)
 }
 
-// loop is the worker's single-threaded frame dispatcher.
+// loop is the worker's single-threaded state machine. Frames from the
+// coordinator stream and the mesh are funneled through channels so one
+// goroutine makes every state transition; the select order between the two
+// sources is irrelevant because batch delivery is gated on completeness and
+// replayed in a canonical order, never in arrival order.
 func (w *wrk) loop() error {
+	type inFrame struct {
+		ftype   byte
+		payload []byte
+		err     error
+	}
+	coordIn := make(chan inFrame, 8)
+	go func() {
+		for {
+			ftype, payload, err := readConnFrame(w.conn)
+			select {
+			case coordIn <- inFrame{ftype, payload, err}:
+			case <-w.ctx.Done():
+				return
+			}
+			if err != nil {
+				return
+			}
+		}
+	}()
+	var meshIn chan []byte
+	if w.mesh != nil {
+		meshIn = w.mesh.in
+	}
 	for {
-		ftype, payload, err := readConnFrame(w.conn)
-		if err != nil {
-			if w.ctx.Err() != nil {
-				return w.ctx.Err()
+		select {
+		case f := <-coordIn:
+			if f.err != nil {
+				if w.ctx.Err() != nil {
+					return w.ctx.Err()
+				}
+				if errors.Is(f.err, io.EOF) {
+					return errors.New("cluster: coordinator closed the connection")
+				}
+				return fmt.Errorf("cluster: read frame: %w", f.err)
 			}
-			if errors.Is(err, io.EOF) {
-				return errors.New("cluster: coordinator closed the connection")
+			var err error
+			switch f.ftype {
+			case fAssign:
+				err = w.handleAssign(f.payload)
+			case fStep:
+				err = w.handleStep(f.payload)
+			case fData:
+				err = w.handleData(f.payload)
+			case fPeers:
+				err = w.handlePeers(f.payload)
+			case fRollback:
+				err = w.handleRollback(f.payload)
+			case fCollect:
+				err = w.handleCollect(f.payload)
+			case fBye:
+				return nil
+			default:
+				err = fmt.Errorf("cluster: unexpected frame type %d from coordinator", f.ftype)
 			}
-			return fmt.Errorf("cluster: read frame: %w", err)
-		}
-		switch ftype {
-		case fAssign:
-			err = w.handleAssign(payload)
-		case fStep:
-			err = w.handleStep(payload)
-		case fData:
-			err = w.handleData(payload)
-		case fRollback:
-			err = w.handleRollback(payload)
-		case fCollect:
-			err = w.handleCollect(payload)
-		case fBye:
-			return nil
-		default:
-			err = fmt.Errorf("cluster: unexpected frame type %d from coordinator", ftype)
-		}
-		if err != nil {
-			return err
+			if err != nil {
+				return err
+			}
+		case p := <-meshIn:
+			if err := w.handleMeshData(p); err != nil {
+				return err
+			}
+		case <-w.ctx.Done():
+			return w.ctx.Err()
 		}
 	}
+}
+
+// handlePeers (re)builds the outbound mesh for an epoch and acknowledges
+// the outcome. Dialing happens inline — the worker has nothing else to do
+// between ready and the first step, and the heartbeat goroutine keeps the
+// lease alive — and a failure degrades the run to the relay plane on the
+// coordinator rather than killing the worker.
+func (w *wrk) handlePeers(payload []byte) error {
+	var pm peersMsg
+	if err := parseJSON(payload, &pm); err != nil {
+		return err
+	}
+	if pm.Epoch != w.epoch {
+		return nil // stale
+	}
+	if w.mesh == nil {
+		return w.sendJSON(fMeshed, meshedMsg{Epoch: pm.Epoch, Shard: w.self, OK: false, Err: "mesh disabled"})
+	}
+	w.mesh.self = w.self
+	if err := w.mesh.dialPeers(w.ctx, pm.Epoch, pm.Addrs, meshDialAttempts, w.cfg.DialBackoff); err != nil {
+		if w.ctx.Err() != nil {
+			return w.ctx.Err()
+		}
+		w.log.Warn("cluster: mesh dial failed, reporting for relay fallback", "shard", w.self, "err", err)
+		return w.sendJSON(fMeshed, meshedMsg{Epoch: pm.Epoch, Shard: w.self, OK: false, Err: err.Error()})
+	}
+	w.log.Info("cluster: mesh established", "shard", w.self, "epoch", pm.Epoch, "peers", len(pm.Addrs)-1)
+	return w.sendJSON(fMeshed, meshedMsg{Epoch: pm.Epoch, Shard: w.self, OK: true})
 }
 
 // fail reports a fatal worker-side error to the coordinator (best effort)
@@ -221,7 +349,7 @@ func (w *wrk) handleAssign(payload []byte) error {
 	// than the lease on large graphs, and a silent worker mid-setup would be
 	// declared dead before it ever got to ready.
 	w.startHeartbeat(time.Duration(as.HeartbeatNS))
-	gm, err := LoadGraph(as.Graph)
+	gm, pmeta, err := LoadGraphShard(as.Graph, as.Shard)
 	if err != nil {
 		return w.fail(err)
 	}
@@ -231,6 +359,15 @@ func (w *wrk) handleAssign(payload []byte) error {
 		return w.fail(err)
 	}
 	opts.NumWorkers = as.Shards
+	if pmeta != nil {
+		// Partitioned graph: adopt the cut's stored vertex→shard map. The
+		// local edge set is partial, so recomputing placement from work
+		// weights here would diverge from every other process.
+		if pmeta.Shards != as.Shards {
+			return w.fail(fmt.Errorf("cluster: partition cut for %d shards, run has %d", pmeta.Shards, as.Shards))
+		}
+		opts.Partitioner = pmeta.Partitioner()
+	}
 	// The shard publishes its engine.* families into the worker's registry
 	// and stamps the coordinator-minted span on everything it traces, so a
 	// worker's /metrics and trace are first-class citizens of the fleet.
@@ -258,6 +395,7 @@ func (w *wrk) handleAssign(payload []byte) error {
 	w.sh, w.store = sh, store
 	w.self, w.shards, w.epoch = as.Shard, as.Shards, as.Epoch
 	w.span = as.Span
+	w.graphBytes = gm.Size()
 	w.emit(obs.RunStart{Vertices: g.NumVertices(), Workers: as.Shards, Checkpoints: true, Span: as.Span})
 	var restored int64
 	gen := 0
@@ -286,7 +424,7 @@ func (w *wrk) handleAssign(payload []byte) error {
 	}
 	return w.sendJSON(fReady, readyMsg{
 		Epoch: w.epoch, Shard: w.self, Superstep: sh.Superstep(),
-		Gen: gen, RestoredBytes: restored,
+		Gen: gen, RestoredBytes: restored, GraphBytes: w.graphBytes,
 	})
 }
 
@@ -322,14 +460,42 @@ func (w *wrk) handleStep(payload []byte) error {
 	if err != nil {
 		return w.fail(err)
 	}
+	direct := st.Direct && w.mesh != nil
+	var peerSendNS, directBytes, relayedBytes int64
+	sent := 0
 	for dst := 0; dst < w.shards; dst++ {
 		if dst == w.self {
 			continue
 		}
 		p := appendDataHeader(nil, dataHeader{epoch: w.epoch, superstep: st.Superstep, src: w.self, dst: dst})
 		p = append(p, outs[dst]...)
-		if err := w.sendFrame(fData, p); err != nil {
-			return err
+		shippedDirect := false
+		if direct {
+			t0 := time.Now()
+			err := w.mesh.send(dst, p)
+			peerSendNS += time.Since(t0).Nanoseconds()
+			if err == nil {
+				directBytes += int64(len(p))
+				shippedDirect = true
+			} else {
+				// Per-batch fallback: the receiver counts batches from either
+				// plane, so one dead mesh connection costs an extra hop, not
+				// the run. The lease machinery handles a genuinely dead peer.
+				w.log.Warn("cluster: mesh send failed, relaying batch",
+					"shard", w.self, "dst", dst, "superstep", st.Superstep, "err", err)
+			}
+		}
+		if !shippedDirect {
+			if err := w.sendFrame(fData, p); err != nil {
+				return err
+			}
+			relayedBytes += int64(len(p))
+		}
+		sent++
+		if sent == 1 {
+			// Kill point "peersend": die mid-ship — the first peer (or the
+			// relay) holds this superstep's batch, the rest never see it.
+			w.maybeCrash("peersend", st.Superstep)
 		}
 	}
 	shipped := time.Now()
@@ -340,10 +506,30 @@ func (w *wrk) handleStep(payload []byte) error {
 		step: st.Superstep, ckpt: st.Checkpoint, gen: st.Gen,
 		batches: make([][]byte, w.shards), need: w.shards - 1,
 		computeNS: shipped.Sub(computeStart).Nanoseconds(), shipped: shipped,
+		peerSendNS: peerSendNS, directBytes: directBytes, relayedBytes: relayedBytes,
+	}
+	// Batches that beat this fStep across the mesh are already parked;
+	// adopt them before asking whether the barrier is complete.
+	for key, batch := range w.pending {
+		switch {
+		case key.step < st.Superstep:
+			delete(w.pending, key)
+		case key.step == st.Superstep:
+			delete(w.pending, key)
+			// Already here before the ship finished: contributes nothing to
+			// the mesh wait clock.
+			if err := w.storeBatch(key.src, batch, false); err != nil {
+				return err
+			}
+		}
 	}
 	return w.finishStepIfReady()
 }
 
+// handleData receives one relayed batch from the coordinator stream. The
+// coordinator stream is ordered — fStep always precedes the relayed
+// batches of its superstep — so anything not addressed to the open step is
+// stale (in flight across a recovery) and dropped.
 func (w *wrk) handleData(payload []byte) error {
 	h, batch, err := parseDataHeader(payload)
 	if err != nil {
@@ -352,12 +538,71 @@ func (w *wrk) handleData(payload []byte) error {
 	if h.epoch != w.epoch || w.cur == nil || h.superstep != w.cur.step || h.dst != w.self {
 		return nil // stale (in flight across a recovery)
 	}
-	if h.src < 0 || h.src >= w.shards || h.src == w.self || w.cur.batches[h.src] != nil {
-		return w.fail(fmt.Errorf("cluster: shard %d: bad data frame source %d", w.self, h.src))
+	if err := w.storeBatch(h.src, batch, false); err != nil {
+		return err
 	}
-	w.cur.batches[h.src] = batch
-	w.cur.got++
 	return w.finishStepIfReady()
+}
+
+// handleMeshData receives one batch from a peer connection. Unlike the
+// coordinator stream, the mesh has no ordering relative to fStep: a fast
+// peer's batch for superstep S can land before this worker has read fStep
+// S, so batches for future supersteps of the current epoch are parked in
+// the pending buffer rather than dropped. Stale epochs are discarded
+// exactly as the relay does.
+func (w *wrk) handleMeshData(payload []byte) error {
+	h, batch, err := parseDataHeader(payload)
+	if err != nil {
+		return err
+	}
+	if h.epoch != w.epoch || h.dst != w.self {
+		return nil // stale epoch or misrouted leftover of a dead incarnation
+	}
+	if h.src < 0 || h.src >= w.shards || h.src == w.self {
+		return w.fail(fmt.Errorf("cluster: shard %d: bad mesh frame source %d", w.self, h.src))
+	}
+	if w.cur != nil && h.superstep == w.cur.step {
+		if err := w.storeBatch(h.src, batch, true); err != nil {
+			return err
+		}
+		return w.finishStepIfReady()
+	}
+	if w.sh != nil && h.superstep >= w.sh.Superstep() {
+		key := pendKey{step: h.superstep, src: h.src}
+		if prev, dup := w.pending[key]; dup {
+			if bytes.Equal(prev, batch) {
+				return nil
+			}
+			return w.fail(fmt.Errorf("cluster: shard %d: conflicting early batches from %d at superstep %d",
+				w.self, h.src, h.superstep))
+		}
+		w.pending[key] = batch
+		return nil
+	}
+	return nil // late duplicate of a completed superstep
+}
+
+// storeBatch files one peer batch into the open superstep. A byte-identical
+// duplicate is dropped, not fatal: a mesh write that times out after the
+// kernel buffered the frame is retried over the relay, and the receiver may
+// legitimately see both copies.
+func (w *wrk) storeBatch(src int, batch []byte, viaMesh bool) error {
+	if src < 0 || src >= w.shards || src == w.self {
+		return w.fail(fmt.Errorf("cluster: shard %d: bad data frame source %d", w.self, src))
+	}
+	if prev := w.cur.batches[src]; prev != nil {
+		if bytes.Equal(prev, batch) {
+			return nil
+		}
+		return w.fail(fmt.Errorf("cluster: shard %d: conflicting batches from %d at superstep %d",
+			w.self, src, w.cur.step))
+	}
+	w.cur.batches[src] = batch
+	w.cur.got++
+	if viaMesh {
+		w.cur.lastDirect = time.Now()
+	}
+	return nil
 }
 
 // finishStepIfReady completes the superstep once every peer batch is in:
@@ -408,9 +653,16 @@ func (w *wrk) finishStepIfReady() error {
 		ckptGen, ckptBytes = meta.Gen, meta.Bytes
 	}
 	deliverNS := time.Since(deliverStart).Nanoseconds()
+	var peerRecvNS int64
+	if !cur.lastDirect.IsZero() {
+		if d := cur.lastDirect.Sub(cur.shipped).Nanoseconds(); d > 0 {
+			peerRecvNS = d
+		}
+	}
 	w.emit(obs.ShardStep{
 		Span: w.span, Superstep: rep.Superstep, Shard: w.self, Epoch: w.epoch,
 		ComputeNS: cur.computeNS, WaitNS: waitNS, DeliverNS: deliverNS,
+		PeerSendNS: cur.peerSendNS, PeerRecvNS: peerRecvNS,
 		ComputeCalls: rep.ComputeCalls, ScatterCalls: rep.ScatterCalls,
 		SentMsgs: rep.SentMsgs, SentBytes: rep.SentBytes,
 		Delivered: rep.Delivered, Active: int64(rep.Active),
@@ -422,6 +674,8 @@ func (w *wrk) finishStepIfReady() error {
 		SentMsgs: rep.SentMsgs, SentBytes: rep.SentBytes,
 		CkptGen: ckptGen, CkptBytes: ckptBytes,
 		ComputeNS: cur.computeNS, WaitNS: waitNS, DeliverNS: deliverNS,
+		PeerSendNS: cur.peerSendNS, PeerRecvNS: peerRecvNS,
+		DirectBytes: cur.directBytes, RelayedBytes: cur.relayedBytes,
 	})
 	if err != nil {
 		return err
@@ -443,6 +697,7 @@ func (w *wrk) handleRollback(payload []byte) error {
 	}
 	w.epoch = rb.Epoch
 	w.cur = nil
+	clear(w.pending) // parked batches belong to the dead epoch
 	data, meta, err := w.store.Load(rb.Gen)
 	if err != nil {
 		return w.fail(fmt.Errorf("cluster: rollback to gen %d: %w", rb.Gen, err))
@@ -454,7 +709,7 @@ func (w *wrk) handleRollback(payload []byte) error {
 		"superstep", w.sh.Superstep(), "epoch", w.epoch)
 	return w.sendJSON(fReady, readyMsg{
 		Epoch: w.epoch, Shard: w.self, Superstep: w.sh.Superstep(),
-		Gen: meta.Gen, RestoredBytes: meta.Bytes,
+		Gen: meta.Gen, RestoredBytes: meta.Bytes, GraphBytes: w.graphBytes,
 	})
 }
 

@@ -96,6 +96,12 @@ const (
 	GClusterSlowest    = "cluster.slowest_shard"
 	CClusterRelayBytes = "cluster.relay_bytes"
 	CClusterRelayNS    = "cluster.relay_ns"
+	// Direct data plane: cumulative batch bytes shipped worker-to-worker
+	// over the mesh (bypassing the coordinator entirely) and the cumulative
+	// worker time spent writing them. In direct mode the relay counters sit
+	// at ~0 and these carry the data volume; in relay mode the reverse.
+	CClusterDirectBytes = "cluster.data_direct_bytes"
+	CClusterDirectNS    = "cluster.data_direct_ns"
 	// GClusterShardComputeNS is a labeled family (one series per shard via
 	// WithLabels(..., "shard", n)): the last superstep's compute time per
 	// shard, the straggler profile a dashboard plots directly.

@@ -216,9 +216,11 @@ func (ClusterRecovery) Kind() string { return "cluster_recovery" }
 // synthesized by the cluster coordinator from worker barrier reports and its
 // own relay clock: "compute" (the worker's compute + outbound + ship time),
 // "barrier_wait" (the worker idled waiting for peer batches and the step
-// commit), or "relay" (coordinator time spent forwarding data batches toward
-// this shard). All spans of a run carry the run's span ID, so a cluster
-// timeline is a filter over one string.
+// commit), "relay" (coordinator time spent forwarding data batches toward
+// this shard), and — on the direct data plane — "peer_send" (the shard's
+// time writing batches to mesh peers) and "peer_recv" (idle between ship
+// and the last direct batch arrival). All spans of a run carry the run's
+// span ID, so a cluster timeline is a filter over one string.
 type PhaseSpan struct {
 	Span      string `json:"span,omitempty"`
 	Superstep int    `json:"superstep"`
@@ -242,6 +244,8 @@ type ShardStep struct {
 	ComputeNS    int64  `json:"compute_ns"`
 	WaitNS       int64  `json:"wait_ns"`
 	DeliverNS    int64  `json:"deliver_ns"`
+	PeerSendNS   int64  `json:"peer_send_ns,omitempty"`
+	PeerRecvNS   int64  `json:"peer_recv_ns,omitempty"`
 	ComputeCalls int64  `json:"compute_calls,omitempty"`
 	ScatterCalls int64  `json:"scatter_calls,omitempty"`
 	SentMsgs     int64  `json:"sent_msgs,omitempty"`

@@ -62,6 +62,16 @@ type Mapped struct {
 // Close, for callers that accept either source.
 func Unmapped(g *Graph) *Mapped { return &Mapped{Graph: g} }
 
+// Size returns the resident footprint of the graph: the byte length of the
+// mapping for snapshot-backed graphs (what the process actually faults in,
+// at most), or the heap estimate for in-memory graphs.
+func (m *Mapped) Size() int64 {
+	if len(m.data) > 0 {
+		return int64(len(m.data))
+	}
+	return m.MemoryFootprint()
+}
+
 // Close releases the underlying mapping, if any.
 func (m *Mapped) Close() error {
 	if m == nil || !m.mapped {

@@ -1,0 +1,230 @@
+package tgraph
+
+// Per-shard graph partitions: an induced subgraph per worker so a cluster
+// worker maps O(V + E/N) bytes instead of the whole graph. A partition keeps
+// the FULL vertex set in the original dense order — vertex indices are the
+// cluster's global message addresses and the partitioner's domain, so they
+// must agree bit-for-bit across every process — but only the edges incident
+// to the shard's owned vertices. Owned vertices therefore see their complete
+// out- and in-adjacency (scatter and gather are exact), and boundary
+// vertices (owned elsewhere, an endpoint here) resolve as scatter targets.
+//
+// Partition identity travels in the snapshot's extra section as a
+// PartitionMeta: which shard this file is, how many shards the cut has, and
+// the full vertex→shard assignment so every process reconstructs the exact
+// same partitioner without recomputing work weights from a partial graph.
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"os"
+)
+
+// Partition file layout inside a directory produced by WritePartitionFile
+// callers (cluster.WritePartitions, graphite-partition): the untrimmed
+// graph plus one induced subgraph per shard.
+const PartitionFullName = "full.gsn"
+
+// PartitionFileName returns the file name of one shard's partition.
+func PartitionFileName(shard int) string { return fmt.Sprintf("part-%03d.gsn", shard) }
+
+var (
+	// ErrPartitionMeta reports a malformed or missing partition meta
+	// section (truncated, bad magic, inconsistent counts).
+	ErrPartitionMeta = errors.New("tgraph: malformed partition meta")
+	// ErrPartitionMismatch reports a structurally valid partition that does
+	// not match the request (wrong shard, wrong shard count, wrong graph).
+	ErrPartitionMismatch = errors.New("tgraph: partition mismatch")
+)
+
+// partitionMagic guards the extra section: a plain .gsn snapshot (nil
+// extra, or an extra written by another subsystem) is cleanly rejected.
+const partitionMagic = "GPART1\n"
+
+// PartitionMeta identifies one partition file of a sharded graph cut.
+type PartitionMeta struct {
+	Shard    int     // this file's shard, or -1 for the full-graph copy
+	Shards   int     // number of shards in the cut
+	Vertices int     // full-graph |V| (partitions keep every vertex)
+	Edges    int     // full-graph |E| before trimming
+	Assign   []int32 // vertex index -> owning shard, len == Vertices
+}
+
+// Owned returns how many vertices the cut assigns to shard.
+func (m *PartitionMeta) Owned(shard int) int {
+	n := 0
+	for _, s := range m.Assign {
+		if int(s) == shard {
+			n++
+		}
+	}
+	return n
+}
+
+// Partitioner adapts the stored assignment to the engine's partitioner
+// signature. Out-of-range vertices fall back to the modulo rule, matching
+// engine.PartitionBalanced.
+func (m *PartitionMeta) Partitioner() func(vertex, numWorkers int) int {
+	assign := m.Assign
+	return func(v, n int) int {
+		if v < 0 || v >= len(assign) {
+			return ((v % n) + n) % n
+		}
+		return int(assign[v])
+	}
+}
+
+// EncodePartitionMeta serializes meta for a snapshot's extra section.
+func EncodePartitionMeta(m *PartitionMeta) []byte {
+	buf := make([]byte, 0, len(partitionMagic)+5*binary.MaxVarintLen64+len(m.Assign))
+	buf = append(buf, partitionMagic...)
+	buf = binary.AppendVarint(buf, int64(m.Shard))
+	buf = binary.AppendUvarint(buf, uint64(m.Shards))
+	buf = binary.AppendUvarint(buf, uint64(m.Vertices))
+	buf = binary.AppendUvarint(buf, uint64(m.Edges))
+	for _, s := range m.Assign {
+		buf = binary.AppendUvarint(buf, uint64(s))
+	}
+	return buf
+}
+
+// DecodePartitionMeta parses a partition meta blob (a Mapped.Extra). The
+// snapshot layer has already CRC-checked the bytes; this validates the
+// structure: magic, bounds, and a complete in-range assignment.
+func DecodePartitionMeta(extra []byte) (*PartitionMeta, error) {
+	if len(extra) < len(partitionMagic) || string(extra[:len(partitionMagic)]) != partitionMagic {
+		return nil, fmt.Errorf("%w: missing %q header", ErrPartitionMeta, partitionMagic[:len(partitionMagic)-1])
+	}
+	b := extra[len(partitionMagic):]
+	next := func() (uint64, error) {
+		v, n := binary.Uvarint(b)
+		if n <= 0 {
+			return 0, fmt.Errorf("%w: truncated varint", ErrPartitionMeta)
+		}
+		b = b[n:]
+		return v, nil
+	}
+	shard, n := binary.Varint(b)
+	if n <= 0 {
+		return nil, fmt.Errorf("%w: truncated shard", ErrPartitionMeta)
+	}
+	b = b[n:]
+	shards, err := next()
+	if err != nil {
+		return nil, err
+	}
+	verts, err := next()
+	if err != nil {
+		return nil, err
+	}
+	edges, err := next()
+	if err != nil {
+		return nil, err
+	}
+	m := &PartitionMeta{Shard: int(shard), Shards: int(shards), Vertices: int(verts), Edges: int(edges)}
+	if m.Shards <= 0 || m.Shard < -1 || m.Shard >= m.Shards {
+		return nil, fmt.Errorf("%w: shard %d of %d", ErrPartitionMeta, m.Shard, m.Shards)
+	}
+	if m.Vertices < 0 || m.Vertices > maxSaneCount || m.Edges < 0 || m.Edges > maxSaneCount {
+		return nil, fmt.Errorf("%w: counts |V|=%d |E|=%d", ErrPartitionMeta, m.Vertices, m.Edges)
+	}
+	m.Assign = make([]int32, m.Vertices)
+	for i := range m.Assign {
+		s, err := next()
+		if err != nil {
+			return nil, fmt.Errorf("%w: assignment ends at vertex %d of %d", ErrPartitionMeta, i, m.Vertices)
+		}
+		if s >= uint64(m.Shards) {
+			return nil, fmt.Errorf("%w: vertex %d assigned to shard %d of %d", ErrPartitionMeta, i, s, m.Shards)
+		}
+		m.Assign[i] = int32(s)
+	}
+	if len(b) != 0 {
+		return nil, fmt.Errorf("%w: %d trailing bytes", ErrPartitionMeta, len(b))
+	}
+	return m, nil
+}
+
+// maxSaneCount bounds decoded entity counts; the snapshot decoder enforces
+// the same order of magnitude, this just keeps hostile metas from
+// allocating unbounded assignment slices.
+const maxSaneCount = 1 << 31
+
+// ExtractPartition builds shard's induced subgraph of g under assign: every
+// vertex (same dense order, same lifespans and properties), but only the
+// edges with an endpoint owned by shard, in the original edge order so
+// adjacency lists — and therefore scatter order and message order — are a
+// subsequence of the full graph's. The partition inherits g's lifespan hull
+// (vertex-derived, identical by construction) and its time horizon, which
+// would otherwise shrink with the dropped edges and desynchronize
+// horizon-dependent algorithms across workers.
+func ExtractPartition(g *Graph, assign []int32, shard int) (*Graph, error) {
+	if len(assign) != g.NumVertices() {
+		return nil, fmt.Errorf("%w: assignment covers %d vertices, graph has %d",
+			ErrPartitionMismatch, len(assign), g.NumVertices())
+	}
+	kept := 0
+	for i := range g.edges {
+		if int(assign[g.srcIdx[i]]) == shard || int(assign[g.dstIdx[i]]) == shard {
+			kept++
+		}
+	}
+	b := NewBuilder(g.NumVertices(), kept)
+	for i := range g.vertices {
+		v := &g.vertices[i]
+		b.AddVertex(v.ID, v.Lifespan)
+		// Props are immutable once built; aliasing the slices is safe and
+		// EncodeSnapshot copies them into the file anyway.
+		b.vertices[i].Props = v.Props
+	}
+	for i := range g.edges {
+		if int(assign[g.srcIdx[i]]) != shard && int(assign[g.dstIdx[i]]) != shard {
+			continue
+		}
+		e := &g.edges[i]
+		b.AddEdge(e.ID, e.Src, e.Dst, e.Lifespan)
+		b.edges[len(b.edges)-1].Props = e.Props
+	}
+	pg, err := b.Build()
+	if err != nil {
+		return nil, err
+	}
+	pg.horizon = g.horizon
+	return pg, nil
+}
+
+// WritePartitionFile writes graph g as a .gsn snapshot whose extra section
+// carries meta, via a temp file + rename so readers never see a torn file.
+func WritePartitionFile(path string, g *Graph, meta *PartitionMeta) error {
+	data := EncodeSnapshot(g, EncodePartitionMeta(meta))
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return nil
+}
+
+// OpenPartition maps a partition file and decodes its meta. The graph
+// aliases the mapping; close the returned Mapped when done.
+func OpenPartition(path string) (*Mapped, *PartitionMeta, error) {
+	m, err := OpenMapped(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	meta, err := DecodePartitionMeta(m.Extra)
+	if err != nil {
+		m.Close()
+		return nil, nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if meta.Vertices != m.NumVertices() {
+		m.Close()
+		return nil, nil, fmt.Errorf("%s: %w: meta says |V|=%d, snapshot has %d",
+			path, ErrPartitionMismatch, meta.Vertices, m.NumVertices())
+	}
+	return m, meta, nil
+}
